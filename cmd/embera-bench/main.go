@@ -1,0 +1,133 @@
+// embera-bench regenerates every table and figure of the paper's evaluation
+// (§4–§5), plus the ablations of DESIGN.md §5. At the default paper scale
+// (578/3000 frames) the full run takes a few minutes of host time, most of
+// it real JPEG decoding inside the Fetch components; -small/-large shrink
+// the inputs for a quick pass.
+//
+// Usage:
+//
+//	embera-bench -exp all
+//	embera-bench -exp T1 -small 578 -large 3000
+//	embera-bench -exp F4,F8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"embera/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all",
+		"comma-separated experiments: T1,T2,T3,F4,F5,F8,A1,A2,A3,A4,E6 or 'all'")
+	small := flag.Int("small", exp.SmallFrames, "frame count of the small input (paper: 578)")
+	large := flag.Int("large", exp.LargeFrames, "frame count of the large input (paper: 3000)")
+	msgs := flag.Int("msgs", 30, "messages per point in the send-time sweeps")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *which == "all" {
+		for _, e := range []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*which, ",") {
+			want[strings.ToUpper(strings.TrimSpace(e))] = true
+		}
+	}
+
+	runIf := func(id string, f func() (string, error)) {
+		if !want[id] {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("===== %s =====\n%s\n", id, out)
+	}
+
+	runIf("T1", func() (string, error) {
+		rows, err := exp.Table1(*small, *large)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatTable1(rows, *small, *large), nil
+	})
+	runIf("T2", func() (string, error) {
+		rows, err := exp.Table2(*small, *large)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatTable2(rows, *small, *large), nil
+	})
+	runIf("F4", func() (string, error) {
+		points, err := exp.Figure4(exp.DefaultF4Sizes, *msgs)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatFigure4(points), nil
+	})
+	runIf("F5", func() (string, error) { return exp.Figure5() })
+	runIf("T3", func() (string, error) {
+		rows, err := exp.Table3(*small)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatTable3(rows, *small), nil
+	})
+	runIf("F8", func() (string, error) {
+		points, err := exp.Figure8(exp.DefaultF8Sizes, *msgs)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatFigure8(points), nil
+	})
+	runIf("A1", func() (string, error) {
+		r, err := exp.AblationObservationOverhead(min(*small, 60))
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatA1(r), nil
+	})
+	runIf("A2", func() (string, error) {
+		points, err := exp.AblationMailboxCapacity(min(*small, 60), []int64{8, 32, 128, 512, 2458})
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatA2(points), nil
+	})
+	runIf("A3", func() (string, error) {
+		r, err := exp.AblationNUMAPlacement(min(*small, 60))
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatA3(r), nil
+	})
+	runIf("A4", func() (string, error) {
+		points, err := exp.AblationIDCTFanout(min(*small, 60), []int{1, 2, 3, 4, 6, 8})
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatA4(points), nil
+	})
+	runIf("E6", func() (string, error) {
+		samples, err := exp.QueueOccupancy(min(*small, 30), 64*1024, 20_000)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatOccupancy(samples, []string{
+			"IDCT_1._fetchIdct1", "IDCT_2._fetchIdct2", "IDCT_3._fetchIdct3", "Reorder.idctReorder",
+		}), nil
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+// embera-mjpeg runs the paper's componentized MJPEG decoder on either
+// simulated platform and prints the observation reports of all three levels.
+//
+// Usage:
+//
+//	embera-mjpeg -platform smp      -frames 578
+//	embera-mjpeg -platform sti7200  -frames 578
+//	embera-mjpeg -platform smp      -in stream.mjpeg
+//	embera-mjpeg -format json                       # machine-readable reports
+//	embera-mjpeg -describe                          # dump the architecture (ADL)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"embera/internal/adl"
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/report"
+	"embera/internal/sim"
+)
+
+func main() {
+	platform := flag.String("platform", "smp", "platform: smp | sti7200")
+	frames := flag.Int("frames", 100, "frames to synthesize when -in is not given")
+	in := flag.String("in", "", "MJPEG input file (overrides -frames)")
+	format := flag.String("format", "text", "output format: text | json | csv | ifacecsv")
+	describe := flag.Bool("describe", false, "also dump the assembled architecture as ADL JSON")
+	flag.Parse()
+
+	var stream []byte
+	var err error
+	if *in != "" {
+		stream, err = os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		stream, err = mjpeg.SynthStream(exp.RefW, exp.RefH, *frames,
+			mjpeg.EncodeOptions{Quality: exp.RefQuality})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var run *exp.Run
+	switch *platform {
+	case "smp":
+		run, err = exp.RunSMP(mjpegapp.SMPConfig(stream))
+	case "sti7200":
+		run, err = exp.RunOS21(mjpegapp.OS21Config(stream))
+	default:
+		log.Fatalf("embera-mjpeg: unknown platform %q", *platform)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *describe {
+		if err := adl.Describe(run.App.Core).Encode(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	switch *format {
+	case "json":
+		if err := report.WriteJSON(os.Stdout, run.Reports); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "csv":
+		if err := report.WriteCSV(os.Stdout, run.Reports); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "ifacecsv":
+		if err := report.WriteIfaceCSV(os.Stdout, run.Reports); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "text":
+		// fall through to the human-readable report below
+	default:
+		log.Fatalf("embera-mjpeg: unknown format %q", *format)
+	}
+
+	fmt.Printf("platform: %s\n", run.App.Core.Binding().PlatformName())
+	fmt.Printf("frames decoded: %d; virtual makespan: %s\n\n",
+		run.App.FramesDecoded, sim.Duration(run.MakespanUS)*sim.Microsecond)
+
+	names := make([]string, 0, len(run.Reports))
+	for n := range run.Reports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Println("== OS level ==")
+	fmt.Printf("%-14s %14s %10s\n", "Component", "Time (µs)", "Mem (kB)")
+	for _, n := range names {
+		r := run.Reports[n]
+		fmt.Printf("%-14s %14d %10d\n", n, r.OS.ExecTimeUS, r.OS.MemBytes/1024)
+	}
+
+	fmt.Println("\n== Application level ==")
+	fmt.Printf("%-14s %10s %10s\n", "Component", "send", "receive")
+	for _, n := range names {
+		r := run.Reports[n]
+		fmt.Printf("%-14s %10d %10d\n", n, r.App.SendOps, r.App.RecvOps)
+	}
+
+	fmt.Println("\n== Middleware level ==")
+	for _, n := range names {
+		fmt.Print(core.FormatMWReport(n, run.Reports[n].Middleware))
+	}
+
+	fmt.Println("\n== Structure ==")
+	for _, n := range names {
+		fmt.Print(core.FormatInterfaces(n, run.Reports[n].App.Interfaces))
+		fmt.Println()
+	}
+}

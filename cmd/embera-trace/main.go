@@ -1,0 +1,127 @@
+// embera-trace records, dumps and summarizes EMBera binary event traces
+// (the §6 event-trace extension).
+//
+// Usage:
+//
+//	embera-trace record  -o run.trc -frames 60 -platform smp
+//	embera-trace dump    run.trc
+//	embera-trace summary run.trc
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flag"
+
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/linux"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+	"embera/internal/sti7200"
+	"embera/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "dump":
+		withTrace(os.Args[2:], func(events []core.Event) {
+			trace.Dump(os.Stdout, events)
+		})
+	case "summary":
+		withTrace(os.Args[2:], func(events []core.Event) {
+			fmt.Print(trace.FormatSummaries(trace.Summarize(events)))
+		})
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: embera-trace record|dump|summary [args]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "run.trc", "output trace file")
+	frames := fs.Int("frames", 60, "MJPEG frames to decode")
+	platform := fs.String("platform", "smp", "platform: smp | sti7200")
+	capacity := fs.Int("capacity", 1<<20, "trace ring capacity (events)")
+	_ = fs.Parse(args)
+
+	stream, err := mjpeg.SynthStream(exp.RefW, exp.RefH, *frames,
+		mjpeg.EncodeOptions{Quality: exp.RefQuality})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	k := sim.NewKernel()
+	var a *core.App
+	var cfg mjpegapp.Config
+	switch *platform {
+	case "smp":
+		sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+		a = core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
+		cfg = mjpegapp.SMPConfig(stream)
+	case "sti7200":
+		chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+		a = core.NewApp("mjpeg", os21bind.New(chip))
+		cfg = mjpegapp.OS21Config(stream)
+	default:
+		log.Fatalf("embera-trace: unknown platform %q", *platform)
+	}
+
+	rec := trace.NewRecorder(*capacity)
+	a.SetEventSink(rec)
+	if _, err := mjpegapp.Build(a, cfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if err := k.RunUntil(sim.Time(100 * 3600 * sim.Second)); err != nil {
+		log.Fatal(err)
+	}
+	if !a.Done() {
+		log.Fatal("application did not finish")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, rec.Events()); err != nil {
+		log.Fatal(err)
+	}
+	total, dropped := rec.Stats()
+	fmt.Printf("recorded %d events (%d dropped) to %s\n", total, dropped, *out)
+}
+
+func withTrace(args []string, fn func([]core.Event)) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn(events)
+}

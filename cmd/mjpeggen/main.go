@@ -1,0 +1,92 @@
+// mjpeggen synthesizes deterministic Motion-JPEG test streams — the
+// stand-in for the paper's proprietary 578- and 3000-image input videos —
+// and inspects or extracts existing streams.
+//
+// Usage:
+//
+//	mjpeggen -frames 578 -w 128 -h 96 -quality 75 -o stream.mjpeg
+//	mjpeggen -inspect stream.mjpeg
+//	mjpeggen -extract stream.mjpeg -frame 3 -o frame3.ppm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"embera/internal/mjpeg"
+)
+
+func main() {
+	frames := flag.Int("frames", 578, "number of frames")
+	width := flag.Int("w", 128, "frame width")
+	height := flag.Int("h", 96, "frame height")
+	quality := flag.Int("quality", 75, "JPEG quality (1-100)")
+	sub420 := flag.Bool("420", false, "use 4:2:0 chroma subsampling")
+	restart := flag.Int("restart", 0, "restart interval in MCUs (0 = none)")
+	out := flag.String("o", "stream.mjpeg", "output file")
+	inspect := flag.String("inspect", "", "print structure of an existing stream and exit")
+	extract := flag.String("extract", "", "extract one decoded frame from a stream as PPM")
+	frameIdx := flag.Int("frame", 0, "frame index for -extract")
+	flag.Parse()
+
+	if *inspect != "" {
+		stream, err := os.ReadFile(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := mjpeg.Inspect(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d frames, %dx%d, %d component(s), %d bytes (frames %d..%d bytes)\n",
+			*inspect, info.Frames, info.Width, info.Height, info.Components,
+			info.TotalBytes, info.MinFrame, info.MaxFrame)
+		return
+	}
+	if *extract != "" {
+		stream, err := os.ReadFile(*extract)
+		if err != nil {
+			log.Fatal(err)
+		}
+		framesList, err := mjpeg.SplitStream(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *frameIdx < 0 || *frameIdx >= len(framesList) {
+			log.Fatalf("mjpeggen: frame %d outside [0,%d)", *frameIdx, len(framesList))
+		}
+		img, err := mjpeg.Decode(framesList[*frameIdx])
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := mjpeg.WritePPM(f, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote frame %d (%dx%d) to %s\n", *frameIdx, img.W, img.H, *out)
+		return
+	}
+
+	if *frames <= 0 || *width <= 0 || *height <= 0 {
+		log.Fatal("mjpeggen: frames, width and height must be positive")
+	}
+	data, err := mjpeg.SynthStream(*width, *height, *frames, mjpeg.EncodeOptions{
+		Quality:         *quality,
+		Subsample420:    *sub420,
+		RestartInterval: *restart,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d frames (%dx%d, q%d) to %s: %d bytes\n",
+		*frames, *width, *height, *quality, *out, len(data))
+}

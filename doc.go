@@ -1,0 +1,13 @@
+// Package embera reproduces "Towards a Component-based Observation of
+// MPSoC" (Prada-Rojas, Marangonzova-Martin, Georgiev, Méhaut, Santana —
+// INRIA RR-6905 / ICPP 2009): the EMBera component model for multi-level
+// observation of MPSoC applications, together with both evaluation
+// platforms rebuilt as deterministic simulations and the full experiment
+// suite.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The root package carries
+// only documentation and the top-level benchmarks (bench_test.go); all
+// code lives under internal/, the executables under cmd/ and the runnable
+// examples under examples/.
+package embera

@@ -1,0 +1,85 @@
+// mjpeg_sti7200 runs the paper's §5 experiment: the MJPEG decoder deployed
+// on the simulated STi7200 MPSoC under OS21/EMBX, in the merged topology of
+// Figure 7 — one Fetch-Reorder component on the general-purpose ST40 plus
+// two IDCT components on ST231 accelerators.
+//
+// It prints the RTOS-level view (Table 3: task_time + memory with the
+// 60 kB task / 25 kB distributed-object accounting) and the middleware-level
+// send timings that Figure 8 plots.
+//
+// Run: go run ./examples/mjpeg_sti7200 [-frames N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/sti7200"
+)
+
+func main() {
+	frames := flag.Int("frames", 40, "number of MJPEG frames to decode (paper: 578)")
+	flag.Parse()
+
+	stream, err := mjpeg.SynthStream(exp.RefW, exp.RefH, *frames,
+		mjpeg.EncodeOptions{Quality: exp.RefQuality})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	k := sim.NewKernel()
+	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+	b := os21bind.New(chip)
+	a := core.NewApp("mjpeg", b)
+
+	app, err := mjpegapp.Build(a, mjpegapp.OS21Config(stream))
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs, err := a.AttachObserver()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	a.SpawnDriver("report", func(f core.Flow) {
+		a.AwaitQuiescence(f)
+		reports, err := obs.QueryAll(f, core.LevelAll)
+		if err != nil {
+			log.Fatal(err)
+		}
+		order := []string{"Fetch-Reorder", "IDCT_1", "IDCT_2"}
+
+		fmt.Printf("platform: %s\n\n", b.PlatformName())
+		fmt.Println("RTOS level (cf. Table 3):")
+		fmt.Printf("  %-14s %8s %12s %10s\n", "Component", "CPU", "task_time(s)", "Mem (kB)")
+		for _, name := range order {
+			r := reports[name]
+			c, _ := a.Component(name)
+			fmt.Printf("  %-14s %8s %12.2f %10d\n",
+				name, b.CPU(c).Name(), float64(r.OS.ExecTimeUS)/1e6, r.OS.MemBytes/1024)
+		}
+
+		fmt.Println("\nMiddleware level (cf. Figure 8 — per-interface send timings):")
+		for _, name := range order {
+			fmt.Print(core.FormatMWReport(name, reports[name].Middleware))
+		}
+	})
+
+	if err := k.RunUntil(sim.Time(100 * 3600 * sim.Second)); err != nil {
+		log.Fatal(err)
+	}
+	if !a.Done() {
+		log.Fatal("application did not finish")
+	}
+	fmt.Printf("\ndecoded %d frames; virtual makespan %s\n", app.FramesDecoded, sim.Duration(k.Now()))
+}

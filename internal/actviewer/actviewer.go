@@ -1,0 +1,108 @@
+// Package actviewer is the repository's stand-in for the OS21 Activity
+// Viewer, the second proprietary low-level observation tool the paper names
+// in §2 alongside KPTrace: a per-CPU RTOS activity monitor that records task
+// life-cycle and shared-memory traffic — by CPU and task ID only, with no
+// mapping to application components or interfaces.
+//
+// Together with internal/kptrace (the Linux-side baseline), it demonstrates
+// the observation gap EMBera closes: the Activity Viewer can show that CPU 0
+// task 1 moved 77 kB per frame over the bus, but cannot attribute that to
+// the Fetch-Reorder component's fetchIdct1 interface.
+package actviewer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"embera/internal/os21"
+)
+
+// Viewer collects RTOS-level events from one or more OS21 instances.
+type Viewer struct {
+	events []os21.RTOSEvent
+	limit  int
+}
+
+// New creates a viewer retaining at most limit events (0 = unbounded).
+func New(limit int) *Viewer { return &Viewer{limit: limit} }
+
+// Attach installs the viewer's hook on an OS21 instance, replacing any
+// previous hook. One viewer may observe several instances (one per CPU).
+func (v *Viewer) Attach(o *os21.RTOS) {
+	o.KHook = func(ev os21.RTOSEvent) {
+		if v.limit > 0 && len(v.events) >= v.limit {
+			return
+		}
+		v.events = append(v.events, ev)
+	}
+}
+
+// Events returns the recorded raw events.
+func (v *Viewer) Events() []os21.RTOSEvent {
+	return append([]os21.RTOSEvent(nil), v.events...)
+}
+
+// Len returns the number of recorded events.
+func (v *Viewer) Len() int { return len(v.events) }
+
+// Activity aggregates per (CPU, task) — the Activity Viewer's row unit.
+type Activity struct {
+	CPU           int
+	TaskID        int
+	Transfers     int
+	TransferBytes int64
+	Created       bool
+	Exited        bool
+	SpanNS        int64
+}
+
+// Summarize groups events by (CPU, task).
+func (v *Viewer) Summarize() []Activity {
+	type key struct{ cpu, task int }
+	byKey := map[key]*Activity{}
+	first := map[key]int64{}
+	for _, e := range v.events {
+		k := key{e.CPU, e.TaskID}
+		a := byKey[k]
+		if a == nil {
+			a = &Activity{CPU: e.CPU, TaskID: e.TaskID}
+			byKey[k] = a
+			first[k] = e.TimeNS
+		}
+		switch e.Kind {
+		case "task_create":
+			a.Created = true
+		case "task_exit":
+			a.Exited = true
+		case "transfer":
+			a.Transfers++
+			a.TransferBytes += e.Arg
+		}
+		if span := e.TimeNS - first[k]; span > a.SpanNS {
+			a.SpanNS = span
+		}
+	}
+	out := make([]Activity, 0, len(byKey))
+	for _, a := range byKey {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPU != out[j].CPU {
+			return out[i].CPU < out[j].CPU
+		}
+		return out[i].TaskID < out[j].TaskID
+	})
+	return out
+}
+
+// Format renders the activity table — deliberately component-free output.
+func Format(acts []Activity) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %6s %10s %14s %12s\n", "CPU", "task", "transfers", "bytes", "spanMS")
+	for _, a := range acts {
+		fmt.Fprintf(&b, "%6d %6d %10d %14d %12.1f\n",
+			a.CPU, a.TaskID, a.Transfers, a.TransferBytes, float64(a.SpanNS)/1e6)
+	}
+	return b.String()
+}

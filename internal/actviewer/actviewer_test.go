@@ -1,0 +1,114 @@
+package actviewer_test
+
+import (
+	"strings"
+	"testing"
+
+	"embera/internal/actviewer"
+	"embera/internal/core"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/sti7200"
+)
+
+// runWithViewer runs the STi7200 MJPEG app with the Activity Viewer attached
+// to every booted OS21 instance.
+func runWithViewer(t *testing.T, limit int) (*actviewer.Viewer, *mjpegapp.App) {
+	t.Helper()
+	stream, err := mjpeg.SynthStream(64, 48, 4, mjpeg.EncodeOptions{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+	b := os21bind.New(chip)
+	v := actviewer.New(limit)
+	// Boot-and-attach for the three CPUs the deployment uses.
+	for _, cpu := range []int{0, 1, 2} {
+		v.Attach(b.RTOSFor(cpu))
+	}
+	a := core.NewApp("mjpeg", b)
+	app, err := mjpegapp.Build(a, mjpegapp.OS21Config(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(sim.Time(3 * 3600 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("app did not finish")
+	}
+	return v, app
+}
+
+func TestViewerSeesTasksPerCPU(t *testing.T) {
+	v, _ := runWithViewer(t, 0)
+	acts := v.Summarize()
+	if len(acts) != 3 {
+		t.Fatalf("activities = %d, want 3 (one task per CPU)", len(acts))
+	}
+	cpus := map[int]bool{}
+	for _, a := range acts {
+		if !a.Created || !a.Exited {
+			t.Errorf("CPU %d task %d lifecycle incomplete", a.CPU, a.TaskID)
+		}
+		cpus[a.CPU] = true
+	}
+	for _, want := range []int{0, 1, 2} {
+		if !cpus[want] {
+			t.Errorf("no activity on CPU %d", want)
+		}
+	}
+}
+
+func TestViewerTransferAccounting(t *testing.T) {
+	v, app := runWithViewer(t, 0)
+	// Kernel-level transfer counts must agree with the EMBera-level
+	// operation counts: every send AND every receive is one SDRAM transfer.
+	var kernelTransfers int
+	for _, a := range v.Summarize() {
+		kernelTransfers += a.Transfers
+	}
+	var emberaOps uint64
+	for _, c := range app.Core.Components() {
+		r := c.Snapshot(core.LevelApplication)
+		emberaOps += r.App.SendOps + r.App.RecvOps
+	}
+	if uint64(kernelTransfers) != emberaOps {
+		t.Errorf("kernel transfers = %d, EMBera ops = %d", kernelTransfers, emberaOps)
+	}
+}
+
+func TestViewerHasNoComponentMapping(t *testing.T) {
+	v, _ := runWithViewer(t, 0)
+	out := actviewer.Format(v.Summarize())
+	for _, name := range []string{"Fetch", "IDCT", "Reorder", "idctReorder"} {
+		if strings.Contains(out, name) {
+			t.Errorf("Activity Viewer output leaked application name %q", name)
+		}
+	}
+}
+
+func TestViewerLimit(t *testing.T) {
+	v, _ := runWithViewer(t, 5)
+	if v.Len() != 5 {
+		t.Errorf("retained %d events with limit 5", v.Len())
+	}
+}
+
+func TestViewerEventsCopy(t *testing.T) {
+	v, _ := runWithViewer(t, 0)
+	evs := v.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	evs[0].TaskID = -1
+	if v.Events()[0].TaskID == -1 {
+		t.Error("Events returned an aliased slice")
+	}
+}

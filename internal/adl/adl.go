@@ -1,0 +1,266 @@
+// Package adl provides a declarative architecture description language for
+// EMBera applications, in the spirit of Fractal ADL (the component model the
+// paper builds on describes assemblies separately from code). An assembly is
+// a JSON document naming components, their interfaces, placements,
+// connections and composites; component behaviour is bound at load time
+// through a body registry. This separates "what the application looks like"
+// (the artifact observation reasons about) from "what the components do".
+//
+// Example document:
+//
+//	{
+//	  "name": "mjpeg",
+//	  "components": [
+//	    {"name": "Fetch", "body": "fetch", "required": ["out"]},
+//	    {"name": "Sink", "body": "sink",
+//	     "provided": [{"name": "in", "bufBytes": 65536}], "placement": 3}
+//	  ],
+//	  "connections": [
+//	    {"from": "Fetch", "required": "out", "to": "Sink", "provided": "in"}
+//	  ],
+//	  "composites": [
+//	    {"name": "Farm", "members": ["Sink"],
+//	     "exports": [{"as": "in", "member": "Sink", "interface": "in", "kind": "provided"}]}
+//	  ]
+//	}
+package adl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"embera/internal/core"
+)
+
+// Spec is a parsed assembly description.
+type Spec struct {
+	Name        string          `json:"name"`
+	Components  []ComponentSpec `json:"components"`
+	Connections []ConnSpec      `json:"connections"`
+	Composites  []CompositeSpec `json:"composites,omitempty"`
+}
+
+// ComponentSpec describes one primitive component.
+type ComponentSpec struct {
+	Name string `json:"name"`
+	// Body names a function in the registry passed to Build.
+	Body string `json:"body"`
+	// Placement pins the component to a platform location (-1/absent =
+	// platform default).
+	Placement *int        `json:"placement,omitempty"`
+	Provided  []IfaceSpec `json:"provided,omitempty"`
+	Required  []string    `json:"required,omitempty"`
+}
+
+// IfaceSpec describes a provided interface.
+type IfaceSpec struct {
+	Name     string `json:"name"`
+	BufBytes int64  `json:"bufBytes,omitempty"`
+}
+
+// ConnSpec describes one connection.
+type ConnSpec struct {
+	From     string `json:"from"`
+	Required string `json:"required"`
+	To       string `json:"to"`
+	Provided string `json:"provided"`
+}
+
+// CompositeSpec describes a composite and its membrane.
+type CompositeSpec struct {
+	Name    string       `json:"name"`
+	Members []string     `json:"members"`
+	Exports []ExportSpec `json:"exports,omitempty"`
+}
+
+// ExportSpec exposes a member interface on a composite membrane.
+type ExportSpec struct {
+	As        string `json:"as"`
+	Member    string `json:"member"`
+	Interface string `json:"interface"`
+	Kind      string `json:"kind"` // "provided" or "required"
+}
+
+// Registry maps body names to component behaviours.
+type Registry map[string]core.Body
+
+// Parse reads a JSON assembly description.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("adl: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the description's internal consistency (names resolve,
+// kinds are legal) without touching an App.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("adl: assembly needs a name")
+	}
+	if len(s.Components) == 0 {
+		return fmt.Errorf("adl: assembly %q has no components", s.Name)
+	}
+	comps := map[string]*ComponentSpec{}
+	for i := range s.Components {
+		c := &s.Components[i]
+		if c.Name == "" || c.Body == "" {
+			return fmt.Errorf("adl: component %d needs name and body", i)
+		}
+		if _, dup := comps[c.Name]; dup {
+			return fmt.Errorf("adl: duplicate component %q", c.Name)
+		}
+		comps[c.Name] = c
+	}
+	hasIface := func(comp, iface string, provided bool) bool {
+		c, ok := comps[comp]
+		if !ok {
+			return false
+		}
+		if provided {
+			for _, p := range c.Provided {
+				if p.Name == iface {
+					return true
+				}
+			}
+			return false
+		}
+		for _, r := range c.Required {
+			if r == iface {
+				return true
+			}
+		}
+		return false
+	}
+	for i, cn := range s.Connections {
+		if !hasIface(cn.From, cn.Required, false) {
+			return fmt.Errorf("adl: connection %d: %s has no required %q", i, cn.From, cn.Required)
+		}
+		if !hasIface(cn.To, cn.Provided, true) {
+			return fmt.Errorf("adl: connection %d: %s has no provided %q", i, cn.To, cn.Provided)
+		}
+	}
+	for _, cp := range s.Composites {
+		if cp.Name == "" {
+			return fmt.Errorf("adl: composite needs a name")
+		}
+		members := map[string]bool{}
+		for _, m := range cp.Members {
+			if _, ok := comps[m]; !ok {
+				return fmt.Errorf("adl: composite %q member %q unknown", cp.Name, m)
+			}
+			members[m] = true
+		}
+		for _, e := range cp.Exports {
+			if e.Kind != "provided" && e.Kind != "required" {
+				return fmt.Errorf("adl: composite %q export %q has kind %q", cp.Name, e.As, e.Kind)
+			}
+			if !members[e.Member] {
+				return fmt.Errorf("adl: composite %q exports non-member %q", cp.Name, e.Member)
+			}
+			if !hasIface(e.Member, e.Interface, e.Kind == "provided") {
+				return fmt.Errorf("adl: composite %q export %q: %s has no %s %q",
+					cp.Name, e.As, e.Member, e.Kind, e.Interface)
+			}
+		}
+	}
+	return nil
+}
+
+// Build instantiates the description into app, binding each component's
+// behaviour from the registry. The app must be fresh (not started).
+func (s *Spec) Build(app *core.App, reg Registry) error {
+	built := map[string]*core.Component{}
+	for _, cs := range s.Components {
+		body, ok := reg[cs.Body]
+		if !ok {
+			return fmt.Errorf("adl: no body %q registered (component %s)", cs.Body, cs.Name)
+		}
+		c, err := app.NewComponent(cs.Name, body)
+		if err != nil {
+			return err
+		}
+		if cs.Placement != nil {
+			c.Place(*cs.Placement)
+		}
+		for _, p := range cs.Provided {
+			if err := c.AddProvided(p.Name, p.BufBytes); err != nil {
+				return err
+			}
+		}
+		for _, r := range cs.Required {
+			if err := c.AddRequired(r); err != nil {
+				return err
+			}
+		}
+		built[cs.Name] = c
+	}
+	for _, cn := range s.Connections {
+		if err := app.Connect(built[cn.From], cn.Required, built[cn.To], cn.Provided); err != nil {
+			return err
+		}
+	}
+	for _, cps := range s.Composites {
+		var members []*core.Component
+		for _, m := range cps.Members {
+			members = append(members, built[m])
+		}
+		cp, err := app.NewComposite(cps.Name, members...)
+		if err != nil {
+			return err
+		}
+		for _, e := range cps.Exports {
+			var eErr error
+			if e.Kind == "provided" {
+				eErr = cp.ExportProvided(e.As, built[e.Member], e.Interface)
+			} else {
+				eErr = cp.ExportRequired(e.As, built[e.Member], e.Interface)
+			}
+			if eErr != nil {
+				return eErr
+			}
+		}
+	}
+	return nil
+}
+
+// Describe reverse-engineers a Spec from a live application — useful for
+// dumping the observed architecture in a machine-readable form (the
+// structural counterpart of the observation interface's Figure 5 listing).
+func Describe(app *core.App) *Spec {
+	s := &Spec{Name: app.Name}
+	for _, c := range app.Components() {
+		cs := ComponentSpec{Name: c.Name(), Body: "<opaque>"}
+		if p := c.Placement(); p >= 0 {
+			pv := p
+			cs.Placement = &pv
+		}
+		for _, name := range c.ProvidedNames() {
+			cs.Provided = append(cs.Provided, IfaceSpec{Name: name, BufBytes: c.ProvidedBufBytes(name)})
+		}
+		cs.Required = c.RequiredNames()
+		s.Components = append(s.Components, cs)
+	}
+	for _, cp := range app.Composites() {
+		cps := CompositeSpec{Name: cp.Name()}
+		for _, m := range cp.Members() {
+			cps.Members = append(cps.Members, m.Name())
+		}
+		s.Composites = append(s.Composites, cps)
+	}
+	return s
+}
+
+// Encode writes the spec as indented JSON.
+func (s *Spec) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,169 @@
+package adl_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"embera/internal/adl"
+	"embera/internal/core"
+	"embera/internal/linux"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+)
+
+const pipelineJSON = `{
+  "name": "pipeline",
+  "components": [
+    {"name": "Source", "body": "source", "required": ["out"]},
+    {"name": "Worker", "body": "worker",
+     "provided": [{"name": "in", "bufBytes": 65536}],
+     "required": ["out"], "placement": 4},
+    {"name": "Sink", "body": "sink",
+     "provided": [{"name": "in"}]}
+  ],
+  "connections": [
+    {"from": "Source", "required": "out", "to": "Worker", "provided": "in"},
+    {"from": "Worker", "required": "out", "to": "Sink", "provided": "in"}
+  ],
+  "composites": [
+    {"name": "Stage", "members": ["Worker"],
+     "exports": [
+       {"as": "work", "member": "Worker", "interface": "in", "kind": "provided"},
+       {"as": "done", "member": "Worker", "interface": "out", "kind": "required"}
+     ]}
+  ]
+}`
+
+func registry(received *int) adl.Registry {
+	return adl.Registry{
+		"source": func(ctx *core.Ctx) {
+			for i := 0; i < 10; i++ {
+				ctx.Send("out", i, 256)
+			}
+		},
+		"worker": func(ctx *core.Ctx) {
+			for {
+				m, ok := ctx.Receive("in")
+				if !ok {
+					return
+				}
+				ctx.Compute(10_000)
+				ctx.Send("out", m.Payload, m.Bytes)
+			}
+		},
+		"sink": func(ctx *core.Ctx) {
+			for {
+				if _, ok := ctx.Receive("in"); !ok {
+					return
+				}
+				*received++
+			}
+		},
+	}
+}
+
+func TestParseBuildRun(t *testing.T) {
+	spec, err := adl.Parse(strings.NewReader(pipelineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	b := smpbind.New(sys, "pipeline")
+	app := core.NewApp(spec.Name, b)
+	received := 0
+	if err := spec.Build(app, registry(&received)); err != nil {
+		t.Fatal(err)
+	}
+	worker, ok := app.Component("Worker")
+	if !ok {
+		t.Fatal("Worker missing")
+	}
+	if worker.Placement() != 4 {
+		t.Errorf("placement = %d, want 4", worker.Placement())
+	}
+	if worker.ProvidedBufBytes("in") != 65536 {
+		t.Errorf("buf = %d", worker.ProvidedBufBytes("in"))
+	}
+	if _, ok := app.Composite("Stage"); !ok {
+		t.Error("composite missing")
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Done() {
+		t.Fatal("app did not finish")
+	}
+	if received != 10 {
+		t.Errorf("sink received %d, want 10", received)
+	}
+}
+
+func TestParseRejectsInvalidDocuments(t *testing.T) {
+	bad := []string{
+		``,
+		`{}`,
+		`{"name": "x"}`, // no components
+		`{"name": "x", "components": [{"name": "", "body": "b"}]}`,
+		`{"name": "x", "components": [{"name": "a", "body": ""}]}`,
+		`{"name": "x", "components": [{"name": "a", "body": "b"}, {"name": "a", "body": "b"}]}`,
+		`{"name": "x", "components": [{"name": "a", "body": "b"}],
+		  "connections": [{"from": "a", "required": "out", "to": "a", "provided": "in"}]}`,
+		`{"name": "x", "components": [{"name": "a", "body": "b"}],
+		  "composites": [{"name": "g", "members": ["ghost"]}]}`,
+		`{"name": "x", "components": [{"name": "a", "body": "b", "provided": [{"name": "in"}]}],
+		  "composites": [{"name": "g", "members": ["a"],
+		    "exports": [{"as": "e", "member": "a", "interface": "in", "kind": "banana"}]}]}`,
+		`{"name": "x", "components": [{"name": "a", "body": "b"}], "unknown_field": 1}`,
+	}
+	for i, doc := range bad {
+		if _, err := adl.Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("document %d accepted:\n%s", i, doc)
+		}
+	}
+}
+
+func TestBuildRejectsUnknownBody(t *testing.T) {
+	spec, err := adl.Parse(strings.NewReader(pipelineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	app := core.NewApp("x", smpbind.New(sys, "x"))
+	if err := spec.Build(app, adl.Registry{}); err == nil {
+		t.Error("empty registry accepted")
+	}
+}
+
+func TestDescribeRoundTrip(t *testing.T) {
+	spec, err := adl.Parse(strings.NewReader(pipelineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	app := core.NewApp(spec.Name, smpbind.New(sys, "pipeline"))
+	received := 0
+	if err := spec.Build(app, registry(&received)); err != nil {
+		t.Fatal(err)
+	}
+	out := adl.Describe(app)
+	if out.Name != "pipeline" || len(out.Components) != 3 || len(out.Composites) != 1 {
+		t.Errorf("describe = %+v", out)
+	}
+	var buf bytes.Buffer
+	if err := out.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Source"`, `"Worker"`, `"Stage"`, `"bufBytes": 65536`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("encoded spec missing %s:\n%s", want, buf.String())
+		}
+	}
+}

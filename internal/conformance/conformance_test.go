@@ -1,0 +1,143 @@
+package conformance_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"embera/internal/conformance"
+	"embera/internal/core"
+	"embera/internal/linux"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+	"embera/internal/sti7200"
+)
+
+func smpEnv(name string) *conformance.Env {
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	return &conformance.Env{
+		App:          core.NewApp(name, smpbind.New(sys, name)),
+		Kernel:       k,
+		MaxPlacement: 16,
+	}
+}
+
+func os21Env(name string) *conformance.Env {
+	k := sim.NewKernel()
+	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+	return &conformance.Env{
+		App:          core.NewApp(name, os21bind.New(chip)),
+		Kernel:       k,
+		MaxPlacement: 5,
+	}
+}
+
+// runSuite executes the randomized invariant battery on one binding.
+func runSuite(t *testing.T, factory conformance.Factory, seeds int) {
+	t.Helper()
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(int64(seed)*7919 + 13))
+		topo := conformance.GenTopology(rng)
+		env := factory("conf")
+		if err := conformance.Build(env, topo, rng); err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		st, err := conformance.Run(env)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if err := conformance.CheckInvariants(st); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if st.TotalSent == 0 {
+			t.Errorf("seed %d: degenerate topology sent nothing", seed)
+		}
+	}
+}
+
+func TestConformanceSMP(t *testing.T) {
+	runSuite(t, smpEnv, 25)
+}
+
+func TestConformanceOS21(t *testing.T) {
+	runSuite(t, os21Env, 25)
+}
+
+func TestBindingsAgreeOnCounters(t *testing.T) {
+	// The same topology must produce identical application-level counters
+	// on both platforms (timings differ, semantics must not).
+	for seed := 0; seed < 10; seed++ {
+		rng1 := rand.New(rand.NewSource(int64(seed)))
+		rng2 := rand.New(rand.NewSource(int64(seed)))
+		topo1 := conformance.GenTopology(rng1)
+		topo2 := conformance.GenTopology(rng2)
+
+		envA := smpEnv("a")
+		envA.MaxPlacement = 0 // identical assembly on both platforms
+		if err := conformance.Build(envA, topo1, rng1); err != nil {
+			t.Fatal(err)
+		}
+		stA, err := conformance.Run(envA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envB := os21Env("b")
+		envB.MaxPlacement = 0
+		if err := conformance.Build(envB, topo2, rng2); err != nil {
+			t.Fatal(err)
+		}
+		stB, err := conformance.Run(envB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stA.TotalSent != stB.TotalSent || stA.TotalReceived != stB.TotalReceived {
+			t.Errorf("seed %d: bindings disagree: SMP %d/%d vs OS21 %d/%d",
+				seed, stA.TotalSent, stA.TotalReceived, stB.TotalSent, stB.TotalReceived)
+		}
+		for name, repA := range stA.Reports {
+			repB, ok := stB.Reports[name]
+			if !ok {
+				t.Fatalf("seed %d: component %s missing on OS21", seed, name)
+			}
+			if repA.App.SendOps != repB.App.SendOps || repA.App.RecvOps != repB.App.RecvOps {
+				t.Errorf("seed %d: %s counters differ: %d/%d vs %d/%d", seed, name,
+					repA.App.SendOps, repA.App.RecvOps, repB.App.SendOps, repB.App.RecvOps)
+			}
+		}
+	}
+}
+
+func TestTopologyGeneratorSane(t *testing.T) {
+	for seed := 0; seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		topo := conformance.GenTopology(rng)
+		if len(topo.Layers) < 2 {
+			t.Fatalf("seed %d: %d layers", seed, len(topo.Layers))
+		}
+		// Every non-source component has a producer.
+		for li := 1; li < len(topo.Layers); li++ {
+			for _, name := range topo.Layers[li] {
+				found := false
+				for _, outs := range topo.Connections {
+					for _, o := range outs {
+						if o == name {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: %s has no producer", seed, name)
+				}
+			}
+		}
+		// Sources produce something.
+		for _, name := range topo.Layers[0] {
+			if topo.Produces[name] <= 0 {
+				t.Fatalf("seed %d: source %s produces nothing", seed, name)
+			}
+		}
+	}
+}

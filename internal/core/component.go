@@ -1,0 +1,505 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ObsIfaceName is the reserved name of the default observation interface
+// pair every component carries (Figure 5 lists it as "introspection").
+const ObsIfaceName = "introspection"
+
+// State is a component's life-cycle phase, managed through the control
+// interface (§3.1: creation, interconnection, launching and termination).
+type State int
+
+// Component states.
+const (
+	StateCreated State = iota
+	StateStarted
+	StateDone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateStarted:
+		return "started"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Body is a component's functional code. It communicates exclusively through
+// the Ctx — the body contains no observation logic, which is the point of
+// the model: "the componentized MJPEG application can be observed without
+// modifying its code".
+type Body func(ctx *Ctx)
+
+// App is an EMBera application: a named set of components plus their
+// connections, deployed onto one platform binding. Mirroring the paper, "the
+// deployment of any EMBera application is carried out by explicitly invoking
+// control functions into the main application function" — those control
+// functions are NewComponent, AddProvided/AddRequired, Connect and Start.
+type App struct {
+	Name    string
+	binding Binding
+
+	comps map[string]*Component
+	order []*Component
+
+	composites     map[string]*Composite
+	compositeOrder []*Composite
+
+	observer *Observer
+	sink     EventSink
+	started  bool
+}
+
+// NewApp creates an application on the given platform binding.
+func NewApp(name string, b Binding) *App {
+	return &App{Name: name, binding: b, comps: make(map[string]*Component)}
+}
+
+// Binding returns the platform binding.
+func (a *App) Binding() Binding { return a.binding }
+
+// SetEventSink attaches a trace sink receiving the instrumentation events
+// (may be nil to disable). Must be called before Start.
+func (a *App) SetEventSink(s EventSink) { a.sink = s }
+
+// NewComponent creates a component with the given functional body. Names
+// must be unique within the application.
+func (a *App) NewComponent(name string, body Body) (*Component, error) {
+	if a.started {
+		return nil, fmt.Errorf("core: app %q already started", a.Name)
+	}
+	if name == "" || body == nil {
+		return nil, fmt.Errorf("core: component needs a name and a body")
+	}
+	if _, dup := a.comps[name]; dup {
+		return nil, fmt.Errorf("core: duplicate component %q", name)
+	}
+	c := &Component{
+		name:      name,
+		app:       a,
+		body:      body,
+		provided:  make(map[string]*ProvidedIface),
+		required:  make(map[string]*RequiredIface),
+		placement: -1,
+		stats:     newStats(),
+	}
+	a.comps[name] = c
+	a.order = append(a.order, c)
+	return c, nil
+}
+
+// MustNewComponent is NewComponent that panics on error, for assembly code
+// with static names.
+func (a *App) MustNewComponent(name string, body Body) *Component {
+	c, err := a.NewComponent(name, body)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Component looks a component up by name.
+func (a *App) Component(name string) (*Component, bool) {
+	c, ok := a.comps[name]
+	return c, ok
+}
+
+// Components returns all components in creation order.
+func (a *App) Components() []*Component {
+	return append([]*Component(nil), a.order...)
+}
+
+// Connect links from's required interface req to to's provided interface
+// prov — "connections between components are established by linking required
+// and provided interfaces".
+func (a *App) Connect(from *Component, req string, to *Component, prov string) error {
+	if a.started {
+		return fmt.Errorf("core: app %q already started", a.Name)
+	}
+	if from == nil || to == nil {
+		return fmt.Errorf("core: connect with nil component")
+	}
+	ri, ok := from.required[req]
+	if !ok {
+		return fmt.Errorf("core: %s has no required interface %q", from.name, req)
+	}
+	if ri.target != nil {
+		return fmt.Errorf("core: %s.%s is already connected", from.name, req)
+	}
+	pi, ok := to.provided[prov]
+	if !ok {
+		return fmt.Errorf("core: %s has no provided interface %q", to.name, prov)
+	}
+	if from == to {
+		return fmt.Errorf("core: %s connecting to itself", from.name)
+	}
+	ri.target = pi
+	pi.conns++
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (a *App) MustConnect(from *Component, req string, to *Component, prov string) {
+	if err := a.Connect(from, req, to, prov); err != nil {
+		panic(err)
+	}
+}
+
+// Reconnect atomically rewires a running component's required interface to a
+// different provided interface — the dynamic reconfiguration the paper's
+// introspection is designed to observe ("valuable information for
+// applications which configuration changes dynamically", §4.4). The
+// component's next send goes to the new target; an in-flight send completes
+// to the old one. If the old target loses its last producer, its mailbox
+// closes and the downstream component drains naturally.
+//
+// Reconnect must be called from kernel context (a scheduled callback) or a
+// driver flow, never from inside a component body that is mid-send.
+func (a *App) Reconnect(from *Component, req string, to *Component, prov string) error {
+	if !a.started {
+		return fmt.Errorf("core: app %q not started; use Connect during assembly", a.Name)
+	}
+	if from == nil || to == nil {
+		return fmt.Errorf("core: reconnect with nil component")
+	}
+	if from == to {
+		return fmt.Errorf("core: %s reconnecting to itself", from.name)
+	}
+	if from.state == StateDone {
+		return fmt.Errorf("core: %s already terminated", from.name)
+	}
+	ri, ok := from.required[req]
+	if !ok {
+		return fmt.Errorf("core: %s has no required interface %q", from.name, req)
+	}
+	pi, ok := to.provided[prov]
+	if !ok {
+		return fmt.Errorf("core: %s has no provided interface %q", to.name, prov)
+	}
+	if pi.mailbox == nil {
+		return fmt.Errorf("core: %s.%s has no mailbox (app not started?)", to.name, prov)
+	}
+	old := ri.target
+	if old == pi {
+		return nil
+	}
+	ri.target = pi
+	pi.conns++
+	pi.senders++
+	if old != nil {
+		old.conns--
+		old.senders--
+		if old.senders == 0 && old.mailbox != nil {
+			old.mailbox.Close()
+		}
+	}
+	return nil
+}
+
+// Start launches the application: it materializes every provided interface
+// as a platform mailbox, starts each component's observation service, and
+// spawns each component's execution flow (§3.1 "launching").
+func (a *App) Start() error {
+	if a.started {
+		return fmt.Errorf("core: app %q already started", a.Name)
+	}
+	a.started = true
+
+	// Count live senders per provided interface so mailboxes close when the
+	// last producer terminates.
+	for _, c := range a.order {
+		for _, ri := range c.required {
+			if ri.target != nil {
+				ri.target.senders++
+			}
+		}
+	}
+
+	for _, c := range a.order {
+		for _, name := range c.providedOrder {
+			pi := c.provided[name]
+			mb, err := a.binding.NewMailbox(c, name, pi.bufBytes)
+			if err != nil {
+				return fmt.Errorf("core: %s.%s: %w", c.name, name, err)
+			}
+			pi.mailbox = mb
+		}
+		c.obsIn = a.binding.NewServiceQueue(c.name + "/obs-in")
+		a.startObservationService(c)
+	}
+
+	for _, c := range a.order {
+		c := c
+		if err := a.binding.Spawn(c, func(f Flow) { c.run(f) }); err != nil {
+			return fmt.Errorf("core: spawning %s: %w", c.name, err)
+		}
+	}
+	return nil
+}
+
+// Done reports whether every component has terminated.
+func (a *App) Done() bool {
+	for _, c := range a.order {
+		if c.state != StateDone {
+			return false
+		}
+	}
+	return len(a.order) > 0
+}
+
+// AwaitQuiescence blocks the calling flow until every component has
+// terminated, polling on virtual time. Observation drivers use it to query
+// final execution times.
+func (a *App) AwaitQuiescence(f Flow) {
+	for !a.Done() {
+		f.SleepUS(1000)
+	}
+}
+
+// SpawnDriver starts a harness flow (e.g. an observation driver). Unlike
+// observation services it is not a daemon: if it blocks forever that is a
+// reportable deadlock.
+func (a *App) SpawnDriver(name string, fn func(f Flow)) {
+	a.binding.SpawnService(name, fn)
+}
+
+func (a *App) emit(e Event) {
+	if a.sink != nil {
+		a.sink.Emit(e)
+	}
+}
+
+// Component is an EMBera component: a named active entity with provided and
+// required interfaces, an execution flow, and the default observation
+// interface pair.
+type Component struct {
+	name string
+	app  *App
+	body Body
+
+	provided      map[string]*ProvidedIface
+	providedOrder []string
+	required      map[string]*RequiredIface
+	requiredOrder []string
+
+	placement int
+	state     State
+	flow      Flow
+	owner     *Composite // enclosing composite, if any
+
+	startUS, endUS int64
+	stats          *stats
+	probes         map[string]func() int64
+	probeOrder     []string
+
+	obsIn Mailbox // provided observation interface (service queue)
+
+	// PlatformData is owned by the binding (thread, task, CPU assignment).
+	PlatformData any
+}
+
+// Name returns the component name.
+func (c *Component) Name() string { return c.name }
+
+// App returns the owning application.
+func (c *Component) App() *App { return c.app }
+
+// State returns the life-cycle state.
+func (c *Component) State() State { return c.state }
+
+// Placement returns the placement hint (-1 = platform default).
+func (c *Component) Placement() int { return c.placement }
+
+// Place pins the component to a platform-specific location: a core index on
+// the SMP binding, a CPU index on the OS21 binding.
+func (c *Component) Place(loc int) *Component {
+	c.placement = loc
+	return c
+}
+
+// AddProvided declares a provided interface backed by a mailbox of bufBytes
+// capacity (0 selects the binding default). The name "introspection" is
+// reserved for the observation interface.
+func (c *Component) AddProvided(name string, bufBytes int64) error {
+	if c.app.started {
+		return fmt.Errorf("core: app already started")
+	}
+	if name == "" || name == ObsIfaceName {
+		return fmt.Errorf("core: invalid provided interface name %q", name)
+	}
+	if _, dup := c.provided[name]; dup {
+		return fmt.Errorf("core: %s already provides %q", c.name, name)
+	}
+	if bufBytes < 0 {
+		return fmt.Errorf("core: negative buffer size %d", bufBytes)
+	}
+	c.provided[name] = &ProvidedIface{comp: c, name: name, bufBytes: bufBytes}
+	c.providedOrder = append(c.providedOrder, name)
+	return nil
+}
+
+// AddRequired declares a required interface (a connection slot).
+func (c *Component) AddRequired(name string) error {
+	if c.app.started {
+		return fmt.Errorf("core: app already started")
+	}
+	if name == "" || name == ObsIfaceName {
+		return fmt.Errorf("core: invalid required interface name %q", name)
+	}
+	if _, dup := c.required[name]; dup {
+		return fmt.Errorf("core: %s already requires %q", c.name, name)
+	}
+	c.required[name] = &RequiredIface{comp: c, name: name}
+	c.requiredOrder = append(c.requiredOrder, name)
+	return nil
+}
+
+// MustAddProvided / MustAddRequired panic on error, for static assembly.
+func (c *Component) MustAddProvided(name string, bufBytes int64) *Component {
+	if err := c.AddProvided(name, bufBytes); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustAddRequired declares a required interface, panicking on error.
+func (c *Component) MustAddRequired(name string) *Component {
+	if err := c.AddRequired(name); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// RegisterProbe attaches a named custom observation function to the
+// component, evaluated whenever an application-level report is built. This
+// is the extension point §6 asks for ("defining and extending EMBera
+// observation functions"): probes are registered by assembly or framework
+// code, keeping the functional body observation-free.
+func (c *Component) RegisterProbe(name string, fn func() int64) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("core: probe needs a name and a function")
+	}
+	if c.probes == nil {
+		c.probes = make(map[string]func() int64)
+	}
+	if _, dup := c.probes[name]; dup {
+		return fmt.Errorf("core: %s already has probe %q", c.name, name)
+	}
+	c.probes[name] = fn
+	c.probeOrder = append(c.probeOrder, name)
+	return nil
+}
+
+// ProvidedNames returns the provided interface names in declaration order.
+func (c *Component) ProvidedNames() []string {
+	return append([]string(nil), c.providedOrder...)
+}
+
+// RequiredNames returns the required interface names in declaration order.
+func (c *Component) RequiredNames() []string {
+	return append([]string(nil), c.requiredOrder...)
+}
+
+// ProvidedBufBytes returns the configured buffer size of a provided
+// interface (after Start, the actual mailbox capacity).
+func (c *Component) ProvidedBufBytes(name string) int64 {
+	pi, ok := c.provided[name]
+	if !ok {
+		return 0
+	}
+	if pi.mailbox != nil {
+		return pi.mailbox.BufBytes()
+	}
+	return pi.bufBytes
+}
+
+// run is the framework wrapper around the body: life-cycle bookkeeping and
+// OS-level timestamps live here, not in application code.
+func (c *Component) run(f Flow) {
+	c.flow = f
+	c.state = StateStarted
+	c.startUS = c.app.binding.NowUS(c)
+	c.app.emit(Event{TimeUS: c.startUS, Kind: EvStart, Component: c.name})
+
+	// The cleanup runs on normal return AND when the flow is forcibly
+	// terminated (App.Terminate unwinds the body with a panic the platform
+	// layer recognizes): either way the component reaches StateDone and
+	// releases its producer references, so downstream mailboxes close and
+	// the rest of the application can drain.
+	defer func() {
+		r := recover()
+		c.endUS = c.app.binding.NowUS(c)
+		c.state = StateDone
+		c.app.emit(Event{TimeUS: c.endUS, Kind: EvStop, Component: c.name})
+		for _, name := range c.requiredOrder {
+			ri := c.required[name]
+			if ri.target == nil {
+				continue
+			}
+			ri.target.senders--
+			if ri.target.senders == 0 && ri.target.mailbox != nil {
+				ri.target.mailbox.Close()
+			}
+		}
+		if r != nil {
+			panic(r)
+		}
+	}()
+	c.body(&Ctx{c: c, f: f})
+}
+
+// Terminate forcibly stops a running component — the "termination" control
+// operation of §3.1. The component transitions to done, its producer
+// references are released (downstream mailboxes close once their last
+// producer is gone) and its observation interface keeps answering with the
+// final statistics. Terminating a finished component is a no-op.
+func (a *App) Terminate(c *Component) error {
+	if !a.started {
+		return fmt.Errorf("core: app %q not started", a.Name)
+	}
+	if c.state == StateDone {
+		return nil
+	}
+	a.binding.Kill(c)
+	return nil
+}
+
+// ProvidedIface is a provided interface: a named mailbox receiving messages.
+type ProvidedIface struct {
+	comp     *Component
+	name     string
+	bufBytes int64
+	mailbox  Mailbox
+	conns    int // connections established at assembly
+	senders  int // producers still running
+}
+
+// RequiredIface is a required interface: "a pointer towards a provided
+// interface"; nil until connected.
+type RequiredIface struct {
+	comp   *Component
+	name   string
+	target *ProvidedIface
+}
+
+// Connected reports whether the interface has been wired to a target.
+func (ri *RequiredIface) Connected() bool { return ri.target != nil }
+
+// sortedKeys returns map keys in deterministic order (reports, listings).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

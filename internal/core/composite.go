@@ -1,0 +1,306 @@
+package core
+
+import "fmt"
+
+// Composite components. EMBera "is inspired by the Fractal component model"
+// (§3), whose defining feature is hierarchy: a composite contains
+// sub-components and exposes a selection of their interfaces through its
+// membrane. Composites here are an assembly- and observation-level
+// construct — they have no execution flow of their own (execution belongs to
+// the primitive components, as in Fractal) but they aggregate observation:
+// querying a composite returns the merged three-level view of its content,
+// which is how an observer reasons about an "IDCT farm" as one unit.
+type Composite struct {
+	name string
+	app  *App
+
+	members    []*Component
+	composites []*Composite
+	parent     *Composite
+
+	exportsProvided map[string]exportTarget
+	exportsRequired map[string]exportTarget
+	exportOrder     []exportKey
+}
+
+type exportTarget struct {
+	comp  *Component
+	iface string
+}
+
+type exportKey struct {
+	name     string
+	provided bool
+}
+
+// NewComposite creates a composite containing the given primitive
+// components. A component can belong to at most one composite; composite
+// names share the component namespace.
+func (a *App) NewComposite(name string, members ...*Component) (*Composite, error) {
+	if a.started {
+		return nil, fmt.Errorf("core: app %q already started", a.Name)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("core: composite needs a name")
+	}
+	if _, dup := a.comps[name]; dup {
+		return nil, fmt.Errorf("core: composite name %q collides with a component", name)
+	}
+	if _, dup := a.composites[name]; dup {
+		return nil, fmt.Errorf("core: duplicate composite %q", name)
+	}
+	cp := &Composite{
+		name:            name,
+		app:             a,
+		exportsProvided: make(map[string]exportTarget),
+		exportsRequired: make(map[string]exportTarget),
+	}
+	for _, m := range members {
+		if err := cp.Add(m); err != nil {
+			return nil, err
+		}
+	}
+	if a.composites == nil {
+		a.composites = make(map[string]*Composite)
+	}
+	a.composites[name] = cp
+	a.compositeOrder = append(a.compositeOrder, cp)
+	return cp, nil
+}
+
+// Composite looks a composite up by name.
+func (a *App) Composite(name string) (*Composite, bool) {
+	cp, ok := a.composites[name]
+	return cp, ok
+}
+
+// Composites returns all composites in creation order.
+func (a *App) Composites() []*Composite {
+	return append([]*Composite(nil), a.compositeOrder...)
+}
+
+// Name returns the composite's name.
+func (cp *Composite) Name() string { return cp.name }
+
+// Add places a primitive component into the composite's content.
+func (cp *Composite) Add(c *Component) error {
+	if cp.app.started {
+		return fmt.Errorf("core: app already started")
+	}
+	if c == nil {
+		return fmt.Errorf("core: adding nil component to %q", cp.name)
+	}
+	if c.owner != nil {
+		return fmt.Errorf("core: component %q already belongs to composite %q", c.name, c.owner.name)
+	}
+	c.owner = cp
+	cp.members = append(cp.members, c)
+	return nil
+}
+
+// AddComposite nests child inside cp (Fractal hierarchies are arbitrarily
+// deep).
+func (cp *Composite) AddComposite(child *Composite) error {
+	if cp.app.started {
+		return fmt.Errorf("core: app already started")
+	}
+	if child == nil || child == cp {
+		return fmt.Errorf("core: invalid child composite for %q", cp.name)
+	}
+	if child.parent != nil {
+		return fmt.Errorf("core: composite %q already nested in %q", child.name, child.parent.name)
+	}
+	// Reject cycles: cp must not be a descendant of child.
+	for anc := cp.parent; anc != nil; anc = anc.parent {
+		if anc == child {
+			return fmt.Errorf("core: nesting %q under %q would create a cycle", child.name, cp.name)
+		}
+	}
+	child.parent = cp
+	cp.composites = append(cp.composites, child)
+	return nil
+}
+
+// Members returns the directly contained primitive components.
+func (cp *Composite) Members() []*Component {
+	return append([]*Component(nil), cp.members...)
+}
+
+// AllComponents returns every primitive component in the composite's
+// transitive content.
+func (cp *Composite) AllComponents() []*Component {
+	out := append([]*Component(nil), cp.members...)
+	for _, child := range cp.composites {
+		out = append(out, child.AllComponents()...)
+	}
+	return out
+}
+
+// ExportProvided exposes a member's provided interface on the composite
+// membrane under asName.
+func (cp *Composite) ExportProvided(asName string, member *Component, iface string) error {
+	return cp.export(asName, member, iface, true)
+}
+
+// ExportRequired exposes a member's required interface on the membrane.
+func (cp *Composite) ExportRequired(asName string, member *Component, iface string) error {
+	return cp.export(asName, member, iface, false)
+}
+
+func (cp *Composite) export(asName string, member *Component, iface string, provided bool) error {
+	if asName == "" || asName == ObsIfaceName {
+		return fmt.Errorf("core: invalid export name %q", asName)
+	}
+	if !cp.contains(member) {
+		return fmt.Errorf("core: %q does not contain component %q", cp.name, member.name)
+	}
+	var exists bool
+	if provided {
+		_, exists = member.provided[iface]
+	} else {
+		_, exists = member.required[iface]
+	}
+	if !exists {
+		return fmt.Errorf("core: %q has no %s interface %q", member.name, typeName(provided), iface)
+	}
+	m := cp.exportsProvided
+	if !provided {
+		m = cp.exportsRequired
+	}
+	if _, dup := m[asName]; dup {
+		return fmt.Errorf("core: %q already exports %s %q", cp.name, typeName(provided), asName)
+	}
+	m[asName] = exportTarget{comp: member, iface: iface}
+	cp.exportOrder = append(cp.exportOrder, exportKey{name: asName, provided: provided})
+	return nil
+}
+
+func typeName(provided bool) string {
+	if provided {
+		return "provided"
+	}
+	return "required"
+}
+
+func (cp *Composite) contains(c *Component) bool {
+	for _, m := range cp.members {
+		if m == c {
+			return true
+		}
+	}
+	for _, child := range cp.composites {
+		if child.contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveProvided returns the primitive component and interface behind an
+// exported provided interface.
+func (cp *Composite) ResolveProvided(asName string) (*Component, string, bool) {
+	t, ok := cp.exportsProvided[asName]
+	return t.comp, t.iface, ok
+}
+
+// ResolveRequired is ResolveProvided for the required side.
+func (cp *Composite) ResolveRequired(asName string) (*Component, string, bool) {
+	t, ok := cp.exportsRequired[asName]
+	return t.comp, t.iface, ok
+}
+
+// ConnectComposites links from's exported required interface to to's
+// exported provided interface, resolving both through the membranes down to
+// the flat component connection.
+func (a *App) ConnectComposites(from *Composite, req string, to *Composite, prov string) error {
+	fc, fi, ok := from.ResolveRequired(req)
+	if !ok {
+		return fmt.Errorf("core: %q exports no required interface %q", from.name, req)
+	}
+	tc, ti, ok := to.ResolveProvided(prov)
+	if !ok {
+		return fmt.Errorf("core: %q exports no provided interface %q", to.name, prov)
+	}
+	return a.Connect(fc, fi, tc, ti)
+}
+
+// Snapshot aggregates the three-level observation over the composite's
+// transitive content: execution time spans the earliest start to the latest
+// finish, memory and communication counters sum, middleware statistics merge
+// per exported-plus-internal interface name qualified by component.
+func (cp *Composite) Snapshot(level ObsLevel) ObsReport {
+	rep := ObsReport{Component: cp.name, Level: level}
+	comps := cp.AllComponents()
+
+	if level == LevelOS || level == LevelAll {
+		agg := &OSReport{}
+		var maxExec int64
+		running := false
+		for _, c := range comps {
+			v := c.app.binding.OSView(c)
+			agg.MemBytes += v.MemBytes
+			agg.CacheHits += v.CacheHits
+			agg.CacheMisses += v.CacheMisses
+			if v.ExecTimeUS > maxExec {
+				maxExec = v.ExecTimeUS
+			}
+			running = running || v.Running
+		}
+		agg.ExecTimeUS = maxExec
+		agg.Running = running
+		rep.OS = agg
+	}
+	if level == LevelMiddleware || level == LevelAll {
+		mw := &MWReport{Send: map[string]IfaceStats{}, Recv: map[string]IfaceStats{}}
+		for _, c := range comps {
+			for iface, st := range c.stats.send {
+				mw.Send[c.name+"."+iface] = *st
+			}
+			for iface, st := range c.stats.recv {
+				mw.Recv[c.name+"."+iface] = *st
+			}
+		}
+		rep.Middleware = mw
+	}
+	if level == LevelApplication || level == LevelAll {
+		app := &AppReport{Interfaces: cp.InterfaceList()}
+		allDone := true
+		for _, c := range comps {
+			app.SendOps += c.stats.sendOps
+			app.RecvOps += c.stats.recvOps
+			if c.state != StateDone {
+				allDone = false
+			}
+		}
+		if allDone && len(comps) > 0 {
+			app.State = StateDone.String()
+		} else {
+			app.State = StateStarted.String()
+		}
+		rep.App = app
+	}
+	return rep
+}
+
+// InterfaceList lists the membrane: the observation pair plus the exported
+// interfaces in export order (matching Figure 5's layout).
+func (cp *Composite) InterfaceList() []IfaceInfo {
+	out := []IfaceInfo{{Name: ObsIfaceName, Type: "provided", Connected: true}}
+	for _, k := range cp.exportOrder {
+		if !k.provided {
+			continue
+		}
+		t := cp.exportsProvided[k.name]
+		pi := t.comp.provided[t.iface]
+		out = append(out, IfaceInfo{Name: k.name, Type: "provided", Connected: pi.conns > 0, BufBytes: pi.bufBytes})
+	}
+	out = append(out, IfaceInfo{Name: ObsIfaceName, Type: "required", Connected: cp.app.observer != nil})
+	for _, k := range cp.exportOrder {
+		if k.provided {
+			continue
+		}
+		t := cp.exportsRequired[k.name]
+		out = append(out, IfaceInfo{Name: k.name, Type: "required", Connected: t.comp.required[t.iface].target != nil})
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package core_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+)
+
+// buildFarm assembles Fetch -> composite{IDCT_1..3} -> Reorder with the IDCT
+// farm wrapped in a composite exporting its three inputs and one output per
+// member.
+func buildFarm(t *testing.T) (*core.App, *core.Composite, func()) {
+	t.Helper()
+	a, k, _ := newSMPApp(t, "farm")
+	fetch := a.MustNewComponent("Fetch", func(ctx *core.Ctx) {
+		for i := 0; i < 30; i++ {
+			ctx.Send("out1", i, 128)
+			ctx.Send("out2", i, 128)
+			ctx.Send("out3", i, 128)
+		}
+	}).MustAddRequired("out1").MustAddRequired("out2").MustAddRequired("out3")
+	reorder := a.MustNewComponent("Reorder", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	}).MustAddProvided("in", 0)
+
+	var idcts []*core.Component
+	for i := 1; i <= 3; i++ {
+		name := "IDCT_" + string(rune('0'+i))
+		in := "_in"
+		c := a.MustNewComponent(name, func(ctx *core.Ctx) {
+			for {
+				m, ok := ctx.Receive(in)
+				if !ok {
+					return
+				}
+				ctx.Compute(10_000)
+				ctx.Send("result", m.Payload, m.Bytes)
+			}
+		}).MustAddProvided(in, 0).MustAddRequired("result")
+		idcts = append(idcts, c)
+	}
+
+	farm, err := a.NewComposite("IDCTFarm", idcts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range idcts {
+		if err := farm.ExportProvided("work"+string(rune('1'+i)), c, "_in"); err != nil {
+			t.Fatal(err)
+		}
+		if err := farm.ExportRequired("result"+string(rune('1'+i)), c, "result"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wire through the membrane.
+	for i := 1; i <= 3; i++ {
+		cI, iface, ok := farm.ResolveProvided("work" + string(rune('0'+i)))
+		if !ok {
+			t.Fatal("export lookup failed")
+		}
+		a.MustConnect(fetch, "out"+string(rune('0'+i)), cI, iface)
+		cO, oface, ok := farm.ResolveRequired("result" + string(rune('0'+i)))
+		if !ok {
+			t.Fatal("export lookup failed")
+		}
+		a.MustConnect(cO, oface, reorder, "in")
+	}
+	return a, farm, func() {
+		if err := a.Start(); err != nil {
+			t.Fatal(err)
+		}
+		run(t, k, a)
+	}
+}
+
+func TestCompositeAggregatesObservation(t *testing.T) {
+	a, farm, runAll := buildFarm(t)
+	runAll()
+	rep := farm.Snapshot(core.LevelAll)
+	// Application level: the farm performed 90 receives and 90 sends total.
+	if rep.App.RecvOps != 90 || rep.App.SendOps != 90 {
+		t.Errorf("farm ops = %d/%d, want 90/90", rep.App.SendOps, rep.App.RecvOps)
+	}
+	if rep.App.State != "done" {
+		t.Errorf("farm state = %q", rep.App.State)
+	}
+	// OS level: memory sums the three members.
+	var memSum int64
+	for _, name := range []string{"IDCT_1", "IDCT_2", "IDCT_3"} {
+		c, _ := a.Component(name)
+		memSum += c.Snapshot(core.LevelOS).OS.MemBytes
+	}
+	if rep.OS.MemBytes != memSum {
+		t.Errorf("farm memory = %d, want sum %d", rep.OS.MemBytes, memSum)
+	}
+	if rep.OS.ExecTimeUS <= 0 {
+		t.Error("farm exec time missing")
+	}
+	// Middleware level: per-member interfaces appear qualified.
+	if _, ok := rep.Middleware.Recv["IDCT_1._in"]; !ok {
+		t.Errorf("qualified middleware stats missing: %v", rep.Middleware.Recv)
+	}
+}
+
+func TestCompositeMembrane(t *testing.T) {
+	_, farm, _ := buildFarm(t)
+	ifaces := farm.InterfaceList()
+	// introspection provided + 3 exports provided + introspection required +
+	// 3 exports required.
+	if len(ifaces) != 8 {
+		t.Fatalf("membrane = %d interfaces, want 8", len(ifaces))
+	}
+	if ifaces[0].Name != core.ObsIfaceName || ifaces[1].Name != "work1" {
+		t.Errorf("membrane order wrong: %v", ifaces)
+	}
+	if got := len(farm.Members()); got != 3 {
+		t.Errorf("members = %d", got)
+	}
+	if got := len(farm.AllComponents()); got != 3 {
+		t.Errorf("all components = %d", got)
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	a, _, _ := newSMPApp(t, "v")
+	c1 := a.MustNewComponent("c1", func(ctx *core.Ctx) {}).MustAddProvided("in", 0)
+	c2 := a.MustNewComponent("c2", func(ctx *core.Ctx) {})
+	if _, err := a.NewComposite(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := a.NewComposite("c1"); err == nil {
+		t.Error("name collision with component accepted")
+	}
+	cp, err := a.NewComposite("grp", c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewComposite("grp"); err == nil {
+		t.Error("duplicate composite accepted")
+	}
+	if _, err := a.NewComposite("grp2", c1); err == nil {
+		t.Error("component added to two composites")
+	}
+	if err := cp.Add(nil); err == nil {
+		t.Error("nil member accepted")
+	}
+	if err := cp.ExportProvided("x", c2, "in"); err == nil {
+		t.Error("export of non-member accepted")
+	}
+	if err := cp.ExportProvided("x", c1, "ghost"); err == nil {
+		t.Error("export of unknown interface accepted")
+	}
+	if err := cp.ExportProvided(core.ObsIfaceName, c1, "in"); err == nil {
+		t.Error("reserved export name accepted")
+	}
+	if err := cp.ExportProvided("x", c1, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.ExportProvided("x", c1, "in"); err == nil {
+		t.Error("duplicate export accepted")
+	}
+	got, ok := a.Composite("grp")
+	if !ok || got != cp {
+		t.Error("composite lookup failed")
+	}
+	if len(a.Composites()) != 1 {
+		t.Error("composites list wrong")
+	}
+}
+
+func TestCompositeNesting(t *testing.T) {
+	a, _, _ := newSMPApp(t, "n")
+	c1 := a.MustNewComponent("c1", func(ctx *core.Ctx) {})
+	c2 := a.MustNewComponent("c2", func(ctx *core.Ctx) {})
+	inner, err := a.NewComposite("inner", c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := a.NewComposite("outer", c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.AddComposite(inner); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.AddComposite(inner); err == nil {
+		t.Error("double nesting accepted")
+	}
+	if err := inner.AddComposite(outer); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := outer.AddComposite(outer); err == nil {
+		t.Error("self-nesting accepted")
+	}
+	all := outer.AllComponents()
+	if len(all) != 2 {
+		t.Errorf("transitive content = %d components, want 2", len(all))
+	}
+	if !containsComp(all, c1) || !containsComp(all, c2) {
+		t.Error("transitive content wrong")
+	}
+}
+
+func containsComp(cs []*core.Component, c *core.Component) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConnectComposites(t *testing.T) {
+	a, k, _ := newSMPApp(t, "cc")
+	prodC := a.MustNewComponent("p", func(ctx *core.Ctx) {
+		for i := 0; i < 5; i++ {
+			ctx.Send("out", i, 64)
+		}
+	}).MustAddRequired("out")
+	consC := a.MustNewComponent("c", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	}).MustAddProvided("in", 0)
+	src, err := a.NewComposite("source", prodC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := a.NewComposite("sink", consC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ExportRequired("out", prodC, "out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ExportProvided("in", consC, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConnectComposites(src, "ghost", dst, "in"); err == nil {
+		t.Error("unknown export accepted")
+	}
+	if err := a.ConnectComposites(src, "out", dst, "ghost"); err == nil {
+		t.Error("unknown export accepted")
+	}
+	if err := a.ConnectComposites(src, "out", dst, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	if got := consC.Snapshot(core.LevelApplication).App.RecvOps; got != 5 {
+		t.Errorf("membrane-routed messages = %d, want 5", got)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatInterfaces renders a component's interface listing in the exact
+// layout of the paper's Figure 5:
+//
+//	Interfaces component [IDCT_1]
+//	----------------------------
+//	[Interface]       [Type]
+//	introspection     provided
+//	_fetchIdct1       provided
+//	introspection     required
+//	idctReorder       required
+func FormatInterfaces(name string, ifaces []IfaceInfo) string {
+	var b strings.Builder
+	header := fmt.Sprintf("Interfaces component [%s]", name)
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, strings.Repeat("-", len(header)))
+	width := len("[Interface]")
+	for _, i := range ifaces {
+		if len(i.Name) > width {
+			width = len(i.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %s\n", width, "[Interface]", "[Type]")
+	for _, i := range ifaces {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, i.Name, i.Type)
+	}
+	return b.String()
+}
+
+// FormatMWReport renders middleware statistics as a small table.
+func FormatMWReport(name string, mw *MWReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Middleware report [%s]\n", name)
+	for _, dir := range []struct {
+		label string
+		m     map[string]IfaceStats
+	}{{"send", mw.Send}, {"recv", mw.Recv}} {
+		for _, iface := range sortedKeys(dir.m) {
+			s := dir.m[iface]
+			fmt.Fprintf(&b, "  %s %-16s ops=%-8d bytes=%-10d mean=%.1fµs max=%dµs\n",
+				dir.label, iface, s.Ops, s.Bytes, s.MeanUS(), s.MaxUS)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+// Package core implements EMBera, the paper's component-based observation
+// model for MPSoC applications (§3).
+//
+// An EMBera application is a set of interconnected components. A component
+// is "a software entity with a well-defined functionality" and "an active
+// entity [with] its own execution flow". Functionality is exposed through
+// provided interfaces and consumed through required interfaces; connections
+// link a required interface to a provided interface, and communication is a
+// "simple one-way asynchronous message-oriented mechanism" with send and
+// receive primitives.
+//
+// Every component additionally carries the observation interface of §3.3: a
+// provided/required interface pair, created by default, through which an
+// observer component obtains information about three software levels — the
+// operating system (execution time, memory), the middleware (send/receive
+// timing) and the application (component structure, communication counters)
+// — without any change to the application code.
+//
+// The model is platform-independent: a Binding (see binding.go) maps
+// components onto a concrete platform. This repository ships two bindings,
+// mirroring the paper's two implementations: internal/smpbind (Linux process
+// + POSIX threads + FIFO mailboxes on the 16-core NUMA machine) and
+// internal/os21bind (OS21 tasks + EMBX distributed objects on the STi7200).
+package core
+
+// Message is the unit of communication between components. Payload carries
+// an arbitrary application value; Bytes is the modelled wire size, which the
+// platform binding charges transfer costs for. Keeping the two separate lets
+// the simulated platforms move "200 kB" in virtual time without the host
+// allocating 200 kB per message.
+type Message struct {
+	// Payload is the application data (opaque to the framework).
+	Payload any
+	// Bytes is the modelled message size on the wire.
+	Bytes int
+	// From is the sending component's name; filled in by the framework.
+	From string
+}
+
+// EventKind classifies trace events emitted by the instrumented runtime
+// (the event-trace support announced as future work in §6 and implemented
+// by internal/trace).
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvStart   EventKind = iota + 1 // component execution began
+	EvStop                         // component execution finished
+	EvSend                         // send primitive completed
+	EvReceive                      // receive primitive completed
+	EvCompute                      // compute interval charged
+	EvObserve                      // observation request served
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStart:
+		return "start"
+	case EvStop:
+		return "stop"
+	case EvSend:
+		return "send"
+	case EvReceive:
+		return "receive"
+	case EvCompute:
+		return "compute"
+	case EvObserve:
+		return "observe"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one trace record. TimeUS is the platform-local timestamp in
+// microseconds (the same clock the middleware instrumentation uses).
+type Event struct {
+	TimeUS    int64
+	Kind      EventKind
+	Component string
+	Interface string
+	Bytes     int
+	DurUS     int64
+}
+
+// EventSink receives trace events. Implementations must be cheap: Emit is
+// called from inside the send/receive instrumentation.
+type EventSink interface {
+	Emit(e Event)
+}

@@ -1,0 +1,238 @@
+package core
+
+import "fmt"
+
+// ObsLevel selects which software level an observation request targets. The
+// paper: "MPSoC observation has to take into account at least three levels:
+// the system, the middleware and the application level."
+type ObsLevel int
+
+// Observation levels.
+const (
+	LevelOS          ObsLevel = iota + 1 // execution time, memory occupation
+	LevelMiddleware                      // send/receive primitive timings
+	LevelApplication                     // structure + communication counters
+	LevelAll                             // everything
+)
+
+func (l ObsLevel) String() string {
+	switch l {
+	case LevelOS:
+		return "os"
+	case LevelMiddleware:
+		return "middleware"
+	case LevelApplication:
+		return "application"
+	case LevelAll:
+		return "all"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ObsRequest travels to a component's provided observation interface.
+type ObsRequest struct {
+	Level ObsLevel
+}
+
+// MWReport is the middleware-level observation: per-interface send/receive
+// statistics.
+type MWReport struct {
+	Send map[string]IfaceStats
+	Recv map[string]IfaceStats
+}
+
+// IfaceInfo describes one interface for the structure listing (Figure 5).
+// Depth is the number of messages buffered in a provided interface's mailbox
+// at report time — sampling it over a run shows pipeline fill and
+// backpressure, the dynamic counterpart of §6's "evolution of memory during
+// the execution".
+type IfaceInfo struct {
+	Name      string
+	Type      string // "provided" or "required"
+	Connected bool
+	BufBytes  int64
+	Depth     int
+}
+
+// AppReport is the application-level observation: the component structure
+// and "the total number of communication operations performed".
+type AppReport struct {
+	Interfaces []IfaceInfo
+	SendOps    uint64
+	RecvOps    uint64
+	State      string
+}
+
+// ObsReport is a full observation reply. Level-specific sections are nil
+// when not requested.
+type ObsReport struct {
+	Component  string
+	Level      ObsLevel
+	OS         *OSReport
+	Middleware *MWReport
+	App        *AppReport
+	// Probes carries the values of custom observation functions registered
+	// with RegisterProbe (nil when none exist or the level excludes them).
+	Probes map[string]int64
+}
+
+// Snapshot builds an observation report directly (without the message
+// round-trip). The in-simulation path through the observation interfaces
+// produces byte-identical reports; Snapshot exists for harness code that
+// inspects state after the simulation has finished.
+func (c *Component) Snapshot(level ObsLevel) ObsReport {
+	rep := ObsReport{Component: c.name, Level: level}
+	if level == LevelOS || level == LevelAll {
+		os := c.app.binding.OSView(c)
+		rep.OS = &os
+	}
+	if level == LevelMiddleware || level == LevelAll {
+		rep.Middleware = &MWReport{
+			Send: snapshotMap(c.stats.send),
+			Recv: snapshotMap(c.stats.recv),
+		}
+	}
+	if level == LevelApplication || level == LevelAll {
+		rep.App = &AppReport{
+			Interfaces: c.InterfaceList(),
+			SendOps:    c.stats.sendOps,
+			RecvOps:    c.stats.recvOps,
+			State:      c.state.String(),
+		}
+		if len(c.probes) > 0 {
+			rep.Probes = make(map[string]int64, len(c.probes))
+			for _, name := range c.probeOrder {
+				rep.Probes[name] = c.probes[name]()
+			}
+		}
+	}
+	return rep
+}
+
+// InterfaceList enumerates the component's interfaces in the order the
+// paper's Figure 5 prints them: the provided observation interface, the
+// application provided interfaces, the required observation interface, then
+// the application required interfaces.
+func (c *Component) InterfaceList() []IfaceInfo {
+	out := []IfaceInfo{{Name: ObsIfaceName, Type: "provided", Connected: true}}
+	for _, name := range c.providedOrder {
+		pi := c.provided[name]
+		buf := pi.bufBytes
+		depth := 0
+		if pi.mailbox != nil {
+			buf = pi.mailbox.BufBytes()
+			depth = pi.mailbox.Depth()
+		}
+		out = append(out, IfaceInfo{
+			Name: name, Type: "provided",
+			Connected: pi.conns > 0, BufBytes: buf, Depth: depth,
+		})
+	}
+	out = append(out, IfaceInfo{Name: ObsIfaceName, Type: "required", Connected: c.app.observer != nil})
+	for _, name := range c.requiredOrder {
+		out = append(out, IfaceInfo{
+			Name: name, Type: "required",
+			Connected: c.required[name].target != nil,
+		})
+	}
+	return out
+}
+
+// startObservationService runs the component's observation interface: a
+// framework service flow that answers ObsRequests arriving on the provided
+// observation interface by sending ObsReports through the required one
+// (wired to the application's observer, if any).
+func (a *App) startObservationService(c *Component) {
+	a.binding.SpawnService(c.name+"/obs", func(f Flow) {
+		for {
+			m, ok := c.obsIn.Receive(f)
+			if !ok {
+				return
+			}
+			req, isReq := m.Payload.(ObsRequest)
+			if !isReq {
+				continue // ignore malformed observation traffic
+			}
+			rep := c.Snapshot(req.Level)
+			a.emit(Event{
+				TimeUS: a.binding.NowUS(c), Kind: EvObserve,
+				Component: c.name, Interface: ObsIfaceName,
+			})
+			if a.observer != nil {
+				a.observer.inbox.Send(f, Message{Payload: rep, From: c.name})
+			}
+		}
+	})
+}
+
+// Observer is the paper's observer component: "the information obtained,
+// accessible through the observation interface, is gathered and analyzed by
+// a new component connected to the observation interfaces".
+type Observer struct {
+	app   *App
+	inbox Mailbox
+}
+
+// AttachObserver creates the application's observer and wires every
+// component's required observation interface to it. Call after all
+// components exist and before Start.
+func (a *App) AttachObserver() (*Observer, error) {
+	if a.started {
+		return nil, fmt.Errorf("core: app %q already started", a.Name)
+	}
+	if a.observer != nil {
+		return nil, fmt.Errorf("core: app %q already has an observer", a.Name)
+	}
+	a.observer = &Observer{app: a, inbox: a.binding.NewServiceQueue(a.Name + "/observer-in")}
+	return a.observer, nil
+}
+
+// Observer returns the attached observer, or nil.
+func (a *App) Observer() *Observer { return a.observer }
+
+// Request sends an observation request to the named component. It must be
+// called from a flow (a driver or a component body).
+func (o *Observer) Request(f Flow, component string, level ObsLevel) error {
+	c, ok := o.app.comps[component]
+	if !ok {
+		return fmt.Errorf("core: observer request for unknown component %q", component)
+	}
+	if c.obsIn == nil {
+		return fmt.Errorf("core: app not started; no observation interface yet")
+	}
+	c.obsIn.Send(f, Message{Payload: ObsRequest{Level: level}, From: "observer"})
+	return nil
+}
+
+// Await blocks until the next report arrives.
+func (o *Observer) Await(f Flow) (ObsReport, bool) {
+	m, ok := o.inbox.Receive(f)
+	if !ok {
+		return ObsReport{}, false
+	}
+	rep, isRep := m.Payload.(ObsReport)
+	if !isRep {
+		return ObsReport{}, false
+	}
+	return rep, true
+}
+
+// QueryAll requests level from every component and collects the replies,
+// returned keyed by component name.
+func (o *Observer) QueryAll(f Flow, level ObsLevel) (map[string]ObsReport, error) {
+	for _, c := range o.app.order {
+		if err := o.Request(f, c.name, level); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]ObsReport, len(o.app.order))
+	for range o.app.order {
+		rep, ok := o.Await(f)
+		if !ok {
+			return nil, fmt.Errorf("core: observer inbox closed mid-query")
+		}
+		out[rep.Component] = rep
+	}
+	return out, nil
+}

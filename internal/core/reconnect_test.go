@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/sim"
+)
+
+// buildSwitchable assembles prod -> sinkA with a spare sinkB, returning the
+// per-sink receive counters.
+func buildSwitchable(t *testing.T) (*core.App, *sim.Kernel, *core.Component, *core.Component, *core.Component, *int, *int) {
+	t.Helper()
+	a, k, _ := newSMPApp(t, "reconf")
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < 100; i++ {
+			ctx.Compute(200_000)
+			if !ctx.Send("out", i, 256) {
+				return
+			}
+		}
+	}).MustAddRequired("out")
+	gotA, gotB := 0, 0
+	mkSink := func(name string, counter *int) *core.Component {
+		return a.MustNewComponent(name, func(ctx *core.Ctx) {
+			for {
+				if _, ok := ctx.Receive("in"); !ok {
+					return
+				}
+				*counter++
+			}
+		}).MustAddProvided("in", 1<<20)
+	}
+	sinkA := mkSink("sinkA", &gotA)
+	sinkB := mkSink("sinkB", &gotB)
+	a.MustConnect(prod, "out", sinkA, "in")
+	return a, k, prod, sinkA, sinkB, &gotA, &gotB
+}
+
+func TestReconnectRedirectsTraffic(t *testing.T) {
+	a, k, prod, sinkA, sinkB, gotA, gotB := buildSwitchable(t)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Half-way through, rewire prod.out from sinkA to sinkB.
+	k.At(5*sim.Millisecond, func() {
+		if err := a.Reconnect(prod, "out", sinkB, "in"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("app did not finish (did sinkA fail to drain?)")
+	}
+	if *gotA == 0 || *gotB == 0 {
+		t.Fatalf("traffic split = %d/%d, want both sinks hit", *gotA, *gotB)
+	}
+	if *gotA+*gotB != 100 {
+		t.Fatalf("messages lost or duplicated: %d + %d != 100", *gotA, *gotB)
+	}
+	// Structure observation reflects the new wiring.
+	ifA := sinkA.InterfaceList()
+	ifB := sinkB.InterfaceList()
+	if ifA[1].Connected {
+		t.Error("sinkA still reported connected after rewire")
+	}
+	if !ifB[1].Connected {
+		t.Error("sinkB not reported connected after rewire")
+	}
+}
+
+func TestReconnectValidation(t *testing.T) {
+	a, k, prod, sinkA, sinkB, _, _ := buildSwitchable(t)
+	if err := a.Reconnect(prod, "out", sinkB, "in"); err == nil {
+		t.Error("reconnect before start accepted")
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.Millisecond, func() {
+		if err := a.Reconnect(prod, "ghost", sinkB, "in"); err == nil {
+			t.Error("unknown required accepted")
+		}
+		if err := a.Reconnect(prod, "out", sinkB, "ghost"); err == nil {
+			t.Error("unknown provided accepted")
+		}
+		if err := a.Reconnect(prod, "out", prod, "out"); err == nil {
+			t.Error("self-reconnect accepted")
+		}
+		if err := a.Reconnect(nil, "out", sinkB, "in"); err == nil {
+			t.Error("nil component accepted")
+		}
+		// Reconnecting to the current target is a no-op.
+		if err := a.Reconnect(prod, "out", sinkA, "in"); err != nil {
+			t.Errorf("idempotent reconnect failed: %v", err)
+		}
+		// Finally hand the stream to sinkB so both sinks get a producer and
+		// the application can wind down.
+		if err := a.Reconnect(prod, "out", sinkB, "in"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("app did not finish")
+	}
+}
+
+func TestReconnectDeadProducerRejected(t *testing.T) {
+	a, k, _ := newSMPApp(t, "dead")
+	prod := a.MustNewComponent("p", func(ctx *core.Ctx) {}).MustAddRequired("out")
+	sink := a.MustNewComponent("s", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	}).MustAddProvided("in", 0)
+	a.MustConnect(prod, "out", sink, "in")
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	if err := a.Reconnect(prod, "out", sink, "in"); err == nil {
+		t.Error("reconnect of terminated component accepted")
+	}
+}
+
+func TestProbesAppearInReports(t *testing.T) {
+	a, k, _ := newSMPApp(t, "probe")
+	counter := int64(0)
+	c := a.MustNewComponent("c", func(ctx *core.Ctx) {
+		for i := 0; i < 7; i++ {
+			ctx.Compute(1000)
+			counter++
+		}
+	})
+	if err := c.RegisterProbe("items", func() int64 { return counter }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterProbe("constant", func() int64 { return 42 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterProbe("items", func() int64 { return 0 }); err == nil {
+		t.Error("duplicate probe accepted")
+	}
+	if err := c.RegisterProbe("", nil); err == nil {
+		t.Error("nil probe accepted")
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	rep := c.Snapshot(core.LevelAll)
+	if rep.Probes["items"] != 7 || rep.Probes["constant"] != 42 {
+		t.Errorf("probes = %v", rep.Probes)
+	}
+	// OS-only reports skip probes.
+	if osRep := c.Snapshot(core.LevelOS); osRep.Probes != nil {
+		t.Error("probes leaked into OS-level report")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+// IfaceStats aggregates the middleware-level instrumentation of one
+// direction of one interface: operation count, bytes moved and the time
+// spent inside the send/receive primitive (§4.2, "information about the
+// execution time of send and the receive operations by instrumenting send
+// and receive primitives").
+type IfaceStats struct {
+	Ops     uint64
+	Bytes   uint64
+	TotalUS int64
+	MaxUS   int64
+}
+
+// MeanUS returns the average primitive execution time in microseconds.
+func (s IfaceStats) MeanUS() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.TotalUS) / float64(s.Ops)
+}
+
+func (s *IfaceStats) record(bytes int, us int64) {
+	s.Ops++
+	s.Bytes += uint64(bytes)
+	s.TotalUS += us
+	if us > s.MaxUS {
+		s.MaxUS = us
+	}
+}
+
+// stats is the per-component instrumentation state maintained by the
+// framework without application involvement.
+type stats struct {
+	send map[string]*IfaceStats
+	recv map[string]*IfaceStats
+
+	sendOps, recvOps uint64
+	computeUS        int64
+}
+
+func newStats() *stats {
+	return &stats{
+		send: make(map[string]*IfaceStats),
+		recv: make(map[string]*IfaceStats),
+	}
+}
+
+func (st *stats) recordSend(iface string, bytes int, us int64) {
+	s := st.send[iface]
+	if s == nil {
+		s = &IfaceStats{}
+		st.send[iface] = s
+	}
+	s.record(bytes, us)
+	st.sendOps++
+}
+
+func (st *stats) recordRecv(iface string, bytes int, us int64) {
+	s := st.recv[iface]
+	if s == nil {
+		s = &IfaceStats{}
+		st.recv[iface] = s
+	}
+	s.record(bytes, us)
+	st.recvOps++
+}
+
+// snapshotMap deep-copies a stats map for inclusion in a report.
+func snapshotMap(m map[string]*IfaceStats) map[string]IfaceStats {
+	out := make(map[string]IfaceStats, len(m))
+	for k, v := range m {
+		out[k] = *v
+	}
+	return out
+}

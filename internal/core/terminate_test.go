@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/sim"
+)
+
+func TestTerminateStopsProducerAndDrainsPipeline(t *testing.T) {
+	a, k, _ := newSMPApp(t, "term")
+	received := 0
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; ; i++ { // endless producer: only Terminate stops it
+			ctx.Compute(100_000)
+			if !ctx.Send("out", i, 512) {
+				return
+			}
+		}
+	}).MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+			received++
+		}
+	}).MustAddProvided("in", 1<<20)
+	a.MustConnect(prod, "out", cons, "in")
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Terminate the producer 10 ms in.
+	k.At(10*sim.Millisecond, func() {
+		if err := a.Terminate(prod); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.RunUntil(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// The whole application must have wound down: producer killed, consumer
+	// drained after the mailbox closed.
+	if !a.Done() {
+		t.Fatal("application did not terminate after producer kill")
+	}
+	if prod.State() != core.StateDone || cons.State() != core.StateDone {
+		t.Errorf("states = %v/%v", prod.State(), cons.State())
+	}
+	if received == 0 {
+		t.Error("consumer received nothing before the kill")
+	}
+	// Observation still works on the terminated component, with consistent
+	// final statistics.
+	rep := prod.Snapshot(core.LevelAll)
+	if rep.OS.Running {
+		t.Error("killed component still reported running")
+	}
+	if rep.App.SendOps == 0 || rep.App.SendOps < uint64(received) {
+		t.Errorf("killed producer sends = %d, consumer got %d", rep.App.SendOps, received)
+	}
+	if rep.OS.ExecTimeUS < 9_000 || rep.OS.ExecTimeUS > 11_000 {
+		t.Errorf("killed producer exec time = %dµs, want ~10000", rep.OS.ExecTimeUS)
+	}
+}
+
+func TestTerminateFinishedComponentIsNoop(t *testing.T) {
+	a, k, _ := newSMPApp(t, "term2")
+	c := a.MustNewComponent("c", func(ctx *core.Ctx) {})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	if err := a.Terminate(c); err != nil {
+		t.Errorf("terminate of done component: %v", err)
+	}
+}
+
+func TestTerminateBeforeStartErrors(t *testing.T) {
+	a, _, _ := newSMPApp(t, "term3")
+	c := a.MustNewComponent("c", func(ctx *core.Ctx) {})
+	if err := a.Terminate(c); err == nil {
+		t.Error("terminate before start accepted")
+	}
+}
+
+func TestTerminateEmitsStopEvent(t *testing.T) {
+	a, k, _ := newSMPApp(t, "term4")
+	var stops int
+	a.SetEventSink(sinkFunc(func(e core.Event) {
+		if e.Kind == core.EvStop && e.Component == "spinner" {
+			stops++
+		}
+	}))
+	spinner := a.MustNewComponent("spinner", func(ctx *core.Ctx) {
+		for {
+			ctx.Compute(1_000_000)
+		}
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.At(5*sim.Millisecond, func() { _ = a.Terminate(spinner) })
+	if err := k.RunUntil(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if stops != 1 {
+		t.Errorf("stop events = %d, want 1", stops)
+	}
+}

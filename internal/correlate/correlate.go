@@ -1,0 +1,165 @@
+// Package correlate joins multi-level observation data — the last open
+// question §6 of the paper raises ("how to manage multi-level information").
+//
+// A kernel-level tracer (internal/kptrace) sees anonymous copies by TID; the
+// EMBera trace (internal/trace) sees send operations by component and
+// interface. Correlating the two streams by time and size produces the
+// mapping the paper says low-level tools lack: every kernel copy annotated
+// with the application operation that caused it — and, symmetrically, any
+// kernel activity that no application operation explains (framework
+// overhead, rogue traffic).
+package correlate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"embera/internal/core"
+	"embera/internal/linux"
+)
+
+// Match is one kernel copy joined with its application-level cause.
+type Match struct {
+	KernelTimeUS int64
+	TID          int
+	Bytes        int
+	Component    string
+	Interface    string
+	SendTimeUS   int64
+}
+
+// Result is the outcome of a correlation pass.
+type Result struct {
+	Matches []Match
+	// OrphanKernel are kernel copies no EMBera send explains.
+	OrphanKernel []linux.KernelEvent
+	// OrphanSends are EMBera sends with no kernel copy (on a platform whose
+	// middleware bypasses the kernel, e.g. zero-copy paths).
+	OrphanSends []core.Event
+}
+
+// tolUS is the matching window: a kernel copy completes within this many
+// microseconds of its send's completion timestamp.
+const tolUS = 1000
+
+// Kernel joins kernel copy events with EMBera send events. Both inputs may
+// be unsorted; each event is consumed at most once. Matching is greedy in
+// time order: a copy matches the nearest unconsumed send with identical byte
+// count within the tolerance window.
+func Kernel(kernelEvents []linux.KernelEvent, emberaEvents []core.Event) *Result {
+	var copies []linux.KernelEvent
+	for _, e := range kernelEvents {
+		if e.Kind == "copy" {
+			copies = append(copies, e)
+		}
+	}
+	var sends []core.Event
+	for _, e := range emberaEvents {
+		if e.Kind == core.EvSend {
+			sends = append(sends, e)
+		}
+	}
+	sort.Slice(copies, func(i, j int) bool { return copies[i].TimeNS < copies[j].TimeNS })
+	sort.Slice(sends, func(i, j int) bool { return sends[i].TimeUS < sends[j].TimeUS })
+
+	used := make([]bool, len(sends))
+	res := &Result{}
+	cursor := 0
+	for _, cp := range copies {
+		cpUS := cp.TimeNS / 1000
+		// Advance the cursor past sends that can no longer match anything.
+		for cursor < len(sends) && sends[cursor].TimeUS < cpUS-tolUS {
+			cursor++
+		}
+		best := -1
+		var bestDist int64
+		for i := cursor; i < len(sends); i++ {
+			s := sends[i]
+			if s.TimeUS > cpUS+tolUS {
+				break
+			}
+			if used[i] || int64(s.Bytes) != cp.Arg {
+				continue
+			}
+			dist := s.TimeUS - cpUS
+			if dist < 0 {
+				dist = -dist
+			}
+			if best == -1 || dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		if best == -1 {
+			res.OrphanKernel = append(res.OrphanKernel, cp)
+			continue
+		}
+		used[best] = true
+		s := sends[best]
+		res.Matches = append(res.Matches, Match{
+			KernelTimeUS: cpUS,
+			TID:          cp.TID,
+			Bytes:        int(cp.Arg),
+			Component:    s.Component,
+			Interface:    s.Interface,
+			SendTimeUS:   s.TimeUS,
+		})
+	}
+	for i, s := range sends {
+		if !used[i] {
+			res.OrphanSends = append(res.OrphanSends, s)
+		}
+	}
+	return res
+}
+
+// Coverage returns the fraction of kernel copies explained by application
+// operations (1.0 = complete mapping).
+func (r *Result) Coverage() float64 {
+	total := len(r.Matches) + len(r.OrphanKernel)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(r.Matches)) / float64(total)
+}
+
+// TIDMap derives the TID -> component mapping implied by the matches — the
+// translation table that turns an anonymous kernel trace into an
+// application-level one.
+func (r *Result) TIDMap() map[int]string {
+	votes := map[int]map[string]int{}
+	for _, m := range r.Matches {
+		if votes[m.TID] == nil {
+			votes[m.TID] = map[string]int{}
+		}
+		votes[m.TID][m.Component]++
+	}
+	out := make(map[int]string, len(votes))
+	for tid, vs := range votes {
+		best, bestN := "", -1
+		for comp, n := range vs {
+			if n > bestN || (n == bestN && comp < best) {
+				best, bestN = comp, n
+			}
+		}
+		out[tid] = best
+	}
+	return out
+}
+
+// Format renders the correlation summary.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "correlated %d kernel copies (%.1f%% coverage, %d orphan kernel, %d orphan sends)\n",
+		len(r.Matches), 100*r.Coverage(), len(r.OrphanKernel), len(r.OrphanSends))
+	tids := r.TIDMap()
+	ids := make([]int, 0, len(tids))
+	for tid := range tids {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
+	for _, tid := range ids {
+		fmt.Fprintf(&b, "  TID %d -> %s\n", tid, tids[tid])
+	}
+	return b.String()
+}

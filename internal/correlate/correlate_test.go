@@ -1,0 +1,139 @@
+package correlate_test
+
+import (
+	"strings"
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/correlate"
+	"embera/internal/kptrace"
+	"embera/internal/linux"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+	"embera/internal/trace"
+)
+
+// runBothTracers runs the SMP MJPEG app with the kernel tracer and the
+// EMBera trace recorder attached to the same execution.
+func runBothTracers(t *testing.T) (*kptrace.Tracer, *trace.Recorder) {
+	t.Helper()
+	stream, err := mjpeg.SynthStream(64, 48, 4, mjpeg.EncodeOptions{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	ktr := kptrace.Attach(sys, 0)
+	rec := trace.NewRecorder(1 << 18)
+	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
+	a.SetEventSink(rec)
+	if _, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("app did not finish")
+	}
+	return ktr, rec
+}
+
+func TestFullCoverageOnMJPEGRun(t *testing.T) {
+	ktr, rec := runBothTracers(t)
+	res := correlate.Kernel(ktr.Events(), rec.Events())
+	if res.Coverage() != 1.0 {
+		t.Errorf("coverage = %.3f, want 1.0 (orphans: %d kernel, %d sends)",
+			res.Coverage(), len(res.OrphanKernel), len(res.OrphanSends))
+	}
+	if len(res.OrphanSends) != 0 {
+		t.Errorf("orphan sends = %d", len(res.OrphanSends))
+	}
+	// 4 frames: Fetch 72 copies + IDCTs 72 copies = 144 matches.
+	if len(res.Matches) != 144 {
+		t.Errorf("matches = %d, want 144", len(res.Matches))
+	}
+}
+
+func TestTIDMapRecoversComponents(t *testing.T) {
+	ktr, rec := runBothTracers(t)
+	res := correlate.Kernel(ktr.Events(), rec.Events())
+	tids := res.TIDMap()
+	// Four sending components (Fetch + 3 IDCTs); Reorder never sends.
+	if len(tids) != 4 {
+		t.Fatalf("TID map = %v, want 4 entries", tids)
+	}
+	seen := map[string]bool{}
+	for _, comp := range tids {
+		seen[comp] = true
+	}
+	for _, want := range []string{"Fetch", "IDCT_1", "IDCT_2", "IDCT_3"} {
+		if !seen[want] {
+			t.Errorf("TID map missing %s: %v", want, tids)
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "100.0% coverage") || !strings.Contains(out, "Fetch") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestOrphansDetected(t *testing.T) {
+	// A kernel copy with no matching send, and a send with no kernel copy.
+	kevents := []linux.KernelEvent{
+		{TimeNS: 1_000_000, Kind: "copy", TID: 9, Arg: 4096},
+		{TimeNS: 2_000_000, Kind: "copy", TID: 9, Arg: 555}, // orphan (size)
+		{TimeNS: 3_000_000, Kind: "thread_exit", TID: 9},    // ignored kind
+	}
+	sends := []core.Event{
+		{TimeUS: 1_000, Kind: core.EvSend, Component: "A", Interface: "out", Bytes: 4096},
+		{TimeUS: 900_000, Kind: core.EvSend, Component: "B", Interface: "out", Bytes: 4096}, // orphan (time)
+		{TimeUS: 1_100, Kind: core.EvReceive, Component: "C", Bytes: 555},                   // ignored kind
+	}
+	res := correlate.Kernel(kevents, sends)
+	if len(res.Matches) != 1 || res.Matches[0].Component != "A" {
+		t.Errorf("matches = %+v", res.Matches)
+	}
+	if len(res.OrphanKernel) != 1 || res.OrphanKernel[0].Arg != 555 {
+		t.Errorf("orphan kernel = %+v", res.OrphanKernel)
+	}
+	if len(res.OrphanSends) != 1 || res.OrphanSends[0].Component != "B" {
+		t.Errorf("orphan sends = %+v", res.OrphanSends)
+	}
+	if res.Coverage() != 0.5 {
+		t.Errorf("coverage = %v", res.Coverage())
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res := correlate.Kernel(nil, nil)
+	if res.Coverage() != 1 || len(res.Matches) != 0 {
+		t.Error("empty correlation wrong")
+	}
+}
+
+func TestNearestSizeTiedMatch(t *testing.T) {
+	// Two candidate sends of the same size inside the window: the copy must
+	// take the nearest, leaving the other for a later copy.
+	kevents := []linux.KernelEvent{
+		{TimeNS: 10_000_000, Kind: "copy", TID: 1, Arg: 128},
+		{TimeNS: 10_500_000, Kind: "copy", TID: 2, Arg: 128},
+	}
+	sends := []core.Event{
+		{TimeUS: 10_010, Kind: core.EvSend, Component: "X", Bytes: 128},
+		{TimeUS: 10_480, Kind: core.EvSend, Component: "Y", Bytes: 128},
+	}
+	res := correlate.Kernel(kevents, sends)
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %d", len(res.Matches))
+	}
+	if res.Matches[0].Component != "X" || res.Matches[1].Component != "Y" {
+		t.Errorf("pairing = %s,%s want X,Y", res.Matches[0].Component, res.Matches[1].Component)
+	}
+}

@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"embera/internal/core"
+	"embera/internal/mjpegapp"
+	"embera/internal/trace"
+)
+
+// Ablations for the design choices DESIGN.md §5 calls out. Each returns
+// structured results plus a formatted table.
+
+// --- A1: observation overhead ---
+
+// A1Result compares a run with full observation activity (event sink +
+// periodic in-simulation observer queries) against a bare run.
+type A1Result struct {
+	BareMakespanUS     int64
+	ObservedMakespanUS int64
+	EventsCollected    uint64
+	QueriesServed      int
+}
+
+// AblationObservationOverhead runs the SMP MJPEG app with and without
+// observation machinery engaged. EMBera's claim is that observation does not
+// perturb the observed application: the virtual makespans must match.
+func AblationObservationOverhead(frames int) (*A1Result, error) {
+	stream, err := RefStream(frames)
+	if err != nil {
+		return nil, err
+	}
+
+	bare, err := RunSMP(mjpegapp.SMPConfig(stream))
+	if err != nil {
+		return nil, err
+	}
+
+	// Observed run: trace every event and query every component each 50 ms
+	// of virtual time while the app runs.
+	rec := trace.NewRecorder(1 << 20)
+	queries := 0
+	observed, err := runSMPWith(mjpegapp.SMPConfig(stream), rec, func(a *core.App, obs *core.Observer) {
+		a.SpawnDriver("poller", func(f core.Flow) {
+			for !a.Done() {
+				f.SleepUS(50_000)
+				if _, err := obs.QueryAll(f, core.LevelAll); err == nil {
+					queries++
+				}
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	total, _ := rec.Stats()
+	return &A1Result{
+		BareMakespanUS:     bare.MakespanUS,
+		ObservedMakespanUS: observed.MakespanUS,
+		EventsCollected:    total,
+		QueriesServed:      queries,
+	}, nil
+}
+
+// runSMPWith is RunSMP plus an event sink and an extra driver hook.
+func runSMPWith(cfg mjpegapp.Config, sink core.EventSink,
+	hook func(a *core.App, obs *core.Observer)) (*Run, error) {
+
+	run, err := runSMPCustom(cfg, func(a *core.App, obs *core.Observer) {
+		if sink != nil {
+			a.SetEventSink(sink)
+		}
+		if hook != nil {
+			hook(a, obs)
+		}
+	})
+	return run, err
+}
+
+// FormatA1 renders the comparison.
+func FormatA1(r *A1Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "A1: Observation overhead (SMP MJPEG)")
+	fmt.Fprintf(&b, "  bare makespan:     %d µs\n", r.BareMakespanUS)
+	fmt.Fprintf(&b, "  observed makespan: %d µs (%d trace events, %d query sweeps)\n",
+		r.ObservedMakespanUS, r.EventsCollected, r.QueriesServed)
+	return b.String()
+}
+
+// --- A2: mailbox capacity ---
+
+// A2Point is the makespan at one IDCT-inbox capacity.
+type A2Point struct {
+	BufKB      int64
+	MakespanUS int64
+}
+
+// AblationMailboxCapacity sweeps the IDCT inbox size: small buffers
+// throttle Fetch through backpressure, large ones let the pipeline stream.
+func AblationMailboxCapacity(frames int, bufKBs []int64) ([]A2Point, error) {
+	stream, err := RefStream(frames)
+	if err != nil {
+		return nil, err
+	}
+	var out []A2Point
+	for _, kb := range bufKBs {
+		cfg := mjpegapp.SMPConfig(stream)
+		cfg.IDCTBufBytes = kb * 1024
+		run, err := RunSMP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, A2Point{BufKB: kb, MakespanUS: run.MakespanUS})
+	}
+	return out, nil
+}
+
+// FormatA2 renders the sweep.
+func FormatA2(points []A2Point) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "A2: IDCT mailbox capacity vs pipeline makespan (SMP MJPEG)")
+	fmt.Fprintf(&b, "%12s %14s\n", "buf (kB)", "makespan (µs)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12d %14d\n", p.BufKB, p.MakespanUS)
+	}
+	return b.String()
+}
+
+// --- A3: NUMA placement ---
+
+// A3Result compares clustered vs spread component placement.
+type A3Result struct {
+	ClusteredSendUS     float64
+	SpreadSendUS        float64
+	ClusteredMakespanUS int64
+	SpreadMakespanUS    int64
+}
+
+// AblationNUMAPlacement places the five MJPEG components either on
+// neighbouring cores (nodes 0–2) or spread across all eight NUMA nodes, and
+// compares Fetch's mean send time and the total makespan. Copy cost grows
+// with hop count, so the spread placement must show more expensive sends.
+func AblationNUMAPlacement(frames int) (*A3Result, error) {
+	stream, err := RefStream(frames)
+	if err != nil {
+		return nil, err
+	}
+	measure := func(fetchLoc, reorderLoc int, idctLocs []int) (float64, int64, error) {
+		cfg := mjpegapp.SMPConfig(stream)
+		cfg.FetchLoc = fetchLoc
+		cfg.ReorderLoc = reorderLoc
+		cfg.IDCTLocs = idctLocs
+		run, err := RunSMP(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		var total, ops float64
+		mw := run.Reports["Fetch"].Middleware
+		for _, st := range mw.Send {
+			total += float64(st.TotalUS)
+			ops += float64(st.Ops)
+		}
+		return total / ops, run.MakespanUS, nil
+	}
+	// Clustered: cores 0..4 (nodes 0,0,1,1,2 — at most 1–2 hops).
+	cSend, cSpan, err := measure(0, 4, []int{1, 2, 3})
+	if err != nil {
+		return nil, err
+	}
+	// Spread: cores on nodes 0,7,5,2,6 (up to 3 hops from Fetch).
+	sSend, sSpan, err := measure(0, 12, []int{14, 10, 5})
+	if err != nil {
+		return nil, err
+	}
+	return &A3Result{
+		ClusteredSendUS: cSend, SpreadSendUS: sSend,
+		ClusteredMakespanUS: cSpan, SpreadMakespanUS: sSpan,
+	}, nil
+}
+
+// FormatA3 renders the comparison.
+func FormatA3(r *A3Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "A3: NUMA placement (SMP MJPEG)")
+	fmt.Fprintf(&b, "  clustered: mean Fetch send %.1f µs, makespan %d µs\n",
+		r.ClusteredSendUS, r.ClusteredMakespanUS)
+	fmt.Fprintf(&b, "  spread:    mean Fetch send %.1f µs, makespan %d µs\n",
+		r.SpreadSendUS, r.SpreadMakespanUS)
+	return b.String()
+}
+
+// --- A4: IDCT fan-out ---
+
+// A4Point is the makespan at one IDCT fan-out.
+type A4Point struct {
+	NumIDCT    int
+	MakespanUS int64
+}
+
+// AblationIDCTFanout sweeps the number of IDCT components. With the
+// balanced cost model, 3 IDCTs saturate the pipeline (the paper's design
+// point); beyond that Fetch is the bottleneck and more IDCTs stop helping.
+func AblationIDCTFanout(frames int, fanouts []int) ([]A4Point, error) {
+	stream, err := RefStream(frames)
+	if err != nil {
+		return nil, err
+	}
+	var out []A4Point
+	for _, n := range fanouts {
+		cfg := mjpegapp.SMPConfig(stream)
+		cfg.NumIDCT = n
+		run, err := RunSMP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, A4Point{NumIDCT: n, MakespanUS: run.MakespanUS})
+	}
+	return out, nil
+}
+
+// FormatA4 renders the sweep.
+func FormatA4(points []A4Point) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "A4: IDCT fan-out vs pipeline makespan (SMP MJPEG)")
+	fmt.Fprintf(&b, "%10s %14s\n", "IDCTs", "makespan (µs)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10d %14d\n", p.NumIDCT, p.MakespanUS)
+	}
+	return b.String()
+}

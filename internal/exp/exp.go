@@ -1,0 +1,127 @@
+// Package exp contains the experiment harness: one runner per table and
+// figure of the paper's evaluation (Table 1, Table 2, Figure 4, Figure 5 on
+// SMP; Table 3, Figure 8 on the STi7200), plus the ablations listed in
+// DESIGN.md §5. cmd/embera-bench and the top-level benchmarks drive these
+// runners; EXPERIMENTS.md records paper-vs-measured for each.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"embera/internal/core"
+	"embera/internal/linux"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+	"embera/internal/sti7200"
+)
+
+// Reference workload: the paper's inputs are two MJPEG videos of 578 and
+// 3000 frames with identical dimensions. We synthesize equivalents.
+const (
+	RefW       = 128
+	RefH       = 96
+	RefQuality = 75
+
+	// SmallFrames and LargeFrames are the paper's input sizes.
+	SmallFrames = 578
+	LargeFrames = 3000
+)
+
+var (
+	streamMu    sync.Mutex
+	streamCache = map[int][]byte{}
+)
+
+// RefStream returns (and caches) the reference MJPEG stream with the given
+// frame count.
+func RefStream(frames int) ([]byte, error) {
+	streamMu.Lock()
+	defer streamMu.Unlock()
+	if s, ok := streamCache[frames]; ok {
+		return s, nil
+	}
+	s, err := mjpeg.SynthStream(RefW, RefH, frames, mjpeg.EncodeOptions{Quality: RefQuality})
+	if err != nil {
+		return nil, err
+	}
+	streamCache[frames] = s
+	return s, nil
+}
+
+// horizon bounds every simulation run; hitting it is reported as an error.
+const horizon = sim.Time(100 * 3600 * sim.Second)
+
+// Run is a completed simulation with its observation reports.
+type Run struct {
+	App     *mjpegapp.App
+	Kernel  *sim.Kernel
+	Reports map[string]core.ObsReport
+	// MakespanUS is the virtual time at which the application finished.
+	MakespanUS int64
+}
+
+// RunSMP builds cfg on a fresh SMP/Linux platform, runs it to completion and
+// collects LevelAll observations through the in-simulation observer.
+func RunSMP(cfg mjpegapp.Config) (*Run, error) {
+	return runSMPCustom(cfg, nil)
+}
+
+// runSMPCustom is RunSMP with a pre-start customization hook (event sinks,
+// extra drivers).
+func runSMPCustom(cfg mjpegapp.Config, customize func(a *core.App, obs *core.Observer)) (*Run, error) {
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
+	return runApp(k, a, cfg, customize)
+}
+
+// RunOS21 builds cfg on a fresh STi7200/OS21 platform and runs it.
+func RunOS21(cfg mjpegapp.Config) (*Run, error) {
+	k := sim.NewKernel()
+	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+	a := core.NewApp("mjpeg", os21bind.New(chip))
+	return runApp(k, a, cfg, nil)
+}
+
+func runApp(k *sim.Kernel, a *core.App, cfg mjpegapp.Config,
+	customize func(a *core.App, obs *core.Observer)) (*Run, error) {
+	app, err := mjpegapp.Build(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := a.AttachObserver()
+	if err != nil {
+		return nil, err
+	}
+	if customize != nil {
+		customize(a, obs)
+	}
+	if err := a.Start(); err != nil {
+		return nil, err
+	}
+	r := &Run{App: app, Kernel: k}
+	var qErr error
+	a.SpawnDriver("exp-driver", func(f core.Flow) {
+		a.AwaitQuiescence(f)
+		r.MakespanUS = int64(k.Now()) / int64(sim.Microsecond)
+		r.Reports, qErr = obs.QueryAll(f, core.LevelAll)
+	})
+	if err := k.RunUntil(horizon); err != nil {
+		return nil, err
+	}
+	if !a.Done() {
+		return nil, fmt.Errorf("exp: application did not finish before the horizon")
+	}
+	if qErr != nil {
+		return nil, qErr
+	}
+	if r.Reports == nil {
+		return nil, fmt.Errorf("exp: observer queries never ran")
+	}
+	return r, nil
+}

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"embera/internal/core"
+	"embera/internal/linux"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+	"embera/internal/sti7200"
+)
+
+// sweepApp builds a minimal sender -> sink application used by the send-time
+// sweeps of Figure 4 and Figure 8: the paper varies message size and
+// measures the EMBera send primitive through the observation interface.
+func sweepApp(a *core.App, senderLoc, sinkLoc, msgBytes, msgs int, sinkBuf int64) (*core.Component, error) {
+	sender, err := a.NewComponent("sender", func(ctx *core.Ctx) {
+		for i := 0; i < msgs; i++ {
+			ctx.Send("out", nil, msgBytes)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sender.Place(senderLoc)
+	if err := sender.AddRequired("out"); err != nil {
+		return nil, err
+	}
+	sink, err := a.NewComponent("sink", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sink.Place(sinkLoc)
+	if err := sink.AddProvided("in", sinkBuf); err != nil {
+		return nil, err
+	}
+	if err := a.Connect(sender, "out", sink, "in"); err != nil {
+		return nil, err
+	}
+	return sender, nil
+}
+
+func runSweep(k *sim.Kernel, a *core.App, sender *core.Component) (core.IfaceStats, error) {
+	if err := a.Start(); err != nil {
+		return core.IfaceStats{}, err
+	}
+	if err := k.RunUntil(horizon); err != nil {
+		return core.IfaceStats{}, err
+	}
+	if !a.Done() {
+		return core.IfaceStats{}, fmt.Errorf("exp: sweep did not finish")
+	}
+	return sender.Snapshot(core.LevelMiddleware).Middleware.Send["out"], nil
+}
+
+// --- Figure 4: send execution time vs message size on SMP ---
+
+// F4Point is one sample of Figure 4.
+type F4Point struct {
+	SizeKB     int
+	MeanSendUS float64
+}
+
+// DefaultF4Sizes are the sweep points (the paper plots 0–125 kb).
+var DefaultF4Sizes = []int{1, 8, 16, 25, 50, 75, 100, 125}
+
+// Figure4 measures the mean EMBera send time per message size on the SMP
+// platform. The paper's result: "the time spent for sending a message
+// increases almost linearly with the size of the message", reaching ~300 µs
+// at 125 kb.
+func Figure4(sizesKB []int, msgs int) ([]F4Point, error) {
+	var out []F4Point
+	for _, szKB := range sizesKB {
+		k := sim.NewKernel()
+		sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+		a := core.NewApp("fig4", smpbind.New(sys, "fig4"))
+		sender, err := sweepApp(a, -1, -1, szKB*1024, msgs, 64<<20)
+		if err != nil {
+			return nil, err
+		}
+		st, err := runSweep(k, a, sender)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, F4Point{SizeKB: szKB, MeanSendUS: st.MeanUS()})
+	}
+	return out, nil
+}
+
+// FormatFigure4 renders the series the paper plots.
+func FormatFigure4(points []F4Point) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 4: Send Primitives Execution Time (16-core SMP)")
+	fmt.Fprintf(&b, "%12s %14s\n", "size (kB)", "send (µs)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12d %14.1f\n", p.SizeKB, p.MeanSendUS)
+	}
+	return b.String()
+}
+
+// --- Figure 8: send execution time vs message size on the STi7200 ---
+
+// F8Point is one sample of Figure 8: the mean send time for both sender CPU
+// kinds at one message size.
+type F8Point struct {
+	SizeKB      int
+	ST40SendMS  float64 // Fetch-Reorder's CPU
+	ST231SendMS float64 // IDCT's CPU
+}
+
+// DefaultF8Sizes are the paper's sweep points (0–200 kB with the knee at 50).
+var DefaultF8Sizes = []int{1, 25, 50, 100, 200}
+
+// Figure8 measures the mean EMBera send time per message size on the
+// STi7200, once with the sender on the ST40 and once on an ST231. The
+// paper's observations: the IDCT (ST231) executes send faster than
+// Fetch-Reorder (ST40) at every size, and performance "is linear for
+// message sizes smaller than 50 kB" with a visible degradation beyond.
+func Figure8(sizesKB []int, msgs int) ([]F8Point, error) {
+	meanFor := func(senderCPU, szKB int) (float64, error) {
+		k := sim.NewKernel()
+		chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+		a := core.NewApp("fig8", os21bind.New(chip))
+		// The sink lives on ST231 #3 with an object large enough for the
+		// 200 kB sweep points.
+		sender, err := sweepApp(a, senderCPU, 3, szKB*1024, msgs, 1<<20)
+		if err != nil {
+			return 0, err
+		}
+		st, err := runSweep(k, a, sender)
+		if err != nil {
+			return 0, err
+		}
+		return st.MeanUS() / 1000, nil // ms
+	}
+	var out []F8Point
+	for _, szKB := range sizesKB {
+		st40, err := meanFor(0, szKB)
+		if err != nil {
+			return nil, err
+		}
+		st231, err := meanFor(1, szKB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, F8Point{SizeKB: szKB, ST40SendMS: st40, ST231SendMS: st231})
+	}
+	return out, nil
+}
+
+// FormatFigure8 renders the two series the paper plots.
+func FormatFigure8(points []F8Point) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 8: EMBera send execution time (STi7200)")
+	fmt.Fprintf(&b, "%12s %22s %18s\n", "size (kB)", "Fetch-Reorder/ST40 (ms)", "IDCT/ST231 (ms)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12d %22.2f %18.2f\n", p.SizeKB, p.ST40SendMS, p.ST231SendMS)
+	}
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"embera/internal/core"
+	"embera/internal/mjpegapp"
+)
+
+// --- Table 1: MJPEG component execution time and memory (SMP) ---
+
+// T1Row is one line of Table 1.
+type T1Row struct {
+	Component   string
+	TimeSmallUS int64
+	TimeLargeUS int64
+	MemKB       int64
+}
+
+// Table1 runs the SMP MJPEG application on the two reference inputs and
+// reports per-component execution time and allocated memory. The paper's
+// rows (578/3000 images): Fetch 4 084/20 088 µs·10³, IDCTx 4 084/20 218,
+// Reorder 4 086/21 538; memory 8 392 / 10 850 / 13 308 kB.
+func Table1(smallFrames, largeFrames int) ([]T1Row, error) {
+	small, err := runT1(smallFrames)
+	if err != nil {
+		return nil, err
+	}
+	large, err := runT1(largeFrames)
+	if err != nil {
+		return nil, err
+	}
+	var rows []T1Row
+	for _, name := range []string{"Fetch", "IDCT_1", "IDCT_2", "IDCT_3", "Reorder"} {
+		s, l := small.Reports[name], large.Reports[name]
+		rows = append(rows, T1Row{
+			Component:   name,
+			TimeSmallUS: s.OS.ExecTimeUS,
+			TimeLargeUS: l.OS.ExecTimeUS,
+			MemKB:       s.OS.MemBytes / 1024,
+		})
+	}
+	return rows, nil
+}
+
+func runT1(frames int) (*Run, error) {
+	stream, err := RefStream(frames)
+	if err != nil {
+		return nil, err
+	}
+	return RunSMP(mjpegapp.SMPConfig(stream))
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []T1Row, smallFrames, largeFrames int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: MJPEG Components Execution Time and Memory Allocated (SMP)\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s\n", "Component",
+		fmt.Sprintf("Time%d (µs)", smallFrames), fmt.Sprintf("Time%d (µs)", largeFrames), "Mem (kB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14d %14d %10d\n", r.Component, r.TimeSmallUS, r.TimeLargeUS, r.MemKB)
+	}
+	return b.String()
+}
+
+// --- Table 2: communication operations performed (SMP) ---
+
+// T2Row is one line of Table 2.
+type T2Row struct {
+	Component string
+	SendSmall uint64
+	RecvSmall uint64
+	SendLarge uint64
+	RecvLarge uint64
+}
+
+// Table2 reports the application-level communication counters for both
+// inputs. The paper (578/3000 images): Fetch 10 386/0 and 53 982/0, IDCTx
+// 3 462/3 462 and 17 994/17 994, Reorder 0/10 386 and 0/53 982 — i.e. 18
+// messages per image; ours count 18·N exactly.
+func Table2(smallFrames, largeFrames int) ([]T2Row, error) {
+	small, err := runT1(smallFrames)
+	if err != nil {
+		return nil, err
+	}
+	large, err := runT1(largeFrames)
+	if err != nil {
+		return nil, err
+	}
+	var rows []T2Row
+	for _, name := range []string{"Fetch", "IDCT_1", "IDCT_2", "IDCT_3", "Reorder"} {
+		s, l := small.Reports[name], large.Reports[name]
+		rows = append(rows, T2Row{
+			Component: name,
+			SendSmall: s.App.SendOps, RecvSmall: s.App.RecvOps,
+			SendLarge: l.App.SendOps, RecvLarge: l.App.RecvOps,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []T2Row, smallFrames, largeFrames int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: MJPEG Components Communication Operations Performed (SMP)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %12s\n", "Component",
+		fmt.Sprintf("send%d", smallFrames), fmt.Sprintf("receive%d", smallFrames),
+		fmt.Sprintf("send%d", largeFrames), fmt.Sprintf("receive%d", largeFrames))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12d %12d %12d %12d\n",
+			r.Component, r.SendSmall, r.RecvSmall, r.SendLarge, r.RecvLarge)
+	}
+	return b.String()
+}
+
+// --- Table 3: execution time and memory on the STi7200 ---
+
+// T3Row is one line of Table 3.
+type T3Row struct {
+	Component string
+	TimeSec   float64
+	MemKB     int64
+}
+
+// Table3 runs the merged-topology MJPEG application on the STi7200 and
+// reports task_time and memory. Paper: Fetch-Reorder 1 173 s / 110 kB,
+// IDCTx 95 s / 85 kB — the shape to hold is the ~10x execution ratio and
+// the 110 vs 85 kB memory split.
+func Table3(frames int) ([]T3Row, error) {
+	stream, err := RefStream(frames)
+	if err != nil {
+		return nil, err
+	}
+	run, err := RunOS21(mjpegapp.OS21Config(stream))
+	if err != nil {
+		return nil, err
+	}
+	var rows []T3Row
+	for _, name := range []string{"Fetch-Reorder", "IDCT_1", "IDCT_2"} {
+		r := run.Reports[name]
+		rows = append(rows, T3Row{
+			Component: name,
+			TimeSec:   float64(r.OS.ExecTimeUS) / 1e6,
+			MemKB:     r.OS.MemBytes / 1024,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows in the paper's layout.
+func FormatTable3(rows []T3Row, frames int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: MJPEG Components Execution Time and Memory Allocated (STi7200, %d frames)\n", frames)
+	fmt.Fprintf(&b, "%-14s %12s %10s\n", "Component", "Time (s)", "Mem (kB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12.1f %10d\n", r.Component, r.TimeSec, r.MemKB)
+	}
+	return b.String()
+}
+
+// --- Figure 5: component structure listing ---
+
+// Figure5 assembles the SMP MJPEG application and returns IDCT_1's
+// interface listing, reproducing the paper's Figure 5.
+func Figure5() (string, error) {
+	stream, err := RefStream(2)
+	if err != nil {
+		return "", err
+	}
+	// Assembly only — the structure is observable before execution.
+	run, err := RunSMP(mjpegapp.SMPConfig(stream))
+	if err != nil {
+		return "", err
+	}
+	rep := run.Reports["IDCT_1"]
+	return core.FormatInterfaces("IDCT_1", rep.App.Interfaces), nil
+}

@@ -1,0 +1,99 @@
+package kptrace_test
+
+import (
+	"strings"
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/kptrace"
+	"embera/internal/linux"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+)
+
+// runMJPEGWithKPTrace runs the SMP MJPEG app with the kernel tracer attached.
+func runMJPEGWithKPTrace(t *testing.T, limit int) (*kptrace.Tracer, *mjpegapp.App) {
+	t.Helper()
+	stream, err := mjpeg.SynthStream(64, 48, 4, mjpeg.EncodeOptions{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	tr := kptrace.Attach(sys, limit)
+	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
+	app, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("app did not finish")
+	}
+	return tr, app
+}
+
+func TestKernelTraceSeesThreadsAndCopies(t *testing.T) {
+	tr, _ := runMJPEGWithKPTrace(t, 0)
+	sums := tr.Summarize()
+	if len(sums) != 5 {
+		t.Fatalf("TIDs = %d, want 5 (one per component thread)", len(sums))
+	}
+	copies := 0
+	for _, s := range sums {
+		if !s.Created || !s.Exited {
+			t.Errorf("TID %d lifecycle incomplete", s.TID)
+		}
+		copies += s.Copies
+	}
+	// 4 frames x 18 groups from Fetch + 18 results from IDCTs = 144 copies.
+	if copies != 4*18*2 {
+		t.Errorf("kernel saw %d copies, want %d", copies, 4*18*2)
+	}
+}
+
+func TestKernelTraceHasNoComponentMapping(t *testing.T) {
+	// The paper's point about low-level tools: "there is no mapping between
+	// application operations and lower-level observation data". The kernel
+	// trace must contain TIDs and byte counts but no component or interface
+	// names — while EMBera's observation of the same run does.
+	tr, app := runMJPEGWithKPTrace(t, 0)
+	table := kptrace.Format(tr.Summarize())
+	for _, name := range []string{"Fetch", "IDCT", "Reorder", "fetchIdct", "idctReorder"} {
+		if strings.Contains(table, name) {
+			t.Errorf("kernel-level output leaked application name %q", name)
+		}
+	}
+	// Same run, EMBera level: full mapping available.
+	rep := app.Fetch.Snapshot(core.LevelMiddleware)
+	if rep.Middleware.Send["fetchIdct1"].Ops == 0 {
+		t.Error("EMBera observation lost the interface mapping")
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr, _ := runMJPEGWithKPTrace(t, 7)
+	if tr.Len() != 7 {
+		t.Errorf("retained %d events with limit 7", tr.Len())
+	}
+}
+
+func TestTracerEventsCopy(t *testing.T) {
+	tr, _ := runMJPEGWithKPTrace(t, 0)
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	evs[0].TID = -99
+	if tr.Events()[0].TID == -99 {
+		t.Error("Events returned an aliased slice")
+	}
+}

@@ -1,0 +1,280 @@
+// Package linux is the thin operating-system layer of the SMP platform: the
+// subset of Linux the paper's EMBera implementation relies on. An EMBera
+// application is "a Linux user process"; each component is "a data structure
+// and a POSIX thread". The observation functions of §4.2 use exactly three
+// OS facilities, all provided here:
+//
+//   - gettimeofday         -> System.GetTimeOfDay
+//   - pthread_attr_getstacksize -> Thread.StackSize
+//   - per-structure sizeof accounting -> Process.Mem (tagged allocations)
+//
+// Threads execute as processes of the underlying discrete-event kernel and
+// are bound to cores of the smp.Machine, which supplies compute and copy
+// costs.
+package linux
+
+import (
+	"fmt"
+	"sort"
+
+	"embera/internal/sim"
+	"embera/internal/smp"
+)
+
+// DefaultStackSize is the stack reserved for each new thread. The paper's
+// measurement of the default Linux thread stack on the evaluation platform
+// is 8392 kB (Table 1, Fetch component = bare stack).
+const DefaultStackSize int64 = 8392 * 1024
+
+// ThreadSpawnCost is the virtual time charged for thread creation
+// (clone + stack setup), a small constant in the tens of microseconds.
+const ThreadSpawnCost = 25 * sim.Microsecond
+
+// KernelEvent is a raw kernel-level trace record, the granularity at which
+// tools like KPTrace observe the system: thread life-cycle and memory
+// traffic identified by TID — with no notion of application components.
+type KernelEvent struct {
+	TimeNS int64
+	Kind   string // "thread_create", "thread_start", "thread_exit", "copy"
+	TID    int
+	Arg    int64 // stack size for life-cycle events, byte count for copies
+}
+
+// System is a booted Linux instance on an SMP machine.
+type System struct {
+	M *smp.Machine
+	K *sim.Kernel
+
+	// KHook, when non-nil, receives kernel-level events (the seam
+	// internal/kptrace attaches to).
+	KHook func(KernelEvent)
+
+	nextPID int
+	nextTID int
+	procs   []*Process
+}
+
+func (s *System) kevent(kind string, tid int, arg int64) {
+	if s.KHook != nil {
+		s.KHook(KernelEvent{TimeNS: int64(s.K.Now()), Kind: kind, TID: tid, Arg: arg})
+	}
+}
+
+// NewSystem boots Linux on machine m.
+func NewSystem(m *smp.Machine) *System {
+	return &System{M: m, K: m.K, nextPID: 1, nextTID: 1}
+}
+
+// GetTimeOfDay returns the wall-clock time since boot with microsecond
+// resolution, exactly like gettimeofday(2): sub-microsecond information is
+// truncated.
+func (s *System) GetTimeOfDay() sim.Duration {
+	us := int64(s.K.Now()) / int64(sim.Microsecond)
+	return sim.Duration(us) * sim.Microsecond
+}
+
+// NewProcess creates a user process (an EMBera application container).
+func (s *System) NewProcess(name string) *Process {
+	p := &Process{
+		sys:  s,
+		PID:  s.nextPID,
+		Name: name,
+		Mem:  NewMemAccount(),
+	}
+	s.nextPID++
+	s.procs = append(s.procs, p)
+	return p
+}
+
+// Processes returns all processes created so far.
+func (s *System) Processes() []*Process { return s.procs }
+
+// Process is a Linux user process: an address space with tagged memory
+// accounting and a set of threads.
+type Process struct {
+	sys     *System
+	PID     int
+	Name    string
+	Mem     *MemAccount
+	threads []*Thread
+}
+
+// ThreadAttr configures thread creation, mirroring pthread_attr_t.
+type ThreadAttr struct {
+	// StackSize in bytes; 0 selects DefaultStackSize.
+	StackSize int64
+	// Core pins the thread to a core index; -1 lets the system place it
+	// round-robin across NUMA nodes.
+	Core int
+}
+
+// Thread is a POSIX thread: a kernel-scheduled execution flow bound to a
+// core.
+type Thread struct {
+	TID     int
+	Proc    *Process
+	Core    *smp.Core
+	SimProc *sim.Proc
+
+	stackSize int64
+	started   sim.Time
+	finished  sim.Time
+	done      bool
+}
+
+// CreateThread starts fn on a new thread. Creation charges ThreadSpawnCost
+// to the creating flow only when called from inside a simulated process; at
+// assembly time (kernel context) the cost is simply scheduled.
+func (p *Process) CreateThread(name string, attr ThreadAttr, fn func(t *Thread)) (*Thread, error) {
+	stack := attr.StackSize
+	if stack == 0 {
+		stack = DefaultStackSize
+	}
+	if stack < 16*1024 {
+		return nil, fmt.Errorf("linux: stack size %d below minimum", stack)
+	}
+	var core *smp.Core
+	if attr.Core >= 0 {
+		if attr.Core >= p.sys.M.NumCores() {
+			return nil, fmt.Errorf("linux: core %d out of range", attr.Core)
+		}
+		core = p.sys.M.Core(attr.Core)
+	} else {
+		core = p.sys.M.NextCore()
+	}
+	if err := p.sys.M.Alloc(core.Node, stack); err != nil {
+		return nil, fmt.Errorf("linux: thread stack: %w", err)
+	}
+	p.Mem.Alloc("stack:"+name, stack)
+
+	t := &Thread{
+		TID:       p.sys.nextTID,
+		Proc:      p,
+		Core:      core,
+		stackSize: stack,
+	}
+	p.sys.nextTID++
+	p.sys.kevent("thread_create", t.TID, stack)
+	t.SimProc = p.sys.K.SpawnAt(ThreadSpawnCost, name, func(sp *sim.Proc) {
+		t.started = sp.Now()
+		p.sys.kevent("thread_start", t.TID, 0)
+		// Record termination even when the thread is killed (the unwind
+		// passes through as a panic) so OS-level views stay consistent.
+		defer func() {
+			t.finished = sp.Now()
+			t.done = true
+			p.sys.kevent("thread_exit", t.TID, 0)
+			if r := recover(); r != nil {
+				panic(r)
+			}
+		}()
+		fn(t)
+	})
+	p.threads = append(p.threads, t)
+	return t, nil
+}
+
+// Threads returns the threads created in this process.
+func (p *Process) Threads() []*Thread { return p.threads }
+
+// System returns the owning system.
+func (p *Process) System() *System { return p.sys }
+
+// StackSize mirrors pthread_attr_getstacksize for this thread.
+func (t *Thread) StackSize() int64 { return t.stackSize }
+
+// StartedAt returns the virtual time the thread began executing.
+func (t *Thread) StartedAt() sim.Time { return t.started }
+
+// FinishedAt returns the virtual time the thread function returned; valid
+// only once Done reports true.
+func (t *Thread) FinishedAt() sim.Time { return t.finished }
+
+// Done reports whether the thread function has returned.
+func (t *Thread) Done() bool { return t.done }
+
+// Compute charges cycles of work on the thread's core. It must be called
+// from the thread's own flow. Threads sharing a core serialize: the core's
+// Exec resource admits one execution interval at a time.
+func (t *Thread) Compute(cycles int64) {
+	t.ComputeFor(t.Core.CycleCost(cycles))
+}
+
+// ComputeFor charges a fixed duration of work on the thread's core.
+func (t *Thread) ComputeFor(d sim.Duration) {
+	t.Core.Busy += d
+	t.Core.Exec.Use(t.SimProc, d)
+}
+
+// CopyTo charges the NUMA cost of copying n bytes from this thread's node to
+// dstNode and feeds the streamed bytes through the core's cache model. The
+// copy occupies the core like any other execution interval.
+func (t *Thread) CopyTo(dstNode int, n int, addr uint64) {
+	if t.Core.Cache != nil {
+		t.Core.Cache.Touch(addr, n)
+	}
+	t.Core.Exec.Use(t.SimProc, t.Proc.sys.M.CopyCost(t.Core.Node, dstNode, n))
+	t.Proc.sys.kevent("copy", t.TID, int64(n))
+}
+
+// MemAccount tracks tagged allocations inside one address space — the
+// mechanism behind the paper's "memory allocated for the component thread
+// and ... for all the component provided interfaces and related structures".
+type MemAccount struct {
+	byTag map[string]int64
+	total int64
+}
+
+// NewMemAccount returns an empty account.
+func NewMemAccount() *MemAccount {
+	return &MemAccount{byTag: make(map[string]int64)}
+}
+
+// Alloc records n bytes against tag.
+func (a *MemAccount) Alloc(tag string, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("linux: negative allocation %d for %q", n, tag))
+	}
+	a.byTag[tag] += n
+	a.total += n
+}
+
+// Free releases n bytes from tag; freeing more than recorded panics.
+func (a *MemAccount) Free(tag string, n int64) {
+	if a.byTag[tag] < n {
+		panic(fmt.Sprintf("linux: freeing %d from %q with only %d recorded", n, tag, a.byTag[tag]))
+	}
+	a.byTag[tag] -= n
+	a.total -= n
+	if a.byTag[tag] == 0 {
+		delete(a.byTag, tag)
+	}
+}
+
+// Total returns the sum of all live tagged allocations.
+func (a *MemAccount) Total() int64 { return a.total }
+
+// Tagged returns the live allocation recorded for one tag.
+func (a *MemAccount) Tagged(tag string) int64 { return a.byTag[tag] }
+
+// TotalPrefix sums all tags with the given prefix — e.g. every
+// "iface:Reorder:" mailbox of one component.
+func (a *MemAccount) TotalPrefix(prefix string) int64 {
+	var sum int64
+	for tag, n := range a.byTag {
+		if len(tag) >= len(prefix) && tag[:len(prefix)] == prefix {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// Tags returns all live tags in sorted order.
+func (a *MemAccount) Tags() []string {
+	tags := make([]string, 0, len(a.byTag))
+	for tag := range a.byTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	return tags
+}

@@ -1,0 +1,287 @@
+package linux
+
+import (
+	"testing"
+
+	"embera/internal/sim"
+	"embera/internal/smp"
+)
+
+func newSys() *System {
+	k := sim.NewKernel()
+	return NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+}
+
+func TestGetTimeOfDayMicrosecondResolution(t *testing.T) {
+	s := newSys()
+	s.K.At(1234567, func() { // 1.234567 ms
+		got := s.GetTimeOfDay()
+		if got != 1234*sim.Microsecond {
+			t.Errorf("GetTimeOfDay = %d ns, want 1234000", int64(got))
+		}
+	})
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateThreadDefaultStack(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	th, err := p.CreateThread("worker", ThreadAttr{Core: -1}, func(t *Thread) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.StackSize() != DefaultStackSize {
+		t.Errorf("stack = %d, want %d", th.StackSize(), DefaultStackSize)
+	}
+	if DefaultStackSize != 8392*1024 {
+		t.Errorf("DefaultStackSize = %d, want the paper's 8392 kB", DefaultStackSize)
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateThreadAccountsStack(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	if _, err := p.CreateThread("w", ThreadAttr{Core: 0}, func(t *Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mem.Tagged("stack:w"); got != DefaultStackSize {
+		t.Errorf("accounted stack = %d", got)
+	}
+	node := s.M.NodeOf(0)
+	if s.M.Node(node).MemUsed != DefaultStackSize {
+		t.Errorf("node memory used = %d", s.M.Node(node).MemUsed)
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateThreadRejectsTinyStack(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	if _, err := p.CreateThread("w", ThreadAttr{StackSize: 1024, Core: 0}, func(t *Thread) {}); err == nil {
+		t.Error("tiny stack accepted")
+	}
+}
+
+func TestCreateThreadRejectsBadCore(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	if _, err := p.CreateThread("w", ThreadAttr{Core: 99}, func(t *Thread) {}); err == nil {
+		t.Error("bad core accepted")
+	}
+}
+
+func TestThreadLifecycleTimes(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	th, err := p.CreateThread("w", ThreadAttr{Core: 0}, func(t *Thread) {
+		t.ComputeFor(500 * sim.Microsecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !th.Done() {
+		t.Fatal("thread not done after Run")
+	}
+	if th.StartedAt() != sim.Time(ThreadSpawnCost) {
+		t.Errorf("started at %d, want %d", th.StartedAt(), ThreadSpawnCost)
+	}
+	if got := th.FinishedAt() - th.StartedAt(); got != sim.Time(500*sim.Microsecond) {
+		t.Errorf("elapsed = %d", got)
+	}
+}
+
+func TestComputeChargesCoreCycles(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	_, err := p.CreateThread("w", ThreadAttr{Core: 3}, func(t *Thread) {
+		t.Compute(2_200_000) // 1 ms at 2.2 GHz
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.M.Core(3).Busy; got != sim.Millisecond {
+		t.Errorf("core busy = %v, want 1ms", got)
+	}
+}
+
+func TestCopyToChargesNUMACostAndCache(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	var elapsed sim.Duration
+	_, err := p.CreateThread("w", ThreadAttr{Core: 0}, func(t *Thread) {
+		start := t.SimProc.Now()
+		t.CopyTo(7, 64*1024, 0x1000)
+		elapsed = sim.Duration(t.SimProc.Now() - start)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := s.M.CopyCost(0, 7, 64*1024)
+	if elapsed != want {
+		t.Errorf("copy elapsed = %v, want %v", elapsed, want)
+	}
+	_, misses := s.M.Core(0).Cache.Stats()
+	if misses == 0 {
+		t.Error("streaming copy produced no cache misses")
+	}
+}
+
+func TestProcessBookkeeping(t *testing.T) {
+	s := newSys()
+	p1 := s.NewProcess("a")
+	p2 := s.NewProcess("b")
+	if p1.PID == p2.PID {
+		t.Error("duplicate PIDs")
+	}
+	if len(s.Processes()) != 2 {
+		t.Errorf("processes = %d", len(s.Processes()))
+	}
+	if _, err := p1.CreateThread("t1", ThreadAttr{Core: 0}, func(t *Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Threads()) != 1 || len(p2.Threads()) != 0 {
+		t.Error("thread lists wrong")
+	}
+	if p1.System() != s {
+		t.Error("System() mismatch")
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAccountTagging(t *testing.T) {
+	a := NewMemAccount()
+	a.Alloc("stack:x", 100)
+	a.Alloc("iface:x:in", 50)
+	a.Alloc("iface:x:obs", 25)
+	if a.Total() != 175 {
+		t.Errorf("total = %d", a.Total())
+	}
+	if a.Tagged("iface:x:in") != 50 {
+		t.Errorf("tagged = %d", a.Tagged("iface:x:in"))
+	}
+	if a.TotalPrefix("iface:x:") != 75 {
+		t.Errorf("prefix total = %d", a.TotalPrefix("iface:x:"))
+	}
+	a.Free("iface:x:obs", 25)
+	if a.TotalPrefix("iface:x:") != 50 {
+		t.Errorf("prefix total after free = %d", a.TotalPrefix("iface:x:"))
+	}
+	tags := a.Tags()
+	if len(tags) != 2 || tags[0] != "iface:x:in" || tags[1] != "stack:x" {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestMemAccountOverfreePanics(t *testing.T) {
+	a := NewMemAccount()
+	a.Alloc("x", 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-free did not panic")
+		}
+	}()
+	a.Free("x", 11)
+}
+
+func TestMemAccountNegativeAllocPanics(t *testing.T) {
+	a := NewMemAccount()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative alloc did not panic")
+		}
+	}()
+	a.Alloc("x", -1)
+}
+
+func TestThreadsShareCoreSerialized(t *testing.T) {
+	// Two threads pinned to one core must interleave, not overlap: total
+	// wall time equals the sum of their compute intervals.
+	s := newSys()
+	p := s.NewProcess("app")
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		if _, err := p.CreateThread("w", ThreadAttr{Core: 0}, func(t *Thread) {
+			t.ComputeFor(10 * sim.Millisecond)
+			done = append(done, t.SimProc.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Time(ThreadSpawnCost)
+	if done[0] != base+sim.Time(10*sim.Millisecond) ||
+		done[1] != base+sim.Time(20*sim.Millisecond) {
+		t.Errorf("completions = %v, want serialized 10ms/20ms after spawn", done)
+	}
+}
+
+func TestThreadsOnDistinctCoresOverlap(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		core := i
+		if _, err := p.CreateThread("w", ThreadAttr{Core: core}, func(t *Thread) {
+			t.ComputeFor(10 * sim.Millisecond)
+			done = append(done, t.SimProc.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Time(ThreadSpawnCost) + sim.Time(10*sim.Millisecond)
+	if done[0] != base || done[1] != base {
+		t.Errorf("completions = %v, want both at %d (parallel cores)", done, base)
+	}
+}
+
+func TestKilledThreadRecordsExit(t *testing.T) {
+	s := newSys()
+	p := s.NewProcess("app")
+	var exits int
+	s.KHook = func(ev KernelEvent) {
+		if ev.Kind == "thread_exit" {
+			exits++
+		}
+	}
+	th, err := p.CreateThread("spin", ThreadAttr{Core: 0}, func(t *Thread) {
+		for {
+			t.ComputeFor(sim.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.K.At(10*sim.Millisecond, func() { s.K.Kill(th.SimProc) })
+	if err := s.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !th.Done() {
+		t.Error("killed thread not marked done")
+	}
+	if exits != 1 {
+		t.Errorf("thread_exit events = %d, want 1", exits)
+	}
+}

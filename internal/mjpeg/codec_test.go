@@ -1,0 +1,494 @@
+package mjpeg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// --- bit I/O ---
+
+func TestBitWriterStuffing(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0xFF, 8)
+	w.flush()
+	if !bytes.Equal(w.out, []byte{0xFF, 0x00}) {
+		t.Errorf("out = % X, want FF 00", w.out)
+	}
+}
+
+func TestBitReaderUnstuffing(t *testing.T) {
+	r := newBitReader([]byte{0xFF, 0x00, 0xAB})
+	v, err := r.readBits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xFFAB {
+		t.Errorf("v = %04X, want FFAB", v)
+	}
+}
+
+func TestBitReaderStopsAtMarker(t *testing.T) {
+	r := newBitReader([]byte{0x12, 0xFF, 0xD9})
+	if _, err := r.readBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.readBits(8); err != errScanTruncated {
+		t.Errorf("err = %v, want errScanTruncated", err)
+	}
+}
+
+func TestBitRoundTripProperty(t *testing.T) {
+	f := func(words []uint16) bool {
+		if len(words) > 64 {
+			words = words[:64]
+		}
+		w := &bitWriter{}
+		for _, v := range words {
+			w.writeBits(int(v), 16)
+		}
+		w.flush()
+		r := newBitReader(w.out)
+		for _, v := range words {
+			got, err := r.readBits(16)
+			if err != nil || got != int(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Huffman ---
+
+func TestHuffmanEncodeDecodeAllSymbols(t *testing.T) {
+	for _, spec := range []huffSpec{stdDCLuma, stdDCChroma, stdACLuma, stdACChroma} {
+		enc, err := newHuffEncoder(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := newHuffDecoder(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &bitWriter{}
+		for _, sym := range spec.values {
+			if err := enc.emit(w, sym); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.flush()
+		r := newBitReader(w.out)
+		for _, sym := range spec.values {
+			got, err := dec.decode(r)
+			if err != nil {
+				t.Fatalf("decode of 0x%02X: %v", sym, err)
+			}
+			if got != sym {
+				t.Fatalf("decoded 0x%02X, want 0x%02X", got, sym)
+			}
+		}
+	}
+}
+
+func TestHuffmanRejectsUnknownSymbol(t *testing.T) {
+	enc, _ := newHuffEncoder(stdDCLuma)
+	w := &bitWriter{}
+	if err := enc.emit(w, 0xEE); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestHuffmanRejectsBadSpecs(t *testing.T) {
+	over := huffSpec{counts: [16]byte{3}, values: []byte{1, 2, 3}} // 3 codes of length 1
+	if _, err := newHuffDecoder(over); err == nil {
+		t.Error("over-subscribed table accepted by decoder")
+	}
+	short := huffSpec{counts: [16]byte{0, 2}, values: []byte{1}}
+	if _, err := newHuffDecoder(short); err == nil {
+		t.Error("short value list accepted by decoder")
+	}
+	if _, err := newHuffEncoder(short); err == nil {
+		t.Error("short value list accepted by encoder")
+	}
+	dup := huffSpec{counts: [16]byte{0, 2}, values: []byte{1, 1}}
+	if _, err := newHuffEncoder(dup); err == nil {
+		t.Error("duplicate symbol accepted by encoder")
+	}
+}
+
+func TestMagnitudeExtendRoundTrip(t *testing.T) {
+	for v := -2047; v <= 2047; v++ {
+		n := bitLength(v)
+		if v == 0 {
+			if n != 0 {
+				t.Fatalf("bitLength(0) = %d", n)
+			}
+			continue
+		}
+		got := extend(encodeMagnitude(v, n), n)
+		if got != v {
+			t.Fatalf("round trip of %d via category %d gave %d", v, n, got)
+		}
+	}
+}
+
+// --- DCT ---
+
+func TestDCTInverseRecovers(t *testing.T) {
+	var orig [64]int32
+	for i := range orig {
+		orig[i] = int32((i*37)%256 - 128)
+	}
+	block := orig
+	fdct(&block)
+	idct(&block)
+	for i := range orig {
+		d := block[i] - orig[i]
+		if d < -1 || d > 1 {
+			t.Fatalf("sample %d: %d -> %d (off by %d)", i, orig[i], block[i], d)
+		}
+	}
+}
+
+func TestDCTFlatBlockIsDCOnly(t *testing.T) {
+	var block [64]int32
+	for i := range block {
+		block[i] = 50
+	}
+	fdct(&block)
+	if block[0] != 400 { // DC = 8 * mean
+		t.Errorf("DC = %d, want 400", block[0])
+	}
+	for i := 1; i < 64; i++ {
+		if block[i] != 0 {
+			t.Errorf("AC[%d] = %d, want 0", i, block[i])
+		}
+	}
+}
+
+func TestDCTRoundTripProperty(t *testing.T) {
+	f := func(seed [64]int8) bool {
+		var orig, block [64]int32
+		for i := range seed {
+			orig[i] = int32(seed[i])
+			block[i] = orig[i]
+		}
+		fdct(&block)
+		idct(&block)
+		for i := range orig {
+			d := block[i] - orig[i]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- zigzag ---
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := map[int]bool{}
+	for _, v := range zigzag {
+		if v < 0 || v > 63 || seen[v] {
+			t.Fatalf("zigzag not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+	for raster, zz := range unzigzag {
+		if zigzag[zz] != raster {
+			t.Fatalf("unzigzag inverse broken at %d", raster)
+		}
+	}
+}
+
+func TestZigzagStartsCorrectly(t *testing.T) {
+	// First entries of the standard zigzag: DC, then (0,1), (1,0), (2,0)...
+	want := []int{0, 1, 8, 16, 9, 2}
+	for i, w := range want {
+		if zigzag[i] != w {
+			t.Fatalf("zigzag[%d] = %d, want %d", i, zigzag[i], w)
+		}
+	}
+}
+
+// --- quality scaling ---
+
+func TestScaledQuantBounds(t *testing.T) {
+	for _, q := range []int{-5, 1, 25, 50, 75, 100, 200} {
+		tab := scaledQuant(&stdLumaQuant, q)
+		for i, v := range tab {
+			if v < 1 || v > 255 {
+				t.Fatalf("q=%d entry %d = %d outside [1,255]", q, i, v)
+			}
+		}
+	}
+	// Quality 50 must reproduce the base table exactly.
+	tab := scaledQuant(&stdLumaQuant, 50)
+	for i := range tab {
+		if tab[i] != stdLumaQuant[i] {
+			t.Fatalf("q=50 altered entry %d", i)
+		}
+	}
+	// Higher quality => finer quantization.
+	q90 := scaledQuant(&stdLumaQuant, 90)
+	q10 := scaledQuant(&stdLumaQuant, 10)
+	if q90[10] >= q10[10] {
+		t.Error("quality scaling not monotone")
+	}
+}
+
+// --- color ---
+
+func TestColorConversionRoundTrip(t *testing.T) {
+	worst := 0
+	for r := 0; r < 256; r += 17 {
+		for g := 0; g < 256; g += 17 {
+			for b := 0; b < 256; b += 17 {
+				y, cb, cr := rgbToYCbCr(byte(r), byte(g), byte(b))
+				r2, g2, b2 := ycbcrToRGB(y, cb, cr)
+				for _, d := range []int{r - int(r2), g - int(g2), b - int(b2)} {
+					if d < 0 {
+						d = -d
+					}
+					if d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+	}
+	if worst > 2 {
+		t.Errorf("worst RGB->YCbCr->RGB error = %d, want <= 2", worst)
+	}
+}
+
+func TestGrayOfGrayIsIdentity(t *testing.T) {
+	for v := 0; v < 256; v += 5 {
+		if got := rgbToY(byte(v), byte(v), byte(v)); int(got) != v {
+			t.Errorf("luma of gray %d = %d", v, got)
+		}
+	}
+}
+
+// --- encode/decode round trip ---
+
+func roundTrip(t *testing.T, img *Image, opts EncodeOptions, maxErr int) *Image {
+	t.Helper()
+	data, err := Encode(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != img.W || got.H != img.H {
+		t.Fatalf("decoded %dx%d, want %dx%d", got.W, got.H, img.W, img.H)
+	}
+	if d := MaxAbsDiff(img, got); d > maxErr {
+		t.Errorf("max abs pixel error %d > %d", d, maxErr)
+	}
+	return got
+}
+
+func TestRoundTripGray(t *testing.T) {
+	img := NewGray(64, 48)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			img.Pix[y*img.W+x] = byte((x*4 + y*2) & 0xFF)
+		}
+	}
+	roundTrip(t, img, EncodeOptions{Quality: 90}, 16)
+}
+
+func TestRoundTrip444(t *testing.T) {
+	roundTrip(t, SynthFrame(64, 48, 3), EncodeOptions{Quality: 90}, 48)
+}
+
+// smoothFrame is a gradient-only image: chroma subsampling on smooth
+// content must stay accurate. (SynthFrame's inverted square has hard chroma
+// edges where 4:2:0 legitimately loses ~half the dynamic range.)
+func smoothFrame(w, h int) *Image {
+	img := NewRGB(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := 3 * (y*w + x)
+			img.Pix[i] = byte(x * 255 / max(1, w-1))
+			img.Pix[i+1] = byte(y * 255 / max(1, h-1))
+			img.Pix[i+2] = byte((x + y) * 255 / max(1, w+h-2))
+		}
+	}
+	return img
+}
+
+func TestRoundTrip420(t *testing.T) {
+	roundTrip(t, smoothFrame(64, 48), EncodeOptions{Quality: 90, Subsample420: true}, 32)
+}
+
+func TestRoundTripNonMultipleOf8(t *testing.T) {
+	roundTrip(t, SynthFrame(37, 29, 1), EncodeOptions{Quality: 95}, 64)
+	roundTrip(t, smoothFrame(17, 50), EncodeOptions{Quality: 95, Subsample420: true}, 32)
+}
+
+func TestRoundTripWithRestartMarkers(t *testing.T) {
+	img := SynthFrame(64, 64, 5)
+	plain, err := Encode(img, EncodeOptions{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst, err := Encode(img, EncodeOptions{Quality: 85, RestartInterval: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(plain, rst) {
+		t.Error("restart markers changed nothing")
+	}
+	a, err := Decode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("restart-marker stream decodes differently")
+	}
+}
+
+func TestQualityAffectsSizeAndFidelity(t *testing.T) {
+	img := SynthFrame(64, 64, 7)
+	lo, err := Encode(img, EncodeOptions{Quality: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Encode(img, EncodeOptions{Quality: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lo) >= len(hi) {
+		t.Errorf("q10 size %d >= q95 size %d", len(lo), len(hi))
+	}
+	li, err := Decode(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi2, err := Decode(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(img, hi2) >= MaxAbsDiff(img, li) {
+		t.Error("higher quality did not reduce error")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(nil, EncodeOptions{}); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := Encode(&Image{W: 0, H: 5}, EncodeOptions{}); err == nil {
+		t.Error("empty image accepted")
+	}
+	if _, err := Encode(&Image{W: 70000, H: 5, Pix: make([]byte, 3*70000*5)}, EncodeOptions{}); err == nil {
+		t.Error("oversize image accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x00, 0x01},
+		{0xFF, 0xD8},             // SOI only
+		{0xFF, 0xD8, 0xFF, 0xD9}, // SOI+EOI, no frame
+		{0xFF, 0xD8, 0xFF, 0xC2, 0x00, 0x04, 0, 0}, // progressive SOF
+		{0xFF, 0xD8, 0xFF, 0xDB, 0x00, 0x02},       // empty DQT
+		{0xFF, 0xD8, 0xFF, 0xC0, 0x00, 0x03, 0x08}, // truncated SOF
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("garbage case %d decoded", i)
+		}
+	}
+}
+
+func TestDecodeTruncatedScan(t *testing.T) {
+	data, err := Encode(SynthFrame(32, 32, 0), EncodeOptions{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Error("half a frame decoded")
+	}
+}
+
+// --- image ---
+
+func TestImageAccessors(t *testing.T) {
+	img := NewRGB(4, 3)
+	img.SetRGB(1, 2, 10, 20, 30)
+	r, g, b := img.At(1, 2)
+	if r != 10 || g != 20 || b != 30 {
+		t.Error("RGB round trip failed")
+	}
+	gray := NewGray(4, 3)
+	gray.SetRGB(0, 0, 128, 128, 128)
+	r, g, b = gray.At(0, 0)
+	if r != 128 || g != r || b != r {
+		t.Error("gray accessors wrong")
+	}
+}
+
+func TestImageBoundsPanic(t *testing.T) {
+	img := NewRGB(4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds At did not panic")
+		}
+	}()
+	img.At(4, 0)
+}
+
+func TestMaxAbsDiffMismatchedSizes(t *testing.T) {
+	if MaxAbsDiff(NewGray(2, 2), NewGray(3, 3)) != 255 {
+		t.Error("size mismatch should report 255")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	img := SynthFrame(48, 48, 1)
+	if !math.IsInf(PSNR(img, img), 1) {
+		t.Error("identical images should have infinite PSNR")
+	}
+	if PSNR(img, NewRGB(8, 8)) != 0 {
+		t.Error("mismatched sizes should report 0")
+	}
+	// Quality ordering: higher JPEG quality gives higher PSNR.
+	psnrAt := func(q int) float64 {
+		data, err := Encode(img, EncodeOptions{Quality: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PSNR(img, got)
+	}
+	lo, hi := psnrAt(20), psnrAt(95)
+	if hi <= lo {
+		t.Errorf("PSNR not monotone in quality: q20=%.1f q95=%.1f", lo, hi)
+	}
+	// Sanity range for a decent codec at q95 on synthetic content.
+	if hi < 30 {
+		t.Errorf("q95 PSNR = %.1f dB, implausibly low", hi)
+	}
+}

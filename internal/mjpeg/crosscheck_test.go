@@ -1,0 +1,124 @@
+package mjpeg
+
+import (
+	"bytes"
+	"image"
+	"image/jpeg"
+	"testing"
+)
+
+// Cross-validation against the Go standard library's independent JPEG
+// implementation. Our encoder's output must be readable by image/jpeg, and
+// both decoders must agree closely on the same bitstream; likewise our
+// decoder must read image/jpeg's encoder output. This pins our from-scratch
+// codec to the JPEG standard rather than merely to itself.
+
+func stdlibDecode(t *testing.T, data []byte) *Image {
+	t.Helper()
+	m, err := jpeg.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stdlib decode: %v", err)
+	}
+	b := m.Bounds()
+	out := NewRGB(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r, g, bl, _ := m.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.SetRGB(x, y, byte(r>>8), byte(g>>8), byte(bl>>8))
+		}
+	}
+	return out
+}
+
+func TestStdlibReadsOurOutput444(t *testing.T) {
+	img := SynthFrame(64, 48, 9)
+	data, err := Encode(img, EncodeOptions{Quality: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theirs := stdlibDecode(t, data)
+	if d := MaxAbsDiff(ours, theirs); d > 4 {
+		t.Errorf("our decoder vs stdlib on our 4:4:4 stream: max diff %d", d)
+	}
+}
+
+func TestStdlibReadsOurOutput420(t *testing.T) {
+	img := SynthFrame(64, 48, 9)
+	data, err := Encode(img, EncodeOptions{Quality: 90, Subsample420: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theirs := stdlibDecode(t, data)
+	// Upsampling filters may differ between implementations; on this content
+	// they should still agree within a small bound almost everywhere.
+	if d := MaxAbsDiff(ours, theirs); d > 48 {
+		t.Errorf("our decoder vs stdlib on our 4:2:0 stream: max diff %d", d)
+	}
+}
+
+func TestStdlibReadsOurOutputGray(t *testing.T) {
+	img := NewGray(48, 32)
+	for i := range img.Pix {
+		img.Pix[i] = byte(i * 7)
+	}
+	data, err := Encode(img, EncodeOptions{Quality: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theirs := stdlibDecode(t, data)
+	if d := MaxAbsDiff(ours, theirs); d > 2 {
+		t.Errorf("our decoder vs stdlib on grayscale: max diff %d", d)
+	}
+}
+
+func TestWeReadStdlibOutput(t *testing.T) {
+	// Encode with the standard library, decode with ours.
+	src := image.NewRGBA(image.Rect(0, 0, 64, 48))
+	ref := SynthFrame(64, 48, 4)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			r, g, b := ref.At(x, y)
+			i := src.PixOffset(x, y)
+			src.Pix[i], src.Pix[i+1], src.Pix[i+2], src.Pix[i+3] = r, g, b, 255
+		}
+	}
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, src, &jpeg.Options{Quality: 90}); err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("our decoder rejected stdlib output: %v", err)
+	}
+	theirs := stdlibDecode(t, buf.Bytes())
+	if d := MaxAbsDiff(ours, theirs); d > 48 {
+		t.Errorf("decoders disagree on stdlib stream: max diff %d", d)
+	}
+}
+
+func TestStdlibReadsRestartMarkers(t *testing.T) {
+	data, err := Encode(SynthFrame(64, 64, 2), EncodeOptions{Quality: 85, RestartInterval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theirs := stdlibDecode(t, data)
+	ours, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(ours, theirs); d > 4 {
+		t.Errorf("restart-marker stream disagreement: max diff %d", d)
+	}
+}

@@ -1,0 +1,87 @@
+package mjpeg
+
+import "math"
+
+// 8x8 forward and inverse discrete cosine transforms. A straightforward
+// separable float implementation driven by a precomputed basis matrix: clear,
+// exactly invertible to within rounding, and fast enough for the simulated
+// workloads (virtual-time compute cost is charged by the platform models,
+// not by host CPU time).
+
+// dctBasis[u][x] = C(u)/2 * cos((2x+1)uπ/16)
+var dctBasis [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			dctBasis[u][x] = cu / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+}
+
+// fdct transforms an 8x8 spatial block (level-shifted samples, raster order)
+// into DCT coefficients, in place.
+func fdct(block *[64]int32) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += float64(block[y*8+x]) * dctBasis[u][x]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * dctBasis[v][y]
+			}
+			block[v*8+u] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// idct transforms an 8x8 coefficient block back to spatial samples, in
+// place.
+func idct(block *[64]int32) {
+	var tmp [64]float64
+	// Columns (inverse).
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += float64(block[v*8+u]) * dctBasis[v][y]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Rows (inverse).
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += tmp[y*8+u] * dctBasis[u][x]
+			}
+			block[y*8+x] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// clamp8 clips v to the unsigned 8-bit sample range.
+func clamp8(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

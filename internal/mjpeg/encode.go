@@ -1,0 +1,375 @@
+package mjpeg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EncodeOptions configures the baseline encoder.
+type EncodeOptions struct {
+	// Quality in [1,100]; 0 selects 75.
+	Quality int
+	// Subsample420 emits 4:2:0 chroma (ignored for grayscale input).
+	Subsample420 bool
+	// RestartInterval inserts RSTn markers every N MCUs (0 = none).
+	RestartInterval int
+}
+
+// Encode compresses img into a baseline JFIF byte stream.
+func Encode(img *Image, opts EncodeOptions) ([]byte, error) {
+	if img == nil || img.W <= 0 || img.H <= 0 {
+		return nil, errors.New("mjpeg: nil or empty image")
+	}
+	if img.W > 0xFFFF || img.H > 0xFFFF {
+		return nil, fmt.Errorf("mjpeg: image %dx%d exceeds JPEG limits", img.W, img.H)
+	}
+	q := opts.Quality
+	if q == 0 {
+		q = 75
+	}
+	lq := scaledQuant(&stdLumaQuant, q)
+	cq := scaledQuant(&stdChromaQuant, q)
+
+	e := &encoder{img: img, opts: opts, lumaQ: lq, chromaQ: cq}
+	var err error
+	if e.dcLuma, err = newHuffEncoder(stdDCLuma); err != nil {
+		return nil, err
+	}
+	if e.acLuma, err = newHuffEncoder(stdACLuma); err != nil {
+		return nil, err
+	}
+	if e.dcChroma, err = newHuffEncoder(stdDCChroma); err != nil {
+		return nil, err
+	}
+	if e.acChroma, err = newHuffEncoder(stdACChroma); err != nil {
+		return nil, err
+	}
+	return e.encode()
+}
+
+type encoder struct {
+	img  *Image
+	opts EncodeOptions
+
+	lumaQ, chromaQ     [64]uint16
+	dcLuma, acLuma     *huffEncoder
+	dcChroma, acChroma *huffEncoder
+
+	out []byte
+}
+
+func (e *encoder) encode() ([]byte, error) {
+	e.marker(mSOI)
+	e.app0JFIF()
+	e.dqt()
+	e.sof0()
+	e.dht()
+	if e.opts.RestartInterval > 0 {
+		e.segment(mDRI, []byte{
+			byte(e.opts.RestartInterval >> 8), byte(e.opts.RestartInterval),
+		})
+	}
+	if err := e.sosAndScan(); err != nil {
+		return nil, err
+	}
+	e.marker(mEOI)
+	return e.out, nil
+}
+
+func (e *encoder) marker(m byte) { e.out = append(e.out, 0xFF, m) }
+
+func (e *encoder) segment(m byte, body []byte) {
+	e.marker(m)
+	l := len(body) + 2
+	e.out = append(e.out, byte(l>>8), byte(l))
+	e.out = append(e.out, body...)
+}
+
+func (e *encoder) app0JFIF() {
+	e.segment(mAPP0, []byte{
+		'J', 'F', 'I', 'F', 0,
+		1, 2, // version 1.02
+		0,    // aspect-ratio units
+		0, 1, // X density
+		0, 1, // Y density
+		0, 0, // no thumbnail
+	})
+}
+
+func (e *encoder) dqt() {
+	body := make([]byte, 0, 65*2)
+	write := func(id byte, tab *[64]uint16) {
+		body = append(body, id)
+		for zz := 0; zz < 64; zz++ {
+			body = append(body, byte(tab[zigzag[zz]]))
+		}
+	}
+	write(0, &e.lumaQ)
+	if !e.img.Gray {
+		write(1, &e.chromaQ)
+	}
+	e.segment(mDQT, body)
+}
+
+func (e *encoder) sof0() {
+	var body []byte
+	body = append(body, 8,
+		byte(e.img.H>>8), byte(e.img.H),
+		byte(e.img.W>>8), byte(e.img.W))
+	if e.img.Gray {
+		body = append(body, 1, 1, 0x11, 0)
+	} else {
+		body = append(body, 3)
+		lumaHV := byte(0x11)
+		if e.opts.Subsample420 {
+			lumaHV = 0x22
+		}
+		body = append(body,
+			1, lumaHV, 0, // Y
+			2, 0x11, 1, // Cb
+			3, 0x11, 1) // Cr
+	}
+	e.segment(mSOF0, body)
+}
+
+func (e *encoder) dht() {
+	var body []byte
+	write := func(classID byte, spec huffSpec) {
+		body = append(body, classID)
+		body = append(body, spec.counts[:]...)
+		body = append(body, spec.values...)
+	}
+	write(0x00, stdDCLuma)
+	write(0x10, stdACLuma)
+	if !e.img.Gray {
+		write(0x01, stdDCChroma)
+		write(0x11, stdACChroma)
+	}
+	e.segment(mDHT, body)
+}
+
+func (e *encoder) sosAndScan() error {
+	var body []byte
+	if e.img.Gray {
+		body = []byte{1, 1, 0x00, 0, 63, 0}
+	} else {
+		body = []byte{3, 1, 0x00, 2, 0x11, 3, 0x11, 0, 63, 0}
+	}
+	e.segment(mSOS, body)
+
+	w := &bitWriter{}
+	var err error
+	if e.img.Gray {
+		err = e.scanGray(w)
+	} else if e.opts.Subsample420 {
+		err = e.scan420(w)
+	} else {
+		err = e.scan444(w)
+	}
+	if err != nil {
+		return err
+	}
+	w.flush()
+	e.out = append(e.out, w.out...)
+	return nil
+}
+
+// sampleLuma extracts the 8x8 luma block at pixel origin (px, py),
+// replicating edge pixels beyond the image.
+func (e *encoder) sampleLuma(px, py int, out *[64]int32) {
+	for y := 0; y < 8; y++ {
+		sy := py + y
+		if sy >= e.img.H {
+			sy = e.img.H - 1
+		}
+		for x := 0; x < 8; x++ {
+			sx := px + x
+			if sx >= e.img.W {
+				sx = e.img.W - 1
+			}
+			r, g, b := e.img.At(sx, sy)
+			out[y*8+x] = int32(rgbToY(r, g, b)) - 128
+		}
+	}
+}
+
+// sampleChroma extracts an 8x8 chroma block. For 4:2:0, each chroma sample
+// averages a 2x2 pixel quad (scale=2); for 4:4:4 scale=1.
+func (e *encoder) sampleChroma(px, py, scale int, cr bool, out *[64]int32) {
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var sum, n int32
+			for dy := 0; dy < scale; dy++ {
+				for dx := 0; dx < scale; dx++ {
+					sx := px + x*scale + dx
+					sy := py + y*scale + dy
+					if sx >= e.img.W {
+						sx = e.img.W - 1
+					}
+					if sy >= e.img.H {
+						sy = e.img.H - 1
+					}
+					r, g, b := e.img.At(sx, sy)
+					_, cb, crv := rgbToYCbCr(r, g, b)
+					if cr {
+						sum += int32(crv)
+					} else {
+						sum += int32(cb)
+					}
+					n++
+				}
+			}
+			out[y*8+x] = sum/n - 128
+		}
+	}
+}
+
+// encodeBlock forward-transforms, quantizes and entropy-codes one block.
+func (e *encoder) encodeBlock(w *bitWriter, block *[64]int32, quant *[64]uint16,
+	dc, ac *huffEncoder, dcPred *int32) error {
+
+	fdct(block)
+	var zz [64]int32
+	for i := 0; i < 64; i++ {
+		q := int32(quant[i])
+		v := block[i]
+		// Symmetric rounding division.
+		if v >= 0 {
+			v = (v + q/2) / q
+		} else {
+			v = -((-v + q/2) / q)
+		}
+		zz[unzigzag[i]] = v
+	}
+
+	diff := zz[0] - *dcPred
+	*dcPred = zz[0]
+	cat := bitLength(int(diff))
+	if err := dc.emit(w, byte(cat)); err != nil {
+		return err
+	}
+	if cat > 0 {
+		w.writeBits(encodeMagnitude(int(diff), cat), cat)
+	}
+
+	run := 0
+	for i := 1; i < 64; i++ {
+		if zz[i] == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			if err := ac.emit(w, 0xF0); err != nil { // ZRL
+				return err
+			}
+			run -= 16
+		}
+		cat := bitLength(int(zz[i]))
+		if cat > 10 {
+			return fmt.Errorf("mjpeg: AC coefficient %d too large", zz[i])
+		}
+		if err := ac.emit(w, byte(run<<4|cat)); err != nil {
+			return err
+		}
+		w.writeBits(encodeMagnitude(int(zz[i]), cat), cat)
+		run = 0
+	}
+	if run > 0 {
+		if err := ac.emit(w, 0x00); err != nil { // EOB
+			return err
+		}
+	}
+	return nil
+}
+
+// restart emits an RSTn marker and resets predictors when the restart
+// interval elapses. Returns the updated marker index.
+func (e *encoder) restart(w *bitWriter, mcu int, rst int, preds []*int32) int {
+	if e.opts.RestartInterval == 0 || mcu == 0 || mcu%e.opts.RestartInterval != 0 {
+		return rst
+	}
+	w.flush()
+	w.out = append(w.out, 0xFF, byte(0xD0+rst))
+	for _, p := range preds {
+		*p = 0
+	}
+	return (rst + 1) & 7
+}
+
+func (e *encoder) scanGray(w *bitWriter) error {
+	mcusX := (e.img.W + 7) / 8
+	mcusY := (e.img.H + 7) / 8
+	var dcY int32
+	var block [64]int32
+	mcu, rst := 0, 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			rst = e.restart(w, mcu, rst, []*int32{&dcY})
+			e.sampleLuma(mx*8, my*8, &block)
+			if err := e.encodeBlock(w, &block, &e.lumaQ, e.dcLuma, e.acLuma, &dcY); err != nil {
+				return err
+			}
+			mcu++
+		}
+	}
+	return nil
+}
+
+func (e *encoder) scan444(w *bitWriter) error {
+	mcusX := (e.img.W + 7) / 8
+	mcusY := (e.img.H + 7) / 8
+	var dcY, dcCb, dcCr int32
+	var block [64]int32
+	mcu, rst := 0, 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			rst = e.restart(w, mcu, rst, []*int32{&dcY, &dcCb, &dcCr})
+			e.sampleLuma(mx*8, my*8, &block)
+			if err := e.encodeBlock(w, &block, &e.lumaQ, e.dcLuma, e.acLuma, &dcY); err != nil {
+				return err
+			}
+			e.sampleChroma(mx*8, my*8, 1, false, &block)
+			if err := e.encodeBlock(w, &block, &e.chromaQ, e.dcChroma, e.acChroma, &dcCb); err != nil {
+				return err
+			}
+			e.sampleChroma(mx*8, my*8, 1, true, &block)
+			if err := e.encodeBlock(w, &block, &e.chromaQ, e.dcChroma, e.acChroma, &dcCr); err != nil {
+				return err
+			}
+			mcu++
+		}
+	}
+	return nil
+}
+
+func (e *encoder) scan420(w *bitWriter) error {
+	mcusX := (e.img.W + 15) / 16
+	mcusY := (e.img.H + 15) / 16
+	var dcY, dcCb, dcCr int32
+	var block [64]int32
+	mcu, rst := 0, 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			rst = e.restart(w, mcu, rst, []*int32{&dcY, &dcCb, &dcCr})
+			// Four luma blocks, raster order within the MCU.
+			for v := 0; v < 2; v++ {
+				for h := 0; h < 2; h++ {
+					e.sampleLuma(mx*16+h*8, my*16+v*8, &block)
+					if err := e.encodeBlock(w, &block, &e.lumaQ, e.dcLuma, e.acLuma, &dcY); err != nil {
+						return err
+					}
+				}
+			}
+			e.sampleChroma(mx*16, my*16, 2, false, &block)
+			if err := e.encodeBlock(w, &block, &e.chromaQ, e.dcChroma, e.acChroma, &dcCb); err != nil {
+				return err
+			}
+			e.sampleChroma(mx*16, my*16, 2, true, &block)
+			if err := e.encodeBlock(w, &block, &e.chromaQ, e.dcChroma, e.acChroma, &dcCr); err != nil {
+				return err
+			}
+			mcu++
+		}
+	}
+	return nil
+}

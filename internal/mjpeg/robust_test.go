@@ -1,0 +1,142 @@
+package mjpeg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Robustness: the decoder must reject corrupted input with an error — never
+// a panic and never an out-of-bounds access — because the Fetch component
+// feeds it raw stream bytes.
+
+// decodeSafely runs Decode and reports whether it panicked.
+func decodeSafely(data []byte) (panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	_, err = Decode(data)
+	return false, err
+}
+
+func TestDecodeByteFlipsNeverPanic(t *testing.T) {
+	frame, err := Encode(SynthFrame(32, 24, 5), EncodeOptions{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte position through several corruption values.
+	for pos := 0; pos < len(frame); pos++ {
+		for _, x := range []byte{0x00, 0xFF, 0x80, 0x01} {
+			if frame[pos] == x {
+				continue
+			}
+			corrupted := append([]byte(nil), frame...)
+			corrupted[pos] = x
+			if panicked, err := decodeSafely(corrupted); panicked {
+				t.Fatalf("byte %d -> 0x%02X: decoder panicked: %v", pos, x, err)
+			}
+		}
+	}
+}
+
+func TestDecodeTruncationsNeverPanic(t *testing.T) {
+	frame, err := Encode(SynthFrame(32, 24, 5), EncodeOptions{Quality: 80, RestartInterval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(frame); n++ {
+		panicked, err := decodeSafely(frame[:n])
+		if panicked {
+			t.Fatalf("truncation at %d: decoder panicked: %v", n, err)
+		}
+		// Losing only the trailing EOI marker still decodes (all entropy
+		// data is present — lenient, like other decoders); any deeper
+		// truncation must error.
+		if err == nil && n < len(frame)-2 {
+			t.Fatalf("truncation at %d of %d decoded successfully", n, len(frame))
+		}
+	}
+}
+
+func TestDecodeBitNoiseInScan(t *testing.T) {
+	// Corrupting the entropy-coded data must either decode (the bit pattern
+	// happens to remain valid Huffman) or error — both acceptable, panics
+	// and hangs are not. We also verify a decent fraction errors, i.e. the
+	// validation is not vacuous.
+	frame, err := Encode(SynthFrame(48, 48, 2), EncodeOptions{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanStart := len(frame) - h.ScanBytes()
+	rng := xorshift64(12345)
+	errors := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		corrupted := append([]byte(nil), frame...)
+		pos := scanStart + int(rng.next()%uint64(h.ScanBytes()))
+		corrupted[pos] ^= byte(1 << (rng.next() % 8))
+		panicked, err := decodeSafely(corrupted)
+		if panicked {
+			t.Fatalf("scan bit flip at %d panicked: %v", pos, err)
+		}
+		if err != nil {
+			errors++
+		}
+	}
+	if errors == 0 {
+		t.Error("no corruption was ever detected — validation looks vacuous")
+	}
+}
+
+func TestSplitStreamCorruptionsNeverPanic(t *testing.T) {
+	stream, err := SynthStream(24, 24, 3, EncodeOptions{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(stream); pos += 7 {
+		corrupted := append([]byte(nil), stream...)
+		corrupted[pos] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("SplitStream panicked at %d: %v", pos, r)
+				}
+			}()
+			frames, err := SplitStream(corrupted)
+			if err != nil {
+				return
+			}
+			for _, f := range frames {
+				_, _ = decodeSafely(f)
+			}
+		}()
+	}
+}
+
+func TestParseFrameHeaderMutationsNeverPanic(t *testing.T) {
+	frame, err := Encode(SynthFrame(16, 16, 0), EncodeOptions{Quality: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLen := len(frame) - h.ScanBytes()
+	// Exhaustive single-byte mutations over the whole marker area.
+	for pos := 0; pos < headerLen; pos++ {
+		for delta := 1; delta < 256; delta += 37 {
+			corrupted := append([]byte(nil), frame...)
+			corrupted[pos] += byte(delta)
+			if panicked, err := decodeSafely(corrupted); panicked {
+				t.Fatalf("header byte %d += %d panicked: %v", pos, delta, err)
+			}
+		}
+	}
+}

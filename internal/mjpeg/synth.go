@@ -1,0 +1,72 @@
+package mjpeg
+
+// Synthetic test-pattern generation. The paper's input videos (578 and 3000
+// JPEG images, identical dimensions) are proprietary; SynthFrame produces a
+// deterministic moving test pattern with enough spatial detail that the
+// entropy-coded size and per-stage compute are representative of real video.
+
+// xorshift64 is a tiny deterministic PRNG; math/rand would also be
+// deterministic with a fixed seed, but an explicit generator keeps the
+// byte-for-byte stability of generated streams independent of Go releases.
+type xorshift64 uint64
+
+func (s *xorshift64) next() uint64 {
+	x := uint64(*s)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = xorshift64(x)
+	return x
+}
+
+// SynthFrame renders frame number n of a deterministic WxH test sequence:
+// a sliding gradient, a moving high-contrast square and pseudo-random grain.
+func SynthFrame(w, h, n int) *Image {
+	img := NewRGB(w, h)
+	rng := xorshift64(0x9E3779B97F4A7C15 ^ uint64(n)*0xBF58476D1CE4E5B9)
+	if rng == 0 {
+		rng = 1
+	}
+	sqX := (n * 7) % max(1, w-16)
+	sqY := (n * 5) % max(1, h-16)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := byte((x*255/max(1, w-1) + n*3) & 0xFF)
+			g := byte((y*255/max(1, h-1) + n*5) & 0xFF)
+			b := byte(((x + y + n*2) * 255 / max(1, w+h-2)) & 0xFF)
+			// Grain: low-amplitude noise keeps the AC coefficients busy.
+			noise := int32(rng.next()&0x1F) - 16
+			r = clamp8(int32(r) + noise)
+			g = clamp8(int32(g) + noise)
+			b = clamp8(int32(b) + noise)
+			// Moving square: hard edges exercise high-frequency terms.
+			if x >= sqX && x < sqX+16 && y >= sqY && y < sqY+16 {
+				r, g, b = 255-r, 255-g, 255-b
+			}
+			i := 3 * (y*w + x)
+			img.Pix[i], img.Pix[i+1], img.Pix[i+2] = r, g, b
+		}
+	}
+	return img
+}
+
+// SynthStream encodes frames [0, count) of the WxH test sequence into one
+// concatenated MJPEG stream.
+func SynthStream(w, h, count int, opts EncodeOptions) ([]byte, error) {
+	var out []byte
+	for n := 0; n < count; n++ {
+		frame, err := Encode(SynthFrame(w, h, n), opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame...)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

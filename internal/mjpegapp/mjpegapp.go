@@ -1,0 +1,496 @@
+// Package mjpegapp assembles the paper's case-study application: the
+// componentized Motion-JPEG decoder of §3.2, §4.3 and §5.3.
+//
+// Two topologies are provided, matching the paper's two deployments:
+//
+//   - SMP (Figure 3): Fetch -> {IDCT_1, IDCT_2, IDCT_3} -> Reorder, five
+//     components, one POSIX thread each.
+//   - STi7200 (Figure 7): a merged Fetch-Reorder component on the
+//     general-purpose ST40 plus two IDCT components on ST231 accelerators
+//     ("the software toolset provided by STMicroelectronics for our
+//     experience supports only three processors").
+//
+// The components execute the real JPEG algorithms from internal/mjpeg —
+// Fetch parses markers, Huffman-decodes and zigzag-reorders; IDCT
+// dequantizes and inverse-transforms; Reorder reassembles frames — and
+// charge the platform explicit cycle costs derived from the work performed.
+// No observation code appears anywhere in the bodies.
+package mjpegapp
+
+import (
+	"fmt"
+
+	"embera/internal/core"
+	"embera/internal/mjpeg"
+)
+
+// DefaultGroupsPerFrame is how many block-group messages Fetch emits per
+// frame. 18 reproduces the paper's Table 2 arithmetic: ~18 messages per
+// image (10 386 sends for the 578-image input, 53 982 for 3000 images).
+const DefaultGroupsPerFrame = 18
+
+// CostModel converts the real per-stage work (scan bytes Huffman-decoded,
+// blocks transformed, blocks placed) into CPU cycles charged to the
+// platform. The defaults are calibrated so the SMP run lands in Table 1's
+// regime: the three pipeline stages are balanced, and 578 frames take a few
+// virtual seconds per component.
+type CostModel struct {
+	// FrameOverheadCycles is charged per frame for file management and
+	// marker parsing (Fetch).
+	FrameOverheadCycles int64
+	// FetchCyclesPerScanByte is the Huffman-decode cost (Fetch).
+	FetchCyclesPerScanByte float64
+	// FetchCyclesPerBlock is the zigzag/reorder bookkeeping cost (Fetch).
+	FetchCyclesPerBlock float64
+	// IDCTCyclesPerBlock is the dequantize + inverse-DCT cost (IDCT).
+	IDCTCyclesPerBlock float64
+	// ReorderCyclesPerBlock is the frame-reassembly cost (Reorder).
+	ReorderCyclesPerBlock float64
+	// MergedComputePenalty scales the merged Fetch-Reorder component's
+	// compute cost on the STi7200's ST40: the paper attributes the 10x
+	// Fetch-Reorder slowdown to the general-purpose ST40 "comput[ing]
+	// slowly the Reorder algorithm" (§5.4). 1.0 = no penalty.
+	MergedComputePenalty float64
+}
+
+// DefaultCosts returns the calibrated cost model (see the package comment
+// and EXPERIMENTS.md for the calibration rationale).
+func DefaultCosts() CostModel {
+	// Calibration: with B blocks per frame, Fetch ≈ 26k·B cycles, the IDCT
+	// class ≈ 80k·B spread over 3 components (26.7k·B each) and Reorder ≈
+	// 27k·B — so the three stages are balanced, reproducing Table 1's
+	// observation, and 578 frames of the 128×96 reference stream take ≈4
+	// virtual seconds per component on a 2.2 GHz core, Table 1's regime.
+	return CostModel{
+		FrameOverheadCycles:    200_000,
+		FetchCyclesPerScanByte: 300,
+		FetchCyclesPerBlock:    26_000,
+		IDCTCyclesPerBlock:     80_000,
+		ReorderCyclesPerBlock:  27_000,
+		MergedComputePenalty:   8,
+	}
+}
+
+// Config assembles one MJPEG application.
+type Config struct {
+	// Stream is the concatenated-JPEG input.
+	Stream []byte
+	// NumIDCT is the IDCT fan-out (paper: 3 on SMP, 2 on STi7200).
+	NumIDCT int
+	// GroupsPerFrame is Fetch's message granularity (0 = 18).
+	GroupsPerFrame int
+	// Merged selects the STi7200 topology: one Fetch-Reorder component.
+	Merged bool
+	// IDCTBufBytes / ReorderBufBytes size the provided-interface mailboxes
+	// (0 = binding default).
+	IDCTBufBytes    int64
+	ReorderBufBytes int64
+	// Placements: optional pinned locations. FetchLoc places Fetch (or
+	// Fetch-Reorder); IDCTLoc[i] places IDCT_i+1; ReorderLoc places Reorder.
+	// nil/-1 = binding default.
+	FetchLoc   int
+	ReorderLoc int
+	IDCTLocs   []int
+	// Costs is the compute-cost model (zero value = DefaultCosts).
+	Costs CostModel
+	// OnFrame, when non-nil, receives every reassembled image in order of
+	// completion (the paper's "output display").
+	OnFrame func(index int, img *mjpeg.Image)
+	// MessageBytes, when positive, overrides every message's modelled wire
+	// size — used by the Figure 4 / Figure 8 sweeps, which vary message
+	// size at fixed content.
+	MessageBytes int
+}
+
+// SMPConfig returns the paper's SMP deployment for the given stream:
+// Fetch + 3 IDCT + Reorder, with the Reorder inbox sized at twice the
+// default mailbox so the Table 1 memory column reproduces (13 308 kB).
+func SMPConfig(stream []byte) Config {
+	return Config{
+		Stream:          stream,
+		NumIDCT:         3,
+		ReorderBufBytes: 2 * 2458 * 1024,
+		FetchLoc:        -1,
+		ReorderLoc:      -1,
+		Costs:           DefaultCosts(),
+	}
+}
+
+// OS21Config returns the paper's STi7200 deployment: merged Fetch-Reorder on
+// the ST40 (CPU 0) and two IDCTs on ST231 accelerators (CPUs 1 and 2).
+func OS21Config(stream []byte) Config {
+	return Config{
+		Stream:     stream,
+		NumIDCT:    2,
+		Merged:     true,
+		FetchLoc:   0,
+		ReorderLoc: 0,
+		IDCTLocs:   []int{1, 2},
+		Costs:      DefaultCosts(),
+	}
+}
+
+// App is an assembled MJPEG application.
+type App struct {
+	Core *core.App
+	// Fetch is the Fetch component (or the merged Fetch-Reorder).
+	Fetch *core.Component
+	// Reorder is the Reorder component (nil when merged).
+	Reorder *core.Component
+	// IDCTs are the IDCT components, in index order.
+	IDCTs []*core.Component
+
+	// FramesDecoded counts fully reassembled frames.
+	FramesDecoded int
+
+	cfg Config
+}
+
+// Build assembles the application into a (the control functions of the
+// paper's "main application function": create, connect).
+func Build(a *core.App, cfg Config) (*App, error) {
+	if len(cfg.Stream) == 0 {
+		return nil, fmt.Errorf("mjpegapp: empty input stream")
+	}
+	if cfg.NumIDCT < 1 {
+		return nil, fmt.Errorf("mjpegapp: need at least one IDCT component, got %d", cfg.NumIDCT)
+	}
+	if cfg.GroupsPerFrame == 0 {
+		cfg.GroupsPerFrame = DefaultGroupsPerFrame
+	}
+	if cfg.GroupsPerFrame < cfg.NumIDCT {
+		return nil, fmt.Errorf("mjpegapp: %d groups per frame cannot feed %d IDCTs",
+			cfg.GroupsPerFrame, cfg.NumIDCT)
+	}
+	if (cfg.Costs == CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	frames, err := mjpeg.SplitStream(cfg.Stream)
+	if err != nil {
+		return nil, fmt.Errorf("mjpegapp: %w", err)
+	}
+
+	app := &App{Core: a, cfg: cfg}
+	if cfg.Merged {
+		// The merged topology has a cycle (Fetch-Reorder -> IDCT ->
+		// Fetch-Reorder), so each result object must hold one frame's worth
+		// of that IDCT's output or the dispatch phase can deadlock.
+		if err := checkMergedCapacity(frames[0], cfg); err != nil {
+			return nil, err
+		}
+		err = app.buildMerged(frames)
+	} else {
+		err = app.buildPipeline(frames)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Custom observation probe (§6 extensibility): the frame counter lives
+	// on whichever component reassembles frames.
+	sink := app.Reorder
+	if cfg.Merged {
+		sink = app.Fetch
+	}
+	if err := sink.RegisterProbe("frames_decoded", func() int64 {
+		return int64(app.FramesDecoded)
+	}); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// checkMergedCapacity verifies one frame's per-IDCT result volume fits in
+// the result object, using the first frame as representative (the paper's
+// streams have identical dimensions on every frame).
+func checkMergedCapacity(frame []byte, cfg Config) error {
+	h, err := mjpeg.ParseFrame(frame)
+	if err != nil {
+		return fmt.Errorf("mjpegapp: %w", err)
+	}
+	resultBuf := cfg.ReorderBufBytes
+	if resultBuf == 0 {
+		resultBuf = 25 * 1024 // EMBX default object size
+	}
+	blocks := h.TotalBlocks()
+	groupsPerIDCT := (cfg.GroupsPerFrame + cfg.NumIDCT - 1) / cfg.NumIDCT
+	blocksPerGroup := (blocks + cfg.GroupsPerFrame - 1) / cfg.GroupsPerFrame
+	perIDCTBytes := groupsPerIDCT * blocksPerGroup * (64 + 8)
+	if cfg.MessageBytes > 0 {
+		perIDCTBytes = groupsPerIDCT * cfg.MessageBytes
+	}
+	if int64(perIDCTBytes) > resultBuf {
+		return fmt.Errorf("mjpegapp: merged topology needs result buffers of >= %d bytes per IDCT "+
+			"(one frame's output), have %d — enlarge ReorderBufBytes or reduce frame size",
+			perIDCTBytes, resultBuf)
+	}
+	return nil
+}
+
+// msgBytes applies the sweep override.
+func (app *App) msgBytes(natural int) int {
+	if app.cfg.MessageBytes > 0 {
+		return app.cfg.MessageBytes
+	}
+	return natural
+}
+
+// fetchWork charges Fetch's per-frame compute: parse + Huffman + reorder.
+func (app *App) fetchWork(ctx *core.Ctx, h *mjpeg.FrameHeader, blocks int, penalty float64) {
+	c := app.cfg.Costs
+	cycles := float64(c.FrameOverheadCycles) +
+		c.FetchCyclesPerScanByte*float64(h.ScanBytes()) +
+		c.FetchCyclesPerBlock*float64(blocks)
+	ctx.Compute(int64(cycles * penalty))
+}
+
+// buildPipeline assembles the five-component SMP topology of Figure 3.
+func (app *App) buildPipeline(frames [][]byte) error {
+	a := app.Core
+	cfg := app.cfg
+
+	fetch, err := a.NewComponent("Fetch", func(ctx *core.Ctx) {
+		for fi, frame := range frames {
+			h, err := mjpeg.ParseFrame(frame)
+			if err != nil {
+				panic(fmt.Sprintf("mjpegapp: frame %d: %v", fi, err))
+			}
+			blocks, err := h.DecodeBlocks()
+			if err != nil {
+				panic(fmt.Sprintf("mjpegapp: frame %d: %v", fi, err))
+			}
+			app.fetchWork(ctx, h, len(blocks), 1)
+			groups, err := mjpeg.SplitBlocks(fi, h, blocks, cfg.GroupsPerFrame)
+			if err != nil {
+				panic(err)
+			}
+			for gi := range groups {
+				target := gi%cfg.NumIDCT + 1
+				ctx.Send(fmt.Sprintf("fetchIdct%d", target), groups[gi],
+					app.msgBytes(groups[gi].PayloadBytes()))
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fetch.Place(cfg.FetchLoc)
+	app.Fetch = fetch
+
+	reorder, err := a.NewComponent("Reorder", func(ctx *core.Ctx) {
+		asm := mjpeg.NewFrameAssembler()
+		for {
+			m, ok := ctx.Receive("idctReorder")
+			if !ok {
+				return
+			}
+			pg := m.Payload.(mjpeg.PixelGroup)
+			ctx.Compute(int64(cfg.Costs.ReorderCyclesPerBlock * float64(len(pg.Blocks))))
+			img, err := asm.Add(&pg)
+			if err != nil {
+				panic(err)
+			}
+			if img != nil {
+				if cfg.OnFrame != nil {
+					cfg.OnFrame(pg.FrameIndex, img)
+				}
+				app.FramesDecoded++
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	reorder.Place(cfg.ReorderLoc)
+	if err := reorder.AddProvided("idctReorder", cfg.ReorderBufBytes); err != nil {
+		return err
+	}
+	app.Reorder = reorder
+
+	for i := 1; i <= cfg.NumIDCT; i++ {
+		if err := app.addIDCT(i, "idctReorder", reorder); err != nil {
+			return err
+		}
+	}
+
+	for i := 1; i <= cfg.NumIDCT; i++ {
+		if err := fetch.AddRequired(fmt.Sprintf("fetchIdct%d", i)); err != nil {
+			return err
+		}
+		if err := a.Connect(fetch, fmt.Sprintf("fetchIdct%d", i),
+			app.IDCTs[i-1], fmt.Sprintf("_fetchIdct%d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addIDCT creates IDCT_i and wires its output to sink's provided interface.
+func (app *App) addIDCT(i int, sinkIface string, sink *core.Component) error {
+	cfg := app.cfg
+	name := fmt.Sprintf("IDCT_%d", i)
+	in := fmt.Sprintf("_fetchIdct%d", i)
+	idct, err := app.Core.NewComponent(name, func(ctx *core.Ctx) {
+		for {
+			m, ok := ctx.Receive(in)
+			if !ok {
+				return
+			}
+			g := m.Payload.(mjpeg.BlockGroup)
+			pg := mjpeg.TransformGroup(&g)
+			ctx.Compute(int64(cfg.Costs.IDCTCyclesPerBlock * float64(len(g.Blocks))))
+			ctx.Send("idctReorder", pg, app.msgBytes(pg.PayloadBytes()))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if len(cfg.IDCTLocs) >= i {
+		idct.Place(cfg.IDCTLocs[i-1])
+	} else {
+		idct.Place(-1)
+	}
+	if err := idct.AddProvided(in, cfg.IDCTBufBytes); err != nil {
+		return err
+	}
+	if err := idct.AddRequired("idctReorder"); err != nil {
+		return err
+	}
+	if err := app.Core.Connect(idct, "idctReorder", sink, sinkIface); err != nil {
+		return err
+	}
+	app.IDCTs = append(app.IDCTs, idct)
+	return nil
+}
+
+// buildMerged assembles the three-component STi7200 topology of Figure 7:
+// Fetch-Reorder on the host CPU, IDCTs on accelerators, with one result
+// object per IDCT (Table 3 counts "two distributed objects" for
+// Fetch-Reorder).
+func (app *App) buildMerged(frames [][]byte) error {
+	a := app.Core
+	cfg := app.cfg
+	penalty := cfg.Costs.MergedComputePenalty
+	if penalty <= 0 {
+		penalty = 1
+	}
+
+	fr, err := a.NewComponent("Fetch-Reorder", func(ctx *core.Ctx) {
+		asm := mjpeg.NewFrameAssembler()
+		for fi, frame := range frames {
+			h, err := mjpeg.ParseFrame(frame)
+			if err != nil {
+				panic(fmt.Sprintf("mjpegapp: frame %d: %v", fi, err))
+			}
+			blocks, err := h.DecodeBlocks()
+			if err != nil {
+				panic(fmt.Sprintf("mjpegapp: frame %d: %v", fi, err))
+			}
+			app.fetchWork(ctx, h, len(blocks), penalty)
+			groups, err := mjpeg.SplitBlocks(fi, h, blocks, cfg.GroupsPerFrame)
+			if err != nil {
+				panic(err)
+			}
+			// Dispatch phase: round-robin the groups to the accelerators.
+			perIDCT := make([]int, cfg.NumIDCT)
+			for gi := range groups {
+				target := gi % cfg.NumIDCT
+				perIDCT[target]++
+				ctx.Send(fmt.Sprintf("fetchIdct%d", target+1), groups[gi],
+					app.msgBytes(groups[gi].PayloadBytes()))
+			}
+			// Collect phase: drain results, alternating inboxes so neither
+			// accelerator's result object fills while we ignore it.
+			remaining := append([]int(nil), perIDCT...)
+			done := 0
+			for done < len(groups) {
+				for i := 0; i < cfg.NumIDCT; i++ {
+					if remaining[i] == 0 {
+						continue
+					}
+					m, ok := ctx.Receive(fmt.Sprintf("idctReorder%d", i+1))
+					if !ok {
+						panic("mjpegapp: result object closed mid-frame")
+					}
+					remaining[i]--
+					done++
+					pg := m.Payload.(mjpeg.PixelGroup)
+					ctx.Compute(int64(cfg.Costs.ReorderCyclesPerBlock * float64(len(pg.Blocks)) * penalty))
+					img, err := asm.Add(&pg)
+					if err != nil {
+						panic(err)
+					}
+					if img != nil {
+						if cfg.OnFrame != nil {
+							cfg.OnFrame(pg.FrameIndex, img)
+						}
+						app.FramesDecoded++
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fr.Place(cfg.FetchLoc)
+	app.Fetch = fr
+
+	for i := 1; i <= cfg.NumIDCT; i++ {
+		if err := fr.AddProvided(fmt.Sprintf("idctReorder%d", i), cfg.ReorderBufBytes); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= cfg.NumIDCT; i++ {
+		if err := app.addIDCTMerged(i, fr); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= cfg.NumIDCT; i++ {
+		if err := fr.AddRequired(fmt.Sprintf("fetchIdct%d", i)); err != nil {
+			return err
+		}
+		if err := a.Connect(fr, fmt.Sprintf("fetchIdct%d", i),
+			app.IDCTs[i-1], fmt.Sprintf("_fetchIdct%d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (app *App) addIDCTMerged(i int, fr *core.Component) error {
+	cfg := app.cfg
+	name := fmt.Sprintf("IDCT_%d", i)
+	in := fmt.Sprintf("_fetchIdct%d", i)
+	out := fmt.Sprintf("idctReorder%d", i)
+	idct, err := app.Core.NewComponent(name, func(ctx *core.Ctx) {
+		for {
+			m, ok := ctx.Receive(in)
+			if !ok {
+				return
+			}
+			g := m.Payload.(mjpeg.BlockGroup)
+			pg := mjpeg.TransformGroup(&g)
+			ctx.Compute(int64(cfg.Costs.IDCTCyclesPerBlock * float64(len(g.Blocks))))
+			ctx.Send("idctReorder", pg, app.msgBytes(pg.PayloadBytes()))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if len(cfg.IDCTLocs) >= i {
+		idct.Place(cfg.IDCTLocs[i-1])
+	} else {
+		idct.Place(-1)
+	}
+	if err := idct.AddProvided(in, cfg.IDCTBufBytes); err != nil {
+		return err
+	}
+	if err := idct.AddRequired("idctReorder"); err != nil {
+		return err
+	}
+	if err := app.Core.Connect(idct, "idctReorder", fr, out); err != nil {
+		return err
+	}
+	app.IDCTs = append(app.IDCTs, idct)
+	return nil
+}

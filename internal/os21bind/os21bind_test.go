@@ -1,0 +1,222 @@
+package os21bind_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/embx"
+	"embera/internal/os21"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/sti7200"
+)
+
+func newApp(t *testing.T, name string) (*core.App, *sim.Kernel, *os21bind.Binding) {
+	t.Helper()
+	k := sim.NewKernel()
+	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+	b := os21bind.New(chip)
+	return core.NewApp(name, b), k, b
+}
+
+func run(t *testing.T, k *sim.Kernel, a *core.App) {
+	t.Helper()
+	if err := k.RunUntil(sim.Time(3 * 3600 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("application did not complete within the horizon")
+	}
+}
+
+func TestPipelineOverEMBX(t *testing.T) {
+	a, k, b := newApp(t, "pipe")
+	const n = 20
+	var got []int
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < n; i++ {
+			if !ctx.Send("out", i, 1024) {
+				t.Error("send failed")
+			}
+		}
+	}).MustAddRequired("out").Place(0) // ST40
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			m, ok := ctx.Receive("in")
+			if !ok {
+				return
+			}
+			got = append(got, m.Payload.(int))
+		}
+	}).MustAddProvided("in", 0).Place(1) // ST231
+	a.MustConnect(prod, "out", cons, "in")
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	if len(got) != n {
+		t.Fatalf("received %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if b.CPU(prod).Kind != sti7200.ST40 || b.CPU(cons).Kind != sti7200.ST231 {
+		t.Error("placement not honored")
+	}
+}
+
+func TestOneComponentPerCPUDefaultPlacement(t *testing.T) {
+	a, k, b := newApp(t, "place")
+	var comps []*core.Component
+	for i := 0; i < 5; i++ {
+		c := a.MustNewComponent(string(rune('a'+i)), func(ctx *core.Ctx) {})
+		comps = append(comps, c)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	seen := map[int]bool{}
+	for _, c := range comps {
+		id := b.CPU(c).ID
+		if seen[id] {
+			t.Errorf("CPU %d assigned twice before all CPUs used", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMemoryMatchesTable3Calibration(t *testing.T) {
+	// Table 3: IDCT = 85 kB (60 task + 1×25 kB object); Fetch-Reorder =
+	// 110 kB (60 task + 2×25 kB objects).
+	a, k, _ := newApp(t, "calib")
+	idct := a.MustNewComponent("IDCT", func(ctx *core.Ctx) {}).
+		MustAddProvided("in", 0).Place(1)
+	fr := a.MustNewComponent("Fetch-Reorder", func(ctx *core.Ctx) {}).
+		MustAddProvided("r1", 0).
+		MustAddProvided("r2", 0).Place(0)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	if got := idct.Snapshot(core.LevelOS).OS.MemBytes / 1024; got != 85 {
+		t.Errorf("IDCT memory = %d kB, want 85", got)
+	}
+	if got := fr.Snapshot(core.LevelOS).OS.MemBytes / 1024; got != 110 {
+		t.Errorf("Fetch-Reorder memory = %d kB, want 110", got)
+	}
+	if os21.DefaultTaskBytes != 60*1024 || embx.DefaultObjectBytes != 25*1024 {
+		t.Error("calibration constants drifted")
+	}
+}
+
+func TestTaskTimeIsCPUTimeNotWallTime(t *testing.T) {
+	// OS-level execution time on OS21 is task_time: compute accrues, idle
+	// waiting does not.
+	a, k, _ := newApp(t, "tt")
+	worker := a.MustNewComponent("w", func(ctx *core.Ctx) {
+		ctx.Compute(400_000 * 5) // 5 ms at 400 MHz
+		ctx.SleepUS(100_000)     // 100 ms idle
+	}).Place(1)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	rep := worker.Snapshot(core.LevelOS)
+	if rep.OS.ExecTimeUS < 4_900 || rep.OS.ExecTimeUS > 5_100 {
+		t.Errorf("task_time = %dµs, want ~5000 (compute only)", rep.OS.ExecTimeUS)
+	}
+}
+
+func TestPerCPUTimestampsSkewed(t *testing.T) {
+	// time_now is local per CPU: two idle components on different ST231s
+	// see different clocks at the same instant.
+	a, k, b := newApp(t, "skew")
+	var t1, t2 int64
+	a.MustNewComponent("c1", func(ctx *core.Ctx) { t1 = ctx.NowUS() }).Place(1)
+	a.MustNewComponent("c2", func(ctx *core.Ctx) { t2 = ctx.NowUS() }).Place(2)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, a)
+	_ = b
+	if t1 == t2 {
+		t.Errorf("per-CPU clocks identical (%d): skew not modelled", t1)
+	}
+}
+
+func TestST40SendSlowerThanST231Send(t *testing.T) {
+	// Figure 8's central claim at the EMBera level.
+	msgBytes := 25 * 1024
+	sendCost := func(fromCPU int) float64 {
+		a, k, _ := newApp(t, "f8")
+		sender := a.MustNewComponent("sender", func(ctx *core.Ctx) {
+			for i := 0; i < 10; i++ {
+				ctx.Send("out", nil, msgBytes)
+			}
+		}).MustAddRequired("out").Place(fromCPU)
+		sink := a.MustNewComponent("sink", func(ctx *core.Ctx) {
+			for {
+				if _, ok := ctx.Receive("in"); !ok {
+					return
+				}
+			}
+		}).MustAddProvided("in", 256*1024).Place(3)
+		a.MustConnect(sender, "out", sink, "in")
+		if err := a.Start(); err != nil {
+			t.Fatal(err)
+		}
+		run(t, k, a)
+		return sender.Snapshot(core.LevelMiddleware).Middleware.Send["out"].MeanUS()
+	}
+	st40 := sendCost(0)
+	st231 := sendCost(1)
+	if st231 >= st40 {
+		t.Errorf("ST231 mean send %vµs >= ST40 mean send %vµs", st231, st40)
+	}
+}
+
+func TestObserverOverOS21(t *testing.T) {
+	a, k, _ := newApp(t, "obs")
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < 3; i++ {
+			ctx.Send("out", i, 512)
+		}
+	}).MustAddRequired("out").Place(0)
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	}).MustAddProvided("in", 0).Place(1)
+	a.MustConnect(prod, "out", cons, "in")
+	obs, err := a.AttachObserver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var reports map[string]core.ObsReport
+	a.SpawnDriver("driver", func(f core.Flow) {
+		a.AwaitQuiescence(f)
+		reports, err = obs.QueryAll(f, core.LevelAll)
+	})
+	run(t, k, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports["prod"].App.SendOps != 3 || reports["cons"].App.RecvOps != 3 {
+		t.Errorf("observed ops wrong: %+v", reports)
+	}
+}
+
+func TestPlatformName(t *testing.T) {
+	_, _, b := newApp(t, "x")
+	if b.PlatformName() != "STi7200 (1×ST40 + 4×ST231) / OS21" {
+		t.Errorf("platform name = %q", b.PlatformName())
+	}
+}

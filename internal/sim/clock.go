@@ -1,0 +1,36 @@
+package sim
+
+// Clock converts the kernel's global virtual time into a local time base.
+// Real MPSoCs have one oscillator per CPU island; OS21's time_now() returns
+// ticks of the local clock, and the paper's middleware-level observation
+// timestamps therefore come from different, slightly skewed clocks. Clock
+// models that: local = (global - epoch) * Hz / 1e9 + offsetTicks.
+type Clock struct {
+	k      *Kernel
+	hz     int64 // tick rate of the local clock
+	epoch  Time  // global time at which the clock started counting
+	offset int64 // initial tick count (models power-on skew)
+}
+
+// NewClock creates a local clock ticking at hz, started at the kernel's
+// current time with the given initial tick offset.
+func NewClock(k *Kernel, hz int64, offsetTicks int64) *Clock {
+	if hz <= 0 {
+		panic("sim: clock rate must be positive")
+	}
+	return &Clock{k: k, hz: hz, epoch: k.Now(), offset: offsetTicks}
+}
+
+// Ticks returns the local tick counter at the current global time.
+func (c *Clock) Ticks() int64 {
+	elapsed := int64(c.k.Now() - c.epoch)
+	return c.offset + elapsed*c.hz/1e9
+}
+
+// Hz returns the tick rate.
+func (c *Clock) Hz() int64 { return c.hz }
+
+// ToDuration converts a tick delta of this clock into virtual nanoseconds.
+func (c *Clock) ToDuration(ticks int64) Duration {
+	return Duration(ticks * 1e9 / c.hz)
+}

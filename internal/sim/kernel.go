@@ -1,0 +1,255 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Both platform models in this repository — the 16-core NUMA SMP machine
+// (internal/smp) and the STi7200 MPSoC (internal/sti7200) — execute on top of
+// this kernel. Simulated software runs as cooperative processes: ordinary Go
+// functions that are suspended and resumed by the kernel so that exactly one
+// process executes at any instant. All durations are virtual; the kernel
+// advances its clock from event to event, which makes every experiment in
+// this repository bit-reproducible.
+//
+// The design follows the classic process-oriented discrete-event style
+// (SimPy, OMNeT++): an event heap ordered by (time, sequence) drives
+// callbacks, and each process is a goroutine that hands control back to the
+// kernel whenever it blocks on virtual time or on a synchronization object
+// (Queue, Semaphore, Resource, Signal).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is an absolute virtual time stamp in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common duration units, mirroring package time for virtual durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats a Duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Microseconds reports the duration as a floating-point microsecond count.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds reports the duration as a floating-point millisecond count.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports the duration as a floating-point second count.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// event is a scheduled kernel callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not usable;
+// construct kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   map[*Proc]struct{}
+	yield   chan struct{} // process -> kernel handoff
+	stopped bool
+	tracer  func(t Time, format string, args ...any)
+}
+
+// NewKernel returns an empty kernel with its clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetTracer installs a debug tracer invoked on process state transitions.
+// A nil tracer disables tracing.
+func (k *Kernel) SetTracer(fn func(t Time, format string, args ...any)) { k.tracer = fn }
+
+func (k *Kernel) trace(format string, args ...any) {
+	if k.tracer != nil {
+		k.tracer(k.now, format, args...)
+	}
+}
+
+// At schedules fn to run in kernel context when the virtual clock reaches
+// now+d. Scheduling in the past panics: the kernel never rewinds.
+func (k *Kernel) At(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now + Time(d), seq: k.seq, fn: fn})
+}
+
+// Spawn creates a new process named name executing fn and schedules it to
+// start at the current virtual time. The returned Proc is valid immediately
+// but fn only begins executing once Run processes the start event.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(0, name, fn)
+}
+
+// SpawnAt is Spawn with a start delay of d.
+func (k *Kernel) SpawnAt(d Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		state:  StateNew,
+	}
+	k.procs[p] = struct{}{}
+	k.At(d, func() {
+		p.state = StateRunning
+		go func() {
+			<-p.resume // wait for the kernel's first handoff
+			defer func() {
+				if r := recover(); r != nil && r != procKilled {
+					p.panicked = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+				p.state = StateDone
+				delete(k.procs, p)
+				for _, w := range p.doneWaiters {
+					k.wake(w)
+				}
+				p.doneWaiters = nil
+				k.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		k.handoff(p)
+	})
+	return p
+}
+
+// handoff transfers control to p and blocks the kernel until p parks,
+// terminates or advances time.
+func (k *Kernel) handoff(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}
+
+// wake schedules p to resume at the current virtual time. It is the
+// low-level mechanism used by all synchronization objects. Stale wakes —
+// aimed at a park the process has already left (e.g. a timer firing after a
+// Kill already unblocked the process) — are ignored via the park sequence
+// number.
+func (k *Kernel) wake(p *Proc) {
+	if p.state != StateParked {
+		return // already woken by someone else, or terminated
+	}
+	seq := p.parkSeq
+	p.state = StateReady
+	k.At(0, func() {
+		if p.state != StateReady || p.parkSeq != seq {
+			return // superseded: the process moved on in the meantime
+		}
+		p.state = StateRunning
+		k.trace("resume %s", p.name)
+		k.handoff(p)
+	})
+}
+
+// Run executes events until none remain, then verifies that no process is
+// still blocked. If blocked processes remain, Run returns a *DeadlockError
+// naming them; otherwise it returns nil.
+func (k *Kernel) Run() error {
+	return k.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= limit. It returns a
+// *DeadlockError if the event queue drains while processes are still parked,
+// and nil otherwise (including when the limit cuts the run short).
+func (k *Kernel) RunUntil(limit Time) error {
+	for len(k.events) > 0 {
+		ev := k.events[0]
+		if ev.at > limit {
+			k.now = limit
+			return nil
+		}
+		heap.Pop(&k.events)
+		if ev.at < k.now {
+			panic("sim: event queue time went backwards")
+		}
+		k.now = ev.at
+		ev.fn()
+	}
+	var parked []string
+	for p := range k.procs {
+		if p.state == StateParked && !p.daemon {
+			parked = append(parked, p.name+" ("+p.waitReason+")")
+		}
+	}
+	if len(parked) > 0 {
+		sort.Strings(parked)
+		return &DeadlockError{Time: k.now, Parked: parked}
+	}
+	return nil
+}
+
+// Pending reports the number of scheduled, not-yet-executed events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Live reports the number of processes that have been spawned and have not
+// yet terminated.
+func (k *Kernel) Live() int { return len(k.procs) }
+
+// DeadlockError reports that simulation stalled with parked processes.
+type DeadlockError struct {
+	Time   Time
+	Parked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d with %d parked process(es): %v",
+		e.Time, len(e.Parked), e.Parked)
+}

@@ -1,0 +1,151 @@
+package sim
+
+import "fmt"
+
+// State describes the life-cycle phase of a process.
+type State int
+
+// Process states.
+const (
+	StateNew     State = iota // spawned, start event not yet processed
+	StateRunning              // currently executing (at most one process)
+	StateParked               // blocked on a synchronization object
+	StateReady                // woken, resume event scheduled
+	StateDone                 // function returned or killed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunning:
+		return "running"
+	case StateParked:
+		return "parked"
+	case StateReady:
+		return "ready"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// procKilled is the panic payload used by Kill to unwind a process stack.
+var procKilled = &struct{ reason string }{"killed"}
+
+// Proc is a cooperative simulated process. All methods must be called from
+// the process's own function (the one passed to Spawn), never from another
+// goroutine: the kernel guarantees only one process runs at a time, and the
+// synchronization objects rely on that.
+type Proc struct {
+	k           *Kernel
+	name        string
+	resume      chan struct{}
+	state       State
+	parkSeq     uint64 // incremented on every park; guards against stale wakes
+	waitReason  string
+	panicked    error
+	doneWaiters []*Proc
+	killed      bool
+	daemon      bool
+}
+
+// SetDaemon marks the process as a background service: a parked daemon does
+// not count as a deadlock when the event queue drains (it simply never runs
+// again). Observation service loops use this.
+func (p *Proc) SetDaemon(v bool) { p.daemon = v }
+
+// Daemon reports whether the process is marked as a daemon.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the current life-cycle state.
+func (p *Proc) State() State { return p.state }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park suspends the process until another event wakes it. reason is reported
+// by deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	p.parkSeq++
+	p.state = StateParked
+	p.waitReason = reason
+	p.k.trace("park %s: %s", p.name, reason)
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.waitReason = ""
+	if p.killed {
+		panic(procKilled)
+	}
+}
+
+// Advance consumes d of virtual time: the process is suspended and resumes
+// once the kernel clock has moved d forward. It models computation or any
+// other busy interval. Negative durations panic.
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q advancing by negative duration %d", p.name, d))
+	}
+	if d == 0 {
+		p.YieldTurn()
+		return
+	}
+	p.k.At(d, func() { p.k.wake(p) })
+	p.parkSeq++
+	p.state = StateParked
+	p.waitReason = "advance"
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.waitReason = ""
+	if p.killed {
+		panic(procKilled)
+	}
+}
+
+// YieldTurn relinquishes the processor without advancing time; the process
+// resumes after all other events already scheduled for the current instant.
+func (p *Proc) YieldTurn() {
+	p.k.At(0, func() { p.k.wake(p) })
+	p.parkSeq++
+	p.state = StateParked
+	p.waitReason = "yield"
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.waitReason = ""
+	if p.killed {
+		panic(procKilled)
+	}
+}
+
+// Join blocks until other terminates. Joining a terminated process returns
+// immediately; a process cannot join itself.
+func (p *Proc) Join(other *Proc) {
+	if other == p {
+		panic("sim: process joining itself")
+	}
+	if other.state == StateDone {
+		return
+	}
+	other.doneWaiters = append(other.doneWaiters, p)
+	p.park("join " + other.name)
+}
+
+// Kill forcibly terminates target the next time it would resume. It is safe
+// to call from any process or from kernel context; killing an already-done
+// process is a no-op.
+func (k *Kernel) Kill(target *Proc) {
+	if target.state == StateDone || target.killed {
+		return
+	}
+	target.killed = true
+	if target.state == StateParked {
+		k.wake(target)
+	}
+}

@@ -1,0 +1,267 @@
+package sim
+
+import "fmt"
+
+// Queue is a bounded or unbounded FIFO channel between simulated processes.
+// A capacity of 0 means unbounded. Queue is the building block for the SMP
+// binding's mailboxes and for OS21 message queues.
+type Queue[T any] struct {
+	k       *Kernel
+	name    string
+	cap     int
+	items   []T
+	getters waiterList
+	putters waiterList
+	closed  bool
+
+	// Statistics maintained for observation.
+	puts, gets uint64
+	maxDepth   int
+}
+
+// NewQueue creates a FIFO with the given capacity (0 = unbounded).
+func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sim: negative queue capacity %d", capacity))
+	}
+	return &Queue[T]{k: k, name: name, cap: capacity}
+}
+
+// Name returns the queue name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Stats reports lifetime put/get counts and the high-water depth mark.
+func (q *Queue[T]) Stats() (puts, gets uint64, maxDepth int) {
+	return q.puts, q.gets, q.maxDepth
+}
+
+// Put appends v, blocking p while the queue is at capacity. Putting into a
+// closed queue panics, mirroring Go channel semantics.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		if q.closed {
+			panic(fmt.Sprintf("sim: put on closed queue %q", q.name))
+		}
+		q.putters.add(p)
+		p.park("put " + q.name)
+	}
+	if q.closed {
+		panic(fmt.Sprintf("sim: put on closed queue %q", q.name))
+	}
+	q.items = append(q.items, v)
+	q.puts++
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	q.getters.wakeOne(q.k)
+}
+
+// TryPut appends v without blocking and reports whether it was accepted.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.puts++
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	q.getters.wakeOne(q.k)
+	return true
+}
+
+// Get removes and returns the oldest item, blocking p while the queue is
+// empty. When the queue is closed and drained, Get returns the zero value
+// and ok=false.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.getters.add(p)
+		p.park("get " + q.name)
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	q.putters.wakeOne(q.k)
+	return v, true
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	q.putters.wakeOne(q.k)
+	return v, true
+}
+
+// Close marks the queue closed: pending and future Gets drain remaining
+// items then report ok=false; Puts panic. Close wakes all waiters.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.getters.wakeAll(q.k)
+	q.putters.wakeAll(q.k)
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// waiterList is a FIFO of parked processes.
+type waiterList struct{ ps []*Proc }
+
+func (w *waiterList) add(p *Proc) { w.ps = append(w.ps, p) }
+
+func (w *waiterList) wakeOne(k *Kernel) {
+	for len(w.ps) > 0 {
+		p := w.ps[0]
+		w.ps = w.ps[1:]
+		if p.state == StateParked {
+			k.wake(p)
+			return
+		}
+	}
+}
+
+func (w *waiterList) wakeAll(k *Kernel) {
+	for _, p := range w.ps {
+		if p.state == StateParked {
+			k.wake(p)
+		}
+	}
+	w.ps = nil
+}
+
+// Semaphore is a counting semaphore for simulated processes.
+type Semaphore struct {
+	k       *Kernel
+	name    string
+	count   int
+	waiters waiterList
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic(fmt.Sprintf("sim: negative semaphore count %d", initial))
+	}
+	return &Semaphore{k: k, name: name, count: initial}
+}
+
+// Wait decrements the count, blocking p while it is zero (P operation).
+func (s *Semaphore) Wait(p *Proc) {
+	for s.count == 0 {
+		s.waiters.add(p)
+		p.park("sem " + s.name)
+	}
+	s.count--
+}
+
+// TryWait decrements without blocking and reports success.
+func (s *Semaphore) TryWait() bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Signal increments the count and wakes one waiter (V operation). It may be
+// called from kernel context (e.g. an interrupt handler callback).
+func (s *Semaphore) Signal() {
+	s.count++
+	s.waiters.wakeOne(s.k)
+}
+
+// Count returns the current counter value.
+func (s *Semaphore) Count() int { return s.count }
+
+// Signal is a broadcast condition: processes park on it and a later Fire
+// wakes all of them. Unlike Semaphore there is no counter; a Fire with no
+// waiters is lost.
+type Signal struct {
+	k       *Kernel
+	name    string
+	waiters waiterList
+}
+
+// NewSignal creates a named broadcast signal.
+func NewSignal(k *Kernel, name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// Await parks p until the next Fire.
+func (s *Signal) Await(p *Proc) {
+	s.waiters.add(p)
+	p.park("signal " + s.name)
+}
+
+// Fire wakes every currently-parked waiter.
+func (s *Signal) Fire() { s.waiters.wakeAll(s.k) }
+
+// Resource models a shared facility with limited parallelism (a memory bus,
+// a DMA engine). Use occupies one slot for the given duration, queueing FIFO
+// when all slots are busy — which is how bus contention arises in the
+// platform models.
+type Resource struct {
+	sem  *Semaphore
+	name string
+
+	// busyTime accumulates total occupied time across slots, for utilization
+	// reporting.
+	busyTime Duration
+	uses     uint64
+}
+
+// NewResource creates a resource with the given number of parallel slots.
+func NewResource(k *Kernel, name string, slots int) *Resource {
+	if slots <= 0 {
+		panic(fmt.Sprintf("sim: resource %q needs at least one slot", name))
+	}
+	return &Resource{sem: NewSemaphore(k, name, slots), name: name}
+}
+
+// Use occupies one slot for d of virtual time, blocking first if no slot is
+// free. The slot is released even if the process is killed mid-interval, so
+// a forced termination cannot strand other users of the resource.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.sem.Wait(p)
+	defer func() {
+		r.busyTime += d
+		r.uses++
+		r.sem.Signal()
+	}()
+	p.Advance(d)
+}
+
+// Acquire claims a slot without advancing time. Pair with Release; use this
+// form when the occupied interval is itself spent inside another resource
+// (e.g. a CPU slot held across a bus transfer).
+func (r *Resource) Acquire(p *Proc) { r.sem.Wait(p) }
+
+// Release frees a slot previously claimed with Acquire, recording d as the
+// occupied time for utilization accounting.
+func (r *Resource) Release(d Duration) {
+	r.busyTime += d
+	r.uses++
+	r.sem.Signal()
+}
+
+// Stats reports the accumulated busy time and the number of completed uses.
+func (r *Resource) Stats() (busy Duration, uses uint64) { return r.busyTime, r.uses }
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }

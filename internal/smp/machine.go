@@ -1,0 +1,222 @@
+// Package smp models the paper's 16-core SMP evaluation platform: eight
+// dual-core AMD Opteron nodes (2.2 GHz, 2 MB cache per processor, 4 GB of
+// local memory per node) joined in a NUMA topology where every node has
+// three links to other nodes — i.e. a 3-dimensional hypercube.
+//
+// The model is a cost model, not a cycle-accurate simulator: computation is
+// charged in cycles at the core frequency, and memory copies are charged
+// with a bandwidth term plus a per-hop NUMA penalty. That is exactly the
+// level of detail the paper's observations depend on (execution times,
+// linear-in-size send cost, placement-sensitive copy cost).
+package smp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"embera/internal/sim"
+)
+
+// Config describes the machine geometry and its cost parameters.
+type Config struct {
+	Nodes        int   // NUMA nodes (paper: 8)
+	CoresPerNode int   // cores per node (paper: 2)
+	CoreHz       int64 // core frequency (paper: 2.2 GHz)
+	MemPerNode   int64 // bytes of local memory per node (paper: 4 GB)
+	CacheBytes   int64 // per-processor cache (paper: 2 MB)
+	CacheLine    int   // cache line size in bytes
+
+	// Copy cost model: a copy of n bytes between nodes s and d costs
+	//   CopySetup + n/LocalBandwidth * (1 + HopPenalty*hops(s,d)).
+	CopySetup      sim.Duration
+	LocalBandwidth float64 // bytes per nanosecond for node-local copies
+	HopPenalty     float64 // fractional slowdown per NUMA hop
+}
+
+// DefaultConfig returns the paper's 16-core Opteron platform with cost
+// parameters calibrated so middleware latencies land in the same order of
+// magnitude as Figure 4 (hundreds of microseconds for 100 kB messages).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          8,
+		CoresPerNode:   2,
+		CoreHz:         2_200_000_000,
+		MemPerNode:     4 << 30,
+		CacheBytes:     2 << 20,
+		CacheLine:      64,
+		CopySetup:      2 * sim.Microsecond,
+		LocalBandwidth: 0.45, // ~450 MB/s effective through the mailbox path
+		HopPenalty:     0.25,
+	}
+}
+
+// Machine is an instantiated SMP platform bound to a simulation kernel.
+type Machine struct {
+	K   *sim.Kernel
+	cfg Config
+
+	cores  []*Core
+	nodes  []*Node
+	nextRR int // round-robin core allocator cursor
+}
+
+// Core is one processing element. Exec serializes execution on the core:
+// when several threads are pinned to one core, their compute intervals and
+// memory copies interleave rather than overlapping.
+type Core struct {
+	ID    int
+	Node  int
+	Hz    int64
+	Cache *Cache
+	Exec  *sim.Resource
+
+	// Busy accumulates charged compute time, for utilization reports.
+	Busy sim.Duration
+}
+
+// Node is one NUMA node with local memory.
+type Node struct {
+	ID       int
+	MemTotal int64
+	MemUsed  int64
+}
+
+// New builds a machine from cfg on kernel k. The node count must be a power
+// of two so the hypercube hop metric is defined.
+func New(k *sim.Kernel, cfg Config) (*Machine, error) {
+	if cfg.Nodes <= 0 || cfg.Nodes&(cfg.Nodes-1) != 0 {
+		return nil, fmt.Errorf("smp: node count %d is not a positive power of two", cfg.Nodes)
+	}
+	if cfg.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("smp: cores per node must be positive, got %d", cfg.CoresPerNode)
+	}
+	if cfg.CoreHz <= 0 {
+		return nil, fmt.Errorf("smp: core frequency must be positive, got %d", cfg.CoreHz)
+	}
+	if cfg.LocalBandwidth <= 0 {
+		return nil, fmt.Errorf("smp: local bandwidth must be positive")
+	}
+	if cfg.CacheLine <= 0 {
+		cfg.CacheLine = 64
+	}
+	m := &Machine{K: k, cfg: cfg}
+	for n := 0; n < cfg.Nodes; n++ {
+		m.nodes = append(m.nodes, &Node{ID: n, MemTotal: cfg.MemPerNode})
+		for c := 0; c < cfg.CoresPerNode; c++ {
+			core := &Core{
+				ID:   n*cfg.CoresPerNode + c,
+				Node: n,
+				Hz:   cfg.CoreHz,
+				Exec: sim.NewResource(k, fmt.Sprintf("core%d", n*cfg.CoresPerNode+c), 1),
+			}
+			if cfg.CacheBytes > 0 {
+				core.Cache = NewCache(cfg.CacheBytes, cfg.CacheLine, 8)
+			}
+			m.cores = append(m.cores, core)
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on configuration errors; for tests and examples
+// with known-good configs.
+func MustNew(k *sim.Kernel, cfg Config) *Machine {
+	m, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCores returns the total core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// NumNodes returns the NUMA node count.
+func (m *Machine) NumNodes() int { return len(m.nodes) }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core {
+	if i < 0 || i >= len(m.cores) {
+		panic(fmt.Sprintf("smp: core index %d out of range [0,%d)", i, len(m.cores)))
+	}
+	return m.cores[i]
+}
+
+// NodeOf returns the NUMA node that core i belongs to.
+func (m *Machine) NodeOf(core int) int { return m.Core(core).Node }
+
+// Node returns node n.
+func (m *Machine) Node(n int) *Node {
+	if n < 0 || n >= len(m.nodes) {
+		panic(fmt.Sprintf("smp: node index %d out of range [0,%d)", n, len(m.nodes)))
+	}
+	return m.nodes[n]
+}
+
+// NextCore hands out cores round-robin, spreading across nodes first — the
+// policy a NUMA-aware Linux scheduler approximates for independent threads.
+func (m *Machine) NextCore() *Core {
+	// Walk nodes first: core order 0, cores/node apart.
+	n := len(m.cores)
+	idx := (m.nextRR * m.cfg.CoresPerNode) % n
+	idx += (m.nextRR * m.cfg.CoresPerNode) / n // shift within node on wrap
+	idx %= n
+	m.nextRR++
+	return m.cores[idx]
+}
+
+// Hops returns the number of interconnect hops between two nodes in the
+// hypercube topology (popcount of the XOR of node IDs).
+func (m *Machine) Hops(a, b int) int {
+	if a < 0 || a >= len(m.nodes) || b < 0 || b >= len(m.nodes) {
+		panic(fmt.Sprintf("smp: hop query for invalid nodes %d,%d", a, b))
+	}
+	return bits.OnesCount(uint(a ^ b))
+}
+
+// CycleCost converts a cycle count into virtual time at the core frequency.
+func (c *Core) CycleCost(cycles int64) sim.Duration {
+	if cycles <= 0 {
+		return 0
+	}
+	return sim.Duration(cycles * 1e9 / c.Hz)
+}
+
+// CopyCost returns the virtual time to copy n bytes from memory on node src
+// to memory on node dst.
+func (m *Machine) CopyCost(src, dst, n int) sim.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("smp: negative copy size %d", n))
+	}
+	if n == 0 {
+		return m.cfg.CopySetup
+	}
+	hops := m.Hops(src, dst)
+	ns := float64(n) / m.cfg.LocalBandwidth * (1 + m.cfg.HopPenalty*float64(hops))
+	return m.cfg.CopySetup + sim.Duration(ns)
+}
+
+// Alloc reserves n bytes of local memory on node and reports failure when
+// the node is exhausted.
+func (m *Machine) Alloc(node int, n int64) error {
+	nd := m.Node(node)
+	if nd.MemUsed+n > nd.MemTotal {
+		return fmt.Errorf("smp: node %d out of memory (%d used + %d requested > %d)",
+			node, nd.MemUsed, n, nd.MemTotal)
+	}
+	nd.MemUsed += n
+	return nil
+}
+
+// Free releases n bytes on node. Freeing more than allocated panics — that
+// is always an accounting bug in the caller.
+func (m *Machine) Free(node int, n int64) {
+	nd := m.Node(node)
+	if n > nd.MemUsed {
+		panic(fmt.Sprintf("smp: node %d freeing %d with only %d allocated", node, n, nd.MemUsed))
+	}
+	nd.MemUsed -= n
+}

@@ -1,0 +1,259 @@
+// Package sti7200 models the STMicroelectronics STi7200 MPSoC used in §5 of
+// the paper: one 450 MHz general-purpose RISC ST40 CPU plus four 400 MHz
+// ST231 accelerator CPUs. The ST40 can reach all on-chip memory including a
+// 2 GB external SDRAM block; each ST231 additionally has a block of local
+// data/control memory. CPUs communicate through shared SDRAM paired with an
+// interrupt controller.
+//
+// The cost model encodes the two hardware facts Figure 8 rests on:
+//
+//  1. ST231 accelerators are "designed for intensive computing which needs
+//     fast memory access", while the ST40 is "mainly designed to access
+//     peripherals" — so ST40 pays a higher per-byte cost on SDRAM streaming.
+//  2. EMBera send performance "is linear for message sizes smaller than
+//     50 kB; over 50 kB the send function decreases its performance" — the
+//     shared-bus burst window saturates, so bytes beyond the knee pay a
+//     steeper per-byte cost.
+package sti7200
+
+import (
+	"fmt"
+
+	"embera/internal/sim"
+)
+
+// CPUKind distinguishes the two processor families on the chip.
+type CPUKind int
+
+// CPU kinds.
+const (
+	ST40  CPUKind = iota // general-purpose RISC host CPU
+	ST231                // VLIW accelerator
+)
+
+func (k CPUKind) String() string {
+	switch k {
+	case ST40:
+		return "ST40"
+	case ST231:
+		return "ST231"
+	default:
+		return fmt.Sprintf("CPUKind(%d)", int(k))
+	}
+}
+
+// Config holds chip geometry and cost parameters.
+type Config struct {
+	ST40Hz     int64 // paper: 450 MHz
+	ST231Hz    int64 // paper: 400 MHz
+	NumST231   int   // paper: 4
+	SDRAMBytes int64 // paper: 2 GB external SDRAM
+	LocalBytes int64 // per-ST231 local data+control memory
+
+	// SDRAM streaming cost per CPU kind: setup + bytes/bandwidth, with the
+	// saturation knee applied beyond SaturationBytes.
+	ST40Setup       sim.Duration
+	ST231Setup      sim.Duration
+	ST40Bandwidth   float64 // bytes per nanosecond
+	ST231Bandwidth  float64
+	SaturationBytes int     // burst window; paper: 50 kB
+	SaturationSlope float64 // multiplier on per-byte cost past the knee
+
+	// InterruptLatency is the cost of delivering one inter-CPU interrupt.
+	InterruptLatency sim.Duration
+
+	// ClockSkewTicks staggers each CPU's power-on local clock, modelling
+	// independent oscillators (OS21's time_now is per-CPU local time).
+	ClockSkewTicks int64
+}
+
+// DefaultConfig returns the paper's STi7200 with cost parameters calibrated
+// so Figure 8's shape holds: ST231 sends are faster than ST40 sends at every
+// size, both are linear below 50 kB, and the slope visibly steepens above.
+// Absolute magnitudes sit in the paper's millisecond range.
+func DefaultConfig() Config {
+	return Config{
+		ST40Hz:           450_000_000,
+		ST231Hz:          400_000_000,
+		NumST231:         4,
+		SDRAMBytes:       2 << 30,
+		LocalBytes:       1 << 20, // ~1 MB local memory per accelerator
+		ST40Setup:        120 * sim.Microsecond,
+		ST231Setup:       60 * sim.Microsecond,
+		ST40Bandwidth:    0.0065, // ≈6.5 MB/s effective through EMBX on ST40
+		ST231Bandwidth:   0.016,  // ≈16 MB/s on the accelerator memory path
+		SaturationBytes:  50 * 1024,
+		SaturationSlope:  1.8,
+		InterruptLatency: 8 * sim.Microsecond,
+		ClockSkewTicks:   1000,
+	}
+}
+
+// CPU is one processor on the chip. Exec serializes execution on the CPU:
+// tasks sharing a processor interleave their compute and transfer intervals.
+type CPU struct {
+	ID    int
+	Kind  CPUKind
+	Hz    int64
+	Clock *sim.Clock // local oscillator; basis of OS21 time_now
+	Local *MemRegion // nil on the ST40 (it uses SDRAM directly)
+	Exec  *sim.Resource
+	Busy  sim.Duration
+}
+
+// CycleCost converts cycles into time at this CPU's frequency.
+func (c *CPU) CycleCost(cycles int64) sim.Duration {
+	if cycles <= 0 {
+		return 0
+	}
+	return sim.Duration(cycles * 1e9 / c.Hz)
+}
+
+// Name returns a stable identifier such as "ST40#0" or "ST231#2".
+func (c *CPU) Name() string { return fmt.Sprintf("%s#%d", c.Kind, c.ID) }
+
+// Chip is an instantiated STi7200 bound to a simulation kernel.
+type Chip struct {
+	K     *sim.Kernel
+	cfg   Config
+	cpus  []*CPU
+	SDRAM *MemRegion
+	Intc  *InterruptController
+	bus   *sim.Resource
+}
+
+// New builds the chip on kernel k.
+func New(k *sim.Kernel, cfg Config) (*Chip, error) {
+	if cfg.ST40Hz <= 0 || cfg.ST231Hz <= 0 {
+		return nil, fmt.Errorf("sti7200: CPU frequencies must be positive")
+	}
+	if cfg.NumST231 <= 0 {
+		return nil, fmt.Errorf("sti7200: need at least one ST231, got %d", cfg.NumST231)
+	}
+	if cfg.ST40Bandwidth <= 0 || cfg.ST231Bandwidth <= 0 {
+		return nil, fmt.Errorf("sti7200: bandwidths must be positive")
+	}
+	if cfg.SaturationSlope < 1 {
+		return nil, fmt.Errorf("sti7200: saturation slope %v must be >= 1", cfg.SaturationSlope)
+	}
+	c := &Chip{
+		K:     k,
+		cfg:   cfg,
+		SDRAM: NewMemRegion("SDRAM", cfg.SDRAMBytes),
+		bus:   sim.NewResource(k, "sdram-bus", 1),
+	}
+	host := &CPU{ID: 0, Kind: ST40, Hz: cfg.ST40Hz,
+		Clock: sim.NewClock(k, cfg.ST40Hz, 0),
+		Exec:  sim.NewResource(k, "ST40#0", 1)}
+	c.cpus = append(c.cpus, host)
+	for i := 0; i < cfg.NumST231; i++ {
+		c.cpus = append(c.cpus, &CPU{
+			ID:    i + 1,
+			Kind:  ST231,
+			Hz:    cfg.ST231Hz,
+			Clock: sim.NewClock(k, cfg.ST231Hz, int64(i+1)*cfg.ClockSkewTicks),
+			Local: NewMemRegion(fmt.Sprintf("local#%d", i+1), cfg.LocalBytes),
+			Exec:  sim.NewResource(k, fmt.Sprintf("ST231#%d", i+1), 1),
+		})
+	}
+	c.Intc = NewInterruptController(k, len(c.cpus), cfg.InterruptLatency)
+	return c, nil
+}
+
+// MustNew is New that panics on config errors.
+func MustNew(k *sim.Kernel, cfg Config) *Chip {
+	c, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the chip configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// NumCPUs returns the processor count (1 + NumST231).
+func (c *Chip) NumCPUs() int { return len(c.cpus) }
+
+// CPU returns processor i; index 0 is always the ST40.
+func (c *Chip) CPU(i int) *CPU {
+	if i < 0 || i >= len(c.cpus) {
+		panic(fmt.Sprintf("sti7200: CPU index %d out of range [0,%d)", i, len(c.cpus)))
+	}
+	return c.cpus[i]
+}
+
+// TransferCost returns the time for cpu to stream n bytes through the shared
+// SDRAM path: a per-kind setup plus a piecewise-linear per-byte term with
+// the saturation knee at SaturationBytes.
+func (c *Chip) TransferCost(cpu *CPU, n int) sim.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("sti7200: negative transfer size %d", n))
+	}
+	var setup sim.Duration
+	var bw float64
+	switch cpu.Kind {
+	case ST40:
+		setup, bw = c.cfg.ST40Setup, c.cfg.ST40Bandwidth
+	case ST231:
+		setup, bw = c.cfg.ST231Setup, c.cfg.ST231Bandwidth
+	default:
+		panic("sti7200: unknown CPU kind")
+	}
+	within := n
+	beyond := 0
+	if c.cfg.SaturationBytes > 0 && n > c.cfg.SaturationBytes {
+		within = c.cfg.SaturationBytes
+		beyond = n - c.cfg.SaturationBytes
+	}
+	ns := float64(within)/bw + float64(beyond)/bw*c.cfg.SaturationSlope
+	return setup + sim.Duration(ns)
+}
+
+// Bus returns the shared SDRAM bus resource; concurrent transfers serialize
+// on it.
+func (c *Chip) Bus() *sim.Resource { return c.bus }
+
+// MemRegion is a sized memory block with allocation accounting.
+type MemRegion struct {
+	name  string
+	total int64
+	used  int64
+}
+
+// NewMemRegion creates a region of the given size.
+func NewMemRegion(name string, total int64) *MemRegion {
+	if total <= 0 {
+		panic(fmt.Sprintf("sti7200: region %q must have positive size", name))
+	}
+	return &MemRegion{name: name, total: total}
+}
+
+// Alloc reserves n bytes, failing when the region is exhausted.
+func (r *MemRegion) Alloc(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("sti7200: negative allocation %d in %q", n, r.name)
+	}
+	if r.used+n > r.total {
+		return fmt.Errorf("sti7200: region %q exhausted (%d used + %d > %d)", r.name, r.used, n, r.total)
+	}
+	r.used += n
+	return nil
+}
+
+// Free releases n bytes; over-freeing panics.
+func (r *MemRegion) Free(n int64) {
+	if n > r.used {
+		panic(fmt.Sprintf("sti7200: region %q freeing %d with %d used", r.name, n, r.used))
+	}
+	r.used -= n
+}
+
+// Used returns the live allocation total.
+func (r *MemRegion) Used() int64 { return r.used }
+
+// Total returns the region size.
+func (r *MemRegion) Total() int64 { return r.total }
+
+// Name returns the region name.
+func (r *MemRegion) Name() string { return r.name }

@@ -1,0 +1,278 @@
+package sti7200
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embera/internal/sim"
+)
+
+func newChip() *Chip { return MustNew(sim.NewKernel(), DefaultConfig()) }
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	c := newChip()
+	if c.NumCPUs() != 5 {
+		t.Fatalf("CPUs = %d, want 5", c.NumCPUs())
+	}
+	if c.CPU(0).Kind != ST40 || c.CPU(0).Hz != 450_000_000 {
+		t.Errorf("CPU0 = %s @ %d, want ST40 @ 450 MHz", c.CPU(0).Kind, c.CPU(0).Hz)
+	}
+	for i := 1; i <= 4; i++ {
+		if c.CPU(i).Kind != ST231 || c.CPU(i).Hz != 400_000_000 {
+			t.Errorf("CPU%d = %s @ %d, want ST231 @ 400 MHz", i, c.CPU(i).Kind, c.CPU(i).Hz)
+		}
+		if c.CPU(i).Local == nil {
+			t.Errorf("CPU%d has no local memory", i)
+		}
+	}
+	if c.CPU(0).Local != nil {
+		t.Error("ST40 should have no private local region (it owns SDRAM)")
+	}
+	if c.SDRAM.Total() != 2<<30 {
+		t.Errorf("SDRAM = %d, want 2 GiB", c.SDRAM.Total())
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	k := sim.NewKernel()
+	base := DefaultConfig()
+	mutate := []func(*Config){
+		func(c *Config) { c.ST40Hz = 0 },
+		func(c *Config) { c.ST231Hz = -1 },
+		func(c *Config) { c.NumST231 = 0 },
+		func(c *Config) { c.ST40Bandwidth = 0 },
+		func(c *Config) { c.ST231Bandwidth = 0 },
+		func(c *Config) { c.SaturationSlope = 0.5 },
+	}
+	for i, f := range mutate {
+		cfg := base
+		f(&cfg)
+		if _, err := New(k, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestST40SlowerThanST231Transfers(t *testing.T) {
+	c := newChip()
+	for _, n := range []int{1024, 25 * 1024, 50 * 1024, 100 * 1024, 200 * 1024} {
+		st40 := c.TransferCost(c.CPU(0), n)
+		st231 := c.TransferCost(c.CPU(1), n)
+		if st231 >= st40 {
+			t.Errorf("n=%d: ST231 cost %v >= ST40 cost %v", n, st231, st40)
+		}
+	}
+}
+
+func TestTransferLinearBelowKnee(t *testing.T) {
+	c := newChip()
+	for _, cpu := range []*CPU{c.CPU(0), c.CPU(1)} {
+		c10 := c.TransferCost(cpu, 10*1024)
+		c20 := c.TransferCost(cpu, 20*1024)
+		c40 := c.TransferCost(cpu, 40*1024)
+		diff := (c40 - c20) - 2*(c20-c10)
+		if diff < -2 || diff > 2 { // allow ns-level float rounding
+			t.Errorf("%s: not linear below knee: deltas %v, %v", cpu.Kind, c20-c10, c40-c20)
+		}
+	}
+}
+
+func TestTransferKneeSteepensSlope(t *testing.T) {
+	c := newChip()
+	knee := c.Config().SaturationBytes
+	for _, cpu := range []*CPU{c.CPU(0), c.CPU(1)} {
+		// Slope below knee per 10 kB vs slope above knee per 10 kB.
+		below := c.TransferCost(cpu, knee) - c.TransferCost(cpu, knee-10*1024)
+		above := c.TransferCost(cpu, knee+10*1024) - c.TransferCost(cpu, knee)
+		if above <= below {
+			t.Errorf("%s: no knee: slope above %v <= below %v", cpu.Kind, above, below)
+		}
+		ratio := float64(above) / float64(below)
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("%s: knee ratio %v outside configured ~1.8", cpu.Kind, ratio)
+		}
+	}
+}
+
+func TestTransferNegativePanics(t *testing.T) {
+	c := newChip()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	c.TransferCost(c.CPU(0), -1)
+}
+
+func TestCycleCostPerCPU(t *testing.T) {
+	c := newChip()
+	if got := c.CPU(0).CycleCost(450_000_000); got != sim.Second {
+		t.Errorf("ST40 1s of cycles = %v", got)
+	}
+	if got := c.CPU(1).CycleCost(400_000); got != sim.Millisecond {
+		t.Errorf("ST231 1ms of cycles = %v", got)
+	}
+}
+
+func TestPerCPUClockSkew(t *testing.T) {
+	c := newChip()
+	// At t=0 the ST231 clocks are staggered by ClockSkewTicks each.
+	t1 := c.CPU(1).Clock.Ticks()
+	t2 := c.CPU(2).Clock.Ticks()
+	if t2-t1 != c.Config().ClockSkewTicks {
+		t.Errorf("skew = %d, want %d", t2-t1, c.Config().ClockSkewTicks)
+	}
+	if c.CPU(0).Clock.Hz() != 450_000_000 {
+		t.Errorf("ST40 clock rate = %d", c.CPU(0).Clock.Hz())
+	}
+}
+
+func TestCPUName(t *testing.T) {
+	c := newChip()
+	if c.CPU(0).Name() != "ST40#0" || c.CPU(2).Name() != "ST231#2" {
+		t.Errorf("names = %q, %q", c.CPU(0).Name(), c.CPU(2).Name())
+	}
+	if CPUKind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestCPUIndexBounds(t *testing.T) {
+	c := newChip()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range CPU did not panic")
+		}
+	}()
+	c.CPU(5)
+}
+
+func TestMemRegionAccounting(t *testing.T) {
+	r := NewMemRegion("r", 100)
+	if err := r.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Alloc(50); err == nil {
+		t.Error("overcommit accepted")
+	}
+	if err := r.Alloc(-1); err == nil {
+		t.Error("negative alloc accepted")
+	}
+	r.Free(60)
+	if r.Used() != 0 {
+		t.Errorf("used = %d", r.Used())
+	}
+	if r.Name() != "r" || r.Total() != 100 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestMemRegionOverfreePanics(t *testing.T) {
+	r := NewMemRegion("r", 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-free did not panic")
+		}
+	}()
+	r.Free(1)
+}
+
+func TestInterruptDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	c := MustNew(k, DefaultConfig())
+	var deliveredAt sim.Time = -1
+	c.Intc.Install(1, 7, func() { deliveredAt = k.Now() })
+	c.Intc.Raise(1, 7)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredAt != sim.Time(DefaultConfig().InterruptLatency) {
+		t.Errorf("delivered at %d, want %d", deliveredAt, DefaultConfig().InterruptLatency)
+	}
+	delivered, dropped := c.Intc.Stats(1)
+	if delivered != 1 || dropped != 0 {
+		t.Errorf("stats = %d,%d", delivered, dropped)
+	}
+}
+
+func TestInterruptWithoutHandlerDropped(t *testing.T) {
+	k := sim.NewKernel()
+	c := MustNew(k, DefaultConfig())
+	c.Intc.Raise(2, 3)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delivered, dropped := c.Intc.Stats(2)
+	if delivered != 0 || dropped != 1 {
+		t.Errorf("stats = %d,%d, want 0,1", delivered, dropped)
+	}
+}
+
+func TestInterruptUninstall(t *testing.T) {
+	k := sim.NewKernel()
+	c := MustNew(k, DefaultConfig())
+	c.Intc.Install(1, 7, func() { t.Error("uninstalled handler ran") })
+	c.Intc.Uninstall(1, 7)
+	c.Intc.Raise(1, 7)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterruptBadCPUPanics(t *testing.T) {
+	k := sim.NewKernel()
+	c := MustNew(k, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("bad CPU did not panic")
+		}
+	}()
+	c.Intc.Raise(99, 0)
+}
+
+func TestInterruptNilHandlerPanics(t *testing.T) {
+	k := sim.NewKernel()
+	c := MustNew(k, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	c.Intc.Install(0, 0, nil)
+}
+
+// Property: transfer cost is monotone in size for both CPU kinds.
+func TestTransferCostMonotone(t *testing.T) {
+	c := newChip()
+	f := func(a, b uint32, kind bool) bool {
+		cpu := c.CPU(0)
+		if kind {
+			cpu = c.CPU(1)
+		}
+		lo, hi := int(a%300_000), int(b%300_000)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.TransferCost(cpu, lo) <= c.TransferCost(cpu, hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost above the knee is always >= the purely-linear
+// extrapolation (the knee only ever hurts).
+func TestKneeNeverHelps(t *testing.T) {
+	c := newChip()
+	cfg := c.Config()
+	f := func(a uint32) bool {
+		n := int(a % 400_000)
+		cpu := c.CPU(1)
+		actual := c.TransferCost(cpu, n)
+		linear := cfg.ST231Setup + sim.Duration(float64(n)/cfg.ST231Bandwidth)
+		return actual >= linear
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package sti7200
+
+import (
+	"fmt"
+
+	"embera/internal/sim"
+)
+
+// InterruptController routes inter-CPU interrupts. The STi7200 pairs its
+// shared memory block with "one interruption controller"; EMBX uses it to
+// notify a CPU that a distributed object it is reading from has been
+// written.
+//
+// Handlers run in kernel context after the configured delivery latency, so
+// they must not block; they typically signal a semaphore to wake a task.
+type InterruptController struct {
+	k        *sim.Kernel
+	latency  sim.Duration
+	handlers []map[int]func() // per CPU: irq -> handler
+	raised   []uint64         // per CPU: delivered interrupt count
+	dropped  []uint64         // per CPU: raised with no handler installed
+}
+
+// NewInterruptController creates a controller for numCPUs processors.
+func NewInterruptController(k *sim.Kernel, numCPUs int, latency sim.Duration) *InterruptController {
+	if numCPUs <= 0 {
+		panic("sti7200: interrupt controller needs at least one CPU")
+	}
+	ic := &InterruptController{
+		k:        k,
+		latency:  latency,
+		handlers: make([]map[int]func(), numCPUs),
+		raised:   make([]uint64, numCPUs),
+		dropped:  make([]uint64, numCPUs),
+	}
+	for i := range ic.handlers {
+		ic.handlers[i] = make(map[int]func())
+	}
+	return ic
+}
+
+// Install registers a handler for irq on cpu, replacing any previous one.
+func (ic *InterruptController) Install(cpu, irq int, handler func()) {
+	ic.checkCPU(cpu)
+	if handler == nil {
+		panic("sti7200: nil interrupt handler")
+	}
+	ic.handlers[cpu][irq] = handler
+}
+
+// Uninstall removes the handler for irq on cpu.
+func (ic *InterruptController) Uninstall(cpu, irq int) {
+	ic.checkCPU(cpu)
+	delete(ic.handlers[cpu], irq)
+}
+
+// Raise delivers irq to cpu after the controller latency. If no handler is
+// installed at delivery time the interrupt is counted as dropped.
+func (ic *InterruptController) Raise(cpu, irq int) {
+	ic.checkCPU(cpu)
+	ic.k.At(ic.latency, func() {
+		if h, ok := ic.handlers[cpu][irq]; ok {
+			ic.raised[cpu]++
+			h()
+		} else {
+			ic.dropped[cpu]++
+		}
+	})
+}
+
+// Stats reports delivered and dropped interrupt counts for cpu.
+func (ic *InterruptController) Stats(cpu int) (delivered, dropped uint64) {
+	ic.checkCPU(cpu)
+	return ic.raised[cpu], ic.dropped[cpu]
+}
+
+func (ic *InterruptController) checkCPU(cpu int) {
+	if cpu < 0 || cpu >= len(ic.handlers) {
+		panic(fmt.Sprintf("sti7200: CPU %d out of range [0,%d)", cpu, len(ic.handlers)))
+	}
+}

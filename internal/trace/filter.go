@@ -1,0 +1,120 @@
+package trace
+
+import "embera/internal/core"
+
+// Event selection — the paper's §6 open question "how to select the events
+// to be observed". A Filter wraps any EventSink and forwards only matching
+// events, so selection happens at collection time (keeping ring-buffer
+// pressure down) rather than at analysis time.
+
+// Predicate decides whether an event is collected.
+type Predicate func(core.Event) bool
+
+// Filter is a selective EventSink.
+type Filter struct {
+	next core.EventSink
+	pred Predicate
+
+	matched, rejected uint64
+}
+
+// NewFilter wraps next with a predicate. A nil predicate matches everything.
+func NewFilter(next core.EventSink, pred Predicate) *Filter {
+	if next == nil {
+		panic("trace: filter needs a downstream sink")
+	}
+	if pred == nil {
+		pred = func(core.Event) bool { return true }
+	}
+	return &Filter{next: next, pred: pred}
+}
+
+// Emit implements core.EventSink.
+func (f *Filter) Emit(e core.Event) {
+	if f.pred(e) {
+		f.matched++
+		f.next.Emit(e)
+		return
+	}
+	f.rejected++
+}
+
+// Stats reports how many events matched and how many were rejected.
+func (f *Filter) Stats() (matched, rejected uint64) { return f.matched, f.rejected }
+
+// Composable predicates.
+
+// ByKind matches any of the given event kinds.
+func ByKind(kinds ...core.EventKind) Predicate {
+	set := map[core.EventKind]bool{}
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(e core.Event) bool { return set[e.Kind] }
+}
+
+// ByComponent matches any of the given component names.
+func ByComponent(names ...string) Predicate {
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(e core.Event) bool { return set[e.Component] }
+}
+
+// ByInterface matches any of the given interface names.
+func ByInterface(names ...string) Predicate {
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(e core.Event) bool { return set[e.Interface] }
+}
+
+// MinBytes matches events moving at least n bytes.
+func MinBytes(n int) Predicate {
+	return func(e core.Event) bool { return e.Bytes >= n }
+}
+
+// And matches when every predicate matches.
+func And(ps ...Predicate) Predicate {
+	return func(e core.Event) bool {
+		for _, p := range ps {
+			if !p(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or matches when any predicate matches.
+func Or(ps ...Predicate) Predicate {
+	return func(e core.Event) bool {
+		for _, p := range ps {
+			if p(e) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not inverts a predicate.
+func Not(p Predicate) Predicate {
+	return func(e core.Event) bool { return !p(e) }
+}
+
+// Tee duplicates events to several sinks (e.g. a full ring plus a filtered
+// one).
+type Tee struct{ sinks []core.EventSink }
+
+// NewTee builds a fan-out sink.
+func NewTee(sinks ...core.EventSink) *Tee { return &Tee{sinks: sinks} }
+
+// Emit implements core.EventSink.
+func (t *Tee) Emit(e core.Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}

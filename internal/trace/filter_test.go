@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"embera/internal/core"
+)
+
+func TestFilterByKind(t *testing.T) {
+	rec := NewRecorder(100)
+	f := NewFilter(rec, ByKind(core.EvSend))
+	for _, e := range sampleEvents(50) {
+		f.Emit(e)
+	}
+	for _, e := range rec.Events() {
+		if e.Kind != core.EvSend {
+			t.Fatalf("non-send event passed: %v", e.Kind)
+		}
+	}
+	matched, rejected := f.Stats()
+	if matched == 0 || rejected == 0 || matched+rejected != 50 {
+		t.Errorf("stats = %d/%d", matched, rejected)
+	}
+}
+
+func TestFilterByComponentAndInterface(t *testing.T) {
+	rec := NewRecorder(100)
+	f := NewFilter(rec, And(ByComponent("Fetch"), ByInterface("")))
+	for _, e := range sampleEvents(30) {
+		f.Emit(e)
+	}
+	for _, e := range rec.Events() {
+		if e.Component != "Fetch" || e.Interface != "" {
+			t.Fatalf("filter leak: %+v", e)
+		}
+	}
+}
+
+func TestFilterCombinators(t *testing.T) {
+	send := core.Event{Kind: core.EvSend, Bytes: 100, Component: "A"}
+	recv := core.Event{Kind: core.EvReceive, Bytes: 5000, Component: "B"}
+	cases := []struct {
+		pred Predicate
+		ev   core.Event
+		want bool
+	}{
+		{MinBytes(1000), send, false},
+		{MinBytes(1000), recv, true},
+		{Not(ByComponent("A")), send, false},
+		{Or(ByComponent("A"), ByComponent("B")), recv, true},
+		{And(ByKind(core.EvSend), MinBytes(50)), send, true},
+		{And(ByKind(core.EvSend), MinBytes(500)), send, false},
+	}
+	for i, c := range cases {
+		if got := c.pred(c.ev); got != c.want {
+			t.Errorf("case %d = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestFilterNilPredicateMatchesAll(t *testing.T) {
+	rec := NewRecorder(10)
+	f := NewFilter(rec, nil)
+	f.Emit(core.Event{Kind: core.EvStart})
+	if rec.Len() != 1 {
+		t.Error("nil predicate rejected an event")
+	}
+}
+
+func TestFilterNilSinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil sink did not panic")
+		}
+	}()
+	NewFilter(nil, nil)
+}
+
+func TestTeeDuplicates(t *testing.T) {
+	a := NewRecorder(10)
+	b := NewRecorder(10)
+	tee := NewTee(a, NewFilter(b, ByKind(core.EvSend)))
+	tee.Emit(core.Event{Kind: core.EvSend})
+	tee.Emit(core.Event{Kind: core.EvStop})
+	if a.Len() != 2 || b.Len() != 1 {
+		t.Errorf("tee counts = %d/%d, want 2/1", a.Len(), b.Len())
+	}
+}
+
+func TestWindowerAggregates(t *testing.T) {
+	w := NewWindower(100)
+	w.Emit(core.Event{TimeUS: 10, Kind: core.EvSend, Bytes: 500, DurUS: 3})
+	w.Emit(core.Event{TimeUS: 90, Kind: core.EvSend, Bytes: 500, DurUS: 4})
+	w.Emit(core.Event{TimeUS: 150, Kind: core.EvReceive, Bytes: 500, DurUS: 2})
+	w.Emit(core.Event{TimeUS: 250, Kind: core.EvCompute, DurUS: 40})
+	ws := w.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].Sends != 2 || ws[0].Bytes != 1000 || ws[0].SendUS != 7 {
+		t.Errorf("w0 = %+v", ws[0])
+	}
+	if ws[1].Recvs != 1 || ws[2].BusyUS != 40 {
+		t.Errorf("w1/w2 = %+v / %+v", ws[1], ws[2])
+	}
+	tp := w.ThroughputMBps()
+	if tp[0] != 10 { // 1000 bytes / 100 µs
+		t.Errorf("throughput = %v", tp)
+	}
+	if !strings.Contains(FormatWindows(ws), "window (µs)") {
+		t.Error("window formatting broken")
+	}
+}
+
+func TestWindowerIgnoresNegativeTime(t *testing.T) {
+	w := NewWindower(100)
+	w.Emit(core.Event{TimeUS: -5, Kind: core.EvSend})
+	if len(w.Windows()) != 0 {
+		t.Error("negative-time event created a window")
+	}
+}
+
+func TestWindowerBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width did not panic")
+		}
+	}()
+	NewWindower(0)
+}

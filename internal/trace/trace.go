@@ -1,0 +1,294 @@
+// Package trace implements the event-trace support the paper announces as
+// ongoing work in §6: "the current approach for observing is mainly based on
+// collecting summarized information about the execution. However, this
+// information does not give a detailed view of the application behavior. For
+// this reason, we plan to implement an event-trace-support for collecting
+// detailed events."
+//
+// A Recorder plugs into an EMBera application as its EventSink and collects
+// every instrumentation event (component start/stop, send, receive, compute,
+// observation) into a bounded ring buffer. Traces serialize to a compact
+// binary format and can be analyzed offline (per-component summaries,
+// interface throughput, time-ordered dumps).
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"embera/internal/core"
+)
+
+// Recorder is a bounded in-memory event trace. It implements
+// core.EventSink. When the ring fills, the oldest events are overwritten and
+// counted as dropped — embedded trace buffers behave the same way.
+type Recorder struct {
+	buf     []core.Event
+	next    int
+	wrapped bool
+	dropped uint64
+	total   uint64
+	enabled bool
+}
+
+// NewRecorder creates a trace buffer holding up to capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: capacity %d must be positive", capacity))
+	}
+	return &Recorder{buf: make([]core.Event, capacity), enabled: true}
+}
+
+// Emit implements core.EventSink.
+func (r *Recorder) Emit(e core.Event) {
+	if !r.enabled {
+		return
+	}
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// SetEnabled toggles collection (events emitted while disabled are lost
+// silently, like a stopped hardware trace unit).
+func (r *Recorder) SetEnabled(v bool) { r.enabled = v }
+
+// Events returns the retained events in emission order.
+func (r *Recorder) Events() []core.Event {
+	if !r.wrapped {
+		return append([]core.Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]core.Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Stats reports total emitted and dropped (overwritten) event counts.
+func (r *Recorder) Stats() (total, dropped uint64) { return r.total, r.dropped }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// --- binary codec ---
+
+// magic and version head every serialized trace.
+var magic = [4]byte{'E', 'M', 'B', 'T'}
+
+const version = 1
+
+// Write serializes events to w: a 6-byte header, a string table, then
+// fixed-layout little-endian records referencing the table.
+func Write(w io.Writer, events []core.Event) error {
+	// Build the string table (components + interfaces).
+	index := map[string]uint32{}
+	var table []string
+	intern := func(s string) uint32 {
+		if id, ok := index[s]; ok {
+			return id
+		}
+		id := uint32(len(table))
+		index[s] = id
+		table = append(table, s)
+		return id
+	}
+	type rec struct {
+		t          int64
+		dur        int64
+		comp, ifac uint32
+		bytes      uint32
+		kind       uint8
+	}
+	recs := make([]rec, len(events))
+	for i, e := range events {
+		if e.Bytes < 0 {
+			return fmt.Errorf("trace: event %d has negative size", i)
+		}
+		recs[i] = rec{
+			t: e.TimeUS, dur: e.DurUS,
+			comp: intern(e.Component), ifac: intern(e.Interface),
+			bytes: uint32(e.Bytes), kind: uint8(e.Kind),
+		}
+	}
+
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []any{uint8(version), uint32(len(table)), uint32(len(recs))}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, s := range table {
+		if len(s) > 0xFFFF {
+			return errors.New("trace: string too long")
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, s); err != nil {
+			return err
+		}
+	}
+	for _, rc := range recs {
+		for _, v := range []any{rc.t, rc.dur, rc.comp, rc.ifac, rc.bytes, rc.kind} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([]core.Event, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	var ver uint8
+	var nStrings, nRecs uint32
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nStrings); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nRecs); err != nil {
+		return nil, err
+	}
+	if nStrings > 1<<24 || nRecs > 1<<30 {
+		return nil, errors.New("trace: implausible header counts")
+	}
+	table := make([]string, nStrings)
+	for i := range table {
+		var l uint16
+		if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+			return nil, err
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		table[i] = string(b)
+	}
+	events := make([]core.Event, nRecs)
+	for i := range events {
+		var t, dur int64
+		var comp, ifac, bytes uint32
+		var kind uint8
+		for _, v := range []any{&t, &dur, &comp, &ifac, &bytes, &kind} {
+			if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+				return nil, err
+			}
+		}
+		if int(comp) >= len(table) || int(ifac) >= len(table) {
+			return nil, errors.New("trace: string index out of range")
+		}
+		events[i] = core.Event{
+			TimeUS: t, DurUS: dur,
+			Component: table[comp], Interface: table[ifac],
+			Bytes: int(bytes), Kind: core.EventKind(kind),
+		}
+	}
+	return events, nil
+}
+
+// --- analysis ---
+
+// Summary aggregates a trace per component.
+type Summary struct {
+	Component string
+	Events    int
+	Sends     int
+	Receives  int
+	Computes  int
+	SendBytes uint64
+	RecvBytes uint64
+	SendUS    int64
+	RecvUS    int64
+	ComputeUS int64
+	FirstUS   int64
+	LastUS    int64
+}
+
+// Summarize builds per-component summaries, sorted by component name.
+func Summarize(events []core.Event) []Summary {
+	byComp := map[string]*Summary{}
+	for _, e := range events {
+		s := byComp[e.Component]
+		if s == nil {
+			s = &Summary{Component: e.Component, FirstUS: e.TimeUS}
+			byComp[e.Component] = s
+		}
+		s.Events++
+		if e.TimeUS < s.FirstUS {
+			s.FirstUS = e.TimeUS
+		}
+		if e.TimeUS > s.LastUS {
+			s.LastUS = e.TimeUS
+		}
+		switch e.Kind {
+		case core.EvSend:
+			s.Sends++
+			s.SendBytes += uint64(e.Bytes)
+			s.SendUS += e.DurUS
+		case core.EvReceive:
+			s.Receives++
+			s.RecvBytes += uint64(e.Bytes)
+			s.RecvUS += e.DurUS
+		case core.EvCompute:
+			s.Computes++
+			s.ComputeUS += e.DurUS
+		}
+	}
+	out := make([]Summary, 0, len(byComp))
+	for _, s := range byComp {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Component < out[j].Component })
+	return out
+}
+
+// FormatSummaries renders summaries as an aligned text table.
+func FormatSummaries(sums []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %10s %10s %10s\n",
+		"component", "sends", "recvs", "computes", "sendUS", "recvUS", "computeUS")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-16s %8d %8d %8d %10d %10d %10d\n",
+			s.Component, s.Sends, s.Receives, s.Computes, s.SendUS, s.RecvUS, s.ComputeUS)
+	}
+	return b.String()
+}
+
+// Dump renders events one per line, for cmd/embera-trace.
+func Dump(w io.Writer, events []core.Event) {
+	for _, e := range events {
+		fmt.Fprintf(w, "%12dµs %-8s %-16s %-14s %8dB %8dµs\n",
+			e.TimeUS, e.Kind, e.Component, e.Interface, e.Bytes, e.DurUS)
+	}
+}

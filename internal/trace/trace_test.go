@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"embera/internal/core"
+)
+
+func sampleEvents(n int) []core.Event {
+	evs := make([]core.Event, n)
+	kinds := []core.EventKind{core.EvStart, core.EvSend, core.EvReceive, core.EvCompute, core.EvStop}
+	for i := range evs {
+		evs[i] = core.Event{
+			TimeUS:    int64(i * 10),
+			Kind:      kinds[i%len(kinds)],
+			Component: []string{"Fetch", "IDCT_1", "Reorder"}[i%3],
+			Interface: []string{"", "fetchIdct1", "idctReorder"}[i%3],
+			Bytes:     i * 100,
+			DurUS:     int64(i),
+		}
+	}
+	return evs
+}
+
+func TestRecorderKeepsOrder(t *testing.T) {
+	r := NewRecorder(100)
+	for _, e := range sampleEvents(50) {
+		r.Emit(e)
+	}
+	got := r.Events()
+	if len(got) != 50 || r.Len() != 50 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, e := range got {
+		if e.TimeUS != int64(i*10) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	total, dropped := r.Stats()
+	if total != 50 || dropped != 0 {
+		t.Errorf("stats = %d/%d", total, dropped)
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	r := NewRecorder(10)
+	for _, e := range sampleEvents(25) {
+		r.Emit(e)
+	}
+	got := r.Events()
+	if len(got) != 10 {
+		t.Fatalf("retained = %d, want 10", len(got))
+	}
+	// Oldest retained is event 15.
+	if got[0].TimeUS != 150 || got[9].TimeUS != 240 {
+		t.Errorf("window = [%d, %d], want [150, 240]", got[0].TimeUS, got[9].TimeUS)
+	}
+	total, dropped := r.Stats()
+	if total != 25 || dropped != 15 {
+		t.Errorf("stats = %d/%d, want 25/15", total, dropped)
+	}
+}
+
+func TestRecorderDisable(t *testing.T) {
+	r := NewRecorder(10)
+	r.Emit(core.Event{TimeUS: 1})
+	r.SetEnabled(false)
+	r.Emit(core.Event{TimeUS: 2})
+	r.SetEnabled(true)
+	r.Emit(core.Event{TimeUS: 3})
+	got := r.Events()
+	if len(got) != 2 || got[1].TimeUS != 3 {
+		t.Errorf("events = %v", got)
+	}
+}
+
+func TestRecorderBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewRecorder(0)
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	evs := sampleEvents(123)
+	var buf bytes.Buffer
+	if err := Write(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("len = %d, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("events = %d", len(got))
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid header, truncated body.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleEvents(5)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(times []int64, sizes []uint16) bool {
+		n := len(times)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if n > 64 {
+			n = 64
+		}
+		evs := make([]core.Event, n)
+		for i := 0; i < n; i++ {
+			evs[i] = core.Event{
+				TimeUS: times[i], Kind: core.EvSend,
+				Component: "c", Interface: "i",
+				Bytes: int(sizes[i]), DurUS: times[i] / 2,
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, evs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range evs {
+			if got[i] != evs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	evs := []core.Event{
+		{TimeUS: 0, Kind: core.EvStart, Component: "A"},
+		{TimeUS: 10, Kind: core.EvSend, Component: "A", Interface: "out", Bytes: 100, DurUS: 5},
+		{TimeUS: 20, Kind: core.EvSend, Component: "A", Interface: "out", Bytes: 200, DurUS: 7},
+		{TimeUS: 15, Kind: core.EvReceive, Component: "B", Interface: "in", Bytes: 100, DurUS: 3},
+		{TimeUS: 30, Kind: core.EvCompute, Component: "B", DurUS: 11},
+		{TimeUS: 40, Kind: core.EvStop, Component: "A"},
+	}
+	sums := Summarize(evs)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	a, b := sums[0], sums[1]
+	if a.Component != "A" || b.Component != "B" {
+		t.Fatal("sort order wrong")
+	}
+	if a.Sends != 2 || a.SendBytes != 300 || a.SendUS != 12 {
+		t.Errorf("A = %+v", a)
+	}
+	if a.FirstUS != 0 || a.LastUS != 40 {
+		t.Errorf("A span = [%d,%d]", a.FirstUS, a.LastUS)
+	}
+	if b.Receives != 1 || b.Computes != 1 || b.ComputeUS != 11 {
+		t.Errorf("B = %+v", b)
+	}
+	table := FormatSummaries(sums)
+	if !strings.Contains(table, "A") || !strings.Contains(table, "component") {
+		t.Error("format missing fields")
+	}
+	var dump bytes.Buffer
+	Dump(&dump, evs)
+	if !strings.Contains(dump.String(), "send") {
+		t.Error("dump missing kinds")
+	}
+}

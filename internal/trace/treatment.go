@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"embera/internal/core"
+)
+
+// Treatments — the paper's §6 open question "how to set the treatments to
+// apply": online aggregation applied to the event stream instead of (or in
+// addition to) raw collection. Windower folds events into fixed virtual-time
+// windows, producing throughput/latency series like the ones Figure 4 and
+// Figure 8 plot, without retaining individual events.
+
+// Window is one aggregation interval.
+type Window struct {
+	StartUS int64
+	Sends   int
+	Recvs   int
+	Bytes   uint64
+	SendUS  int64 // total time inside send primitives
+	BusyUS  int64 // total compute time charged
+}
+
+// Windower is an EventSink that folds events into fixed-width windows.
+type Windower struct {
+	widthUS int64
+	windows []Window
+}
+
+// NewWindower creates a windowing treatment with the given width in
+// microseconds of virtual time.
+func NewWindower(widthUS int64) *Windower {
+	if widthUS <= 0 {
+		panic("trace: window width must be positive")
+	}
+	return &Windower{widthUS: widthUS}
+}
+
+// Emit implements core.EventSink.
+func (w *Windower) Emit(e core.Event) {
+	if e.TimeUS < 0 {
+		return
+	}
+	idx := int(e.TimeUS / w.widthUS)
+	for len(w.windows) <= idx {
+		w.windows = append(w.windows, Window{StartUS: int64(len(w.windows)) * w.widthUS})
+	}
+	win := &w.windows[idx]
+	switch e.Kind {
+	case core.EvSend:
+		win.Sends++
+		win.Bytes += uint64(e.Bytes)
+		win.SendUS += e.DurUS
+	case core.EvReceive:
+		win.Recvs++
+	case core.EvCompute:
+		win.BusyUS += e.DurUS
+	}
+}
+
+// Windows returns the aggregated series.
+func (w *Windower) Windows() []Window {
+	return append([]Window(nil), w.windows...)
+}
+
+// ThroughputMBps returns the per-window send throughput series in MB/s of
+// virtual time.
+func (w *Windower) ThroughputMBps() []float64 {
+	out := make([]float64, len(w.windows))
+	for i, win := range w.windows {
+		out[i] = float64(win.Bytes) / float64(w.widthUS) // bytes/µs == MB/s
+	}
+	return out
+}
+
+// FormatWindows renders the series as a table.
+func FormatWindows(ws []Window) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %8s %8s %12s %10s %10s\n",
+		"window (µs)", "sends", "recvs", "bytes", "sendUS", "busyUS")
+	for _, w := range ws {
+		fmt.Fprintf(&b, "%12d %8d %8d %12d %10d %10d\n",
+			w.StartUS, w.Sends, w.Recvs, w.Bytes, w.SendUS, w.BusyUS)
+	}
+	return b.String()
+}
