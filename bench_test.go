@@ -7,6 +7,7 @@
 package embera_test
 
 import (
+	"fmt"
 	"testing"
 
 	"embera/internal/core"
@@ -14,6 +15,7 @@ import (
 	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
+	"embera/internal/monitor"
 	"embera/internal/sim"
 	"embera/internal/smp"
 	"embera/internal/smpbind"
@@ -364,6 +366,67 @@ func BenchmarkObservationQuery(b *testing.B) {
 	}
 	if qErr != nil {
 		b.Fatal(qErr)
+	}
+}
+
+// BenchmarkMonitorOverhead quantifies the host-side cost of the streaming
+// observation pipeline: the full SMP MJPEG simulation under continuous
+// sampling at 0 (baseline), 1, 10 and 100 samples per simulated
+// millisecond. Compare ns/op against baseline for the slowdown; the
+// samples/drops metrics confirm that overload is shed at the ring with an
+// explicit count, never silently.
+func BenchmarkMonitorOverhead(b *testing.B) {
+	stream, err := exp.RefStream(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, perMS := range []int{0, 1, 10, 100} {
+		name := "baseline"
+		if perMS > 0 {
+			name = fmt.Sprintf("%dperMS", perMS)
+		}
+		b.Run(name, func(b *testing.B) {
+			var samples, drops uint64
+			for i := 0; i < b.N; i++ {
+				k := sim.NewKernel()
+				sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+				a := core.NewApp("bench", smpbind.New(sys, "bench"))
+				if _, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream)); err != nil {
+					b.Fatal(err)
+				}
+				var mon *monitor.Monitor
+				if perMS > 0 {
+					mon, err = monitor.New(a, monitor.Config{
+						Levels: []monitor.LevelPeriod{{
+							Level:    core.LevelApplication,
+							PeriodUS: int64(1000 / perMS),
+						}},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := mon.Start(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := a.Start(); err != nil {
+					b.Fatal(err)
+				}
+				if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+					b.Fatal(err)
+				}
+				if !a.Done() {
+					b.Fatal("application did not finish")
+				}
+				if mon != nil {
+					samples, drops = mon.Samples(), mon.Dropped()
+				}
+			}
+			if perMS > 0 {
+				b.ReportMetric(float64(samples), "samples")
+				b.ReportMetric(float64(drops), "drops")
+			}
+		})
 	}
 }
 

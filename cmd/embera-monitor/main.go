@@ -1,0 +1,135 @@
+// embera-monitor runs the paper's componentized MJPEG decoder under
+// continuous streaming observation (internal/monitor): every component is
+// sampled on a fixed virtual-time period, samples flow through the sharded
+// ring buffer into windowed aggregation, and the whole-run rate/percentile
+// table is printed at the end — per-component send/receive-operation rates,
+// mailbox-depth high-water marks and p50/p95/p99 percentiles.
+//
+// Usage:
+//
+//	embera-monitor -frames 100                      # SMP, 1 ms sampling
+//	embera-monitor -platform sti7200 -frames 58
+//	embera-monitor -period 100 -window 5000         # 10 samples/ms
+//	embera-monitor -jsonl windows.jsonl             # stream windows to a file
+//	embera-monitor -ring 64                         # starve the ring: see drops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/linux"
+	"embera/internal/mjpeg"
+	"embera/internal/mjpegapp"
+	"embera/internal/monitor"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+	"embera/internal/sti7200"
+)
+
+func main() {
+	platform := flag.String("platform", "smp", "platform: smp | sti7200")
+	frames := flag.Int("frames", 100, "frames to synthesize when -in is not given")
+	in := flag.String("in", "", "MJPEG input file (overrides -frames)")
+	period := flag.Int64("period", 1000, "application-level sampling period (virtual µs)")
+	osPeriod := flag.Int64("os-period", 5000, "OS-level sampling period (virtual µs, 0 = off)")
+	window := flag.Int64("window", 10_000, "aggregation window (virtual µs)")
+	ringCap := flag.Int("ring", 4096, "ring buffer capacity (samples)")
+	shards := flag.Int("shards", 4, "ring buffer shard count")
+	jsonl := flag.String("jsonl", "", "stream per-window JSONL records to this file")
+	flag.Parse()
+
+	var stream []byte
+	var err error
+	if *in != "" {
+		stream, err = os.ReadFile(*in)
+	} else {
+		stream, err = mjpeg.SynthStream(exp.RefW, exp.RefH, *frames,
+			mjpeg.EncodeOptions{Quality: exp.RefQuality})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assemble the application on the selected platform.
+	k := sim.NewKernel()
+	var a *core.App
+	var cfg mjpegapp.Config
+	switch *platform {
+	case "smp":
+		sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+		a = core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
+		cfg = mjpegapp.SMPConfig(stream)
+	case "sti7200":
+		chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+		a = core.NewApp("mjpeg", os21bind.New(chip))
+		cfg = mjpegapp.OS21Config(stream)
+	default:
+		log.Fatalf("embera-monitor: unknown platform %q", *platform)
+	}
+	app, err := mjpegapp.Build(a, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wire the streaming observation pipeline.
+	levels := []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: *period}}
+	if *osPeriod > 0 {
+		levels = append(levels, monitor.LevelPeriod{Level: core.LevelOS, PeriodUS: *osPeriod})
+	}
+	mcfg := monitor.Config{
+		Levels:       levels,
+		RingCapacity: *ringCap,
+		RingShards:   *shards,
+		WindowUS:     *window,
+	}
+	var jsonlFile *os.File
+	if *jsonl != "" {
+		jsonlFile, err = os.Create(*jsonl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jsonlFile.Close()
+		mcfg.Sinks = append(mcfg.Sinks, monitor.NewJSONLSink(jsonlFile))
+	}
+	mon, err := monitor.New(a, mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := a.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if err := k.RunUntil(sim.Time(100 * 3600 * sim.Second)); err != nil {
+		log.Fatal(err)
+	}
+	if !a.Done() {
+		log.Fatal("embera-monitor: application did not finish before the horizon")
+	}
+
+	makespan := sim.Duration(k.Now())
+	fmt.Printf("platform: %s\n", a.Binding().PlatformName())
+	fmt.Printf("frames decoded: %d; virtual makespan: %s\n", app.FramesDecoded, makespan)
+	fmt.Printf("sampling: app-level every %dµs", *period)
+	if *osPeriod > 0 {
+		fmt.Printf(", OS-level every %dµs", *osPeriod)
+	}
+	fmt.Printf("; window %dµs\n", *window)
+	fmt.Printf("samples: %d accepted, %d dropped (ring capacity %d, %d shards); %d windows\n\n",
+		mon.Samples(), mon.Dropped(), mon.Ring().Capacity(), mon.Ring().Shards(),
+		len(mon.Windows()))
+
+	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped()))
+	if jsonlFile != nil {
+		fmt.Printf("\nper-window JSONL written to %s\n", *jsonl)
+	}
+}

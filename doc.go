@@ -5,8 +5,8 @@
 // platforms rebuilt as deterministic simulations and the full experiment
 // suite.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results. The root package carries
+// See README.md for the package layout, including the streaming
+// observation pipeline of internal/monitor. The root package carries
 // only documentation and the top-level benchmarks (bench_test.go); all
 // code lives under internal/, the executables under cmd/ and the runnable
 // examples under examples/.

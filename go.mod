@@ -1,0 +1,3 @@
+module embera
+
+go 1.24

@@ -191,6 +191,11 @@ func (a *App) AttachObserver() (*Observer, error) {
 // Observer returns the attached observer, or nil.
 func (a *App) Observer() *Observer { return a.observer }
 
+// Inbox exposes the observer's service mailbox. Reports from every
+// component's observation service arrive here; advanced drivers may share
+// the queue for their own control traffic, which Await skips over.
+func (o *Observer) Inbox() Mailbox { return o.inbox }
+
 // Request sends an observation request to the named component. It must be
 // called from a flow (a driver or a component body).
 func (o *Observer) Request(f Flow, component string, level ObsLevel) error {
@@ -205,17 +210,97 @@ func (o *Observer) Request(f Flow, component string, level ObsLevel) error {
 	return nil
 }
 
-// Await blocks until the next report arrives.
+// Await blocks until the next report arrives. Foreign traffic on the
+// observer inbox (any payload that is not an ObsReport) is skipped, not
+// treated as closure: ok=false means the inbox really closed.
 func (o *Observer) Await(f Flow) (ObsReport, bool) {
-	m, ok := o.inbox.Receive(f)
-	if !ok {
-		return ObsReport{}, false
+	for {
+		m, ok := o.inbox.Receive(f)
+		if !ok {
+			return ObsReport{}, false
+		}
+		if rep, isRep := m.Payload.(ObsReport); isRep {
+			return rep, true
+		}
+		// Not a report: some other flow wrote to the observer inbox.
+		// Ignore it and keep waiting, exactly as the per-component
+		// observation service ignores malformed requests.
 	}
-	rep, isRep := m.Payload.(ObsReport)
-	if !isRep {
-		return ObsReport{}, false
+}
+
+// FastSample is the compact observation record used by high-frequency
+// monitoring (internal/monitor): a fixed-size struct with no maps and no
+// message round-trip, cheap enough to take for every component at every
+// sampling tick. The counter fields are cumulative since component start;
+// consumers difference consecutive samples to obtain rates.
+type FastSample struct {
+	Component string
+	State     State
+
+	// Middleware/application counters (always filled — reading them is a
+	// handful of loads).
+	SendOps, RecvOps     uint64
+	SendBytes, RecvBytes uint64
+	SendUS, RecvUS       int64 // cumulative time inside the primitives
+
+	// Provided-interface occupancy: Depth is the deepest mailbox right
+	// now, DepthSum the total buffered messages, BufBytes the total
+	// configured capacity.
+	Depth    int
+	DepthSum int
+	BufBytes int64
+
+	// OS-level fields, filled only at LevelOS / LevelAll (OSView walks the
+	// platform's thread/task accounting, which is the expensive part).
+	ExecTimeUS int64
+	MemBytes   int64
+	Running    bool
+}
+
+// FastSnapshot fills a FastSample from the component's live state. Unlike
+// Snapshot it never allocates: the per-interface stat maps are represented
+// by their flat totals and the interface listing by its occupancy summary.
+func (c *Component) FastSnapshot(level ObsLevel, s *FastSample) {
+	s.Component = c.name
+	s.State = c.state
+	s.SendOps, s.RecvOps = c.stats.sendOps, c.stats.recvOps
+	s.SendBytes, s.RecvBytes = c.stats.sendBytes, c.stats.recvBytes
+	s.SendUS, s.RecvUS = c.stats.sendUS, c.stats.recvUS
+	s.Depth, s.DepthSum, s.BufBytes = 0, 0, 0
+	for _, name := range c.providedOrder {
+		pi := c.provided[name]
+		if pi.mailbox == nil {
+			s.BufBytes += pi.bufBytes
+			continue
+		}
+		d := pi.mailbox.Depth()
+		s.DepthSum += d
+		if d > s.Depth {
+			s.Depth = d
+		}
+		s.BufBytes += pi.mailbox.BufBytes()
 	}
-	return rep, true
+	s.ExecTimeUS, s.MemBytes, s.Running = 0, 0, false
+	if level == LevelOS || level == LevelAll {
+		os := c.app.binding.OSView(c)
+		s.ExecTimeUS, s.MemBytes, s.Running = os.ExecTimeUS, os.MemBytes, os.Running
+	}
+}
+
+// SampleAll is the streaming-observation fast path: one FastSample per
+// component, appended to dst (pass dst[:0] to reuse a buffer across ticks),
+// in component creation order. It reads component state directly instead of
+// routing an ObsRequest/ObsReport pair through the observation interfaces,
+// so a periodic sampler costs neither simulated time nor per-tick
+// allocation — the prerequisite for sampling every component at millisecond
+// periods without perturbing the observed application.
+func (a *App) SampleAll(level ObsLevel, dst []FastSample) []FastSample {
+	for _, c := range a.order {
+		var s FastSample
+		c.FastSnapshot(level, &s)
+		dst = append(dst, s)
+	}
+	return dst
 }
 
 // QueryAll requests level from every component and collects the replies,

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+)
+
+// buildObservedPair assembles a two-component app with an observer
+// attached: prod streams msgs messages to cons.
+func buildObservedPair(t *testing.T, msgs int) (*core.App, *core.Observer, func()) {
+	t.Helper()
+	a, k, _ := newSMPApp(t, "app")
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < msgs; i++ {
+			ctx.Send("out", i, 512)
+			ctx.SleepUS(200)
+		}
+	})
+	prod.MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	})
+	cons.MustAddProvided("in", 1<<20)
+	a.MustConnect(prod, "out", cons, "in")
+	obs, err := a.AttachObserver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, obs, func() { run(t, k, a) }
+}
+
+// TestAwaitSkipsForeignTraffic verifies that non-ObsReport payloads on the
+// observer inbox are skipped, not misreported as inbox closure.
+func TestAwaitSkipsForeignTraffic(t *testing.T) {
+	a, obs, runKernel := buildObservedPair(t, 10)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var rep core.ObsReport
+	var ok bool
+	a.SpawnDriver("driver", func(f core.Flow) {
+		// Foreign traffic lands first; the real report must still
+		// surface.
+		obs.Inbox().Send(f, core.Message{Payload: "gossip", From: "driver"})
+		obs.Inbox().Send(f, core.Message{Payload: 42, From: "driver"})
+		if err := obs.Request(f, "prod", core.LevelApplication); err != nil {
+			t.Error(err)
+			return
+		}
+		rep, ok = obs.Await(f)
+	})
+	runKernel()
+	if !ok {
+		t.Fatal("Await reported closure on a live inbox with foreign traffic")
+	}
+	if rep.Component != "prod" || rep.App == nil {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+// TestQueryAllWithInterleavedForeignTraffic floods the observer inbox with
+// foreign messages between the requests of a full sweep: QueryAll must
+// still collect every component's report instead of failing with the old
+// "observer inbox closed mid-query".
+func TestQueryAllWithInterleavedForeignTraffic(t *testing.T) {
+	a, obs, runKernel := buildObservedPair(t, 50)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A background gossiper keeps injecting foreign payloads while the
+	// app runs and the query sweep is in flight.
+	a.SpawnDriver("gossiper", func(f core.Flow) {
+		for i := 0; i < 40; i++ {
+			obs.Inbox().Send(f, core.Message{Payload: struct{ N int }{i}, From: "gossiper"})
+			f.SleepUS(100)
+		}
+	})
+	var reports map[string]core.ObsReport
+	var qErr error
+	a.SpawnDriver("querier", func(f core.Flow) {
+		for sweep := 0; sweep < 3; sweep++ {
+			f.SleepUS(1_000)
+			reports, qErr = obs.QueryAll(f, core.LevelAll)
+			if qErr != nil {
+				return
+			}
+		}
+	})
+	runKernel()
+	if qErr != nil {
+		t.Fatalf("QueryAll failed under foreign traffic: %v", qErr)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for _, name := range []string{"prod", "cons"} {
+		r, ok := reports[name]
+		if !ok {
+			t.Fatalf("missing report for %s", name)
+		}
+		if r.OS == nil || r.Middleware == nil || r.App == nil {
+			t.Fatalf("incomplete LevelAll report for %s: %+v", name, r)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+)
+
+// TestSampleAllMatchesSnapshot pins the fast path to the classic one: at
+// quiescence, every FastSample must agree with the ObsReport the message
+// round-trip produces.
+func TestSampleAllMatchesSnapshot(t *testing.T) {
+	a, obs, runKernel := buildObservedPair(t, 25)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var samples []core.FastSample
+	var reports map[string]core.ObsReport
+	var qErr error
+	a.SpawnDriver("driver", func(f core.Flow) {
+		a.AwaitQuiescence(f)
+		samples = a.SampleAll(core.LevelAll, nil)
+		reports, qErr = obs.QueryAll(f, core.LevelAll)
+	})
+	runKernel()
+	if qErr != nil {
+		t.Fatal(qErr)
+	}
+	if len(samples) != len(reports) {
+		t.Fatalf("%d samples vs %d reports", len(samples), len(reports))
+	}
+	for _, s := range samples {
+		r, ok := reports[s.Component]
+		if !ok {
+			t.Fatalf("no report for sampled component %q", s.Component)
+		}
+		if s.SendOps != r.App.SendOps || s.RecvOps != r.App.RecvOps {
+			t.Errorf("%s: ops %d/%d, report says %d/%d",
+				s.Component, s.SendOps, s.RecvOps, r.App.SendOps, r.App.RecvOps)
+		}
+		if s.MemBytes != r.OS.MemBytes {
+			t.Errorf("%s: mem %d, report says %d", s.Component, s.MemBytes, r.OS.MemBytes)
+		}
+		if s.State.String() != r.App.State {
+			t.Errorf("%s: state %s, report says %s", s.Component, s.State, r.App.State)
+		}
+		var sendUS, sendBytes uint64
+		for _, st := range r.Middleware.Send {
+			sendUS += uint64(st.TotalUS)
+			sendBytes += st.Bytes
+		}
+		if s.SendBytes != sendBytes || uint64(s.SendUS) != sendUS {
+			t.Errorf("%s: send bytes/us %d/%d, report says %d/%d",
+				s.Component, s.SendBytes, s.SendUS, sendBytes, sendUS)
+		}
+	}
+	// LevelApplication sampling must skip the OS walk.
+	appOnly := a.SampleAll(core.LevelApplication, nil)
+	for _, s := range appOnly {
+		if s.MemBytes != 0 || s.ExecTimeUS != 0 {
+			t.Errorf("%s: application-level sample carries OS fields", s.Component)
+		}
+	}
+}

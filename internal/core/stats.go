@@ -30,13 +30,17 @@ func (s *IfaceStats) record(bytes int, us int64) {
 }
 
 // stats is the per-component instrumentation state maintained by the
-// framework without application involvement.
+// framework without application involvement. Alongside the per-interface
+// maps it keeps flat totals so the streaming monitor's SampleAll fast path
+// can read them without walking (or copying) the maps.
 type stats struct {
 	send map[string]*IfaceStats
 	recv map[string]*IfaceStats
 
-	sendOps, recvOps uint64
-	computeUS        int64
+	sendOps, recvOps     uint64
+	sendBytes, recvBytes uint64
+	sendUS, recvUS       int64
+	computeUS            int64
 }
 
 func newStats() *stats {
@@ -54,6 +58,8 @@ func (st *stats) recordSend(iface string, bytes int, us int64) {
 	}
 	s.record(bytes, us)
 	st.sendOps++
+	st.sendBytes += uint64(bytes)
+	st.sendUS += us
 }
 
 func (st *stats) recordRecv(iface string, bytes int, us int64) {
@@ -64,6 +70,8 @@ func (st *stats) recordRecv(iface string, bytes int, us int64) {
 	}
 	s.record(bytes, us)
 	st.recvOps++
+	st.recvBytes += uint64(bytes)
+	st.recvUS += us
 }
 
 // snapshotMap deep-copies a stats map for inclusion in a report.

@@ -1,0 +1,226 @@
+// Package monitor turns EMBera's pull-only observation model into a
+// streaming observation pipeline:
+//
+//	samplers  →  sharded ring buffer  →  windowed aggregation  →  sinks
+//
+// The paper's observer (internal/core, §3.3) answers one ObsRequest with
+// one ObsReport — useful for a final Figure-5-style report, but blind to
+// everything between queries. The monitor instead samples every component
+// on a configurable period per observation level, using the simulation
+// clock so runs stay deterministic, and the SampleAll fast path so sampling
+// costs neither simulated time nor a message round-trip. Samples land in a
+// sharded, fixed-capacity ring (ring.go) that never grows and never loses
+// data silently: under overload the newest samples are shed and counted. A
+// pump flow drains the ring every window and folds samples into
+// per-component aggregates (window.go): rolling send/receive-operation
+// rates, mailbox-depth high-water marks, and log-bucketed
+// latency/occupancy histograms with p50/p95/p99. Closed windows stream to
+// pluggable sinks (sink.go): in-memory for tests, JSONL for export, or the
+// trace event stream for the existing binary tooling.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"embera/internal/core"
+)
+
+// Sample is one observation of one component at one sampling tick.
+type Sample struct {
+	// TimeUS is the sampler's virtual time (µs since monitoring started).
+	TimeUS int64
+	// Level is the observation level the sampler was driving.
+	Level core.ObsLevel
+	core.FastSample
+}
+
+// LevelPeriod configures one sampler: observation level and its virtual
+// sampling period.
+type LevelPeriod struct {
+	Level    core.ObsLevel
+	PeriodUS int64
+}
+
+// Config parameterizes a Monitor. The zero value selects the defaults
+// noted on each field.
+type Config struct {
+	// Levels lists the samplers to run. Default: application-level
+	// sampling every 1 ms of virtual time. OS-level sampling is the
+	// expensive one (it walks platform accounting); give it a coarser
+	// period.
+	Levels []LevelPeriod
+	// RingCapacity is the total buffered-sample capacity (default 4096).
+	RingCapacity int
+	// RingShards is the lock-sharding factor (default 4).
+	RingShards int
+	// WindowUS is the aggregation window length (default 10 ms).
+	WindowUS int64
+	// Sinks receive closed windows. A MemorySink is always attached
+	// internally so Totals works; list additional sinks here.
+	Sinks []Sink
+}
+
+func (cfg *Config) setDefaults() {
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = []LevelPeriod{{Level: core.LevelApplication, PeriodUS: 1000}}
+	}
+	if cfg.RingCapacity == 0 {
+		cfg.RingCapacity = 4096
+	}
+	if cfg.RingShards == 0 {
+		cfg.RingShards = 4
+	}
+	if cfg.WindowUS == 0 {
+		cfg.WindowUS = 10_000
+	}
+}
+
+// Monitor owns one streaming observation pipeline over one application.
+type Monitor struct {
+	app  *core.App
+	cfg  Config
+	ring *Ring
+	agg  *Aggregator
+	mem  *MemorySink
+
+	samples      uint64 // samples successfully pushed
+	sinkErrs     uint64
+	liveSamplers int
+	started      bool
+}
+
+// New validates cfg and builds the pipeline stages. Call Start (before or
+// after App.Start, in either order) to spawn the sampler and pump flows.
+func New(app *core.App, cfg Config) (*Monitor, error) {
+	if app == nil {
+		return nil, fmt.Errorf("monitor: nil app")
+	}
+	cfg.setDefaults()
+	for _, lp := range cfg.Levels {
+		if lp.PeriodUS <= 0 {
+			return nil, fmt.Errorf("monitor: level %s has non-positive period %d µs",
+				lp.Level, lp.PeriodUS)
+		}
+	}
+	if cfg.WindowUS <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive window %d µs", cfg.WindowUS)
+	}
+	if cfg.RingCapacity < 0 || cfg.RingShards < 0 {
+		return nil, fmt.Errorf("monitor: negative ring capacity/shards %d/%d",
+			cfg.RingCapacity, cfg.RingShards)
+	}
+	// Samples shard by component index, so shards beyond the component
+	// count would sit empty while shrinking every used shard's slice of
+	// the capacity. Clamp (assemble the application before New).
+	if n := len(app.Components()); n > 0 && cfg.RingShards > n {
+		cfg.RingShards = n
+	}
+	m := &Monitor{
+		app:  app,
+		cfg:  cfg,
+		ring: NewRing(cfg.RingCapacity, cfg.RingShards),
+		agg:  NewAggregator(0),
+		mem:  NewMemorySink(),
+	}
+	m.cfg.Sinks = append([]Sink{m.mem}, cfg.Sinks...)
+	return m, nil
+}
+
+// Start spawns one sampler flow per configured level plus the pump flow.
+// All flows are framework services: they consume no modelled CPU, and they
+// terminate once the application has quiesced, so a monitored run leaves
+// the event queue as empty as a bare one.
+func (m *Monitor) Start() error {
+	if m.started {
+		return fmt.Errorf("monitor: already started")
+	}
+	m.started = true
+	m.liveSamplers = len(m.cfg.Levels)
+	for i, lp := range m.cfg.Levels {
+		lp := lp
+		m.app.SpawnDriver(fmt.Sprintf("monitor/sampler-%d-%s", i, lp.Level), func(f core.Flow) {
+			m.sampleLoop(f, lp)
+		})
+	}
+	m.app.SpawnDriver("monitor/pump", func(f core.Flow) { m.pumpLoop(f) })
+	return nil
+}
+
+// sampleLoop is one sampler: sleep a period of virtual time, sweep every
+// component through the SampleAll fast path, push into the ring. The
+// sample buffer is reused across ticks, so steady-state sampling performs
+// no per-tick allocation.
+func (m *Monitor) sampleLoop(f core.Flow, lp LevelPeriod) {
+	buf := make([]core.FastSample, 0, len(m.app.Components()))
+	var now int64
+	for !m.app.Done() {
+		f.SleepUS(lp.PeriodUS)
+		now += lp.PeriodUS
+		buf = m.app.SampleAll(lp.Level, buf[:0])
+		for i := range buf {
+			if m.ring.Push(i, Sample{TimeUS: now, Level: lp.Level, FastSample: buf[i]}) {
+				m.samples++
+			}
+		}
+	}
+	m.liveSamplers--
+}
+
+// pumpLoop drains the ring every window, folds the samples into the
+// aggregator and streams the closed windows to the sinks. It exits after
+// the final drain: application quiesced, every sampler gone, ring empty.
+func (m *Monitor) pumpLoop(f core.Flow) {
+	var now int64
+	for {
+		f.SleepUS(m.cfg.WindowUS)
+		now += m.cfg.WindowUS
+		drained := m.ring.Drain(func(s Sample) { m.agg.Add(s) })
+		for _, w := range m.agg.Flush(now) {
+			for _, sink := range m.cfg.Sinks {
+				if err := sink.WriteWindow(w); err != nil {
+					m.sinkErrs++
+				}
+			}
+		}
+		if drained == 0 && m.liveSamplers == 0 && m.app.Done() {
+			return
+		}
+	}
+}
+
+// Windows returns every window closed so far, in time order.
+func (m *Monitor) Windows() []WindowStats { return m.mem.Windows() }
+
+// Totals merges every closed window into one whole-run aggregate per
+// component, sorted by component name.
+func (m *Monitor) Totals() []WindowStats { return MergeWindows(m.mem.Windows()) }
+
+// Samples reports how many samples were accepted into the ring.
+func (m *Monitor) Samples() uint64 { return m.samples }
+
+// Dropped reports how many samples the ring shed under overload.
+func (m *Monitor) Dropped() uint64 { return m.ring.Dropped() }
+
+// SinkErrors reports how many window writes a sink rejected.
+func (m *Monitor) SinkErrors() uint64 { return m.sinkErrs }
+
+// Ring exposes the buffer stage (capacity/shard introspection).
+func (m *Monitor) Ring() *Ring { return m.ring }
+
+// FormatTotals renders whole-run totals as the aligned rate/percentile
+// table cmd/embera-monitor prints.
+func FormatTotals(totals []WindowStats, dropped uint64) string {
+	rows := append([]WindowStats(nil), totals...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Component < rows[j].Component })
+	out := fmt.Sprintf("%-16s %8s %10s %10s %9s %7s %7s %7s %9s\n",
+		"component", "samples", "send/s", "recv/s", "depth-hw", "d-p50", "d-p95", "d-p99", "lat-p95")
+	for _, w := range rows {
+		out += fmt.Sprintf("%-16s %8d %10.1f %10.1f %9d %7d %7d %7d %8dµ\n",
+			w.Component, w.Samples, w.SendRate, w.RecvRate, w.DepthHigh,
+			w.DepthHist.Quantile(0.50), w.DepthHist.Quantile(0.95), w.DepthHist.Quantile(0.99),
+			w.LatencyHist.Quantile(0.95))
+	}
+	out += fmt.Sprintf("ring drops: %d\n", dropped)
+	return out
+}

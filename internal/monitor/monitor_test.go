@@ -1,0 +1,236 @@
+package monitor_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/linux"
+	"embera/internal/monitor"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+	"embera/internal/trace"
+)
+
+// buildPipelineApp assembles a two-component producer/consumer app: prod
+// sends msgs messages of 1 kB, sleeping gapUS between sends so the run
+// spans virtual time for the samplers to observe.
+func buildPipelineApp(t *testing.T, msgs int, gapUS int64) (*core.App, *sim.Kernel) {
+	t.Helper()
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	a := core.NewApp("monitored", smpbind.New(sys, "monitored"))
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < msgs; i++ {
+			ctx.Send("out", i, 1024)
+			if gapUS > 0 {
+				ctx.SleepUS(gapUS)
+			}
+		}
+	})
+	prod.MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+			ctx.Compute(50_000)
+		}
+	})
+	cons.MustAddProvided("in", 1<<20)
+	a.MustConnect(prod, "out", cons, "in")
+	return a, k
+}
+
+func runToCompletion(t *testing.T, k *sim.Kernel, a *core.App) {
+	t.Helper()
+	if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("application did not complete")
+	}
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	a, k := buildPipelineApp(t, 200, 500)
+	var jsonl bytes.Buffer
+	rec := trace.NewRecorder(1 << 12)
+	mon, err := monitor.New(a, monitor.Config{
+		Levels: []monitor.LevelPeriod{
+			{Level: core.LevelApplication, PeriodUS: 100},
+			{Level: core.LevelOS, PeriodUS: 1000},
+		},
+		WindowUS: 2000,
+		Sinks: []monitor.Sink{
+			monitor.NewJSONLSink(&jsonl),
+			monitor.NewEventSinkAdapter(rec),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, a)
+
+	if mon.Samples() == 0 {
+		t.Fatal("no samples collected")
+	}
+	if mon.Dropped() != 0 {
+		t.Fatalf("unexpected drops: %d", mon.Dropped())
+	}
+	windows := mon.Windows()
+	if len(windows) == 0 {
+		t.Fatal("no windows closed")
+	}
+	for i := 1; i < len(windows); i++ {
+		if windows[i].EndUS < windows[i-1].EndUS {
+			t.Fatalf("windows out of order: %d after %d", windows[i].EndUS, windows[i-1].EndUS)
+		}
+	}
+
+	totals := mon.Totals()
+	if len(totals) != 2 {
+		t.Fatalf("totals for %d components, want 2", len(totals))
+	}
+	byComp := map[string]monitor.WindowStats{}
+	for _, w := range totals {
+		byComp[w.Component] = w
+	}
+	prod, cons := byComp["prod"], byComp["cons"]
+	if prod.Component == "" || cons.Component == "" {
+		t.Fatalf("missing components in totals: %+v", totals)
+	}
+	// 200 sends over ~100ms of virtual time: the rolling rate must land
+	// near 2000 ops/s.
+	if prod.SendRate < 500 || prod.SendRate > 4000 {
+		t.Errorf("prod send rate = %v, want ~2000", prod.SendRate)
+	}
+	if prod.SendOps != 200 || cons.RecvOps != 200 {
+		t.Errorf("final cumulative ops = %d/%d, want 200/200", prod.SendOps, cons.RecvOps)
+	}
+	// The consumer computes 50k cycles per 1 kB message while more arrive:
+	// its inbox must have been observed non-empty at least once.
+	if cons.DepthHist.Total == 0 {
+		t.Error("no occupancy observations for cons")
+	}
+	// OS-level sampling ran: memory high-water must be visible (thread
+	// stack + mailbox).
+	if cons.MemHigh == 0 {
+		t.Error("OS-level sampling recorded no memory high-water")
+	}
+
+	// JSONL export: every line parses and carries the export schema.
+	lines := 0
+	sc := bufio.NewScanner(&jsonl)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		for _, key := range []string{"component", "end_us", "send_rate", "depth_p95"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("JSONL line missing %q: %s", key, sc.Text())
+			}
+		}
+		lines++
+	}
+	if lines != len(windows) {
+		t.Errorf("JSONL lines = %d, want %d (one per window)", lines, len(windows))
+	}
+
+	// Trace bridge: one EvObserve event per window, on the existing binary
+	// trace path.
+	events := rec.Events()
+	observes := 0
+	for _, e := range events {
+		if e.Kind == core.EvObserve && e.Interface == "monitor" {
+			observes++
+		}
+	}
+	if observes != len(windows) {
+		t.Errorf("trace observe events = %d, want %d", observes, len(windows))
+	}
+	var wire bytes.Buffer
+	if err := trace.Write(&wire, events); err != nil {
+		t.Fatalf("monitor windows do not serialize through trace framing: %v", err)
+	}
+
+	if s := monitor.FormatTotals(totals, mon.Dropped()); !strings.Contains(s, "prod") ||
+		!strings.Contains(s, "ring drops: 0") {
+		t.Errorf("FormatTotals output malformed:\n%s", s)
+	}
+}
+
+// TestMonitorOverflowCounted starves the ring (tiny capacity, long window,
+// fast sampling): the monitor must stay bounded and report — not hide —
+// the shed samples.
+func TestMonitorOverflowCounted(t *testing.T) {
+	a, k := buildPipelineApp(t, 400, 100)
+	mon, err := monitor.New(a, monitor.Config{
+		Levels:       []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 10}},
+		RingCapacity: 8,
+		RingShards:   2,
+		WindowUS:     20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, a)
+
+	if mon.Dropped() == 0 {
+		t.Fatal("overloaded ring reported zero drops")
+	}
+	if mon.Samples() == 0 {
+		t.Fatal("no samples accepted at all")
+	}
+	if got := mon.Ring().Capacity(); got != 8 {
+		t.Fatalf("ring capacity = %d, want 8", got)
+	}
+	// Aggregation still produced coherent windows from the surviving
+	// samples.
+	if len(mon.Windows()) == 0 {
+		t.Fatal("no windows despite accepted samples")
+	}
+	if !strings.Contains(monitor.FormatTotals(mon.Totals(), mon.Dropped()), "ring drops:") {
+		t.Fatal("drops not surfaced in the formatted table")
+	}
+}
+
+// TestMonitorConfigValidation covers constructor errors.
+func TestMonitorConfigValidation(t *testing.T) {
+	a, _ := buildPipelineApp(t, 1, 0)
+	if _, err := monitor.New(nil, monitor.Config{}); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := monitor.New(a, monitor.Config{
+		Levels: []monitor.LevelPeriod{{Level: core.LevelAll, PeriodUS: -5}},
+	}); err == nil {
+		t.Error("negative period accepted")
+	}
+	mon, err := monitor.New(a, monitor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ring is a sharded, fixed-capacity sample buffer: the lossy-but-bounded
+// stage between the samplers and the windowed aggregation. Producers push
+// under a per-shard lock; a full shard rejects the incoming sample and
+// counts it as dropped (oldest-wins: buffered samples are never evicted by
+// newer ones, mirroring a hardware trace unit in fill mode). Memory never
+// grows past the configured capacity and loss is never silent — Dropped
+// reports exactly how many samples were shed.
+type Ring struct {
+	shards []ringShard
+}
+
+// ringShard is one independently locked segment of the ring.
+type ringShard struct {
+	mu      sync.Mutex
+	buf     []Sample
+	head    int // index of the oldest buffered sample
+	n       int // buffered sample count
+	dropped uint64
+
+	_ [32]byte // padding: keep shard locks on separate cache lines
+}
+
+// NewRing creates a ring of the given total capacity split across shards.
+// Each shard holds at least one sample.
+func NewRing(capacity, shards int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("monitor: ring capacity %d must be positive", capacity))
+	}
+	if shards <= 0 {
+		panic(fmt.Sprintf("monitor: shard count %d must be positive", shards))
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	r := &Ring{shards: make([]ringShard, shards)}
+	per := capacity / shards
+	extra := capacity % shards
+	for i := range r.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		r.shards[i].buf = make([]Sample, c)
+	}
+	return r
+}
+
+// Push offers s to the shard selected by key (callers use a stable
+// per-component key so one component's samples stay ordered within a single
+// shard). It returns false — and increments the shard's drop counter — when
+// the shard is full.
+func (r *Ring) Push(key int, s Sample) bool {
+	if key < 0 {
+		key = -key
+	}
+	sh := &r.shards[key%len(r.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.n == len(sh.buf) {
+		sh.dropped++
+		return false
+	}
+	sh.buf[(sh.head+sh.n)%len(sh.buf)] = s
+	sh.n++
+	return true
+}
+
+// Drain removes every buffered sample, invoking fn on each in shard order
+// (FIFO within a shard), and returns the number drained.
+func (r *Ring) Drain(fn func(Sample)) int {
+	total := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for sh.n > 0 {
+			s := sh.buf[sh.head]
+			sh.buf[sh.head] = Sample{} // release payload references
+			sh.head = (sh.head + 1) % len(sh.buf)
+			sh.n--
+			total++
+			sh.mu.Unlock() // fn may be arbitrarily slow; do not hold the lock
+			fn(s)
+			sh.mu.Lock()
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Len reports the number of currently buffered samples.
+func (r *Ring) Len() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity reports the total sample capacity across shards.
+func (r *Ring) Capacity() int {
+	n := 0
+	for i := range r.shards {
+		n += len(r.shards[i].buf)
+	}
+	return n
+}
+
+// Shards reports the shard count.
+func (r *Ring) Shards() int { return len(r.shards) }
+
+// Dropped reports the total samples rejected because their shard was full.
+func (r *Ring) Dropped() uint64 {
+	var n uint64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += sh.dropped
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func sample(comp string, t int64) Sample {
+	s := Sample{TimeUS: t}
+	s.Component = comp
+	return s
+}
+
+func TestRingCapacitySplit(t *testing.T) {
+	r := NewRing(5, 2)
+	if r.Capacity() != 5 {
+		t.Fatalf("capacity = %d, want 5", r.Capacity())
+	}
+	if r.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", r.Shards())
+	}
+	// More shards than capacity collapses to one slot per shard.
+	r = NewRing(2, 8)
+	if r.Shards() != 2 || r.Capacity() != 2 {
+		t.Fatalf("shards/capacity = %d/%d, want 2/2", r.Shards(), r.Capacity())
+	}
+}
+
+// TestRingOverflow checks the oldest-wins overflow contract: a full shard
+// sheds the incoming (newest) sample, counts it, and keeps the buffered
+// (oldest) ones intact.
+func TestRingOverflow(t *testing.T) {
+	r := NewRing(4, 1)
+	for i := int64(0); i < 7; i++ {
+		pushed := r.Push(0, sample("A", i))
+		if want := i < 4; pushed != want {
+			t.Fatalf("push %d: pushed=%v, want %v", i, pushed, want)
+		}
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	var times []int64
+	r.Drain(func(s Sample) { times = append(times, s.TimeUS) })
+	for i, tm := range times {
+		if tm != int64(i) {
+			t.Fatalf("drained[%d].TimeUS = %d, want %d (oldest retained, FIFO)", i, tm, i)
+		}
+	}
+	// After a drain, the shard admits samples again and keeps counting
+	// prior drops.
+	if !r.Push(0, sample("A", 99)) {
+		t.Fatal("push after drain rejected")
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("dropped after drain = %d, want 3", got)
+	}
+}
+
+func TestRingShardIsolation(t *testing.T) {
+	r := NewRing(4, 2) // 2 slots per shard
+	// Fill shard 0; shard 1 must still accept.
+	if !r.Push(0, sample("A", 0)) || !r.Push(0, sample("A", 1)) {
+		t.Fatal("shard 0 rejected while under capacity")
+	}
+	if r.Push(0, sample("A", 2)) {
+		t.Fatal("shard 0 accepted past its slice of the capacity")
+	}
+	if !r.Push(1, sample("B", 0)) {
+		t.Fatal("shard 1 rejected although empty")
+	}
+	if got := r.Dropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+}
+
+// TestRingConcurrent hammers the ring from many goroutines while a drainer
+// runs, verifying the accounting identity pushed = drained + dropped and
+// that buffered memory never exceeds capacity. Run with -race this also
+// validates the per-shard locking.
+func TestRingConcurrent(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	r := NewRing(64, 4)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := 0
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < perProd; i++ {
+				if r.Push(p, sample("A", int64(i))) {
+					n++
+				}
+			}
+			mu.Lock()
+			accepted += n
+			mu.Unlock()
+		}()
+	}
+	prodDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(prodDone)
+	}()
+	drained := 0
+	drainerDone := make(chan struct{})
+	go func() {
+		defer close(drainerDone)
+		for {
+			if n := r.Len(); n > r.Capacity() {
+				t.Errorf("ring over capacity: %d > %d", n, r.Capacity())
+			}
+			drained += r.Drain(func(Sample) {})
+			select {
+			case <-prodDone:
+				drained += r.Drain(func(Sample) {})
+				return
+			default:
+			}
+		}
+	}()
+	<-drainerDone
+	if accepted != drained {
+		t.Fatalf("accepted %d != drained %d", accepted, drained)
+	}
+	if got := int(r.Dropped()) + accepted; got != producers*perProd {
+		t.Fatalf("dropped+accepted = %d, want %d", got, producers*perProd)
+	}
+}

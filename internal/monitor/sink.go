@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"embera/internal/core"
+)
+
+// Sink receives closed window aggregates from the monitor's pump flow. A
+// slow sink never blocks the samplers — the ring absorbs (and, under
+// overload, sheds) the backlog.
+type Sink interface {
+	WriteWindow(w WindowStats) error
+}
+
+// MemorySink retains every window in memory, for tests and for end-of-run
+// reporting (MergeWindows over Windows()).
+type MemorySink struct {
+	mu      sync.Mutex
+	windows []WindowStats
+}
+
+// NewMemorySink creates an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// WriteWindow implements Sink.
+func (s *MemorySink) WriteWindow(w WindowStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.windows = append(s.windows, w)
+	return nil
+}
+
+// Windows returns a copy of the windows received so far, in arrival order.
+func (s *MemorySink) Windows() []WindowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]WindowStats(nil), s.windows...)
+}
+
+// jsonlWindow is the flat JSONL export schema: one line per component per
+// window, with percentiles pre-extracted so downstream tooling needs no
+// histogram math.
+type jsonlWindow struct {
+	Component    string  `json:"component"`
+	StartUS      int64   `json:"start_us"`
+	EndUS        int64   `json:"end_us"`
+	Samples      int     `json:"samples"`
+	SendOps      uint64  `json:"send_ops"`
+	RecvOps      uint64  `json:"recv_ops"`
+	SendRate     float64 `json:"send_rate"`
+	RecvRate     float64 `json:"recv_rate"`
+	DepthHigh    int     `json:"depth_high"`
+	DepthP50     int64   `json:"depth_p50"`
+	DepthP95     int64   `json:"depth_p95"`
+	DepthP99     int64   `json:"depth_p99"`
+	LatencyP50US int64   `json:"latency_p50_us"`
+	LatencyP95US int64   `json:"latency_p95_us"`
+	LatencyP99US int64   `json:"latency_p99_us"`
+	MemHighBytes int64   `json:"mem_high_bytes"`
+}
+
+// JSONLSink streams one JSON object per window per line — the interchange
+// format for dashboards and offline analysis.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink creates a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// WriteWindow implements Sink.
+func (s *JSONLSink) WriteWindow(w WindowStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(jsonlWindow{
+		Component: w.Component,
+		StartUS:   w.StartUS, EndUS: w.EndUS,
+		Samples: w.Samples,
+		SendOps: w.SendOps, RecvOps: w.RecvOps,
+		SendRate: w.SendRate, RecvRate: w.RecvRate,
+		DepthHigh:    w.DepthHigh,
+		DepthP50:     w.DepthHist.Quantile(0.50),
+		DepthP95:     w.DepthHist.Quantile(0.95),
+		DepthP99:     w.DepthHist.Quantile(0.99),
+		LatencyP50US: w.LatencyHist.Quantile(0.50),
+		LatencyP95US: w.LatencyHist.Quantile(0.95),
+		LatencyP99US: w.LatencyHist.Quantile(0.99),
+		MemHighBytes: w.MemHigh,
+	})
+}
+
+// EventSinkAdapter bridges monitor windows into the core trace event stream
+// (reusing internal/trace's recorder, binary framing and tooling): each
+// window becomes one EvObserve event stamped at window close, with the
+// sample count as the payload size and the window length as the duration.
+type EventSinkAdapter struct {
+	sink core.EventSink
+}
+
+// NewEventSinkAdapter wraps a core.EventSink (e.g. a *trace.Recorder).
+func NewEventSinkAdapter(s core.EventSink) *EventSinkAdapter {
+	return &EventSinkAdapter{sink: s}
+}
+
+// WriteWindow implements Sink.
+func (a *EventSinkAdapter) WriteWindow(w WindowStats) error {
+	a.sink.Emit(core.Event{
+		TimeUS:    w.EndUS,
+		Kind:      core.EvObserve,
+		Component: w.Component,
+		Interface: "monitor",
+		Bytes:     w.Samples,
+		DurUS:     w.EndUS - w.StartUS,
+	})
+	return nil
+}
