@@ -12,15 +12,18 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/exp"
-	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
 	"embera/internal/monitor"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 	"embera/internal/trace"
 )
+
+// smpMJPEG is the paper's SMP deployment of the decoder.
+func smpMJPEG(stream []byte) mjpegapp.Config {
+	return mjpegapp.ConfigFor(stream, platform.MustGet("smp").Topology())
+}
 
 // Bench-scale inputs: 1/10 of the paper's, same shape.
 const (
@@ -206,9 +209,7 @@ func BenchmarkAblation_IDCTFanout(b *testing.B) {
 // BenchmarkSendPrimitive_SMP measures the host cost of one instrumented
 // EMBera send+receive round through the simulated SMP mailbox.
 func BenchmarkSendPrimitive_SMP(b *testing.B) {
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("bench", smpbind.New(sys, "bench"))
+	k, a := platform.MustGet("smp").New("bench")
 	n := b.N
 	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
 		for i := 0; i < n; i++ {
@@ -258,6 +259,34 @@ func BenchmarkJPEGEncode(b *testing.B) {
 		if _, err := mjpeg.Encode(img, mjpeg.EncodeOptions{Quality: exp.RefQuality}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKernelEvents measures the per-event cost of the kernel's hot
+// loop itself — schedule, heap push/pop, dispatch — with no processes
+// involved. The event free list keeps this at zero allocations per event
+// once the heap and free list are warm.
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.NewKernel()
+	n := b.N
+	fired := 0
+	// Four self-rescheduling timer chains keep a few events in flight, as a
+	// real simulation does, so heap churn is exercised too.
+	const chains = 4
+	var tick func()
+	tick = func() {
+		fired++
+		if fired+chains <= n {
+			k.At(sim.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < chains; i++ {
+		k.At(sim.Duration(i), tick)
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -319,7 +348,7 @@ func BenchmarkMJPEGPipelineVirtualThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		run, err := exp.RunSMP(mjpegapp.SMPConfig(stream))
+		run, err := exp.Run(exp.SMP(), mjpegapp.NewWorkload(smpMJPEG(stream)), exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -336,10 +365,8 @@ func BenchmarkObservationQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("bench", smpbind.New(sys, "bench"))
-	if _, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream)); err != nil {
+	k, a := platform.MustGet("smp").New("bench")
+	if _, err := mjpegapp.Build(a, smpMJPEG(stream)); err != nil {
 		b.Fatal(err)
 	}
 	obs, err := a.AttachObserver()
@@ -388,10 +415,8 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var samples, drops uint64
 			for i := 0; i < b.N; i++ {
-				k := sim.NewKernel()
-				sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-				a := core.NewApp("bench", smpbind.New(sys, "bench"))
-				if _, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream)); err != nil {
+				k, a := platform.MustGet("smp").New("bench")
+				if _, err := mjpegapp.Build(a, smpMJPEG(stream)); err != nil {
 					b.Fatal(err)
 				}
 				var mon *monitor.Monitor

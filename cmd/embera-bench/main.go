@@ -22,7 +22,7 @@ import (
 
 func main() {
 	which := flag.String("exp", "all",
-		"comma-separated experiments: T1,T2,T3,F4,F5,F8,A1,A2,A3,A4,E6 or 'all'")
+		"comma-separated experiments: T1,T2,T3,F4,F5,F8,A1,A2,A3,A4,E6,P1 or 'all'")
 	small := flag.Int("small", exp.SmallFrames, "frame count of the small input (paper: 578)")
 	large := flag.Int("large", exp.LargeFrames, "frame count of the large input (paper: 3000)")
 	msgs := flag.Int("msgs", 30, "messages per point in the send-time sweeps")
@@ -30,7 +30,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *which == "all" {
-		for _, e := range []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6"} {
+		for _, e := range []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1"} {
 			want[e] = true
 		}
 	} else {
@@ -113,6 +113,13 @@ func main() {
 			return "", err
 		}
 		return exp.FormatA4(points), nil
+	})
+	runIf("P1", func() (string, error) {
+		rows, err := exp.PipelineCompare(2000)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatP1(rows), nil
 	})
 	runIf("E6", func() (string, error) {
 		samples, err := exp.QueueOccupancy(min(*small, 30), 64*1024, 20_000)

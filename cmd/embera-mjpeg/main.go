@@ -1,13 +1,16 @@
-// embera-mjpeg runs the paper's componentized MJPEG decoder on either
-// simulated platform and prints the observation reports of all three levels.
+// embera-mjpeg runs any registered workload on any registered (simulated)
+// platform through the single exp.Run harness and prints the observation
+// reports of all three levels.
 //
 // Usage:
 //
-//	embera-mjpeg -platform smp      -frames 578
-//	embera-mjpeg -platform sti7200  -frames 578
-//	embera-mjpeg -platform smp      -in stream.mjpeg
+//	embera-mjpeg -platform smp     -workload mjpeg    -scale 578
+//	embera-mjpeg -platform sti7200 -workload mjpeg    -scale 578
+//	embera-mjpeg -platform sti7200 -workload pipeline
+//	embera-mjpeg -workload mjpeg -in stream.mjpeg
 //	embera-mjpeg -format json                       # machine-readable reports
 //	embera-mjpeg -describe                          # dump the architecture (ADL)
+//	embera-mjpeg -list                              # registered platforms/workloads
 package main
 
 import (
@@ -20,50 +23,67 @@ import (
 	"embera/internal/adl"
 	"embera/internal/core"
 	"embera/internal/exp"
-	"embera/internal/mjpeg"
-	"embera/internal/mjpegapp"
+	"embera/internal/platform"
 	"embera/internal/report"
 	"embera/internal/sim"
 )
 
 func main() {
-	platform := flag.String("platform", "smp", "platform: smp | sti7200")
-	frames := flag.Int("frames", 100, "frames to synthesize when -in is not given")
-	in := flag.String("in", "", "MJPEG input file (overrides -frames)")
+	platformName := flag.String("platform", "smp", "platform (see -list)")
+	workloadName := flag.String("workload", "mjpeg", "workload (see -list)")
+	scale := flag.Int("scale", 0, "workload scale: frames for mjpeg, messages for pipeline (0 = default)")
+	frames := flag.Int("frames", 0, "alias for -scale (frames of the mjpeg workload)")
+	in := flag.String("in", "", "raw input file for stream-driven workloads (overrides -scale)")
 	format := flag.String("format", "text", "output format: text | json | csv | ifacecsv")
 	describe := flag.Bool("describe", false, "also dump the assembled architecture as ADL JSON")
+	list := flag.Bool("list", false, "list registered platforms and workloads, then exit")
+	listPlatforms := flag.Bool("list-platforms", false, "print registered platform names, one per line")
+	listWorkloads := flag.Bool("list-workloads", false, "print registered workload names, one per line")
 	flag.Parse()
 
-	var stream []byte
-	var err error
-	if *in != "" {
-		stream, err = os.ReadFile(*in)
-		if err != nil {
-			log.Fatal(err)
+	switch {
+	case *listPlatforms:
+		for _, n := range platform.Names() {
+			fmt.Println(n)
 		}
-	} else {
-		stream, err = mjpeg.SynthStream(exp.RefW, exp.RefH, *frames,
-			mjpeg.EncodeOptions{Quality: exp.RefQuality})
-		if err != nil {
-			log.Fatal(err)
+		return
+	case *listWorkloads:
+		for _, n := range platform.WorkloadNames() {
+			fmt.Println(n)
 		}
+		return
+	case *list:
+		fmt.Println("platforms:")
+		for _, n := range platform.Names() {
+			fmt.Printf("  %-10s %s\n", n, platform.MustGet(n).Describe())
+		}
+		fmt.Println("workloads:")
+		for _, n := range platform.WorkloadNames() {
+			fmt.Printf("  %-10s %s\n", n, platform.MustGetWorkload(n).Describe())
+		}
+		return
 	}
 
-	var run *exp.Run
-	switch *platform {
-	case "smp":
-		run, err = exp.RunSMP(mjpegapp.SMPConfig(stream))
-	case "sti7200":
-		run, err = exp.RunOS21(mjpegapp.OS21Config(stream))
-	default:
-		log.Fatalf("embera-mjpeg: unknown platform %q", *platform)
+	opts := exp.Options{}
+	opts.Scale = *scale
+	if opts.Scale == 0 {
+		opts.Scale = *frames
 	}
+	if *in != "" {
+		stream, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Stream = stream
+	}
+
+	run, err := exp.RunNamed(*platformName, *workloadName, opts)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("embera-mjpeg: %v", err)
 	}
 
 	if *describe {
-		if err := adl.Describe(run.App.Core).Encode(os.Stdout); err != nil {
+		if err := adl.Describe(run.App).Encode(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -89,9 +109,9 @@ func main() {
 		log.Fatalf("embera-mjpeg: unknown format %q", *format)
 	}
 
-	fmt.Printf("platform: %s\n", run.App.Core.Binding().PlatformName())
-	fmt.Printf("frames decoded: %d; virtual makespan: %s\n\n",
-		run.App.FramesDecoded, sim.Duration(run.MakespanUS)*sim.Microsecond)
+	fmt.Printf("platform: %s\n", run.App.Binding().PlatformName())
+	fmt.Printf("workload: %s — %s; virtual makespan: %s\n\n",
+		*workloadName, run.Instance.Summary(), sim.Duration(run.MakespanUS)*sim.Microsecond)
 
 	names := make([]string, 0, len(run.Reports))
 	for n := range run.Reports {

@@ -1,14 +1,16 @@
-// embera-monitor runs the paper's componentized MJPEG decoder under
-// continuous streaming observation (internal/monitor): every component is
-// sampled on a fixed virtual-time period, samples flow through the sharded
-// ring buffer into windowed aggregation, and the whole-run rate/percentile
-// table is printed at the end — per-component send/receive-operation rates,
-// mailbox-depth high-water marks and p50/p95/p99 percentiles.
+// embera-monitor runs any registered workload on any registered platform
+// under continuous streaming observation (internal/monitor): every
+// component is sampled on a fixed virtual-time period, samples flow through
+// the sharded ring buffer into windowed aggregation, and the whole-run
+// rate/percentile table is printed at the end — per-component
+// send/receive-operation rates, mailbox-depth high-water marks and
+// p50/p95/p99 percentiles.
 //
 // Usage:
 //
-//	embera-monitor -frames 100                      # SMP, 1 ms sampling
-//	embera-monitor -platform sti7200 -frames 58
+//	embera-monitor -scale 100                       # SMP mjpeg, 1 ms sampling
+//	embera-monitor -platform sti7200 -scale 58
+//	embera-monitor -workload pipeline -scale 2000   # monitor load generator
 //	embera-monitor -period 100 -window 5000         # 10 samples/ms
 //	embera-monitor -jsonl windows.jsonl             # stream windows to a file
 //	embera-monitor -ring 64                         # starve the ring: see drops
@@ -22,21 +24,15 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/exp"
-	"embera/internal/linux"
-	"embera/internal/mjpeg"
-	"embera/internal/mjpegapp"
 	"embera/internal/monitor"
-	"embera/internal/os21bind"
-	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
-	"embera/internal/sti7200"
 )
 
 func main() {
-	platform := flag.String("platform", "smp", "platform: smp | sti7200")
-	frames := flag.Int("frames", 100, "frames to synthesize when -in is not given")
-	in := flag.String("in", "", "MJPEG input file (overrides -frames)")
+	platformName := flag.String("platform", "smp", "platform (embera-mjpeg -list shows all)")
+	workloadName := flag.String("workload", "mjpeg", "workload (embera-mjpeg -list shows all)")
+	scale := flag.Int("scale", 0, "workload scale: frames for mjpeg, messages for pipeline (0 = default)")
+	frames := flag.Int("frames", 0, "alias for -scale (frames of the mjpeg workload)")
+	in := flag.String("in", "", "raw input file for stream-driven workloads (overrides -scale)")
 	period := flag.Int64("period", 1000, "application-level sampling period (virtual µs)")
 	osPeriod := flag.Int64("os-period", 5000, "OS-level sampling period (virtual µs, 0 = off)")
 	window := flag.Int64("window", 10_000, "aggregation window (virtual µs)")
@@ -45,40 +41,7 @@ func main() {
 	jsonl := flag.String("jsonl", "", "stream per-window JSONL records to this file")
 	flag.Parse()
 
-	var stream []byte
-	var err error
-	if *in != "" {
-		stream, err = os.ReadFile(*in)
-	} else {
-		stream, err = mjpeg.SynthStream(exp.RefW, exp.RefH, *frames,
-			mjpeg.EncodeOptions{Quality: exp.RefQuality})
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Assemble the application on the selected platform.
-	k := sim.NewKernel()
-	var a *core.App
-	var cfg mjpegapp.Config
-	switch *platform {
-	case "smp":
-		sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-		a = core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
-		cfg = mjpegapp.SMPConfig(stream)
-	case "sti7200":
-		chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-		a = core.NewApp("mjpeg", os21bind.New(chip))
-		cfg = mjpegapp.OS21Config(stream)
-	default:
-		log.Fatalf("embera-monitor: unknown platform %q", *platform)
-	}
-	app, err := mjpegapp.Build(a, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Wire the streaming observation pipeline.
+	// Wire the streaming observation pipeline into the run options.
 	levels := []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: *period}}
 	if *osPeriod > 0 {
 		levels = append(levels, monitor.LevelPeriod{Level: core.LevelOS, PeriodUS: *osPeriod})
@@ -89,36 +52,36 @@ func main() {
 		RingShards:   *shards,
 		WindowUS:     *window,
 	}
-	var jsonlFile *os.File
 	if *jsonl != "" {
-		jsonlFile, err = os.Create(*jsonl)
+		f, err := os.Create(*jsonl)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer jsonlFile.Close()
-		mcfg.Sinks = append(mcfg.Sinks, monitor.NewJSONLSink(jsonlFile))
+		defer f.Close()
+		mcfg.Sinks = append(mcfg.Sinks, monitor.NewJSONLSink(f))
 	}
-	mon, err := monitor.New(a, mcfg)
+
+	opts := exp.Options{Monitor: &mcfg}
+	opts.Scale = *scale
+	if opts.Scale == 0 {
+		opts.Scale = *frames
+	}
+	if *in != "" {
+		stream, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Stream = stream
+	}
+
+	run, err := exp.RunNamed(*platformName, *workloadName, opts)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("embera-monitor: %v", err)
 	}
-	if err := mon.Start(); err != nil {
-		log.Fatal(err)
-	}
+	mon := run.Monitor
 
-	if err := a.Start(); err != nil {
-		log.Fatal(err)
-	}
-	if err := k.RunUntil(sim.Time(100 * 3600 * sim.Second)); err != nil {
-		log.Fatal(err)
-	}
-	if !a.Done() {
-		log.Fatal("embera-monitor: application did not finish before the horizon")
-	}
-
-	makespan := sim.Duration(k.Now())
-	fmt.Printf("platform: %s\n", a.Binding().PlatformName())
-	fmt.Printf("frames decoded: %d; virtual makespan: %s\n", app.FramesDecoded, makespan)
+	fmt.Printf("platform: %s\n", run.App.Binding().PlatformName())
+	fmt.Printf("workload: %s — %s\n", *workloadName, run.Instance.Summary())
 	fmt.Printf("sampling: app-level every %dµs", *period)
 	if *osPeriod > 0 {
 		fmt.Printf(", OS-level every %dµs", *osPeriod)
@@ -129,7 +92,7 @@ func main() {
 		len(mon.Windows()))
 
 	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped()))
-	if jsonlFile != nil {
+	if *jsonl != "" {
 		fmt.Printf("\nper-window JSONL written to %s\n", *jsonl)
 	}
 }

@@ -1,9 +1,10 @@
 // embera-trace records, dumps and summarizes EMBera binary event traces
-// (the §6 event-trace extension).
+// (the §6 event-trace extension) for any registered platform × workload.
 //
 // Usage:
 //
-//	embera-trace record  -o run.trc -frames 60 -platform smp
+//	embera-trace record  -o run.trc -scale 60 -platform smp
+//	embera-trace record  -platform sti7200 -workload pipeline
 //	embera-trace dump    run.trc
 //	embera-trace summary run.trc
 package main
@@ -17,14 +18,6 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/exp"
-	"embera/internal/linux"
-	"embera/internal/mjpeg"
-	"embera/internal/mjpegapp"
-	"embera/internal/os21bind"
-	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
-	"embera/internal/sti7200"
 	"embera/internal/trace"
 )
 
@@ -56,46 +49,24 @@ func usage() {
 func record(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	out := fs.String("o", "run.trc", "output trace file")
-	frames := fs.Int("frames", 60, "MJPEG frames to decode")
-	platform := fs.String("platform", "smp", "platform: smp | sti7200")
+	platformName := fs.String("platform", "smp", "platform (embera-mjpeg -list shows all)")
+	workloadName := fs.String("workload", "mjpeg", "workload (embera-mjpeg -list shows all)")
+	scale := fs.Int("scale", 0, "workload scale: frames for mjpeg, messages for pipeline (0 = 60)")
+	frames := fs.Int("frames", 0, "alias for -scale (frames of the mjpeg workload)")
 	capacity := fs.Int("capacity", 1<<20, "trace ring capacity (events)")
 	_ = fs.Parse(args)
 
-	stream, err := mjpeg.SynthStream(exp.RefW, exp.RefH, *frames,
-		mjpeg.EncodeOptions{Quality: exp.RefQuality})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	k := sim.NewKernel()
-	var a *core.App
-	var cfg mjpegapp.Config
-	switch *platform {
-	case "smp":
-		sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-		a = core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
-		cfg = mjpegapp.SMPConfig(stream)
-	case "sti7200":
-		chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-		a = core.NewApp("mjpeg", os21bind.New(chip))
-		cfg = mjpegapp.OS21Config(stream)
-	default:
-		log.Fatalf("embera-trace: unknown platform %q", *platform)
-	}
-
 	rec := trace.NewRecorder(*capacity)
-	a.SetEventSink(rec)
-	if _, err := mjpegapp.Build(a, cfg); err != nil {
-		log.Fatal(err)
+	opts := exp.Options{EventSink: rec}
+	opts.Scale = *scale
+	if opts.Scale == 0 {
+		opts.Scale = *frames
 	}
-	if err := a.Start(); err != nil {
-		log.Fatal(err)
+	if opts.Scale == 0 {
+		opts.Scale = 60
 	}
-	if err := k.RunUntil(sim.Time(100 * 3600 * sim.Second)); err != nil {
-		log.Fatal(err)
-	}
-	if !a.Done() {
-		log.Fatal("application did not finish")
+	if _, err := exp.RunNamed(*platformName, *workloadName, opts); err != nil {
+		log.Fatalf("embera-trace: %v", err)
 	}
 
 	f, err := os.Create(*out)

@@ -5,9 +5,11 @@
 // platforms rebuilt as deterministic simulations and the full experiment
 // suite.
 //
-// See README.md for the package layout, including the streaming
-// observation pipeline of internal/monitor. The root package carries
-// only documentation and the top-level benchmarks (bench_test.go); all
-// code lives under internal/, the executables under cmd/ and the runnable
-// examples under examples/.
+// See README.md for the package layout, including the platform
+// abstraction layer and workload registry of internal/platform (one
+// harness, any platform × any workload — with an "adding a platform /
+// adding a workload" how-to) and the streaming observation pipeline of
+// internal/monitor. The root package carries only documentation and the
+// top-level benchmarks (bench_test.go); all code lives under internal/,
+// the executables under cmd/ and the runnable examples under examples/.
 package embera

@@ -18,10 +18,8 @@ import (
 
 	"embera/internal/adl"
 	"embera/internal/core"
-	"embera/internal/linux"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 )
 
 const assembly = `{
@@ -55,9 +53,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	app := core.NewApp(spec.Name, smpbind.New(sys, spec.Name))
+	k, app := platform.MustGet("smp").New(spec.Name)
 
 	mixed := 0
 	registry := adl.Registry{

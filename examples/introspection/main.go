@@ -17,12 +17,10 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/exp"
-	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 )
 
 func inspect(numIDCT int) {
@@ -31,10 +29,9 @@ func inspect(numIDCT int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
-	cfg := mjpegapp.SMPConfig(stream)
+	p := platform.MustGet("smp")
+	k, a := p.New("mjpeg")
+	cfg := mjpegapp.ConfigFor(stream, p.Topology())
 	cfg.NumIDCT = numIDCT
 	if _, err := mjpegapp.Build(a, cfg); err != nil {
 		log.Fatal(err)
@@ -75,9 +72,7 @@ func inspect(numIDCT int) {
 // from one sink to another mid-run, and the structure observation reflects
 // the change immediately.
 func liveRewire() {
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("rewire", smpbind.New(sys, "rewire"))
+	k, a := platform.MustGet("smp").New("rewire")
 	prod := a.MustNewComponent("producer", func(ctx *core.Ctx) {
 		for i := 0; i < 60; i++ {
 			ctx.Compute(300_000)

@@ -16,10 +16,8 @@ import (
 	"log"
 
 	"embera/internal/core"
-	"embera/internal/linux"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 )
 
 const (
@@ -33,9 +31,7 @@ const (
 // run executes the pool with the given per-worker share weights and returns
 // the virtual makespan plus the final observation reports.
 func run(weights []int) (sim.Duration, map[string]core.ObsReport) {
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("pool", smpbind.New(sys, "pool"))
+	k, a := platform.MustGet("smp").New("pool")
 
 	nWorkers := len(weights)
 	totalWeight := 0

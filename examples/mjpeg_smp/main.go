@@ -15,12 +15,10 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/exp"
-	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 )
 
 func main() {
@@ -35,12 +33,11 @@ func main() {
 	fmt.Printf("input: %d frames of %dx%d MJPEG (%d bytes)\n\n",
 		*frames, exp.RefW, exp.RefH, len(stream))
 
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
+	p := platform.MustGet("smp")
+	k, a := p.New("mjpeg")
 
 	decoded := 0
-	cfg := mjpegapp.SMPConfig(stream)
+	cfg := mjpegapp.ConfigFor(stream, p.Topology())
 	cfg.OnFrame = func(i int, img *mjpeg.Image) { decoded++ }
 	app, err := mjpegapp.Build(a, cfg)
 	if err != nil {

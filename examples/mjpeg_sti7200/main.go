@@ -20,8 +20,8 @@ import (
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
 	"embera/internal/os21bind"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/sti7200"
 )
 
 func main() {
@@ -34,12 +34,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	k := sim.NewKernel()
-	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-	b := os21bind.New(chip)
-	a := core.NewApp("mjpeg", b)
+	p := platform.MustGet("sti7200")
+	k, a := p.New("mjpeg")
+	b := a.Binding().(*os21bind.Binding)
 
-	app, err := mjpegapp.Build(a, mjpegapp.OS21Config(stream))
+	app, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, p.Topology()))
 	if err != nil {
 		log.Fatal(err)
 	}

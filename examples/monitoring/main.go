@@ -21,23 +21,20 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/exp"
-	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
 	"embera/internal/monitor"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 	"embera/internal/trace"
 )
 
 // monitoredRun executes one SMP MJPEG run with the given monitor config
 // and returns the monitor.
 func monitoredRun(stream []byte, mcfg monitor.Config) (*monitor.Monitor, error) {
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
-	if _, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream)); err != nil {
+	p := platform.MustGet("smp")
+	k, a := p.New("mjpeg")
+	if _, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, p.Topology())); err != nil {
 		return nil, err
 	}
 	mon, err := monitor.New(a, mcfg)

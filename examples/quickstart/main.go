@@ -13,18 +13,14 @@ import (
 	"log"
 
 	"embera/internal/core"
-	"embera/internal/linux"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 )
 
 func main() {
 	// Platform: the paper's 16-core NUMA SMP machine under a deterministic
-	// virtual clock.
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	app := core.NewApp("quickstart", smpbind.New(sys, "quickstart"))
+	// virtual clock, resolved through the platform registry.
+	k, app := platform.MustGet("smp").New("quickstart")
 
 	// Components: creation + interface declaration (the control interface).
 	producer := app.MustNewComponent("producer", func(ctx *core.Ctx) {

@@ -17,15 +17,13 @@ import (
 	"fmt"
 	"log"
 
-	"embera/internal/core"
 	"embera/internal/correlate"
 	"embera/internal/exp"
 	"embera/internal/kptrace"
-	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
 	"embera/internal/smpbind"
 	"embera/internal/trace"
 )
@@ -37,16 +35,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	p := platform.MustGet("smp")
+	k, a := p.New("mjpeg")
 
-	// Attach both observation mechanisms to the same run.
-	kernelTrace := kptrace.Attach(sys, 0)
+	// Attach both observation mechanisms to the same run: the kernel
+	// tracer hooks the Linux system inside the SMP binding.
+	kernelTrace := kptrace.Attach(a.Binding().(*smpbind.Binding).Sys, 0)
 	rec := trace.NewRecorder(1 << 18)
 
-	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
 	a.SetEventSink(rec)
-	if _, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream)); err != nil {
+	if _, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, p.Topology())); err != nil {
 		log.Fatal(err)
 	}
 	if err := a.Start(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
 	"embera/internal/os21bind"
+	"embera/internal/platform"
 	"embera/internal/sim"
 	"embera/internal/sti7200"
 )
@@ -30,7 +31,7 @@ func runWithViewer(t *testing.T, limit int) (*actviewer.Viewer, *mjpegapp.App) {
 		v.Attach(b.RTOSFor(cpu))
 	}
 	a := core.NewApp("mjpeg", b)
-	app, err := mjpegapp.Build(a, mjpegapp.OS21Config(stream))
+	app, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, platform.MustGet("sti7200").Topology()))
 	if err != nil {
 		t.Fatal(err)
 	}

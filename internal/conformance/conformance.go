@@ -1,15 +1,21 @@
 // Package conformance is a binding-independent test suite for the EMBera
 // model: a set of invariants every platform binding must satisfy, exercised
-// over randomized pipeline topologies. Both shipped bindings (SMP/Linux and
-// STi7200/OS21) run the same suite; a future binding gets the whole battery
-// by implementing one constructor.
+// over randomized pipeline topologies, plus the platform × workload matrix
+// battery that runs every registered workload on every registered platform.
+// A future platform gets the whole suite by registering with
+// internal/platform; a future workload gets the matrix the same way.
 package conformance
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sort"
 
 	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/platform"
 	"embera/internal/sim"
 )
 
@@ -20,6 +26,13 @@ type Env struct {
 	// MaxPlacement bounds the placement hints the generator may use
 	// (exclusive); 0 disables explicit placement.
 	MaxPlacement int
+}
+
+// NewEnv creates a fresh environment on a registered platform, with the
+// placement bound taken from the platform's topology.
+func NewEnv(p platform.Platform, name string) *Env {
+	k, a := p.New(name)
+	return &Env{App: a, Kernel: k, MaxPlacement: p.Topology().Locations}
 }
 
 // Factory creates a fresh environment.
@@ -232,4 +245,52 @@ func CheckInvariants(st *Stats) error {
 		}
 	}
 	return nil
+}
+
+// --- platform × workload matrix ---
+
+// MatrixCell is the comparable outcome of running one workload on one
+// platform: a bit-exact fingerprint of everything the run observed (for
+// determinism checks on the same platform) and the platform-independent
+// result digest (for portability checks across platforms).
+type MatrixCell struct {
+	// Fingerprint digests the full observation reports plus the makespan;
+	// two runs of the same cell must produce identical fingerprints.
+	Fingerprint uint64
+	// Checksum is the workload's result digest; it must agree across
+	// every platform the workload runs on.
+	Checksum uint64
+	// Units is the work completed (frames, messages).
+	Units int
+}
+
+// RunMatrixCell executes workload w on platform p through the single
+// exp.Run harness and reduces the outcome to a MatrixCell.
+func RunMatrixCell(p platform.Platform, w platform.Workload, opts platform.Options) (*MatrixCell, error) {
+	run, err := exp.Run(p, w, exp.Options{Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "makespan=%d\n", run.MakespanUS)
+	names := make([]string, 0, len(run.Reports))
+	for n := range run.Reports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		// JSON over ObsReport covers every level — counters, timings,
+		// interface listings — deterministically: pointers are
+		// dereferenced and map keys sorted.
+		blob, err := json.Marshal(run.Reports[n])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "%s: %s\n", n, blob)
+	}
+	return &MatrixCell{
+		Fingerprint: h.Sum64(),
+		Checksum:    run.Instance.Checksum(),
+		Units:       run.Instance.Units(),
+	}, nil
 }

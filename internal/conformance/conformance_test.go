@@ -5,43 +5,20 @@ import (
 	"testing"
 
 	"embera/internal/conformance"
-	"embera/internal/core"
-	"embera/internal/linux"
-	"embera/internal/os21bind"
-	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
-	"embera/internal/sti7200"
+	"embera/internal/platform"
+
+	// Workload registrations for the matrix battery.
+	_ "embera/internal/mjpegapp"
+	_ "embera/internal/pipelineapp"
 )
 
-func smpEnv(name string) *conformance.Env {
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	return &conformance.Env{
-		App:          core.NewApp(name, smpbind.New(sys, name)),
-		Kernel:       k,
-		MaxPlacement: 16,
-	}
-}
-
-func os21Env(name string) *conformance.Env {
-	k := sim.NewKernel()
-	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-	return &conformance.Env{
-		App:          core.NewApp(name, os21bind.New(chip)),
-		Kernel:       k,
-		MaxPlacement: 5,
-	}
-}
-
-// runSuite executes the randomized invariant battery on one binding.
-func runSuite(t *testing.T, factory conformance.Factory, seeds int) {
+// runSuite executes the randomized invariant battery on one platform.
+func runSuite(t *testing.T, p platform.Platform, seeds int) {
 	t.Helper()
 	for seed := 0; seed < seeds; seed++ {
-		seed := seed
 		rng := rand.New(rand.NewSource(int64(seed)*7919 + 13))
 		topo := conformance.GenTopology(rng)
-		env := factory("conf")
+		env := conformance.NewEnv(p, "conf")
 		if err := conformance.Build(env, topo, rng); err != nil {
 			t.Fatalf("seed %d: build: %v", seed, err)
 		}
@@ -58,55 +35,108 @@ func runSuite(t *testing.T, factory conformance.Factory, seeds int) {
 	}
 }
 
-func TestConformanceSMP(t *testing.T) {
-	runSuite(t, smpEnv, 25)
-}
-
-func TestConformanceOS21(t *testing.T) {
-	runSuite(t, os21Env, 25)
+func TestConformanceEveryPlatform(t *testing.T) {
+	for _, name := range platform.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runSuite(t, platform.MustGet(name), 25)
+		})
+	}
 }
 
 func TestBindingsAgreeOnCounters(t *testing.T) {
 	// The same topology must produce identical application-level counters
-	// on both platforms (timings differ, semantics must not).
+	// on every platform (timings differ, semantics must not).
+	names := platform.Names()
+	if len(names) < 2 {
+		t.Skip("need at least two platforms")
+	}
 	for seed := 0; seed < 10; seed++ {
-		rng1 := rand.New(rand.NewSource(int64(seed)))
-		rng2 := rand.New(rand.NewSource(int64(seed)))
-		topo1 := conformance.GenTopology(rng1)
-		topo2 := conformance.GenTopology(rng2)
+		stats := make([]*conformance.Stats, len(names))
+		for i, pn := range names {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			topo := conformance.GenTopology(rng)
+			env := conformance.NewEnv(platform.MustGet(pn), "conf")
+			env.MaxPlacement = 0 // identical assembly on every platform
+			if err := conformance.Build(env, topo, rng); err != nil {
+				t.Fatal(err)
+			}
+			st, err := conformance.Run(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats[i] = st
+		}
+		ref := stats[0]
+		for i, st := range stats[1:] {
+			if st.TotalSent != ref.TotalSent || st.TotalReceived != ref.TotalReceived {
+				t.Errorf("seed %d: %s disagrees with %s: %d/%d vs %d/%d", seed,
+					names[i+1], names[0], st.TotalSent, st.TotalReceived,
+					ref.TotalSent, ref.TotalReceived)
+			}
+			for name, repA := range ref.Reports {
+				repB, ok := st.Reports[name]
+				if !ok {
+					t.Fatalf("seed %d: component %s missing on %s", seed, name, names[i+1])
+				}
+				if repA.App.SendOps != repB.App.SendOps || repA.App.RecvOps != repB.App.RecvOps {
+					t.Errorf("seed %d: %s counters differ: %d/%d vs %d/%d", seed, name,
+						repA.App.SendOps, repA.App.RecvOps, repB.App.SendOps, repB.App.RecvOps)
+				}
+			}
+		}
+	}
+}
 
-		envA := smpEnv("a")
-		envA.MaxPlacement = 0 // identical assembly on both platforms
-		if err := conformance.Build(envA, topo1, rng1); err != nil {
-			t.Fatal(err)
-		}
-		stA, err := conformance.Run(envA)
-		if err != nil {
-			t.Fatal(err)
-		}
-		envB := os21Env("b")
-		envB.MaxPlacement = 0
-		if err := conformance.Build(envB, topo2, rng2); err != nil {
-			t.Fatal(err)
-		}
-		stB, err := conformance.Run(envB)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if stA.TotalSent != stB.TotalSent || stA.TotalReceived != stB.TotalReceived {
-			t.Errorf("seed %d: bindings disagree: SMP %d/%d vs OS21 %d/%d",
-				seed, stA.TotalSent, stA.TotalReceived, stB.TotalSent, stB.TotalReceived)
-		}
-		for name, repA := range stA.Reports {
-			repB, ok := stB.Reports[name]
-			if !ok {
-				t.Fatalf("seed %d: component %s missing on OS21", seed, name)
+// TestWorkloadMatrix runs every registered workload on every registered
+// platform twice: the two runs of a cell must be bit-identical
+// (determinism), and a workload's result checksum must agree across all
+// platforms (portability).
+func TestWorkloadMatrix(t *testing.T) {
+	const scale = 8
+	for _, wn := range platform.WorkloadNames() {
+		wn := wn
+		t.Run(wn, func(t *testing.T) {
+			type cellID struct {
+				platform string
+				cell     *conformance.MatrixCell
 			}
-			if repA.App.SendOps != repB.App.SendOps || repA.App.RecvOps != repB.App.RecvOps {
-				t.Errorf("seed %d: %s counters differ: %d/%d vs %d/%d", seed, name,
-					repA.App.SendOps, repA.App.RecvOps, repB.App.SendOps, repB.App.RecvOps)
+			var cells []cellID
+			for _, pn := range platform.Names() {
+				p := platform.MustGet(pn)
+				opts := platform.Options{Scale: scale}
+				first, err := conformance.RunMatrixCell(p, platform.MustGetWorkload(wn), opts)
+				if err != nil {
+					t.Fatalf("%s × %s: %v", pn, wn, err)
+				}
+				second, err := conformance.RunMatrixCell(p, platform.MustGetWorkload(wn), opts)
+				if err != nil {
+					t.Fatalf("%s × %s (rerun): %v", pn, wn, err)
+				}
+				if first.Fingerprint != second.Fingerprint {
+					t.Errorf("%s × %s: nondeterministic reports: %016x vs %016x",
+						pn, wn, first.Fingerprint, second.Fingerprint)
+				}
+				if first.Checksum != second.Checksum || first.Units != second.Units {
+					t.Errorf("%s × %s: nondeterministic results: %016x/%d vs %016x/%d",
+						pn, wn, first.Checksum, first.Units, second.Checksum, second.Units)
+				}
+				if first.Units == 0 {
+					t.Errorf("%s × %s: no work done", pn, wn)
+				}
+				cells = append(cells, cellID{platform: pn, cell: first})
 			}
-		}
+			for _, c := range cells[1:] {
+				if c.cell.Checksum != cells[0].cell.Checksum {
+					t.Errorf("checksum differs across platforms: %s %016x vs %s %016x",
+						c.platform, c.cell.Checksum, cells[0].platform, cells[0].cell.Checksum)
+				}
+				if c.cell.Units != cells[0].cell.Units {
+					t.Errorf("units differ across platforms: %s %d vs %s %d",
+						c.platform, c.cell.Units, cells[0].platform, cells[0].cell.Units)
+				}
+			}
+		})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
+	"embera/internal/platform"
 	"embera/internal/sim"
 	"embera/internal/smp"
 	"embera/internal/smpbind"
@@ -30,7 +31,7 @@ func runBothTracers(t *testing.T) (*kptrace.Tracer, *trace.Recorder) {
 	rec := trace.NewRecorder(1 << 18)
 	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
 	a.SetEventSink(rec)
-	if _, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream)); err != nil {
+	if _, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, platform.MustGet("smp").Topology())); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.Start(); err != nil {

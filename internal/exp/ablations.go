@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"embera/internal/core"
-	"embera/internal/mjpegapp"
 	"embera/internal/trace"
 )
 
@@ -32,7 +31,8 @@ func AblationObservationOverhead(frames int) (*A1Result, error) {
 		return nil, err
 	}
 
-	bare, err := RunSMP(mjpegapp.SMPConfig(stream))
+	p := SMP()
+	bare, err := runMJPEG(p, mjpegCfg(stream, p), Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -41,15 +41,18 @@ func AblationObservationOverhead(frames int) (*A1Result, error) {
 	// of virtual time while the app runs.
 	rec := trace.NewRecorder(1 << 20)
 	queries := 0
-	observed, err := runSMPWith(mjpegapp.SMPConfig(stream), rec, func(a *core.App, obs *core.Observer) {
-		a.SpawnDriver("poller", func(f core.Flow) {
-			for !a.Done() {
-				f.SleepUS(50_000)
-				if _, err := obs.QueryAll(f, core.LevelAll); err == nil {
-					queries++
+	observed, err := runMJPEG(p, mjpegCfg(stream, p), Options{
+		EventSink: rec,
+		Customize: func(a *core.App, obs *core.Observer) {
+			a.SpawnDriver("poller", func(f core.Flow) {
+				for !a.Done() {
+					f.SleepUS(50_000)
+					if _, err := obs.QueryAll(f, core.LevelAll); err == nil {
+						queries++
+					}
 				}
-			}
-		})
+			})
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -61,21 +64,6 @@ func AblationObservationOverhead(frames int) (*A1Result, error) {
 		EventsCollected:    total,
 		QueriesServed:      queries,
 	}, nil
-}
-
-// runSMPWith is RunSMP plus an event sink and an extra driver hook.
-func runSMPWith(cfg mjpegapp.Config, sink core.EventSink,
-	hook func(a *core.App, obs *core.Observer)) (*Run, error) {
-
-	run, err := runSMPCustom(cfg, func(a *core.App, obs *core.Observer) {
-		if sink != nil {
-			a.SetEventSink(sink)
-		}
-		if hook != nil {
-			hook(a, obs)
-		}
-	})
-	return run, err
 }
 
 // FormatA1 renders the comparison.
@@ -103,11 +91,12 @@ func AblationMailboxCapacity(frames int, bufKBs []int64) ([]A2Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	p := SMP()
 	var out []A2Point
 	for _, kb := range bufKBs {
-		cfg := mjpegapp.SMPConfig(stream)
+		cfg := mjpegCfg(stream, p)
 		cfg.IDCTBufBytes = kb * 1024
-		run, err := RunSMP(cfg)
+		run, err := runMJPEG(p, cfg, Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -146,12 +135,13 @@ func AblationNUMAPlacement(frames int) (*A3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	p := SMP()
 	measure := func(fetchLoc, reorderLoc int, idctLocs []int) (float64, int64, error) {
-		cfg := mjpegapp.SMPConfig(stream)
+		cfg := mjpegCfg(stream, p)
 		cfg.FetchLoc = fetchLoc
 		cfg.ReorderLoc = reorderLoc
 		cfg.IDCTLocs = idctLocs
-		run, err := RunSMP(cfg)
+		run, err := runMJPEG(p, cfg, Options{})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -206,11 +196,12 @@ func AblationIDCTFanout(frames int, fanouts []int) ([]A4Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	p := SMP()
 	var out []A4Point
 	for _, n := range fanouts {
-		cfg := mjpegapp.SMPConfig(stream)
+		cfg := mjpegCfg(stream, p)
 		cfg.NumIDCT = n
-		run, err := RunSMP(cfg)
+		run, err := runMJPEG(p, cfg, Options{})
 		if err != nil {
 			return nil, err
 		}

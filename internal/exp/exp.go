@@ -1,8 +1,11 @@
 // Package exp contains the experiment harness: one runner per table and
 // figure of the paper's evaluation (Table 1, Table 2, Figure 4, Figure 5 on
 // SMP; Table 3, Figure 8 on the STi7200), plus the ablations listed in
-// DESIGN.md §5. cmd/embera-bench and the top-level benchmarks drive these
-// runners; EXPERIMENTS.md records paper-vs-measured for each.
+// DESIGN.md §5. Every experiment goes through the single Run entry point,
+// which executes any registered workload on any registered platform and
+// owns the observer, monitor and trace attachment. cmd/embera-bench and the
+// top-level benchmarks drive these runners; EXPERIMENTS.md records
+// paper-vs-measured for each.
 package exp
 
 import (
@@ -10,27 +13,29 @@ import (
 	"sync"
 
 	"embera/internal/core"
-	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
-	"embera/internal/os21bind"
+	"embera/internal/monitor"
+	"embera/internal/pipelineapp"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
-	"embera/internal/sti7200"
 )
 
 // Reference workload: the paper's inputs are two MJPEG videos of 578 and
 // 3000 frames with identical dimensions. We synthesize equivalents.
 const (
-	RefW       = 128
-	RefH       = 96
-	RefQuality = 75
+	RefW       = mjpegapp.RefW
+	RefH       = mjpegapp.RefH
+	RefQuality = mjpegapp.RefQuality
 
 	// SmallFrames and LargeFrames are the paper's input sizes.
 	SmallFrames = 578
 	LargeFrames = 3000
 )
+
+// Both workload packages register themselves on import; referencing them
+// here guarantees every exp user sees a fully populated registry.
+var _ = pipelineapp.DefaultConfig
 
 var (
 	streamMu    sync.Mutex
@@ -56,55 +61,71 @@ func RefStream(frames int) ([]byte, error) {
 // horizon bounds every simulation run; hitting it is reported as an error.
 const horizon = sim.Time(100 * 3600 * sim.Second)
 
-// Run is a completed simulation with its observation reports.
-type Run struct {
-	App     *mjpegapp.App
-	Kernel  *sim.Kernel
+// Options configures one Run beyond the platform × workload choice. The
+// embedded platform.Options carries the workload inputs (Scale, Stream,
+// MessageBytes); the rest attaches harness machinery.
+type Options struct {
+	platform.Options
+
+	// EventSink, when non-nil, receives every instrumentation event (the
+	// binary trace recorder, the kptrace bridge). Attached before Start.
+	EventSink core.EventSink
+	// Monitor, when non-nil, attaches a streaming observation pipeline
+	// with this configuration; the running monitor is returned on Run.
+	Monitor *monitor.Config
+	// Customize runs after the observer is attached and before Start —
+	// extra drivers, probes, sinks.
+	Customize func(a *core.App, obs *core.Observer)
+}
+
+// Result is a completed simulation with its observation reports.
+type Result struct {
+	Platform platform.Platform
+	Kernel   *sim.Kernel
+	App      *core.App
+	// Instance is the workload's result tracker (units, checksum).
+	Instance platform.Instance
+	// Monitor is the streaming pipeline, when Options.Monitor asked for one.
+	Monitor *monitor.Monitor
 	Reports map[string]core.ObsReport
 	// MakespanUS is the virtual time at which the application finished.
 	MakespanUS int64
 }
 
-// RunSMP builds cfg on a fresh SMP/Linux platform, runs it to completion and
-// collects LevelAll observations through the in-simulation observer.
-func RunSMP(cfg mjpegapp.Config) (*Run, error) {
-	return runSMPCustom(cfg, nil)
-}
-
-// runSMPCustom is RunSMP with a pre-start customization hook (event sinks,
-// extra drivers).
-func runSMPCustom(cfg mjpegapp.Config, customize func(a *core.App, obs *core.Observer)) (*Run, error) {
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
-	return runApp(k, a, cfg, customize)
-}
-
-// RunOS21 builds cfg on a fresh STi7200/OS21 platform and runs it.
-func RunOS21(cfg mjpegapp.Config) (*Run, error) {
-	k := sim.NewKernel()
-	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-	a := core.NewApp("mjpeg", os21bind.New(chip))
-	return runApp(k, a, cfg, nil)
-}
-
-func runApp(k *sim.Kernel, a *core.App, cfg mjpegapp.Config,
-	customize func(a *core.App, obs *core.Observer)) (*Run, error) {
-	app, err := mjpegapp.Build(a, cfg)
+// Run executes workload w on platform p to completion and collects
+// observations through the in-simulation observer. It is the single
+// harness path: every binary, experiment, benchmark and conformance cell
+// funnels through here.
+func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error) {
+	k, a := p.New(w.Name())
+	inst, err := w.Build(a, p, opts.Options)
 	if err != nil {
 		return nil, err
+	}
+	if opts.EventSink != nil {
+		a.SetEventSink(opts.EventSink)
+	}
+	var mon *monitor.Monitor
+	if opts.Monitor != nil {
+		mon, err = monitor.New(a, *opts.Monitor)
+		if err != nil {
+			return nil, err
+		}
+		if err := mon.Start(); err != nil {
+			return nil, err
+		}
 	}
 	obs, err := a.AttachObserver()
 	if err != nil {
 		return nil, err
 	}
-	if customize != nil {
-		customize(a, obs)
+	if opts.Customize != nil {
+		opts.Customize(a, obs)
 	}
 	if err := a.Start(); err != nil {
 		return nil, err
 	}
-	r := &Run{App: app, Kernel: k}
+	r := &Result{Platform: p, Kernel: k, App: a, Instance: inst, Monitor: mon}
 	var qErr error
 	a.SpawnDriver("exp-driver", func(f core.Flow) {
 		a.AwaitQuiescence(f)
@@ -123,5 +144,39 @@ func runApp(k *sim.Kernel, a *core.App, cfg mjpegapp.Config,
 	if r.Reports == nil {
 		return nil, fmt.Errorf("exp: observer queries never ran")
 	}
+	if err := inst.Check(); err != nil {
+		return nil, fmt.Errorf("exp: workload self-check: %w", err)
+	}
 	return r, nil
+}
+
+// RunNamed resolves both registries and runs. Unknown names return the
+// registry errors, which list the valid choices.
+func RunNamed(platformName, workloadName string, opts Options) (*Result, error) {
+	p, err := platform.Get(platformName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := platform.GetWorkload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p, w, opts)
+}
+
+// SMP and STi7200 return the two registered paper platforms, the fixed
+// points the paper's tables and figures are defined on.
+func SMP() platform.Platform { return platform.MustGet("smp") }
+
+// STi7200 returns the registered STi7200 platform.
+func STi7200() platform.Platform { return platform.MustGet("sti7200") }
+
+// mjpegCfg is shorthand for the paper's deployment of the decoder on p.
+func mjpegCfg(stream []byte, p platform.Platform) mjpegapp.Config {
+	return mjpegapp.ConfigFor(stream, p.Topology())
+}
+
+// runMJPEG runs an explicit decoder configuration on p.
+func runMJPEG(p platform.Platform, cfg mjpegapp.Config, opts Options) (*Result, error) {
+	return Run(p, mjpegapp.NewWorkload(cfg), opts)
 }

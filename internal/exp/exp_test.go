@@ -3,6 +3,8 @@ package exp
 import (
 	"strings"
 	"testing"
+
+	"embera/internal/platform"
 )
 
 // The experiment runners are exercised here on reduced frame counts; the
@@ -317,5 +319,54 @@ func TestQueueOccupancyShowsBackpressure(t *testing.T) {
 	out := FormatOccupancy(roomy[:3], []string{"IDCT_1._fetchIdct1", "Reorder.idctReorder"})
 	if !strings.Contains(out, "t (µs)") {
 		t.Error("occupancy formatting broken")
+	}
+}
+
+func TestRunNamedUnknownNamesListRegistry(t *testing.T) {
+	if _, err := RunNamed("vax", "mjpeg", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "smp") || !strings.Contains(err.Error(), "sti7200") {
+		t.Errorf("unknown platform error does not list registry: %v", err)
+	}
+	if _, err := RunNamed("smp", "nosuch", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "mjpeg") || !strings.Contains(err.Error(), "pipeline") {
+		t.Errorf("unknown workload error does not list registry: %v", err)
+	}
+}
+
+func TestRunEveryCellOfTheMatrix(t *testing.T) {
+	for _, pn := range platform.Names() {
+		for _, wn := range platform.WorkloadNames() {
+			run, err := RunNamed(pn, wn, Options{Options: platform.Options{Scale: 4}})
+			if err != nil {
+				t.Fatalf("%s × %s: %v", pn, wn, err)
+			}
+			if run.Instance.Units() == 0 {
+				t.Errorf("%s × %s: no work done", pn, wn)
+			}
+			if run.MakespanUS <= 0 {
+				t.Errorf("%s × %s: makespan %d", pn, wn, run.MakespanUS)
+			}
+			if len(run.Reports) == 0 {
+				t.Errorf("%s × %s: no observation reports", pn, wn)
+			}
+		}
+	}
+}
+
+func TestPipelineCompareChecksumsAgree(t *testing.T) {
+	rows, err := PipelineCompare(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(platform.Names()) {
+		t.Fatalf("rows = %d, want one per platform", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if r.Checksum != rows[0].Checksum || r.Units != rows[0].Units {
+			t.Errorf("platforms disagree: %+v vs %+v", rows[0], r)
+		}
+	}
+	if !strings.Contains(FormatP1(rows), "checksum") {
+		t.Error("P1 formatting broken")
 	}
 }

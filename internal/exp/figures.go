@@ -5,27 +5,37 @@ import (
 	"strings"
 
 	"embera/internal/core"
-	"embera/internal/linux"
-	"embera/internal/os21bind"
-	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
-	"embera/internal/sti7200"
+	"embera/internal/platform"
 )
 
-// sweepApp builds a minimal sender -> sink application used by the send-time
-// sweeps of Figure 4 and Figure 8: the paper varies message size and
-// measures the EMBera send primitive through the observation interface.
-func sweepApp(a *core.App, senderLoc, sinkLoc, msgBytes, msgs int, sinkBuf int64) (*core.Component, error) {
+// sweepWorkload is the minimal sender -> sink application used by the
+// send-time sweeps of Figure 4 and Figure 8: the paper varies message size
+// and measures the EMBera send primitive through the observation interface.
+// It implements platform.Workload without being registered — sweeps pin
+// their own placements, so they are driven by the figures, not by name.
+type sweepWorkload struct {
+	senderLoc, sinkLoc int
+	msgBytes, msgs     int
+	sinkBuf            int64
+}
+
+func (w *sweepWorkload) Name() string { return "sweep" }
+
+func (w *sweepWorkload) Describe() string {
+	return "two-component send-primitive sweep (Figures 4 and 8)"
+}
+
+func (w *sweepWorkload) Build(a *core.App, p platform.Platform, _ platform.Options) (platform.Instance, error) {
+	inst := &sweepInstance{want: w.msgs}
 	sender, err := a.NewComponent("sender", func(ctx *core.Ctx) {
-		for i := 0; i < msgs; i++ {
-			ctx.Send("out", nil, msgBytes)
+		for i := 0; i < w.msgs; i++ {
+			ctx.Send("out", nil, w.msgBytes)
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	sender.Place(senderLoc)
+	sender.Place(w.senderLoc)
 	if err := sender.AddRequired("out"); err != nil {
 		return nil, err
 	}
@@ -34,32 +44,48 @@ func sweepApp(a *core.App, senderLoc, sinkLoc, msgBytes, msgs int, sinkBuf int64
 			if _, ok := ctx.Receive("in"); !ok {
 				return
 			}
+			inst.received++
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	sink.Place(sinkLoc)
-	if err := sink.AddProvided("in", sinkBuf); err != nil {
+	sink.Place(w.sinkLoc)
+	if err := sink.AddProvided("in", w.sinkBuf); err != nil {
 		return nil, err
 	}
 	if err := a.Connect(sender, "out", sink, "in"); err != nil {
 		return nil, err
 	}
-	return sender, nil
+	return inst, nil
 }
 
-func runSweep(k *sim.Kernel, a *core.App, sender *core.Component) (core.IfaceStats, error) {
-	if err := a.Start(); err != nil {
+type sweepInstance struct {
+	want, received int
+}
+
+func (in *sweepInstance) Units() int       { return in.received }
+func (in *sweepInstance) Checksum() uint64 { return uint64(in.received) }
+
+func (in *sweepInstance) Check() error {
+	if in.received != in.want {
+		return fmt.Errorf("exp: sweep sink received %d of %d messages", in.received, in.want)
+	}
+	return nil
+}
+
+func (in *sweepInstance) Summary() string {
+	return fmt.Sprintf("swept %d messages", in.received)
+}
+
+// runSweep executes one sweep point and returns the sender's middleware
+// send statistics.
+func runSweep(p platform.Platform, w *sweepWorkload) (core.IfaceStats, error) {
+	run, err := Run(p, w, Options{})
+	if err != nil {
 		return core.IfaceStats{}, err
 	}
-	if err := k.RunUntil(horizon); err != nil {
-		return core.IfaceStats{}, err
-	}
-	if !a.Done() {
-		return core.IfaceStats{}, fmt.Errorf("exp: sweep did not finish")
-	}
-	return sender.Snapshot(core.LevelMiddleware).Middleware.Send["out"], nil
+	return run.Reports["sender"].Middleware.Send["out"], nil
 }
 
 // --- Figure 4: send execution time vs message size on SMP ---
@@ -78,16 +104,13 @@ var DefaultF4Sizes = []int{1, 8, 16, 25, 50, 75, 100, 125}
 // increases almost linearly with the size of the message", reaching ~300 µs
 // at 125 kb.
 func Figure4(sizesKB []int, msgs int) ([]F4Point, error) {
+	p := SMP()
 	var out []F4Point
 	for _, szKB := range sizesKB {
-		k := sim.NewKernel()
-		sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-		a := core.NewApp("fig4", smpbind.New(sys, "fig4"))
-		sender, err := sweepApp(a, -1, -1, szKB*1024, msgs, 64<<20)
-		if err != nil {
-			return nil, err
-		}
-		st, err := runSweep(k, a, sender)
+		st, err := runSweep(p, &sweepWorkload{
+			senderLoc: -1, sinkLoc: -1,
+			msgBytes: szKB * 1024, msgs: msgs, sinkBuf: 64 << 20,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -121,22 +144,22 @@ type F8Point struct {
 var DefaultF8Sizes = []int{1, 25, 50, 100, 200}
 
 // Figure8 measures the mean EMBera send time per message size on the
-// STi7200, once with the sender on the ST40 and once on an ST231. The
-// paper's observations: the IDCT (ST231) executes send faster than
-// Fetch-Reorder (ST40) at every size, and performance "is linear for
-// message sizes smaller than 50 kB" with a visible degradation beyond.
+// STi7200, once with the sender on the ST40 host and once on an ST231
+// accelerator. The paper's observations: the IDCT (ST231) executes send
+// faster than Fetch-Reorder (ST40) at every size, and performance "is
+// linear for message sizes smaller than 50 kB" with a visible degradation
+// beyond.
 func Figure8(sizesKB []int, msgs int) ([]F8Point, error) {
-	meanFor := func(senderCPU, szKB int) (float64, error) {
-		k := sim.NewKernel()
-		chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-		a := core.NewApp("fig8", os21bind.New(chip))
-		// The sink lives on ST231 #3 with an object large enough for the
-		// 200 kB sweep points.
-		sender, err := sweepApp(a, senderCPU, 3, szKB*1024, msgs, 1<<20)
-		if err != nil {
-			return 0, err
-		}
-		st, err := runSweep(k, a, sender)
+	p := STi7200()
+	topo := p.Topology()
+	// The sink lives on the last accelerator with an object large enough
+	// for the 200 kB sweep points.
+	sinkLoc := topo.Accelerators[len(topo.Accelerators)-1]
+	meanFor := func(senderLoc, szKB int) (float64, error) {
+		st, err := runSweep(p, &sweepWorkload{
+			senderLoc: senderLoc, sinkLoc: sinkLoc,
+			msgBytes: szKB * 1024, msgs: msgs, sinkBuf: 1 << 20,
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -144,11 +167,11 @@ func Figure8(sizesKB []int, msgs int) ([]F8Point, error) {
 	}
 	var out []F8Point
 	for _, szKB := range sizesKB {
-		st40, err := meanFor(0, szKB)
+		st40, err := meanFor(topo.Host, szKB)
 		if err != nil {
 			return nil, err
 		}
-		st231, err := meanFor(1, szKB)
+		st231, err := meanFor(topo.Accelerators[0], szKB)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"embera/internal/core"
-	"embera/internal/mjpegapp"
 )
 
 // Queue-occupancy experiment (E6): sample every provided interface's mailbox
@@ -29,10 +28,11 @@ func QueueOccupancy(frames int, idctBufBytes int64, intervalUS int64) ([]Occupan
 	if err != nil {
 		return nil, err
 	}
-	cfg := mjpegapp.SMPConfig(stream)
+	p := SMP()
+	cfg := mjpegCfg(stream, p)
 	cfg.IDCTBufBytes = idctBufBytes
 	var samples []OccupancySample
-	run, err := runSMPCustom(cfg, func(a *core.App, obs *core.Observer) {
+	run, err := runMJPEG(p, cfg, Options{Customize: func(a *core.App, obs *core.Observer) {
 		a.SpawnDriver("occupancy-poller", func(f core.Flow) {
 			for !a.Done() {
 				f.SleepUS(intervalUS)
@@ -51,7 +51,7 @@ func QueueOccupancy(frames int, idctBufBytes int64, intervalUS int64) ([]Occupan
 				samples = append(samples, s)
 			}
 		})
-	})
+	}})
 	if err != nil {
 		return nil, err
 	}

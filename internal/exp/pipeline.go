@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"embera/internal/platform"
+)
+
+// Pipeline experiment (P1): the same synthetic pipeline workload on every
+// registered platform — the cross-platform portability demonstration the
+// paper's component model promises. One row per platform; the checksums
+// must agree, the makespans show the platforms' relative speed.
+
+// P1Row is one platform's pipeline run.
+type P1Row struct {
+	Platform   string
+	MakespanUS int64
+	Units      int
+	Checksum   uint64
+}
+
+// PipelineCompare runs the default pipeline workload at the given message
+// count on every registered platform.
+func PipelineCompare(messages int) ([]P1Row, error) {
+	var rows []P1Row
+	for _, name := range platform.Names() {
+		run, err := RunNamed(name, "pipeline", Options{
+			Options: platform.Options{Scale: messages},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, P1Row{
+			Platform:   name,
+			MakespanUS: run.MakespanUS,
+			Units:      run.Instance.Units(),
+			Checksum:   run.Instance.Checksum(),
+		})
+	}
+	for _, r := range rows[1:] {
+		if r.Checksum != rows[0].Checksum {
+			return nil, fmt.Errorf("exp: pipeline checksum diverges across platforms: %x vs %x (%s)",
+				r.Checksum, rows[0].Checksum, r.Platform)
+		}
+	}
+	return rows, nil
+}
+
+// FormatP1 renders the comparison.
+func FormatP1(rows []P1Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "P1: pipeline workload across every registered platform")
+	fmt.Fprintf(&b, "%-12s %14s %10s %18s\n", "Platform", "makespan (µs)", "messages", "checksum")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14d %10d %018x\n", r.Platform, r.MakespanUS, r.Units, r.Checksum)
+	}
+	return b.String()
+}

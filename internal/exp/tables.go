@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"embera/internal/core"
-	"embera/internal/mjpegapp"
 )
 
 // --- Table 1: MJPEG component execution time and memory (SMP) ---
@@ -44,12 +43,13 @@ func Table1(smallFrames, largeFrames int) ([]T1Row, error) {
 	return rows, nil
 }
 
-func runT1(frames int) (*Run, error) {
+func runT1(frames int) (*Result, error) {
 	stream, err := RefStream(frames)
 	if err != nil {
 		return nil, err
 	}
-	return RunSMP(mjpegapp.SMPConfig(stream))
+	p := SMP()
+	return runMJPEG(p, mjpegCfg(stream, p), Options{})
 }
 
 // FormatTable1 renders rows in the paper's layout.
@@ -132,7 +132,8 @@ func Table3(frames int) ([]T3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := RunOS21(mjpegapp.OS21Config(stream))
+	p := STi7200()
+	run, err := runMJPEG(p, mjpegCfg(stream, p), Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +170,8 @@ func Figure5() (string, error) {
 		return "", err
 	}
 	// Assembly only — the structure is observable before execution.
-	run, err := RunSMP(mjpegapp.SMPConfig(stream))
+	p := SMP()
+	run, err := runMJPEG(p, mjpegCfg(stream, p), Options{})
 	if err != nil {
 		return "", err
 	}

@@ -9,6 +9,7 @@ import (
 	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
+	"embera/internal/platform"
 	"embera/internal/sim"
 	"embera/internal/smp"
 	"embera/internal/smpbind"
@@ -25,7 +26,7 @@ func runMJPEGWithKPTrace(t *testing.T, limit int) (*kptrace.Tracer, *mjpegapp.Ap
 	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
 	tr := kptrace.Attach(sys, limit)
 	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
-	app, err := mjpegapp.Build(a, mjpegapp.SMPConfig(stream))
+	app, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, platform.MustGet("smp").Topology()))
 	if err != nil {
 		t.Fatal(err)
 	}

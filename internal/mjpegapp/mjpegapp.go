@@ -22,12 +22,21 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/mjpeg"
+	"embera/internal/platform"
 )
 
 // DefaultGroupsPerFrame is how many block-group messages Fetch emits per
 // frame. 18 reproduces the paper's Table 2 arithmetic: ~18 messages per
 // image (10 386 sends for the 578-image input, 53 982 for 3000 images).
 const DefaultGroupsPerFrame = 18
+
+// Reference input geometry: the paper's two MJPEG videos share identical
+// dimensions; we synthesize equivalents at this size and quality.
+const (
+	RefW       = 128
+	RefH       = 96
+	RefQuality = 75
+)
 
 // CostModel converts the real per-stage work (scan bytes Huffman-decoded,
 // blocks transformed, blocks placed) into CPU cycles charged to the
@@ -102,10 +111,37 @@ type Config struct {
 	MessageBytes int
 }
 
-// SMPConfig returns the paper's SMP deployment for the given stream:
-// Fetch + 3 IDCT + Reorder, with the Reorder inbox sized at twice the
-// default mailbox so the Table 1 memory column reproduces (13 308 kB).
-func SMPConfig(stream []byte) Config {
+// MergedIDCTs is the IDCT fan-out of the merged deployment. The paper uses
+// two: "the software toolset provided by STMicroelectronics for our
+// experience supports only three processors" — one host plus two
+// accelerators.
+const MergedIDCTs = 2
+
+// ConfigFor returns the paper's deployment of the decoder adapted to the
+// platform topology — the one place both of the paper's assemblies live:
+//
+//   - Symmetric platforms get the five-component pipeline of Figure 3
+//     (Fetch + 3 IDCT + Reorder), with the Reorder inbox sized at twice the
+//     default mailbox so Table 1's memory column reproduces (13 308 kB).
+//   - Host+accelerator platforms get the merged topology of Figure 7:
+//     Fetch-Reorder pinned to the host, one IDCT on each of the first
+//     MergedIDCTs accelerators.
+func ConfigFor(stream []byte, topo platform.Topology) Config {
+	if !topo.Symmetric() && len(topo.Accelerators) > 0 {
+		n := MergedIDCTs
+		if len(topo.Accelerators) < n {
+			n = len(topo.Accelerators)
+		}
+		return Config{
+			Stream:     stream,
+			NumIDCT:    n,
+			Merged:     true,
+			FetchLoc:   topo.Host,
+			ReorderLoc: topo.Host,
+			IDCTLocs:   append([]int(nil), topo.Accelerators[:n]...),
+			Costs:      DefaultCosts(),
+		}
+	}
 	return Config{
 		Stream:          stream,
 		NumIDCT:         3,
@@ -113,20 +149,6 @@ func SMPConfig(stream []byte) Config {
 		FetchLoc:        -1,
 		ReorderLoc:      -1,
 		Costs:           DefaultCosts(),
-	}
-}
-
-// OS21Config returns the paper's STi7200 deployment: merged Fetch-Reorder on
-// the ST40 (CPU 0) and two IDCTs on ST231 accelerators (CPUs 1 and 2).
-func OS21Config(stream []byte) Config {
-	return Config{
-		Stream:     stream,
-		NumIDCT:    2,
-		Merged:     true,
-		FetchLoc:   0,
-		ReorderLoc: 0,
-		IDCTLocs:   []int{1, 2},
-		Costs:      DefaultCosts(),
 	}
 }
 
@@ -140,6 +162,8 @@ type App struct {
 	// IDCTs are the IDCT components, in index order.
 	IDCTs []*core.Component
 
+	// TotalFrames is the number of frames in the input stream.
+	TotalFrames int
 	// FramesDecoded counts fully reassembled frames.
 	FramesDecoded int
 
@@ -170,7 +194,7 @@ func Build(a *core.App, cfg Config) (*App, error) {
 		return nil, fmt.Errorf("mjpegapp: %w", err)
 	}
 
-	app := &App{Core: a, cfg: cfg}
+	app := &App{Core: a, cfg: cfg, TotalFrames: len(frames)}
 	if cfg.Merged {
 		// The merged topology has a cycle (Fetch-Reorder -> IDCT ->
 		// Fetch-Reorder), so each result object must hold one frame's worth

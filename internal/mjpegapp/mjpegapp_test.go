@@ -4,13 +4,11 @@ import (
 	"testing"
 
 	"embera/internal/core"
-	"embera/internal/linux"
 	"embera/internal/mjpeg"
 	"embera/internal/mjpegapp"
 	"embera/internal/os21bind"
+	"embera/internal/platform"
 	"embera/internal/sim"
-	"embera/internal/smp"
-	"embera/internal/smpbind"
 	"embera/internal/sti7200"
 )
 
@@ -29,11 +27,18 @@ func testStream(t testing.TB) []byte {
 	return data
 }
 
-func buildSMP(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
+// smpCfg / os21Cfg are the platform-adapted paper deployments.
+func smpCfg(stream []byte) mjpegapp.Config {
+	return mjpegapp.ConfigFor(stream, platform.MustGet("smp").Topology())
+}
+
+func os21Cfg(stream []byte) mjpegapp.Config {
+	return mjpegapp.ConfigFor(stream, platform.MustGet("sti7200").Topology())
+}
+
+func buildOn(t testing.TB, platformName string, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
 	t.Helper()
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("mjpeg", smpbind.New(sys, "mjpeg"))
+	k, a := platform.MustGet(platformName).New("mjpeg")
 	app, err := mjpegapp.Build(a, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -41,16 +46,12 @@ func buildSMP(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
 	return app, k
 }
 
+func buildSMP(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
+	return buildOn(t, "smp", cfg)
+}
+
 func buildOS21(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
-	t.Helper()
-	k := sim.NewKernel()
-	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-	a := core.NewApp("mjpeg", os21bind.New(chip))
-	app, err := mjpegapp.Build(a, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return app, k
+	return buildOn(t, "sti7200", cfg)
 }
 
 func runApp(t testing.TB, k *sim.Kernel, app *mjpegapp.App) {
@@ -73,7 +74,7 @@ func TestSMPDecodesAllFramesCorrectly(t *testing.T) {
 		t.Fatal(err)
 	}
 	decoded := make(map[int]*mjpeg.Image)
-	cfg := mjpegapp.SMPConfig(stream)
+	cfg := smpCfg(stream)
 	cfg.OnFrame = func(i int, img *mjpeg.Image) { decoded[i] = img }
 	app, k := buildSMP(t, cfg)
 	runApp(t, k, app)
@@ -98,7 +99,7 @@ func TestSMPDecodesAllFramesCorrectly(t *testing.T) {
 }
 
 func TestSMPTopologyMatchesFigure3(t *testing.T) {
-	app, k := buildSMP(t, mjpegapp.SMPConfig(testStream(t)))
+	app, k := buildSMP(t, smpCfg(testStream(t)))
 	comps := app.Core.Components()
 	if len(comps) != 5 {
 		t.Fatalf("components = %d, want 5 (Fetch + 3 IDCT + Reorder)", len(comps))
@@ -124,7 +125,7 @@ func TestSMPTopologyMatchesFigure3(t *testing.T) {
 func TestTable2CommunicationShape(t *testing.T) {
 	// Fetch: sends 18/frame, receives 0. IDCTx: receives = sends = 6/frame.
 	// Reorder: receives 18/frame, sends 0.
-	app, k := buildSMP(t, mjpegapp.SMPConfig(testStream(t)))
+	app, k := buildSMP(t, smpCfg(testStream(t)))
 	runApp(t, k, app)
 	n := uint64(testFrames)
 	f := app.Fetch.Snapshot(core.LevelApplication).App
@@ -146,7 +147,7 @@ func TestTable2CommunicationShape(t *testing.T) {
 func TestTable1MemoryShape(t *testing.T) {
 	// Fetch = bare stack (8392 kB); IDCT = stack + 1 mailbox (10850 kB);
 	// Reorder = stack + double mailbox (13308 kB).
-	app, k := buildSMP(t, mjpegapp.SMPConfig(testStream(t)))
+	app, k := buildSMP(t, smpCfg(testStream(t)))
 	runApp(t, k, app)
 	check := func(c *core.Component, wantKB int64) {
 		got := c.Snapshot(core.LevelOS).OS.MemBytes / 1024
@@ -165,7 +166,7 @@ func TestTable1ExecutionBalance(t *testing.T) {
 	// "having three IDCT components computing in parallel balances the
 	// execution times of the three parts": every component's execution time
 	// within ~20% of the mean.
-	app, k := buildSMP(t, mjpegapp.SMPConfig(testStream(t)))
+	app, k := buildSMP(t, smpCfg(testStream(t)))
 	runApp(t, k, app)
 	var times []int64
 	for _, c := range app.Core.Components() {
@@ -193,7 +194,7 @@ func TestExecutionScalesWithFrameCount(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		app, k := buildSMP(t, mjpegapp.SMPConfig(stream))
+		app, k := buildSMP(t, smpCfg(stream))
 		runApp(t, k, app)
 		return app.Fetch.Snapshot(core.LevelOS).OS.ExecTimeUS
 	}
@@ -212,7 +213,7 @@ func TestOS21DecodesAllFramesCorrectly(t *testing.T) {
 		t.Fatal(err)
 	}
 	decoded := make(map[int]*mjpeg.Image)
-	cfg := mjpegapp.OS21Config(stream)
+	cfg := os21Cfg(stream)
 	cfg.OnFrame = func(i int, img *mjpeg.Image) { decoded[i] = img }
 	app, k := buildOS21(t, cfg)
 	runApp(t, k, app)
@@ -228,7 +229,7 @@ func TestOS21DecodesAllFramesCorrectly(t *testing.T) {
 }
 
 func TestOS21TopologyMatchesFigure7(t *testing.T) {
-	app, k := buildOS21(t, mjpegapp.OS21Config(testStream(t)))
+	app, k := buildOS21(t, os21Cfg(testStream(t)))
 	if len(app.Core.Components()) != 3 {
 		t.Fatalf("components = %d, want 3 (Fetch-Reorder + 2 IDCT)", len(app.Core.Components()))
 	}
@@ -248,7 +249,7 @@ func TestOS21TopologyMatchesFigure7(t *testing.T) {
 }
 
 func TestTable3MemoryShape(t *testing.T) {
-	app, k := buildOS21(t, mjpegapp.OS21Config(testStream(t)))
+	app, k := buildOS21(t, os21Cfg(testStream(t)))
 	runApp(t, k, app)
 	if got := app.Fetch.Snapshot(core.LevelOS).OS.MemBytes / 1024; got != 110 {
 		t.Errorf("Fetch-Reorder memory = %d kB, want 110", got)
@@ -263,7 +264,7 @@ func TestTable3MemoryShape(t *testing.T) {
 func TestTable3ExecutionRatio(t *testing.T) {
 	// "the Fetch-Reorder component runs ten times slower than IDCTx
 	// components" — accept 5x..20x as preserving the shape.
-	app, k := buildOS21(t, mjpegapp.OS21Config(testStream(t)))
+	app, k := buildOS21(t, os21Cfg(testStream(t)))
 	runApp(t, k, app)
 	fr := app.Fetch.Snapshot(core.LevelOS).OS.ExecTimeUS
 	idct := app.IDCTs[0].Snapshot(core.LevelOS).OS.ExecTimeUS
@@ -275,7 +276,7 @@ func TestTable3ExecutionRatio(t *testing.T) {
 
 func TestOS21CommunicationShape(t *testing.T) {
 	// Merged: FR sends 18/frame and receives 18/frame; each IDCT 9/9.
-	app, k := buildOS21(t, mjpegapp.OS21Config(testStream(t)))
+	app, k := buildOS21(t, os21Cfg(testStream(t)))
 	runApp(t, k, app)
 	n := uint64(testFrames)
 	f := app.Fetch.Snapshot(core.LevelApplication).App
@@ -291,9 +292,7 @@ func TestOS21CommunicationShape(t *testing.T) {
 }
 
 func TestBuildValidation(t *testing.T) {
-	k := sim.NewKernel()
-	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	a := core.NewApp("x", smpbind.New(sys, "x"))
+	_, a := platform.MustGet("smp").New("x")
 	if _, err := mjpegapp.Build(a, mjpegapp.Config{}); err == nil {
 		t.Error("empty stream accepted")
 	}
@@ -316,10 +315,8 @@ func TestMergedCapacityCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := sim.NewKernel()
-	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-	a := core.NewApp("m", os21bind.New(chip))
-	cfg := mjpegapp.OS21Config(big)
+	_, a := platform.MustGet("sti7200").New("m")
+	cfg := os21Cfg(big)
 	if _, err := mjpegapp.Build(a, cfg); err == nil {
 		t.Error("oversize merged build accepted")
 	}
@@ -335,7 +332,7 @@ func TestIDCTFanoutVariants(t *testing.T) {
 	// The pipeline must work with 1..6 IDCT components (ablation A4).
 	stream := testStream(t)
 	for _, n := range []int{1, 2, 4, 6} {
-		cfg := mjpegapp.SMPConfig(stream)
+		cfg := smpCfg(stream)
 		cfg.NumIDCT = n
 		app, k := buildSMP(t, cfg)
 		runApp(t, k, app)
@@ -346,7 +343,7 @@ func TestIDCTFanoutVariants(t *testing.T) {
 }
 
 func TestMessageBytesOverride(t *testing.T) {
-	cfg := mjpegapp.SMPConfig(testStream(t))
+	cfg := smpCfg(testStream(t))
 	cfg.MessageBytes = 32 * 1024
 	app, k := buildSMP(t, cfg)
 	runApp(t, k, app)
@@ -360,7 +357,7 @@ func TestDeterministicVirtualTimes(t *testing.T) {
 	// Two identical runs give identical virtual execution times.
 	stream := testStream(t)
 	run := func() int64 {
-		app, k := buildSMP(t, mjpegapp.SMPConfig(stream))
+		app, k := buildSMP(t, smpCfg(stream))
 		runApp(t, k, app)
 		return app.Fetch.Snapshot(core.LevelOS).OS.ExecTimeUS
 	}

@@ -1,0 +1,109 @@
+package mjpegapp
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"embera/internal/core"
+	"embera/internal/mjpeg"
+	"embera/internal/platform"
+)
+
+// DefaultFrames is the synthesized input length when the harness provides
+// neither a stream nor a scale.
+const DefaultFrames = 100
+
+func init() {
+	platform.RegisterWorkload("mjpeg", func() platform.Workload { return &Workload{} })
+}
+
+// Workload adapts the MJPEG decoder to the platform/workload registry. The
+// zero value derives the paper's deployment from the platform topology via
+// ConfigFor; a non-nil Cfg.Stream pins an explicit configuration (the
+// ablation sweeps construct those directly).
+type Workload struct {
+	Cfg Config
+}
+
+// NewWorkload wraps an explicit decoder configuration.
+func NewWorkload(cfg Config) *Workload { return &Workload{Cfg: cfg} }
+
+// Name implements platform.Workload.
+func (w *Workload) Name() string { return "mjpeg" }
+
+// Describe implements platform.Workload.
+func (w *Workload) Describe() string {
+	return "componentized Motion-JPEG decoder (Fetch → IDCTs → Reorder), the paper's case study"
+}
+
+// Build implements platform.Workload.
+func (w *Workload) Build(a *core.App, p platform.Platform, opts platform.Options) (platform.Instance, error) {
+	cfg := w.Cfg
+	if cfg.Stream == nil {
+		stream := opts.Stream
+		if stream == nil {
+			frames := opts.Scale
+			if frames <= 0 {
+				frames = DefaultFrames
+			}
+			var err error
+			stream, err = mjpeg.SynthStream(RefW, RefH, frames, mjpeg.EncodeOptions{Quality: RefQuality})
+			if err != nil {
+				return nil, err
+			}
+		}
+		cfg = ConfigFor(stream, p.Topology())
+	}
+	if opts.MessageBytes > 0 {
+		cfg.MessageBytes = opts.MessageBytes
+	}
+	inst := &instance{}
+	prev := cfg.OnFrame
+	cfg.OnFrame = func(i int, img *mjpeg.Image) {
+		inst.sum += frameDigest(i, img)
+		if prev != nil {
+			prev(i, img)
+		}
+	}
+	app, err := Build(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst.app, inst.want = app, app.TotalFrames
+	return inst, nil
+}
+
+// instance tracks one assembled decoder run.
+type instance struct {
+	app  *App
+	want int
+	sum  uint64
+}
+
+// App exposes the assembled application (topology handles, FramesDecoded).
+func (in *instance) App() *App { return in.app }
+
+func (in *instance) Units() int { return in.app.FramesDecoded }
+
+func (in *instance) Checksum() uint64 { return in.sum }
+
+func (in *instance) Check() error {
+	if in.app.FramesDecoded != in.want {
+		return fmt.Errorf("mjpegapp: decoded %d frames, want %d", in.app.FramesDecoded, in.want)
+	}
+	return nil
+}
+
+func (in *instance) Summary() string {
+	return fmt.Sprintf("decoded %d/%d frames (checksum %016x)", in.app.FramesDecoded, in.want, in.sum)
+}
+
+// frameDigest hashes one reassembled frame. Digests are summed so the
+// aggregate is independent of completion order, which differs across
+// placements while the pixels must not.
+func frameDigest(index int, img *mjpeg.Image) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%d:%d:%t:", index, img.W, img.H, img.Gray)
+	h.Write(img.Pix)
+	return h.Sum64()
+}

@@ -1,0 +1,171 @@
+package pipelineapp_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/pipelineapp"
+	"embera/internal/platform"
+	"embera/internal/sim"
+)
+
+func runOn(t *testing.T, platformName string, cfg pipelineapp.Config) *pipelineapp.App {
+	t.Helper()
+	p := platform.MustGet(platformName)
+	k, a := p.New("pipe")
+	app, err := pipelineapp.Build(a, cfg, p.Topology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(sim.Time(10 * 3600 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("pipeline did not quiesce")
+	}
+	return app
+}
+
+func TestRunsOnEveryPlatformAndChecksOut(t *testing.T) {
+	for _, name := range platform.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := pipelineapp.DefaultConfig()
+			cfg.Messages = 60
+			app := runOn(t, name, cfg)
+			if err := app.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if app.Received != 60 {
+				t.Fatalf("received %d, want 60", app.Received)
+			}
+		})
+	}
+}
+
+func TestChecksumMatchesAcrossPlatformsAndShapes(t *testing.T) {
+	base := pipelineapp.DefaultConfig()
+	base.Messages = 37 // deliberately not a fanout multiple
+	var sums []uint64
+	for _, pn := range platform.Names() {
+		for _, fanout := range []int{1, 3} {
+			cfg := base
+			cfg.Fanout = fanout
+			app := runOn(t, pn, cfg)
+			if err := app.Check(); err != nil {
+				t.Fatalf("%s fanout %d: %v", pn, fanout, err)
+			}
+			sums = append(sums, app.Checksum())
+		}
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i] != sums[0] {
+			t.Fatalf("checksums diverge across platforms/shapes: %x", sums)
+		}
+	}
+	if want := pipelineapp.Expected(base); sums[0] != want {
+		t.Fatalf("checksum %016x, want %016x", sums[0], want)
+	}
+}
+
+func TestStageAndFanoutShapeCommunication(t *testing.T) {
+	cfg := pipelineapp.DefaultConfig()
+	cfg.Stages = 3
+	cfg.Fanout = 2
+	cfg.Messages = 40
+	app := runOn(t, "smp", cfg)
+	if len(app.Workers) != 3 || len(app.Workers[0]) != 2 {
+		t.Fatalf("worker matrix = %dx%d, want 3x2", len(app.Workers), len(app.Workers[0]))
+	}
+	// Conservation per stage: each stage forwards every message exactly once.
+	for s, stage := range app.Workers {
+		var sent, recvd uint64
+		for _, w := range stage {
+			r := w.Snapshot(core.LevelApplication).App
+			sent += r.SendOps
+			recvd += r.RecvOps
+		}
+		if sent != 40 || recvd != 40 {
+			t.Errorf("stage %d ops = %d sent / %d received, want 40/40", s+1, sent, recvd)
+		}
+	}
+	src := app.Source.Snapshot(core.LevelApplication).App
+	if src.SendOps != 40 || src.RecvOps != 0 {
+		t.Errorf("source ops = %d/%d, want 40/0", src.SendOps, src.RecvOps)
+	}
+	sink := app.Sink.Snapshot(core.LevelApplication).App
+	if sink.RecvOps != 40 || sink.SendOps != 0 {
+		t.Errorf("sink ops = %d/%d, want 0/40", sink.SendOps, sink.RecvOps)
+	}
+}
+
+func TestMessageBytesShapeWireStats(t *testing.T) {
+	cfg := pipelineapp.DefaultConfig()
+	cfg.Messages = 20
+	cfg.MessageBytes = 1 << 14
+	app := runOn(t, "smp", cfg)
+	st := app.Source.Snapshot(core.LevelMiddleware).Middleware.Send["out0"]
+	if st.Ops == 0 || st.Bytes != st.Ops*uint64(cfg.MessageBytes) {
+		t.Errorf("wire stats not shaped by MessageBytes: %+v", st)
+	}
+}
+
+func TestAcceleratorPlacement(t *testing.T) {
+	p := platform.MustGet("sti7200")
+	topo := p.Topology()
+	k, a := p.New("pipe")
+	cfg := pipelineapp.DefaultConfig()
+	cfg.Messages = 10
+	app, err := pipelineapp.Build(a, cfg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = k
+	if app.Source.Placement() != topo.Host || app.Sink.Placement() != topo.Host {
+		t.Errorf("source/sink placed at %d/%d, want host %d",
+			app.Source.Placement(), app.Sink.Placement(), topo.Host)
+	}
+	accel := map[int]bool{}
+	for _, loc := range topo.Accelerators {
+		accel[loc] = true
+	}
+	for _, stage := range app.Workers {
+		for _, w := range stage {
+			if !accel[w.Placement()] {
+				t.Errorf("worker %s placed at %d, not an accelerator", w.Name(), w.Placement())
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := platform.MustGet("smp")
+	_, a := p.New("bad")
+	for _, cfg := range []pipelineapp.Config{
+		{Stages: 0, Fanout: 1, Messages: 1, MessageBytes: 1},
+		{Stages: 1, Fanout: 0, Messages: 1, MessageBytes: 1},
+		{Stages: 1, Fanout: 1, Messages: 0, MessageBytes: 1},
+		{Stages: 1, Fanout: 1, Messages: 1, MessageBytes: 0},
+	} {
+		if _, err := pipelineapp.Build(a, cfg, p.Topology()); err == nil {
+			t.Errorf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := pipelineapp.DefaultConfig()
+	cfg.Messages = 30
+	run := func() (uint64, int64) {
+		app := runOn(t, "smp", cfg)
+		return app.Checksum(), app.Sink.Snapshot(core.LevelOS).OS.ExecTimeUS
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if c1 != c2 || t1 != t2 {
+		t.Fatalf("nondeterministic: %x/%d vs %x/%d", c1, t1, c2, t2)
+	}
+}

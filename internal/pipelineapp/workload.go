@@ -1,0 +1,65 @@
+package pipelineapp
+
+import (
+	"fmt"
+
+	"embera/internal/core"
+	"embera/internal/platform"
+)
+
+// Workload adapts the synthetic pipeline to the platform/workload registry.
+// The zero value uses DefaultConfig scaled by the harness Options; a
+// non-zero Cfg pins an explicit configuration.
+type Workload struct {
+	Cfg Config
+}
+
+// NewWorkload wraps an explicit pipeline configuration.
+func NewWorkload(cfg Config) *Workload { return &Workload{Cfg: cfg} }
+
+// Name implements platform.Workload.
+func (w *Workload) Name() string { return "pipeline" }
+
+// Describe implements platform.Workload.
+func (w *Workload) Describe() string {
+	return "synthetic Source → N×fan-out worker stages → Sink pipeline (load generator)"
+}
+
+// Build implements platform.Workload.
+func (w *Workload) Build(a *core.App, p platform.Platform, opts platform.Options) (platform.Instance, error) {
+	cfg := w.Cfg
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	if opts.Scale > 0 {
+		cfg.Messages = opts.Scale
+	}
+	if opts.MessageBytes > 0 {
+		cfg.MessageBytes = opts.MessageBytes
+	}
+	app, err := Build(a, cfg, p.Topology())
+	if err != nil {
+		return nil, err
+	}
+	return &instance{app: app}, nil
+}
+
+// instance tracks one assembled pipeline run.
+type instance struct {
+	app *App
+}
+
+// App exposes the assembled application.
+func (in *instance) App() *App { return in.app }
+
+func (in *instance) Units() int { return in.app.Received }
+
+func (in *instance) Checksum() uint64 { return in.app.Checksum() }
+
+func (in *instance) Check() error { return in.app.Check() }
+
+func (in *instance) Summary() string {
+	cfg := in.app.cfg
+	return fmt.Sprintf("sank %d/%d messages through %d stage(s) × %d worker(s) (checksum %016x)",
+		in.app.Received, cfg.Messages, cfg.Stages, cfg.Fanout, in.app.Checksum())
+}

@@ -1,0 +1,184 @@
+// Package platform is the seam the paper's central claim rests on: one
+// component model, many platforms, many applications. A Platform bundles
+// everything the harness needs to run an EMBera application on a concrete
+// (simulated) machine — kernel construction, the core.Binding, and the
+// topology metadata placement decisions depend on. A Workload is the
+// platform-independent counterpart: it assembles components onto a
+// *core.App, and after the run self-checks its results.
+//
+// Both sides are registries. Adding a platform means implementing Platform
+// and calling Register in an init function; adding a workload means
+// implementing Workload and calling RegisterWorkload. Every binary,
+// experiment and conformance battery then picks both by name, so a new
+// platform or workload is an O(1) addition instead of an O(platforms ×
+// workloads) copy-paste.
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"embera/internal/core"
+	"embera/internal/sim"
+)
+
+// Topology is the placement metadata a workload may consult when deciding
+// where components go. Locations are opaque integer slots fed to
+// core.Component.Place: core indices on the SMP machine, CPU indices on the
+// STi7200.
+type Topology struct {
+	// Locations is the number of placement slots (exclusive upper bound for
+	// Place hints).
+	Locations int
+	// Host is the general-purpose/control processor's location, or -1 on
+	// symmetric platforms where every location is equivalent.
+	Host int
+	// Accelerators lists the accelerator locations, outermost first; empty
+	// on symmetric platforms.
+	Accelerators []int
+}
+
+// Symmetric reports whether every location is equivalent (no host /
+// accelerator split).
+func (t Topology) Symmetric() bool { return t.Host < 0 && len(t.Accelerators) == 0 }
+
+// Platform is one registered execution platform.
+type Platform interface {
+	// Name is the registry key ("smp", "sti7200").
+	Name() string
+	// Describe is a one-line human description.
+	Describe() string
+	// Topology reports the placement metadata.
+	Topology() Topology
+	// New constructs a fresh simulation kernel and an application bound to
+	// this platform. Every call is an independent machine.
+	New(appName string) (*sim.Kernel, *core.App)
+}
+
+// Options are the workload-independent assembly knobs the harness passes
+// through to Workload.Build.
+type Options struct {
+	// Scale is the workload's primary size knob — frames to decode for the
+	// MJPEG workload, messages to produce for the pipeline workload. 0
+	// selects the workload's default.
+	Scale int
+	// Stream optionally provides raw input bytes for stream-driven
+	// workloads (the MJPEG workload's concatenated-JPEG input); nil lets
+	// the workload synthesize an input from Scale.
+	Stream []byte
+	// MessageBytes, when positive, overrides every message's modelled wire
+	// size (the Figure 4 / Figure 8 style sweeps).
+	MessageBytes int
+}
+
+// Workload assembles an application for any platform.
+type Workload interface {
+	// Name is the registry key ("mjpeg", "pipeline").
+	Name() string
+	// Describe is a one-line human description.
+	Describe() string
+	// Build assembles the workload's components onto a, consulting p's
+	// topology for placement. The returned Instance tracks results so they
+	// can be checked after the run.
+	Build(a *core.App, p Platform, opts Options) (Instance, error)
+}
+
+// Instance is one assembled workload run: live result tracking plus the
+// post-run self-check.
+type Instance interface {
+	// Units reports the work units completed so far (frames decoded,
+	// messages consumed).
+	Units() int
+	// Checksum digests the computed results in an order- and
+	// platform-independent way: two correct runs of the same workload at
+	// the same scale produce the same checksum on every platform.
+	Checksum() uint64
+	// Check verifies the results after the application quiesced.
+	Check() error
+	// Summary is a one-line human description of the outcome.
+	Summary() string
+}
+
+var (
+	platforms = map[string]Platform{}
+	workloads = map[string]func() Workload{}
+)
+
+// Register adds a platform to the registry. Duplicate names panic: they are
+// programming errors in init wiring.
+func Register(p Platform) {
+	if _, dup := platforms[p.Name()]; dup {
+		panic(fmt.Sprintf("platform: duplicate platform %q", p.Name()))
+	}
+	platforms[p.Name()] = p
+}
+
+// RegisterWorkload adds a workload factory to the registry. The factory
+// returns a fresh Workload with default configuration on every call.
+func RegisterWorkload(name string, f func() Workload) {
+	if _, dup := workloads[name]; dup {
+		panic(fmt.Sprintf("platform: duplicate workload %q", name))
+	}
+	workloads[name] = f
+}
+
+// Get resolves a platform by name. The error for an unknown name lists
+// every registered platform.
+func Get(name string) (Platform, error) {
+	p, ok := platforms[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown platform %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return p, nil
+}
+
+// MustGet is Get that panics on error, for static wiring.
+func MustGet(name string) Platform {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns the registered platform names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(platforms))
+	for n := range platforms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GetWorkload resolves a workload by name, returning a fresh instance. The
+// error for an unknown name lists every registered workload.
+func GetWorkload(name string) (Workload, error) {
+	f, ok := workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown workload %q (registered: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+	return f(), nil
+}
+
+// MustGetWorkload is GetWorkload that panics on error.
+func MustGetWorkload(name string) Workload {
+	w, err := GetWorkload(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// WorkloadNames returns the registered workload names, sorted.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for n := range workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,77 @@
+package platform_test
+
+import (
+	"strings"
+	"testing"
+
+	"embera/internal/platform"
+)
+
+func TestBothPlatformsRegistered(t *testing.T) {
+	names := platform.Names()
+	want := []string{"smp", "sti7200"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestUnknownPlatformErrorListsNames(t *testing.T) {
+	_, err := platform.Get("vax")
+	if err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	for _, n := range platform.Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not list %q", err, n)
+		}
+	}
+}
+
+func TestUnknownWorkloadErrorListsNames(t *testing.T) {
+	_, err := platform.GetWorkload("nosuch")
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	smp := platform.MustGet("smp").Topology()
+	if smp.Locations != 16 || !smp.Symmetric() {
+		t.Errorf("smp topology = %+v, want 16 symmetric locations", smp)
+	}
+	sti := platform.MustGet("sti7200").Topology()
+	if sti.Symmetric() || sti.Host != 0 || len(sti.Accelerators) == 0 {
+		t.Errorf("sti7200 topology = %+v, want host 0 + accelerators", sti)
+	}
+	if sti.Locations != 1+len(sti.Accelerators) {
+		t.Errorf("sti7200 locations %d != 1 + %d accelerators",
+			sti.Locations, len(sti.Accelerators))
+	}
+	for i, a := range sti.Accelerators {
+		if a == sti.Host || a < 0 || a >= sti.Locations {
+			t.Errorf("accelerator[%d] = %d out of range or on host", i, a)
+		}
+	}
+}
+
+func TestNewReturnsIndependentMachines(t *testing.T) {
+	for _, name := range platform.Names() {
+		p := platform.MustGet(name)
+		k1, a1 := p.New("one")
+		k2, a2 := p.New("two")
+		if k1 == k2 || a1 == a2 {
+			t.Errorf("%s: New returned shared state", name)
+		}
+		if a1.Binding().PlatformName() == "" {
+			t.Errorf("%s: empty platform name", name)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package platform
+
+import (
+	"fmt"
+
+	"embera/internal/core"
+	"embera/internal/linux"
+	"embera/internal/sim"
+	"embera/internal/smp"
+	"embera/internal/smpbind"
+)
+
+// smpPlatform is the paper's §4 platform: the 16-core NUMA Opteron machine
+// running Linux, with components as POSIX threads and FIFO mailboxes.
+type smpPlatform struct{}
+
+func init() { Register(smpPlatform{}) }
+
+func (smpPlatform) Name() string { return "smp" }
+
+func (smpPlatform) Describe() string {
+	cfg := smp.DefaultConfig()
+	return fmt.Sprintf("%d-core NUMA SMP (%d×%d) under Linux, POSIX threads + FIFO mailboxes",
+		cfg.Nodes*cfg.CoresPerNode, cfg.Nodes, cfg.CoresPerNode)
+}
+
+func (smpPlatform) Topology() Topology {
+	cfg := smp.DefaultConfig()
+	return Topology{Locations: cfg.Nodes * cfg.CoresPerNode, Host: -1}
+}
+
+func (smpPlatform) New(appName string) (*sim.Kernel, *core.App) {
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	return k, core.NewApp(appName, smpbind.New(sys, appName))
+}

@@ -1,0 +1,40 @@
+package platform
+
+import (
+	"fmt"
+
+	"embera/internal/core"
+	"embera/internal/os21bind"
+	"embera/internal/sim"
+	"embera/internal/sti7200"
+)
+
+// sti7200Platform is the paper's §5 platform: the STi7200 MPSoC (one ST40
+// host plus ST231 accelerators) running OS21, with components as tasks and
+// EMBX distributed objects.
+type sti7200Platform struct{}
+
+func init() { Register(sti7200Platform{}) }
+
+func (sti7200Platform) Name() string { return "sti7200" }
+
+func (sti7200Platform) Describe() string {
+	cfg := sti7200.DefaultConfig()
+	return fmt.Sprintf("STi7200 MPSoC (1×ST40 + %d×ST231) under OS21, tasks + EMBX objects",
+		cfg.NumST231)
+}
+
+func (sti7200Platform) Topology() Topology {
+	cfg := sti7200.DefaultConfig()
+	accels := make([]int, cfg.NumST231)
+	for i := range accels {
+		accels[i] = i + 1 // CPU 0 is the ST40 host
+	}
+	return Topology{Locations: 1 + cfg.NumST231, Host: 0, Accelerators: accels}
+}
+
+func (sti7200Platform) New(appName string) (*sim.Kernel, *core.App) {
+	k := sim.NewKernel()
+	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
+	return k, core.NewApp(appName, os21bind.New(chip))
+}

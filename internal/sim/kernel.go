@@ -92,17 +92,23 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled event structs for the hot scheduling loop
 	procs   map[*Proc]struct{}
 	yield   chan struct{} // process -> kernel handoff
 	stopped bool
 	tracer  func(t Time, format string, args ...any)
 }
 
+// heapHint pre-sizes the event heap and bounds the free list: past this many
+// idle recycled events the kernel lets the garbage collector have them.
+const heapHint = 4096
+
 // NewKernel returns an empty kernel with its clock at zero.
 func NewKernel() *Kernel {
 	return &Kernel{
-		procs: make(map[*Proc]struct{}),
-		yield: make(chan struct{}),
+		events: make(eventHeap, 0, heapHint),
+		procs:  make(map[*Proc]struct{}),
+		yield:  make(chan struct{}),
 	}
 }
 
@@ -126,7 +132,24 @@ func (k *Kernel) At(d Duration, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: k.now + Time(d), seq: k.seq, fn: fn})
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn = k.now+Time(d), k.seq, fn
+	heap.Push(&k.events, ev)
+}
+
+// recycle returns a dispatched event to the free list.
+func (k *Kernel) recycle(ev *event) {
+	ev.fn = nil
+	if len(k.free) < heapHint {
+		k.free = append(k.free, ev)
+	}
 }
 
 // Spawn creates a new process named name executing fn and schedules it to
@@ -221,7 +244,11 @@ func (k *Kernel) RunUntil(limit Time) error {
 			panic("sim: event queue time went backwards")
 		}
 		k.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before dispatch: once fn is saved the struct carries no
+		// live state, and fn itself may schedule (and so reuse) events.
+		k.recycle(ev)
+		fn()
 	}
 	var parked []string
 	for p := range k.procs {

@@ -316,3 +316,38 @@ func TestDurationConversions(t *testing.T) {
 		t.Errorf("Seconds = %v", (3 * Second).Seconds())
 	}
 }
+
+func TestEventRecyclingPreservesOrder(t *testing.T) {
+	// Interleave dispatch with rescheduling so recycled event structs are
+	// reused while others are still queued: ordering must stay (time, seq).
+	k := NewKernel()
+	var got []int
+	for round := 0; round < 3; round++ {
+		round := round
+		k.At(Duration(round)*Microsecond, func() {
+			got = append(got, round*10)
+			for i := 0; i < 4; i++ {
+				i := i
+				k.At(Duration(i%2)*Nanosecond, func() {
+					got = append(got, round*10+i+1)
+				})
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{
+		0, 1, 3, 2, 4, // round 0: delay-0 events FIFO, then delay-1 FIFO
+		10, 11, 13, 12, 14,
+		20, 21, 23, 22, 24,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
