@@ -209,7 +209,7 @@ func BenchmarkAblation_IDCTFanout(b *testing.B) {
 // BenchmarkSendPrimitive_SMP measures the host cost of one instrumented
 // EMBera send+receive round through the simulated SMP mailbox.
 func BenchmarkSendPrimitive_SMP(b *testing.B) {
-	k, a := platform.MustGet("smp").New("bench")
+	m, a := platform.MustGet("smp").New("bench")
 	n := b.N
 	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
 		for i := 0; i < n; i++ {
@@ -230,7 +230,7 @@ func BenchmarkSendPrimitive_SMP(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	if err := k.RunUntil(sim.Time(1 << 62)); err != nil {
+	if err := m.Run(int64(1<<62) / int64(sim.Microsecond)); err != nil {
 		b.Fatal(err)
 	}
 }
@@ -365,7 +365,7 @@ func BenchmarkObservationQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	k, a := platform.MustGet("smp").New("bench")
+	m, a := platform.MustGet("smp").New("bench")
 	if _, err := mjpegapp.Build(a, smpMJPEG(stream)); err != nil {
 		b.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func BenchmarkObservationQuery(b *testing.B) {
 		}
 		b.StopTimer()
 	})
-	if err := k.RunUntil(sim.Time(1 << 62)); err != nil {
+	if err := m.Run(int64(1<<62) / int64(sim.Microsecond)); err != nil {
 		b.Fatal(err)
 	}
 	if qErr != nil {
@@ -415,7 +415,7 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var samples, drops uint64
 			for i := 0; i < b.N; i++ {
-				k, a := platform.MustGet("smp").New("bench")
+				m, a := platform.MustGet("smp").New("bench")
 				if _, err := mjpegapp.Build(a, smpMJPEG(stream)); err != nil {
 					b.Fatal(err)
 				}
@@ -437,7 +437,7 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 				if err := a.Start(); err != nil {
 					b.Fatal(err)
 				}
-				if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+				if err := m.Run(int64(3600 * sim.Second / sim.Microsecond)); err != nil {
 					b.Fatal(err)
 				}
 				if !a.Done() {
@@ -452,6 +452,59 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 				b.ReportMetric(float64(drops), "drops")
 			}
 		})
+	}
+}
+
+// BenchmarkNativePipelineThroughput runs the synthetic pipeline workload on
+// the native (goroutine) platform end to end — real concurrency, wall-clock
+// timing, the full observation stack attached — and reports real messages
+// per second through the sink.
+func BenchmarkNativePipelineThroughput(b *testing.B) {
+	const messages = 2000
+	p := platform.MustGet("native")
+	w := platform.MustGetWorkload("pipeline")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := exp.Run(p, w, exp.Options{Options: platform.Options{Scale: messages}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			secs := float64(run.MakespanUS) / 1e6
+			if secs > 0 {
+				b.ReportMetric(float64(run.Instance.Units())/secs, "msgs/s")
+			}
+		}
+	}
+}
+
+// BenchmarkNativeSendLatency measures the host cost of one instrumented
+// EMBera send+receive round through the native channel-backed mailbox —
+// the wall-clock counterpart of BenchmarkSendPrimitive_SMP.
+func BenchmarkNativeSendLatency(b *testing.B) {
+	m, a := platform.MustGet("native").New("bench")
+	n := b.N
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < n; i++ {
+			ctx.Send("out", nil, 1024)
+		}
+	})
+	prod.MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	})
+	cons.MustAddProvided("in", 1<<20)
+	a.MustConnect(prod, "out", cons, "in")
+	b.ResetTimer()
+	if err := a.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(int64(10 * 60 * 1e6)); err != nil { // 10 min wall horizon
+		b.Fatal(err)
 	}
 }
 

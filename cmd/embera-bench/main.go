@@ -1,5 +1,6 @@
 // embera-bench regenerates every table and figure of the paper's evaluation
-// (§4–§5), plus the ablations of DESIGN.md §5. At the default paper scale
+// (§4–§5), plus the ablations of DESIGN.md §5 and the cross-platform
+// comparisons (P1 serial, MX concurrent matrix). At the default paper scale
 // (578/3000 frames) the full run takes a few minutes of host time, most of
 // it real JPEG decoding inside the Fetch components; -small/-large shrink
 // the inputs for a quick pass.
@@ -9,34 +10,69 @@
 //	embera-bench -exp all
 //	embera-bench -exp T1 -small 578 -large 3000
 //	embera-bench -exp F4,F8
+//	embera-bench -exp MX -platform native          # one matrix row
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
 	"strings"
 
+	"embera/internal/cliutil"
 	"embera/internal/exp"
+	"embera/internal/platform"
 )
+
+// experiments lists every valid -exp identifier, in run order.
+var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX"}
 
 func main() {
 	which := flag.String("exp", "all",
-		"comma-separated experiments: T1,T2,T3,F4,F5,F8,A1,A2,A3,A4,E6,P1 or 'all'")
+		"comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
 	small := flag.Int("small", exp.SmallFrames, "frame count of the small input (paper: 578)")
 	large := flag.Int("large", exp.LargeFrames, "frame count of the large input (paper: 3000)")
 	msgs := flag.Int("msgs", 30, "messages per point in the send-time sweeps")
+	platformName := flag.String("platform", "", "restrict the MX matrix to one platform (default: all registered)")
+	workloadName := flag.String("workload", "", "restrict the MX matrix to one workload (default: all registered)")
+	mxScale := flag.Int("mx-scale", 60, "workload scale of each MX matrix cell")
 	flag.Parse()
 
+	valid := map[string]bool{}
+	for _, e := range experiments {
+		valid[e] = true
+	}
 	want := map[string]bool{}
 	if *which == "all" {
-		for _, e := range []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1"} {
+		for _, e := range experiments {
 			want[e] = true
 		}
 	} else {
 		for _, e := range strings.Split(*which, ",") {
-			want[strings.ToUpper(strings.TrimSpace(e))] = true
+			id := strings.ToUpper(strings.TrimSpace(e))
+			if !valid[id] {
+				// Unknown experiments are a usage error, not a silent no-op:
+				// exit non-zero after listing the valid identifiers.
+				fmt.Fprintf(os.Stderr, "embera-bench: unknown experiment %q (valid: %s, all)\n",
+					id, strings.Join(experiments, ", "))
+				os.Exit(2)
+			}
+			want[id] = true
 		}
+	}
+
+	// The matrix filters resolve through the registries: an unknown
+	// -platform/-workload exits 2 with the registered names listed.
+	var mxPlatforms, mxWorkloads []string
+	if *platformName != "" {
+		cliutil.ResolvePlatform("embera-bench", *platformName)
+		mxPlatforms = []string{*platformName}
+	}
+	if *workloadName != "" {
+		cliutil.ResolveWorkload("embera-bench", *workloadName)
+		mxWorkloads = []string{*workloadName}
 	}
 
 	runIf := func(id string, f func() (string, error)) {
@@ -129,6 +165,26 @@ func main() {
 		return exp.FormatOccupancy(samples, []string{
 			"IDCT_1._fetchIdct1", "IDCT_2._fetchIdct2", "IDCT_3._fetchIdct3", "Reorder.idctReorder",
 		}), nil
+	})
+	runIf("MX", func() (string, error) {
+		cells, err := exp.RunMatrix(mxPlatforms, mxWorkloads, exp.Options{
+			Options: platform.Options{Scale: *mxScale},
+		})
+		if err != nil {
+			return "", err
+		}
+		sort.SliceStable(cells, func(i, j int) bool {
+			if cells[i].Workload != cells[j].Workload {
+				return cells[i].Workload < cells[j].Workload
+			}
+			return cells[i].Platform < cells[j].Platform
+		})
+		for _, c := range cells {
+			if c.Err != nil {
+				return "", fmt.Errorf("%s × %s: %w", c.Platform, c.Workload, c.Err)
+			}
+		}
+		return exp.FormatMatrix(cells), nil
 	})
 }
 

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"embera/internal/adl"
+	"embera/internal/cliutil"
 	"embera/internal/core"
 	"embera/internal/exp"
 	"embera/internal/platform"
@@ -64,20 +65,20 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{}
-	opts.Scale = *scale
-	if opts.Scale == 0 {
-		opts.Scale = *frames
-	}
-	if *in != "" {
-		stream, err := os.ReadFile(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts.Stream = stream
+	// Validate names and format before reading inputs or running anything:
+	// unknown choices are a usage error (exit 2), and the registry errors
+	// list every valid name.
+	p, w := cliutil.Resolve("embera-mjpeg", *platformName, *workloadName)
+	switch *format {
+	case "text", "json", "csv", "ifacecsv":
+	default:
+		fmt.Fprintf(os.Stderr, "embera-mjpeg: unknown format %q (valid: text, json, csv, ifacecsv)\n", *format)
+		os.Exit(2)
 	}
 
-	run, err := exp.RunNamed(*platformName, *workloadName, opts)
+	opts := exp.Options{Options: cliutil.WorkloadOptions("embera-mjpeg", *scale, *frames, *in)}
+
+	run, err := exp.Run(p, w, opts)
 	if err != nil {
 		log.Fatalf("embera-mjpeg: %v", err)
 	}
@@ -103,15 +104,15 @@ func main() {
 			log.Fatal(err)
 		}
 		return
-	case "text":
-		// fall through to the human-readable report below
-	default:
-		log.Fatalf("embera-mjpeg: unknown format %q", *format)
 	}
 
+	clock := "virtual"
+	if !p.Deterministic() {
+		clock = "wall-clock"
+	}
 	fmt.Printf("platform: %s\n", run.App.Binding().PlatformName())
-	fmt.Printf("workload: %s — %s; virtual makespan: %s\n\n",
-		*workloadName, run.Instance.Summary(), sim.Duration(run.MakespanUS)*sim.Microsecond)
+	fmt.Printf("workload: %s — %s; %s makespan: %s\n\n",
+		*workloadName, run.Instance.Summary(), clock, sim.Duration(run.MakespanUS)*sim.Microsecond)
 
 	names := make([]string, 0, len(run.Reports))
 	for n := range run.Reports {

@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 
+	"embera/internal/cliutil"
 	"embera/internal/core"
 	"embera/internal/exp"
 	"embera/internal/monitor"
@@ -40,6 +41,10 @@ func main() {
 	shards := flag.Int("shards", 4, "ring buffer shard count")
 	jsonl := flag.String("jsonl", "", "stream per-window JSONL records to this file")
 	flag.Parse()
+
+	// Unknown platform/workload names are a usage error (exit 2) before any
+	// machinery is built; the printed errors list the registered names.
+	p, w := cliutil.Resolve("embera-monitor", *platformName, *workloadName)
 
 	// Wire the streaming observation pipeline into the run options.
 	levels := []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: *period}}
@@ -61,20 +66,12 @@ func main() {
 		mcfg.Sinks = append(mcfg.Sinks, monitor.NewJSONLSink(f))
 	}
 
-	opts := exp.Options{Monitor: &mcfg}
-	opts.Scale = *scale
-	if opts.Scale == 0 {
-		opts.Scale = *frames
-	}
-	if *in != "" {
-		stream, err := os.ReadFile(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts.Stream = stream
+	opts := exp.Options{
+		Options: cliutil.WorkloadOptions("embera-monitor", *scale, *frames, *in),
+		Monitor: &mcfg,
 	}
 
-	run, err := exp.RunNamed(*platformName, *workloadName, opts)
+	run, err := exp.Run(p, w, opts)
 	if err != nil {
 		log.Fatalf("embera-monitor: %v", err)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"flag"
 
+	"embera/internal/cliutil"
 	"embera/internal/core"
 	"embera/internal/exp"
 	"embera/internal/trace"
@@ -56,16 +57,19 @@ func record(args []string) {
 	capacity := fs.Int("capacity", 1<<20, "trace ring capacity (events)")
 	_ = fs.Parse(args)
 
+	// Usage errors (unknown names) exit 2 before the run, listing the
+	// registered platforms/workloads.
+	p, w := cliutil.Resolve("embera-trace", *platformName, *workloadName)
+
 	rec := trace.NewRecorder(*capacity)
-	opts := exp.Options{EventSink: rec}
-	opts.Scale = *scale
-	if opts.Scale == 0 {
-		opts.Scale = *frames
+	opts := exp.Options{
+		Options:   cliutil.WorkloadOptions("embera-trace", *scale, *frames, ""),
+		EventSink: rec,
 	}
 	if opts.Scale == 0 {
 		opts.Scale = 60
 	}
-	if _, err := exp.RunNamed(*platformName, *workloadName, opts); err != nil {
+	if _, err := exp.Run(p, w, opts); err != nil {
 		log.Fatalf("embera-trace: %v", err)
 	}
 

@@ -2,14 +2,36 @@
 // MPSoC" (Prada-Rojas, Marangonzova-Martin, Georgiev, Méhaut, Santana —
 // INRIA RR-6905 / ICPP 2009): the EMBera component model for multi-level
 // observation of MPSoC applications, together with both evaluation
-// platforms rebuilt as deterministic simulations and the full experiment
-// suite.
+// platforms rebuilt as deterministic simulations, a native goroutine
+// platform executing the same assemblies in real time, and the full
+// experiment suite.
+//
+// # Platforms
+//
+// Three platforms are registered with internal/platform and are
+// interchangeable by name everywhere (binaries, experiments, conformance):
+//
+//   - smp, sti7200 — the paper's two machines as deterministic
+//     discrete-event simulations. Virtual time, cooperative scheduling,
+//     bit-reproducible runs: use these to reproduce the paper's tables
+//     and figures and for fingerprint-exact regression testing.
+//   - native — the same component model bound to the host Go runtime
+//     (internal/native): one goroutine per component, bounded
+//     channel-signalled mailboxes, wall-clock timestamps, real
+//     concurrency. Results (workload checksums, communication counters)
+//     match the simulators bit for bit; timings are real and therefore
+//     not reproducible. Use it to measure actual throughput and to
+//     exercise observation under true parallelism.
+//
+// Platform.Deterministic() reports which guarantee holds, and harness
+// code asserts reproducibility fingerprints only where it does.
 //
 // See README.md for the package layout, including the platform
 // abstraction layer and workload registry of internal/platform (one
 // harness, any platform × any workload — with an "adding a platform /
-// adding a workload" how-to) and the streaming observation pipeline of
-// internal/monitor. The root package carries only documentation and the
-// top-level benchmarks (bench_test.go); all code lives under internal/,
-// the executables under cmd/ and the runnable examples under examples/.
+// adding a workload" how-to, now including non-simulated bindings) and
+// the streaming observation pipeline of internal/monitor. The root
+// package carries only documentation and the top-level benchmarks
+// (bench_test.go); all code lives under internal/, the executables under
+// cmd/ and the runnable examples under examples/.
 package embera

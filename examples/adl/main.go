@@ -53,7 +53,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	k, app := platform.MustGet("smp").New(spec.Name)
+	m, app := platform.MustGet("smp").New(spec.Name)
 
 	mixed := 0
 	registry := adl.Registry{
@@ -113,7 +113,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(core.FormatInterfaces("FilterBank", agg.App.Interfaces))
 	})
-	if err := k.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+	if err := m.Run(int64(60 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nmixed %d samples; architecture as ADL:\n\n", mixed)

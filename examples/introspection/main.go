@@ -30,7 +30,7 @@ func inspect(numIDCT int) {
 		log.Fatal(err)
 	}
 	p := platform.MustGet("smp")
-	k, a := p.New("mjpeg")
+	m, a := p.New("mjpeg")
 	cfg := mjpegapp.ConfigFor(stream, p.Topology())
 	cfg.NumIDCT = numIDCT
 	if _, err := mjpegapp.Build(a, cfg); err != nil {
@@ -62,7 +62,7 @@ func inspect(numIDCT int) {
 			}
 		}
 	})
-	if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+	if err := m.Run(int64(3600 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
@@ -72,7 +72,8 @@ func inspect(numIDCT int) {
 // from one sink to another mid-run, and the structure observation reflects
 // the change immediately.
 func liveRewire() {
-	k, a := platform.MustGet("smp").New("rewire")
+	m, a := platform.MustGet("smp").New("rewire")
+	k := m.Kernel() // the rewire is scheduled in virtual time
 	prod := a.MustNewComponent("producer", func(ctx *core.Ctx) {
 		for i := 0; i < 60; i++ {
 			ctx.Compute(300_000)
@@ -105,7 +106,7 @@ func liveRewire() {
 		fmt.Printf("after rewire:  blue connected=%v, green connected=%v\n",
 			connected(blue), connected(green))
 	})
-	if err := k.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+	if err := m.Run(int64(60 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("blue received %d, green received %d (total 60)\n\n",

@@ -31,7 +31,7 @@ const (
 // run executes the pool with the given per-worker share weights and returns
 // the virtual makespan plus the final observation reports.
 func run(weights []int) (sim.Duration, map[string]core.ObsReport) {
-	k, a := platform.MustGet("smp").New("pool")
+	m, a := platform.MustGet("smp").New("pool")
 
 	nWorkers := len(weights)
 	totalWeight := 0
@@ -95,13 +95,13 @@ func run(weights []int) (sim.Duration, map[string]core.ObsReport) {
 			log.Fatal(err)
 		}
 	})
-	if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+	if err := m.Run(int64(3600 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
 	if !a.Done() {
 		log.Fatal("pool did not finish")
 	}
-	return sim.Duration(k.Now()), reports
+	return sim.Duration(m.NowUS()) * sim.Microsecond, reports
 }
 
 func main() {

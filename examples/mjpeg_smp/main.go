@@ -34,7 +34,7 @@ func main() {
 		*frames, exp.RefW, exp.RefH, len(stream))
 
 	p := platform.MustGet("smp")
-	k, a := p.New("mjpeg")
+	m, a := p.New("mjpeg")
 
 	decoded := 0
 	cfg := mjpegapp.ConfigFor(stream, p.Topology())
@@ -77,13 +77,13 @@ func main() {
 		fmt.Print(core.FormatInterfaces("IDCT_1", reports["IDCT_1"].App.Interfaces))
 	})
 
-	if err := k.RunUntil(sim.Time(100 * 3600 * sim.Second)); err != nil {
+	if err := m.Run(int64(100 * 3600 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
 	if !a.Done() {
 		log.Fatal("application did not finish")
 	}
 	fmt.Printf("\ndecoded %d/%d frames; virtual makespan %s\n",
-		decoded, *frames, sim.Duration(k.Now()))
+		decoded, *frames, sim.Duration(m.NowUS())*sim.Microsecond)
 	_ = app
 }

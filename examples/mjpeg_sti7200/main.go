@@ -35,7 +35,7 @@ func main() {
 	}
 
 	p := platform.MustGet("sti7200")
-	k, a := p.New("mjpeg")
+	m, a := p.New("mjpeg")
 	b := a.Binding().(*os21bind.Binding)
 
 	app, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, p.Topology()))
@@ -74,11 +74,12 @@ func main() {
 		}
 	})
 
-	if err := k.RunUntil(sim.Time(100 * 3600 * sim.Second)); err != nil {
+	if err := m.Run(int64(100 * 3600 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
 	if !a.Done() {
 		log.Fatal("application did not finish")
 	}
-	fmt.Printf("\ndecoded %d frames; virtual makespan %s\n", app.FramesDecoded, sim.Duration(k.Now()))
+	fmt.Printf("\ndecoded %d frames; virtual makespan %s\n",
+		app.FramesDecoded(), sim.Duration(m.NowUS())*sim.Microsecond)
 }

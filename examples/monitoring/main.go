@@ -33,7 +33,7 @@ import (
 // and returns the monitor.
 func monitoredRun(stream []byte, mcfg monitor.Config) (*monitor.Monitor, error) {
 	p := platform.MustGet("smp")
-	k, a := p.New("mjpeg")
+	m, a := p.New("mjpeg")
 	if _, err := mjpegapp.Build(a, mjpegapp.ConfigFor(stream, p.Topology())); err != nil {
 		return nil, err
 	}
@@ -47,7 +47,7 @@ func monitoredRun(stream []byte, mcfg monitor.Config) (*monitor.Monitor, error) 
 	if err := a.Start(); err != nil {
 		return nil, err
 	}
-	if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+	if err := m.Run(int64(3600 * sim.Second / sim.Microsecond)); err != nil {
 		return nil, err
 	}
 	if !a.Done() {

@@ -19,8 +19,9 @@ import (
 
 func main() {
 	// Platform: the paper's 16-core NUMA SMP machine under a deterministic
-	// virtual clock, resolved through the platform registry.
-	k, app := platform.MustGet("smp").New("quickstart")
+	// virtual clock, resolved through the platform registry. (Swap "smp"
+	// for "native" to run the same assembly on real goroutines.)
+	m, app := platform.MustGet("smp").New("quickstart")
 
 	// Components: creation + interface declaration (the control interface).
 	producer := app.MustNewComponent("producer", func(ctx *core.Ctx) {
@@ -80,8 +81,8 @@ func main() {
 		fmt.Print(core.FormatMWReport("producer", final["producer"].Middleware))
 	})
 
-	if err := k.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+	if err := m.Run(int64(60 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nvirtual makespan: %s\n", sim.Duration(k.Now()))
+	fmt.Printf("\nvirtual makespan: %s\n", sim.Duration(m.NowUS())*sim.Microsecond)
 }

@@ -36,7 +36,7 @@ func main() {
 	}
 
 	p := platform.MustGet("smp")
-	k, a := p.New("mjpeg")
+	m, a := p.New("mjpeg")
 
 	// Attach both observation mechanisms to the same run: the kernel
 	// tracer hooks the Linux system inside the SMP binding.
@@ -50,7 +50,7 @@ func main() {
 	if err := a.Start(); err != nil {
 		log.Fatal(err)
 	}
-	if err := k.RunUntil(sim.Time(3600 * sim.Second)); err != nil {
+	if err := m.Run(int64(3600 * sim.Second / sim.Microsecond)); err != nil {
 		log.Fatal(err)
 	}
 	if !a.Done() {

@@ -1,0 +1,70 @@
+// Package cliutil holds the small pieces shared by the cmd/ binaries, so
+// the four front-ends treat bad input identically: an unknown platform or
+// workload name prints the registry error — which lists every registered
+// name — to stderr and exits with the conventional usage status 2, before
+// any input is read or any machine is built.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"embera/internal/platform"
+)
+
+// Resolve validates a platform and a workload name against the registries.
+// On failure it prints cmd-prefixed errors listing the registered names and
+// exits with status 2.
+func Resolve(cmd, platformName, workloadName string) (platform.Platform, platform.Workload) {
+	p, perr := platform.Get(platformName)
+	w, werr := platform.GetWorkload(workloadName)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, perr)
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, werr)
+	}
+	if perr != nil || werr != nil {
+		os.Exit(2)
+	}
+	return p, w
+}
+
+// ResolvePlatform validates just a platform name, with the same contract.
+func ResolvePlatform(cmd, platformName string) platform.Platform {
+	p, err := platform.Get(platformName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+		os.Exit(2)
+	}
+	return p
+}
+
+// ResolveWorkload validates just a workload name, with the same contract.
+func ResolveWorkload(cmd, workloadName string) platform.Workload {
+	w, err := platform.GetWorkload(workloadName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+		os.Exit(2)
+	}
+	return w
+}
+
+// WorkloadOptions assembles the binaries' shared workload-input flags into
+// harness options: -scale with -frames as its alias, and -in as a raw
+// input file overriding both. An unreadable input file is fatal.
+func WorkloadOptions(cmd string, scale, frames int, in string) platform.Options {
+	opts := platform.Options{Scale: scale}
+	if opts.Scale == 0 {
+		opts.Scale = frames
+	}
+	if in != "" {
+		stream, err := os.ReadFile(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+		opts.Stream = stream
+	}
+	return opts
+}

@@ -21,22 +21,26 @@ import (
 
 // Env is one fresh platform instance under test.
 type Env struct {
-	App    *core.App
-	Kernel *sim.Kernel
+	App     *core.App
+	Machine platform.Machine
 	// MaxPlacement bounds the placement hints the generator may use
 	// (exclusive); 0 disables explicit placement.
 	MaxPlacement int
+	// HorizonUS bounds Run in platform time: generous virtual time on
+	// simulated platforms, a wall-clock hang bound on native ones.
+	HorizonUS int64
 }
 
 // NewEnv creates a fresh environment on a registered platform, with the
 // placement bound taken from the platform's topology.
 func NewEnv(p platform.Platform, name string) *Env {
-	k, a := p.New(name)
-	return &Env{App: a, Kernel: k, MaxPlacement: p.Topology().Locations}
+	m, a := p.New(name)
+	horizonUS := int64(10 * 3600 * sim.Second / sim.Microsecond)
+	if !p.Deterministic() {
+		horizonUS = int64(60 * 1e6) // 60 s of wall clock
+	}
+	return &Env{App: a, Machine: m, MaxPlacement: p.Topology().Locations, HorizonUS: horizonUS}
 }
-
-// Factory creates a fresh environment.
-type Factory func(name string) *Env
 
 // Topology is a randomly generated layered DAG of components.
 type Topology struct {
@@ -187,7 +191,7 @@ func Run(env *Env) (*Stats, error) {
 		env.App.AwaitQuiescence(f)
 		st.Reports, qErr = obs.QueryAll(f, core.LevelAll)
 	})
-	if err := env.Kernel.RunUntil(sim.Time(10 * 3600 * sim.Second)); err != nil {
+	if err := env.Machine.Run(env.HorizonUS); err != nil {
 		return nil, err
 	}
 	if !env.App.Done() {

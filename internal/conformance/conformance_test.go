@@ -89,9 +89,12 @@ func TestBindingsAgreeOnCounters(t *testing.T) {
 }
 
 // TestWorkloadMatrix runs every registered workload on every registered
-// platform twice: the two runs of a cell must be bit-identical
-// (determinism), and a workload's result checksum must agree across all
-// platforms (portability).
+// platform twice. On deterministic (virtual-time) platforms the two runs
+// of a cell must be bit-identical down to every timing in every report; on
+// wall-clock platforms timings legitimately differ between runs, so only
+// the result checksum and unit count are asserted. Across platforms a
+// workload's checksum must always agree (portability) — that includes the
+// native platform reproducing the simulators' checksums.
 func TestWorkloadMatrix(t *testing.T) {
 	const scale = 8
 	for _, wn := range platform.WorkloadNames() {
@@ -113,7 +116,7 @@ func TestWorkloadMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s × %s (rerun): %v", pn, wn, err)
 				}
-				if first.Fingerprint != second.Fingerprint {
+				if p.Deterministic() && first.Fingerprint != second.Fingerprint {
 					t.Errorf("%s × %s: nondeterministic reports: %016x vs %016x",
 						pn, wn, first.Fingerprint, second.Fingerprint)
 				}

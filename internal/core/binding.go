@@ -18,8 +18,18 @@ type Binding interface {
 	// service of a component, see observation.go). Service flows consume no
 	// modelled CPU and their resources are not charged to the component —
 	// the paper's observation functions live inside the component
-	// implementation, not in an extra OS thread.
+	// implementation, not in an extra OS thread. Services are daemons: the
+	// platform does not wait for them when deciding a run has finished.
 	SpawnService(name string, run func(f Flow))
+
+	// SpawnDriver starts a harness flow (an observation driver, a load
+	// controller). Like a service it consumes no modelled CPU, but it is
+	// not a daemon: the platform must wait for every driver to return
+	// before a run counts as complete, and a driver that blocks forever is
+	// a reportable deadlock. On the simulated bindings drivers and services
+	// share the same machinery; platforms executing in real time need the
+	// distinction to know when to stop waiting.
+	SpawnDriver(name string, run func(f Flow))
 
 	// NewMailbox allocates the platform object backing a provided interface
 	// (a FIFO mailbox on Linux, an EMBX distributed object on OS21) with the

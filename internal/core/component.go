@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ObsIfaceName is the reserved name of the default observation interface
@@ -57,6 +59,15 @@ type App struct {
 	observer *Observer
 	sink     EventSink
 	started  bool
+
+	// connMu guards the connection reference counts after Start
+	// (ProvidedIface.conns/senders) and serializes Reconnect against
+	// component termination. The required-interface target pointer itself
+	// is atomic (see RequiredIface) so sends never touch this lock. On
+	// platforms with real concurrency a terminating component decrements
+	// producer counts while an observation service lists interfaces; the
+	// simulated platforms never contend on it.
+	connMu sync.Mutex
 }
 
 // NewApp creates an application on the given platform binding.
@@ -132,7 +143,7 @@ func (a *App) Connect(from *Component, req string, to *Component, prov string) e
 	if !ok {
 		return fmt.Errorf("core: %s has no required interface %q", from.name, req)
 	}
-	if ri.target != nil {
+	if ri.target.Load() != nil {
 		return fmt.Errorf("core: %s.%s is already connected", from.name, req)
 	}
 	pi, ok := to.provided[prov]
@@ -142,7 +153,7 @@ func (a *App) Connect(from *Component, req string, to *Component, prov string) e
 	if from == to {
 		return fmt.Errorf("core: %s connecting to itself", from.name)
 	}
-	ri.target = pi
+	ri.target.Store(pi)
 	pi.conns++
 	return nil
 }
@@ -174,9 +185,6 @@ func (a *App) Reconnect(from *Component, req string, to *Component, prov string)
 	if from == to {
 		return fmt.Errorf("core: %s reconnecting to itself", from.name)
 	}
-	if from.state == StateDone {
-		return fmt.Errorf("core: %s already terminated", from.name)
-	}
 	ri, ok := from.required[req]
 	if !ok {
 		return fmt.Errorf("core: %s has no required interface %q", from.name, req)
@@ -185,21 +193,33 @@ func (a *App) Reconnect(from *Component, req string, to *Component, prov string)
 	if !ok {
 		return fmt.Errorf("core: %s has no provided interface %q", to.name, prov)
 	}
-	if pi.mailbox == nil {
+	if pi.box() == nil {
 		return fmt.Errorf("core: %s.%s has no mailbox (app not started?)", to.name, prov)
 	}
-	old := ri.target
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	// The termination check must sit inside connMu: a component stores
+	// StateDone before taking the lock for its producer-release cleanup,
+	// so under the lock either the state already reads done (reject the
+	// rewire) or the cleanup has not run yet and will see — and later
+	// release — the new target this call installs.
+	if from.State() == StateDone {
+		return fmt.Errorf("core: %s already terminated", from.name)
+	}
+	old := ri.target.Load()
 	if old == pi {
 		return nil
 	}
-	ri.target = pi
+	ri.target.Store(pi)
 	pi.conns++
 	pi.senders++
 	if old != nil {
 		old.conns--
 		old.senders--
-		if old.senders == 0 && old.mailbox != nil {
-			old.mailbox.Close()
+		if old.senders == 0 {
+			if mb := old.box(); mb != nil {
+				mb.Close()
+			}
 		}
 	}
 	return nil
@@ -216,13 +236,15 @@ func (a *App) Start() error {
 
 	// Count live senders per provided interface so mailboxes close when the
 	// last producer terminates.
+	a.connMu.Lock()
 	for _, c := range a.order {
 		for _, ri := range c.required {
-			if ri.target != nil {
-				ri.target.senders++
+			if t := ri.target.Load(); t != nil {
+				t.senders++
 			}
 		}
 	}
+	a.connMu.Unlock()
 
 	for _, c := range a.order {
 		for _, name := range c.providedOrder {
@@ -231,7 +253,7 @@ func (a *App) Start() error {
 			if err != nil {
 				return fmt.Errorf("core: %s.%s: %w", c.name, name, err)
 			}
-			pi.mailbox = mb
+			pi.setBox(mb)
 		}
 		c.obsIn = a.binding.NewServiceQueue(c.name + "/obs-in")
 		a.startObservationService(c)
@@ -249,7 +271,7 @@ func (a *App) Start() error {
 // Done reports whether every component has terminated.
 func (a *App) Done() bool {
 	for _, c := range a.order {
-		if c.state != StateDone {
+		if c.State() != StateDone {
 			return false
 		}
 	}
@@ -266,10 +288,10 @@ func (a *App) AwaitQuiescence(f Flow) {
 }
 
 // SpawnDriver starts a harness flow (e.g. an observation driver). Unlike
-// observation services it is not a daemon: if it blocks forever that is a
-// reportable deadlock.
+// observation services it is not a daemon: the platform waits for it, and
+// if it blocks forever that is a reportable deadlock.
 func (a *App) SpawnDriver(name string, fn func(f Flow)) {
-	a.binding.SpawnService(name, fn)
+	a.binding.SpawnDriver(name, fn)
 }
 
 func (a *App) emit(e Event) {
@@ -292,11 +314,10 @@ type Component struct {
 	requiredOrder []string
 
 	placement int
-	state     State
-	flow      Flow
-	owner     *Composite // enclosing composite, if any
+	state     atomic.Int32 // State; atomic so observers read it mid-run
+	owner     *Composite   // enclosing composite, if any
 
-	startUS, endUS int64
+	startUS, endUS atomic.Int64
 	stats          *stats
 	probes         map[string]func() int64
 	probeOrder     []string
@@ -314,7 +335,7 @@ func (c *Component) Name() string { return c.name }
 func (c *Component) App() *App { return c.app }
 
 // State returns the life-cycle state.
-func (c *Component) State() State { return c.state }
+func (c *Component) State() State { return State(c.state.Load()) }
 
 // Placement returns the placement hint (-1 = platform default).
 func (c *Component) Placement() int { return c.placement }
@@ -416,8 +437,8 @@ func (c *Component) ProvidedBufBytes(name string) int64 {
 	if !ok {
 		return 0
 	}
-	if pi.mailbox != nil {
-		return pi.mailbox.BufBytes()
+	if mb := pi.box(); mb != nil {
+		return mb.BufBytes()
 	}
 	return pi.bufBytes
 }
@@ -425,10 +446,10 @@ func (c *Component) ProvidedBufBytes(name string) int64 {
 // run is the framework wrapper around the body: life-cycle bookkeeping and
 // OS-level timestamps live here, not in application code.
 func (c *Component) run(f Flow) {
-	c.flow = f
-	c.state = StateStarted
-	c.startUS = c.app.binding.NowUS(c)
-	c.app.emit(Event{TimeUS: c.startUS, Kind: EvStart, Component: c.name})
+	c.state.Store(int32(StateStarted))
+	start := c.app.binding.NowUS(c)
+	c.startUS.Store(start)
+	c.app.emit(Event{TimeUS: start, Kind: EvStart, Component: c.name})
 
 	// The cleanup runs on normal return AND when the flow is forcibly
 	// terminated (App.Terminate unwinds the body with a panic the platform
@@ -437,19 +458,24 @@ func (c *Component) run(f Flow) {
 	// the rest of the application can drain.
 	defer func() {
 		r := recover()
-		c.endUS = c.app.binding.NowUS(c)
-		c.state = StateDone
-		c.app.emit(Event{TimeUS: c.endUS, Kind: EvStop, Component: c.name})
+		end := c.app.binding.NowUS(c)
+		c.endUS.Store(end)
+		c.state.Store(int32(StateDone))
+		c.app.emit(Event{TimeUS: end, Kind: EvStop, Component: c.name})
+		c.app.connMu.Lock()
 		for _, name := range c.requiredOrder {
-			ri := c.required[name]
-			if ri.target == nil {
+			t := c.required[name].target.Load()
+			if t == nil {
 				continue
 			}
-			ri.target.senders--
-			if ri.target.senders == 0 && ri.target.mailbox != nil {
-				ri.target.mailbox.Close()
+			t.senders--
+			if t.senders == 0 {
+				if mb := t.box(); mb != nil {
+					mb.Close()
+				}
 			}
 		}
+		c.app.connMu.Unlock()
 		if r != nil {
 			panic(r)
 		}
@@ -466,7 +492,7 @@ func (a *App) Terminate(c *Component) error {
 	if !a.started {
 		return fmt.Errorf("core: app %q not started", a.Name)
 	}
-	if c.state == StateDone {
+	if c.State() == StateDone {
 		return nil
 	}
 	a.binding.Kill(c)
@@ -474,25 +500,43 @@ func (a *App) Terminate(c *Component) error {
 }
 
 // ProvidedIface is a provided interface: a named mailbox receiving messages.
+// The mailbox reference is published atomically: App.Start materializes it
+// while, on platforms with real concurrency, monitor samplers started ahead
+// of the application may already be walking the interface lists.
 type ProvidedIface struct {
 	comp     *Component
 	name     string
 	bufBytes int64
-	mailbox  Mailbox
+	mb       atomic.Pointer[Mailbox]
 	conns    int // connections established at assembly
 	senders  int // producers still running
 }
 
+// box returns the materialized mailbox, or nil before App.Start.
+func (pi *ProvidedIface) box() Mailbox {
+	if p := pi.mb.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setBox publishes the mailbox.
+func (pi *ProvidedIface) setBox(m Mailbox) { pi.mb.Store(&m) }
+
 // RequiredIface is a required interface: "a pointer towards a provided
-// interface"; nil until connected.
+// interface"; nil until connected. The pointer is atomic so the send hot
+// path can read it without contending on the app-wide connection lock: a
+// send racing a Reconnect sees either the old or the new target, never a
+// torn state. The reference counts (conns, senders) stay under connMu —
+// they are only touched at assembly, reconnection and termination.
 type RequiredIface struct {
 	comp   *Component
 	name   string
-	target *ProvidedIface
+	target atomic.Pointer[ProvidedIface]
 }
 
 // Connected reports whether the interface has been wired to a target.
-func (ri *RequiredIface) Connected() bool { return ri.target != nil }
+func (ri *RequiredIface) Connected() bool { return ri.target.Load() != nil }
 
 // sortedKeys returns map keys in deterministic order (reports, listings).
 func sortedKeys[M ~map[string]V, V any](m M) []string {

@@ -253,11 +253,11 @@ func (cp *Composite) Snapshot(level ObsLevel) ObsReport {
 	if level == LevelMiddleware || level == LevelAll {
 		mw := &MWReport{Send: map[string]IfaceStats{}, Recv: map[string]IfaceStats{}}
 		for _, c := range comps {
-			for iface, st := range c.stats.send {
-				mw.Send[c.name+"."+iface] = *st
+			for iface, st := range c.stats.snapshotSend() {
+				mw.Send[c.name+"."+iface] = st
 			}
-			for iface, st := range c.stats.recv {
-				mw.Recv[c.name+"."+iface] = *st
+			for iface, st := range c.stats.snapshotRecv() {
+				mw.Recv[c.name+"."+iface] = st
 			}
 		}
 		rep.Middleware = mw
@@ -266,9 +266,10 @@ func (cp *Composite) Snapshot(level ObsLevel) ObsReport {
 		app := &AppReport{Interfaces: cp.InterfaceList()}
 		allDone := true
 		for _, c := range comps {
-			app.SendOps += c.stats.sendOps
-			app.RecvOps += c.stats.recvOps
-			if c.state != StateDone {
+			sendOps, recvOps := c.stats.ops()
+			app.SendOps += sendOps
+			app.RecvOps += recvOps
+			if c.State() != StateDone {
 				allDone = false
 			}
 		}
@@ -292,7 +293,10 @@ func (cp *Composite) InterfaceList() []IfaceInfo {
 		}
 		t := cp.exportsProvided[k.name]
 		pi := t.comp.provided[t.iface]
-		out = append(out, IfaceInfo{Name: k.name, Type: "provided", Connected: pi.conns > 0, BufBytes: pi.bufBytes})
+		cp.app.connMu.Lock()
+		connected := pi.conns > 0
+		cp.app.connMu.Unlock()
+		out = append(out, IfaceInfo{Name: k.name, Type: "provided", Connected: connected, BufBytes: pi.bufBytes})
 	}
 	out = append(out, IfaceInfo{Name: ObsIfaceName, Type: "required", Connected: cp.app.observer != nil})
 	for _, k := range cp.exportOrder {
@@ -300,7 +304,7 @@ func (cp *Composite) InterfaceList() []IfaceInfo {
 			continue
 		}
 		t := cp.exportsRequired[k.name]
-		out = append(out, IfaceInfo{Name: k.name, Type: "required", Connected: t.comp.required[t.iface].target != nil})
+		out = append(out, IfaceInfo{Name: k.name, Type: "required", Connected: t.comp.required[t.iface].Connected()})
 	}
 	return out
 }

@@ -41,7 +41,8 @@ func (x *Ctx) Send(iface string, payload any, bytes int) bool {
 	if !ok {
 		panic(fmt.Sprintf("core: %s sending on unknown required interface %q", x.c.name, iface))
 	}
-	if ri.target == nil {
+	target := ri.target.Load()
+	if target == nil {
 		panic(fmt.Sprintf("core: %s sending on unconnected interface %q", x.c.name, iface))
 	}
 	if bytes < 0 {
@@ -49,7 +50,7 @@ func (x *Ctx) Send(iface string, payload any, bytes int) bool {
 	}
 	m := Message{Payload: payload, Bytes: bytes, From: x.c.name}
 	t0 := x.c.app.binding.NowUS(x.c)
-	ok = ri.target.mailbox.Send(x.f, m)
+	ok = target.box().Send(x.f, m)
 	t1 := x.c.app.binding.NowUS(x.c)
 	x.c.stats.recordSend(iface, bytes, t1-t0)
 	x.c.app.emit(Event{
@@ -68,7 +69,7 @@ func (x *Ctx) Receive(iface string) (m Message, ok bool) {
 		panic(fmt.Sprintf("core: %s receiving on unknown provided interface %q", x.c.name, iface))
 	}
 	t0 := x.c.app.binding.NowUS(x.c)
-	m, ok = pi.mailbox.Receive(x.f)
+	m, ok = pi.box().Receive(x.f)
 	t1 := x.c.app.binding.NowUS(x.c)
 	if ok {
 		x.c.stats.recordRecv(iface, m.Bytes, t1-t0)

@@ -89,16 +89,17 @@ func (c *Component) Snapshot(level ObsLevel) ObsReport {
 	}
 	if level == LevelMiddleware || level == LevelAll {
 		rep.Middleware = &MWReport{
-			Send: snapshotMap(c.stats.send),
-			Recv: snapshotMap(c.stats.recv),
+			Send: c.stats.snapshotSend(),
+			Recv: c.stats.snapshotRecv(),
 		}
 	}
 	if level == LevelApplication || level == LevelAll {
+		sendOps, recvOps := c.stats.ops()
 		rep.App = &AppReport{
 			Interfaces: c.InterfaceList(),
-			SendOps:    c.stats.sendOps,
-			RecvOps:    c.stats.recvOps,
-			State:      c.state.String(),
+			SendOps:    sendOps,
+			RecvOps:    recvOps,
+			State:      c.State().String(),
 		}
 		if len(c.probes) > 0 {
 			rep.Probes = make(map[string]int64, len(c.probes))
@@ -120,20 +121,23 @@ func (c *Component) InterfaceList() []IfaceInfo {
 		pi := c.provided[name]
 		buf := pi.bufBytes
 		depth := 0
-		if pi.mailbox != nil {
-			buf = pi.mailbox.BufBytes()
-			depth = pi.mailbox.Depth()
+		if mb := pi.box(); mb != nil {
+			buf = mb.BufBytes()
+			depth = mb.Depth()
 		}
+		c.app.connMu.Lock()
+		connected := pi.conns > 0
+		c.app.connMu.Unlock()
 		out = append(out, IfaceInfo{
 			Name: name, Type: "provided",
-			Connected: pi.conns > 0, BufBytes: buf, Depth: depth,
+			Connected: connected, BufBytes: buf, Depth: depth,
 		})
 	}
 	out = append(out, IfaceInfo{Name: ObsIfaceName, Type: "required", Connected: c.app.observer != nil})
 	for _, name := range c.requiredOrder {
 		out = append(out, IfaceInfo{
 			Name: name, Type: "required",
-			Connected: c.required[name].target != nil,
+			Connected: c.required[name].Connected(),
 		})
 	}
 	return out
@@ -262,23 +266,22 @@ type FastSample struct {
 // by their flat totals and the interface listing by its occupancy summary.
 func (c *Component) FastSnapshot(level ObsLevel, s *FastSample) {
 	s.Component = c.name
-	s.State = c.state
-	s.SendOps, s.RecvOps = c.stats.sendOps, c.stats.recvOps
-	s.SendBytes, s.RecvBytes = c.stats.sendBytes, c.stats.recvBytes
-	s.SendUS, s.RecvUS = c.stats.sendUS, c.stats.recvUS
+	s.State = c.State()
+	s.SendOps, s.RecvOps, s.SendBytes, s.RecvBytes, s.SendUS, s.RecvUS = c.stats.totals()
 	s.Depth, s.DepthSum, s.BufBytes = 0, 0, 0
 	for _, name := range c.providedOrder {
 		pi := c.provided[name]
-		if pi.mailbox == nil {
+		mb := pi.box()
+		if mb == nil {
 			s.BufBytes += pi.bufBytes
 			continue
 		}
-		d := pi.mailbox.Depth()
+		d := mb.Depth()
 		s.DepthSum += d
 		if d > s.Depth {
 			s.Depth = d
 		}
-		s.BufBytes += pi.mailbox.BufBytes()
+		s.BufBytes += mb.BufBytes()
 	}
 	s.ExecTimeUS, s.MemBytes, s.Running = 0, 0, false
 	if level == LevelOS || level == LevelAll {

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // IfaceStats aggregates the middleware-level instrumentation of one
 // direction of one interface: operation count, bytes moved and the time
 // spent inside the send/receive primitive (§4.2, "information about the
@@ -33,7 +35,15 @@ func (s *IfaceStats) record(bytes int, us int64) {
 // framework without application involvement. Alongside the per-interface
 // maps it keeps flat totals so the streaming monitor's SampleAll fast path
 // can read them without walking (or copying) the maps.
+//
+// The mutex exists for platforms whose flows are real OS threads of
+// control: there the component mutates its counters while an observation
+// service or monitor sampler reads them from another goroutine. On the
+// simulated platforms exactly one flow runs at a time, so the lock is
+// always uncontended and costs a few nanoseconds per primitive.
 type stats struct {
+	mu sync.Mutex
+
 	send map[string]*IfaceStats
 	recv map[string]*IfaceStats
 
@@ -51,6 +61,8 @@ func newStats() *stats {
 }
 
 func (st *stats) recordSend(iface string, bytes int, us int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	s := st.send[iface]
 	if s == nil {
 		s = &IfaceStats{}
@@ -63,6 +75,8 @@ func (st *stats) recordSend(iface string, bytes int, us int64) {
 }
 
 func (st *stats) recordRecv(iface string, bytes int, us int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	s := st.recv[iface]
 	if s == nil {
 		s = &IfaceStats{}
@@ -74,7 +88,35 @@ func (st *stats) recordRecv(iface string, bytes int, us int64) {
 	st.recvUS += us
 }
 
-// snapshotMap deep-copies a stats map for inclusion in a report.
+// totals reads the flat counters consistently (the SampleAll fast path).
+func (st *stats) totals() (sendOps, recvOps, sendBytes, recvBytes uint64, sendUS, recvUS int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sendOps, st.recvOps, st.sendBytes, st.recvBytes, st.sendUS, st.recvUS
+}
+
+// ops reads just the operation counters.
+func (st *stats) ops() (sendOps, recvOps uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sendOps, st.recvOps
+}
+
+// snapshotSend / snapshotRecv deep-copy the per-interface maps for a report.
+func (st *stats) snapshotSend() map[string]IfaceStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return snapshotMap(st.send)
+}
+
+func (st *stats) snapshotRecv() map[string]IfaceStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return snapshotMap(st.recv)
+}
+
+// snapshotMap deep-copies a stats map for inclusion in a report. Callers
+// must hold the stats lock.
 func snapshotMap(m map[string]*IfaceStats) map[string]IfaceStats {
 	out := make(map[string]IfaceStats, len(m))
 	for k, v := range m {

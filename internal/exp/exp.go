@@ -58,8 +58,13 @@ func RefStream(frames int) ([]byte, error) {
 	return s, nil
 }
 
-// horizon bounds every simulation run; hitting it is reported as an error.
+// horizon bounds every simulated run; hitting it is reported as an error.
 const horizon = sim.Time(100 * 3600 * sim.Second)
+
+// wallHorizonUS bounds wall-clock (non-deterministic) runs: five minutes of
+// real time is far beyond any workload in this repository, so reaching it
+// means the run hung.
+const wallHorizonUS = int64(5 * 60 * 1e6)
 
 // Options configures one Run beyond the platform × workload choice. The
 // embedded platform.Options carries the workload inputs (Scale, Stream,
@@ -78,26 +83,63 @@ type Options struct {
 	Customize func(a *core.App, obs *core.Observer)
 }
 
-// Result is a completed simulation with its observation reports.
+// validate rejects malformed options before any machinery is built, so a
+// bad sweep parameter surfaces as an error at the harness boundary instead
+// of a panic deep inside monitor or workload setup.
+func (o *Options) validate() error {
+	if o.Scale < 0 {
+		return fmt.Errorf("exp: negative scale %d", o.Scale)
+	}
+	if o.MessageBytes < 0 {
+		return fmt.Errorf("exp: negative message size %d", o.MessageBytes)
+	}
+	if o.Monitor != nil {
+		for _, lp := range o.Monitor.Levels {
+			if lp.PeriodUS <= 0 {
+				return fmt.Errorf("exp: monitor level %s has non-positive period %d µs",
+					lp.Level, lp.PeriodUS)
+			}
+		}
+		if o.Monitor.WindowUS < 0 {
+			return fmt.Errorf("exp: negative monitor window %d µs", o.Monitor.WindowUS)
+		}
+		for i, s := range o.Monitor.Sinks {
+			if s == nil {
+				return fmt.Errorf("exp: monitor sink %d is nil", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is a completed run with its observation reports.
 type Result struct {
 	Platform platform.Platform
-	Kernel   *sim.Kernel
-	App      *core.App
+	// Machine is the platform instance that executed the run.
+	Machine platform.Machine
+	// Kernel is the discrete-event kernel on simulated platforms, nil on
+	// wall-clock ones (it is Machine.Kernel(), kept for convenience).
+	Kernel *sim.Kernel
+	App    *core.App
 	// Instance is the workload's result tracker (units, checksum).
 	Instance platform.Instance
 	// Monitor is the streaming pipeline, when Options.Monitor asked for one.
 	Monitor *monitor.Monitor
 	Reports map[string]core.ObsReport
-	// MakespanUS is the virtual time at which the application finished.
+	// MakespanUS is the platform time at which the application finished:
+	// virtual µs on simulated platforms, wall-clock µs on native.
 	MakespanUS int64
 }
 
 // Run executes workload w on platform p to completion and collects
-// observations through the in-simulation observer. It is the single
+// observations through the in-application observer. It is the single
 // harness path: every binary, experiment, benchmark and conformance cell
-// funnels through here.
+// funnels through here, on simulated and wall-clock platforms alike.
 func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error) {
-	k, a := p.New(w.Name())
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	m, a := p.New(w.Name())
 	inst, err := w.Build(a, p, opts.Options)
 	if err != nil {
 		return nil, err
@@ -114,6 +156,15 @@ func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error
 		if err := mon.Start(); err != nil {
 			return nil, err
 		}
+		// On wall-clock platforms the monitor's drivers are real
+		// goroutines polling a run that, on any error below, will never
+		// quiesce — tell them to wind down so a failed cell does not
+		// leak pollers for the life of the process.
+		defer func() {
+			if err != nil {
+				mon.Stop()
+			}
+		}()
 	}
 	obs, err := a.AttachObserver()
 	if err != nil {
@@ -122,30 +173,40 @@ func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error
 	if opts.Customize != nil {
 		opts.Customize(a, obs)
 	}
-	if err := a.Start(); err != nil {
+	if err = a.Start(); err != nil {
 		return nil, err
 	}
-	r := &Result{Platform: p, Kernel: k, App: a, Instance: inst, Monitor: mon}
+	r := &Result{Platform: p, Machine: m, Kernel: m.Kernel(), App: a, Instance: inst, Monitor: mon}
 	var qErr error
 	a.SpawnDriver("exp-driver", func(f core.Flow) {
 		a.AwaitQuiescence(f)
-		r.MakespanUS = int64(k.Now()) / int64(sim.Microsecond)
+		r.MakespanUS = m.NowUS()
 		r.Reports, qErr = obs.QueryAll(f, core.LevelAll)
 	})
-	if err := k.RunUntil(horizon); err != nil {
+	horizonUS := int64(horizon) / int64(sim.Microsecond)
+	if !p.Deterministic() {
+		horizonUS = wallHorizonUS
+	}
+	// The remaining failure paths assign the outer err so the deferred
+	// monitor Stop above sees them.
+	if err = m.Run(horizonUS); err != nil {
 		return nil, err
 	}
 	if !a.Done() {
-		return nil, fmt.Errorf("exp: application did not finish before the horizon")
+		err = fmt.Errorf("exp: application did not finish before the horizon")
+		return nil, err
 	}
 	if qErr != nil {
-		return nil, qErr
+		err = qErr
+		return nil, err
 	}
 	if r.Reports == nil {
-		return nil, fmt.Errorf("exp: observer queries never ran")
+		err = fmt.Errorf("exp: observer queries never ran")
+		return nil, err
 	}
-	if err := inst.Check(); err != nil {
-		return nil, fmt.Errorf("exp: workload self-check: %w", err)
+	if cerr := inst.Check(); cerr != nil {
+		err = fmt.Errorf("exp: workload self-check: %w", cerr)
+		return nil, err
 	}
 	return r, nil
 }

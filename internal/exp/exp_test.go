@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"embera/internal/core"
+	"embera/internal/monitor"
 	"embera/internal/platform"
 )
 
@@ -319,6 +321,85 @@ func TestQueueOccupancyShowsBackpressure(t *testing.T) {
 	out := FormatOccupancy(roomy[:3], []string{"IDCT_1._fetchIdct1", "Reorder.idctReorder"})
 	if !strings.Contains(out, "t (µs)") {
 		t.Error("occupancy formatting broken")
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"negative scale", Options{Options: platform.Options{Scale: -1}}},
+		{"negative message size", Options{Options: platform.Options{MessageBytes: -8}}},
+		{"negative sampler period", Options{Monitor: &monitor.Config{
+			Levels: []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: -5}},
+		}}},
+		{"zero sampler period", Options{Monitor: &monitor.Config{
+			Levels: []monitor.LevelPeriod{{Level: core.LevelOS, PeriodUS: 0}},
+		}}},
+		{"negative window", Options{Monitor: &monitor.Config{WindowUS: -1}}},
+		{"nil sink", Options{Monitor: &monitor.Config{Sinks: []monitor.Sink{nil}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panicked instead of returning an error: %v", r)
+				}
+			}()
+			if _, err := RunNamed("smp", "pipeline", tc.opts); err == nil {
+				t.Error("malformed options accepted")
+			}
+		})
+	}
+}
+
+func TestMonitorRejectsNilSinkDirectly(t *testing.T) {
+	// The same guard must hold below exp.Run, for direct monitor users.
+	_, a := platform.MustGet("smp").New("x")
+	if _, err := monitor.New(a, monitor.Config{Sinks: []monitor.Sink{nil}}); err == nil {
+		t.Error("monitor.New accepted a nil sink")
+	}
+}
+
+func TestRunMatrixCoversEveryCellConcurrently(t *testing.T) {
+	cells, err := RunMatrix(nil, nil, Options{Options: platform.Options{Scale: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(platform.Names()) * len(platform.WorkloadNames())
+	if len(cells) != want {
+		t.Fatalf("cells = %d, want %d", len(cells), want)
+	}
+	checksums := map[string]uint64{} // workload -> checksum across platforms
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Errorf("%s × %s: %v", c.Platform, c.Workload, c.Err)
+			continue
+		}
+		if c.Result.Instance.Units() == 0 {
+			t.Errorf("%s × %s: no work done", c.Platform, c.Workload)
+		}
+		if prev, ok := checksums[c.Workload]; ok {
+			if prev != c.Result.Instance.Checksum() {
+				t.Errorf("%s × %s: checksum %016x diverges from %016x",
+					c.Platform, c.Workload, c.Result.Instance.Checksum(), prev)
+			}
+		} else {
+			checksums[c.Workload] = c.Result.Instance.Checksum()
+		}
+	}
+	if !strings.Contains(FormatMatrix(cells), "checksum") {
+		t.Error("matrix formatting broken")
+	}
+}
+
+func TestRunMatrixUnknownNamesFailFast(t *testing.T) {
+	if _, err := RunMatrix([]string{"vax"}, nil, Options{}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := RunMatrix(nil, []string{"nosuch"}, Options{}); err == nil {
+		t.Error("unknown workload accepted")
 	}
 }
 

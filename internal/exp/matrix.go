@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"embera/internal/platform"
+)
+
+// MatrixCell identifies one platform × workload combination.
+type MatrixCell struct {
+	Platform string
+	Workload string
+}
+
+// MatrixResult is the outcome of one cell of a RunMatrix sweep: either a
+// completed Result or the error that stopped the cell (a panic inside a
+// cell is captured as an error so one broken combination cannot take the
+// whole sweep down).
+type MatrixResult struct {
+	MatrixCell
+	Result *Result
+	Err    error
+}
+
+// RunMatrix executes every platform × workload combination concurrently,
+// one goroutine per cell, and returns the results in platform-major,
+// workload-minor name order. Cells are fully isolated from each other:
+// each gets its own machine from Platform.New and its own fresh Workload
+// from the registry, so a simulated kernel and a native goroutine swarm
+// can run side by side. Nil platform/workload name slices select every
+// registered name. Unknown names fail the whole call up front (with the
+// registry errors that list the valid choices) — a sweep over a typo is
+// not a sweep.
+func RunMatrix(platformNames, workloadNames []string, opts Options) ([]MatrixResult, error) {
+	if platformNames == nil {
+		platformNames = platform.Names()
+	}
+	if workloadNames == nil {
+		workloadNames = platform.WorkloadNames()
+	}
+	// Resolve everything before spawning: fail fast on unknown names.
+	for _, pn := range platformNames {
+		if _, err := platform.Get(pn); err != nil {
+			return nil, err
+		}
+	}
+	for _, wn := range workloadNames {
+		if _, err := platform.GetWorkload(wn); err != nil {
+			return nil, err
+		}
+	}
+
+	cells := make([]MatrixResult, 0, len(platformNames)*len(workloadNames))
+	for _, pn := range platformNames {
+		for _, wn := range workloadNames {
+			cells = append(cells, MatrixResult{MatrixCell: MatrixCell{Platform: pn, Workload: wn}})
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(cell *MatrixResult) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					cell.Err = fmt.Errorf("exp: %s × %s panicked: %v",
+						cell.Platform, cell.Workload, r)
+				}
+			}()
+			cell.Result, cell.Err = RunNamed(cell.Platform, cell.Workload, opts)
+		}(&cells[i])
+	}
+	wg.Wait()
+	return cells, nil
+}
+
+// FormatMatrix renders a RunMatrix sweep as the cross-platform comparison
+// table cmd/embera-bench prints for the MX experiment.
+func FormatMatrix(cells []MatrixResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "MX: every workload on every platform (independent cells, run concurrently)")
+	fmt.Fprintf(&b, "%-10s %-10s %14s %10s %18s  %s\n",
+		"Platform", "Workload", "makespan (µs)", "units", "checksum", "status")
+	for _, c := range cells {
+		if c.Err != nil {
+			fmt.Fprintf(&b, "%-10s %-10s %14s %10s %18s  ERROR: %v\n",
+				c.Platform, c.Workload, "-", "-", "-", c.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-10s %14d %10d %018x  ok\n",
+			c.Platform, c.Workload, c.Result.MakespanUS,
+			c.Result.Instance.Units(), c.Result.Instance.Checksum())
+	}
+	return b.String()
+}

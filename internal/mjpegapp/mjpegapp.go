@@ -19,6 +19,7 @@ package mjpegapp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"embera/internal/core"
 	"embera/internal/mjpeg"
@@ -164,11 +165,17 @@ type App struct {
 
 	// TotalFrames is the number of frames in the input stream.
 	TotalFrames int
-	// FramesDecoded counts fully reassembled frames.
-	FramesDecoded int
+	// framesDecoded counts fully reassembled frames. Atomic because the
+	// "frames_decoded" probe reads it from the observation service's
+	// flow, which on the native platform is concurrent with the
+	// reassembling component.
+	framesDecoded atomic.Int64
 
 	cfg Config
 }
+
+// FramesDecoded reports the fully reassembled frame count so far.
+func (app *App) FramesDecoded() int { return int(app.framesDecoded.Load()) }
 
 // Build assembles the application into a (the control functions of the
 // paper's "main application function": create, connect).
@@ -216,7 +223,7 @@ func Build(a *core.App, cfg Config) (*App, error) {
 		sink = app.Fetch
 	}
 	if err := sink.RegisterProbe("frames_decoded", func() int64 {
-		return int64(app.FramesDecoded)
+		return app.framesDecoded.Load()
 	}); err != nil {
 		return nil, err
 	}
@@ -317,7 +324,7 @@ func (app *App) buildPipeline(frames [][]byte) error {
 				if cfg.OnFrame != nil {
 					cfg.OnFrame(pg.FrameIndex, img)
 				}
-				app.FramesDecoded++
+				app.framesDecoded.Add(1)
 			}
 		}
 	})
@@ -447,7 +454,7 @@ func (app *App) buildMerged(frames [][]byte) error {
 						if cfg.OnFrame != nil {
 							cfg.OnFrame(pg.FrameIndex, img)
 						}
-						app.FramesDecoded++
+						app.framesDecoded.Add(1)
 					}
 				}
 			}

@@ -36,30 +36,30 @@ func os21Cfg(stream []byte) mjpegapp.Config {
 	return mjpegapp.ConfigFor(stream, platform.MustGet("sti7200").Topology())
 }
 
-func buildOn(t testing.TB, platformName string, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
+func buildOn(t testing.TB, platformName string, cfg mjpegapp.Config) (*mjpegapp.App, platform.Machine) {
 	t.Helper()
-	k, a := platform.MustGet(platformName).New("mjpeg")
+	m, a := platform.MustGet(platformName).New("mjpeg")
 	app, err := mjpegapp.Build(a, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return app, k
+	return app, m
 }
 
-func buildSMP(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
+func buildSMP(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, platform.Machine) {
 	return buildOn(t, "smp", cfg)
 }
 
-func buildOS21(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, *sim.Kernel) {
+func buildOS21(t testing.TB, cfg mjpegapp.Config) (*mjpegapp.App, platform.Machine) {
 	return buildOn(t, "sti7200", cfg)
 }
 
-func runApp(t testing.TB, k *sim.Kernel, app *mjpegapp.App) {
+func runApp(t testing.TB, m platform.Machine, app *mjpegapp.App) {
 	t.Helper()
 	if err := app.Core.Start(); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.RunUntil(sim.Time(10 * 3600 * sim.Second)); err != nil {
+	if err := m.Run(int64(10 * 3600 * sim.Second / sim.Microsecond)); err != nil {
 		t.Fatal(err)
 	}
 	if !app.Core.Done() {
@@ -79,8 +79,8 @@ func TestSMPDecodesAllFramesCorrectly(t *testing.T) {
 	app, k := buildSMP(t, cfg)
 	runApp(t, k, app)
 
-	if app.FramesDecoded != testFrames {
-		t.Fatalf("decoded %d frames, want %d", app.FramesDecoded, testFrames)
+	if app.FramesDecoded() != testFrames {
+		t.Fatalf("decoded %d frames, want %d", app.FramesDecoded(), testFrames)
 	}
 	// Every frame must match the monolithic reference decoder exactly.
 	for i, fr := range frames {
@@ -217,8 +217,8 @@ func TestOS21DecodesAllFramesCorrectly(t *testing.T) {
 	cfg.OnFrame = func(i int, img *mjpeg.Image) { decoded[i] = img }
 	app, k := buildOS21(t, cfg)
 	runApp(t, k, app)
-	if app.FramesDecoded != testFrames {
-		t.Fatalf("decoded %d frames, want %d", app.FramesDecoded, testFrames)
+	if app.FramesDecoded() != testFrames {
+		t.Fatalf("decoded %d frames, want %d", app.FramesDecoded(), testFrames)
 	}
 	for i, fr := range frames {
 		want, _ := mjpeg.Decode(fr)
@@ -336,8 +336,8 @@ func TestIDCTFanoutVariants(t *testing.T) {
 		cfg.NumIDCT = n
 		app, k := buildSMP(t, cfg)
 		runApp(t, k, app)
-		if app.FramesDecoded != testFrames {
-			t.Errorf("fanout %d: decoded %d frames", n, app.FramesDecoded)
+		if app.FramesDecoded() != testFrames {
+			t.Errorf("fanout %d: decoded %d frames", n, app.FramesDecoded())
 		}
 	}
 }

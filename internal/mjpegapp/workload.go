@@ -83,19 +83,19 @@ type instance struct {
 // App exposes the assembled application (topology handles, FramesDecoded).
 func (in *instance) App() *App { return in.app }
 
-func (in *instance) Units() int { return in.app.FramesDecoded }
+func (in *instance) Units() int { return in.app.FramesDecoded() }
 
 func (in *instance) Checksum() uint64 { return in.sum }
 
 func (in *instance) Check() error {
-	if in.app.FramesDecoded != in.want {
-		return fmt.Errorf("mjpegapp: decoded %d frames, want %d", in.app.FramesDecoded, in.want)
+	if in.app.FramesDecoded() != in.want {
+		return fmt.Errorf("mjpegapp: decoded %d frames, want %d", in.app.FramesDecoded(), in.want)
 	}
 	return nil
 }
 
 func (in *instance) Summary() string {
-	return fmt.Sprintf("decoded %d/%d frames (checksum %016x)", in.app.FramesDecoded, in.want, in.sum)
+	return fmt.Sprintf("decoded %d/%d frames (checksum %016x)", in.app.FramesDecoded(), in.want, in.sum)
 }
 
 // frameDigest hashes one reassembled frame. Digests are summed so the

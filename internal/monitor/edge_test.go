@@ -1,0 +1,118 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistEmptyQuantileReportsNothing guards the empty-histogram edge: a
+// histogram that observed no values must report 0 for every quantile, not a
+// phantom bucket edge.
+func TestHistEmptyQuantileReportsNothing(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{-1, 0, 0.5, 0.95, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty hist Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	// Merging two empty histograms must stay empty.
+	var other Hist
+	h.Merge(&other)
+	if h.Total != 0 || h.Quantile(0.99) != 0 {
+		t.Errorf("merged empty hist reports total=%d p99=%d", h.Total, h.Quantile(0.99))
+	}
+}
+
+// TestHistQuantileClampsToObservedMax: a bucket's upper edge must never
+// exceed the largest value actually observed.
+func TestHistQuantileClampsToObservedMax(t *testing.T) {
+	var h Hist
+	h.Observe(5) // bucket [4,8), edge 7
+	if got := h.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %d, want the observed max 5", got)
+	}
+	h.Observe(0)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+	// Negative observations count as zero, never corrupt Max.
+	h.Observe(-3)
+	if h.Max != 5 {
+		t.Errorf("Max = %d after negative observe, want 5", h.Max)
+	}
+}
+
+// TestRingUnevenShardAccounting fills a ring whose capacity is not
+// divisible by its shard count and verifies that (a) no capacity is lost to
+// rounding and (b) Dropped sums exactly to the rejected pushes across the
+// unevenly sized shards.
+func TestRingUnevenShardAccounting(t *testing.T) {
+	const capacity, shards = 7, 3 // shard sizes 3, 2, 2
+	r := NewRing(capacity, shards)
+	if got := r.Capacity(); got != capacity {
+		t.Fatalf("Capacity() = %d, want %d", got, capacity)
+	}
+
+	const perKey = 10 // push 10 samples at each shard key: 30 total, 7 fit
+	accepted, rejected := 0, 0
+	for key := 0; key < shards; key++ {
+		for i := 0; i < perKey; i++ {
+			if r.Push(key, Sample{}) {
+				accepted++
+			} else {
+				rejected++
+			}
+		}
+	}
+	if accepted != capacity {
+		t.Errorf("accepted %d, want %d (every slot of every uneven shard usable)", accepted, capacity)
+	}
+	if r.Len() != capacity {
+		t.Errorf("Len() = %d, want %d", r.Len(), capacity)
+	}
+	if got := r.Dropped(); got != uint64(rejected) {
+		t.Errorf("Dropped() = %d, want %d (exact shed accounting)", got, rejected)
+	}
+	if got := r.Drain(func(Sample) {}); got != capacity {
+		t.Errorf("Drain() = %d, want %d", got, capacity)
+	}
+	// Refill after drain: the shards must be fully reusable.
+	for key := 0; key < shards; key++ {
+		for i := 0; i < perKey; i++ {
+			r.Push(key, Sample{})
+		}
+	}
+	if r.Len() != capacity {
+		t.Errorf("Len() after refill = %d, want %d", r.Len(), capacity)
+	}
+}
+
+// TestRingNegativeKeys: any key — including the minimum int, where
+// negation overflows — must map to a valid shard.
+func TestRingNegativeKeys(t *testing.T) {
+	r := NewRing(4, 3)
+	for _, key := range []int{-1, -2, -3, math.MinInt, math.MinInt + 1} {
+		r.Push(key, Sample{}) // must not panic
+	}
+	if r.Len()+int(r.Dropped()) != 5 {
+		t.Errorf("pushed 5, accounted %d+%d", r.Len(), r.Dropped())
+	}
+}
+
+// TestRingMoreShardsThanCapacity: the shard count clamps, capacity stays
+// exact, accounting stays exact.
+func TestRingMoreShardsThanCapacity(t *testing.T) {
+	r := NewRing(2, 8)
+	if r.Shards() != 2 || r.Capacity() != 2 {
+		t.Fatalf("shards/capacity = %d/%d, want 2/2", r.Shards(), r.Capacity())
+	}
+	dropped := 0
+	for i := 0; i < 6; i++ {
+		if !r.Push(i, Sample{}) {
+			dropped++
+		}
+	}
+	if r.Dropped() != uint64(dropped) {
+		t.Errorf("Dropped() = %d, want %d", r.Dropped(), dropped)
+	}
+}

@@ -6,9 +6,11 @@
 // The paper's observer (internal/core, §3.3) answers one ObsRequest with
 // one ObsReport — useful for a final Figure-5-style report, but blind to
 // everything between queries. The monitor instead samples every component
-// on a configurable period per observation level, using the simulation
-// clock so runs stay deterministic, and the SampleAll fast path so sampling
-// costs neither simulated time nor a message round-trip. Samples land in a
+// on a configurable period per observation level, timestamping through the
+// platform binding's clock — virtual time on the simulators (runs stay
+// deterministic), wall-clock time on the native platform (rates are real)
+// — and the SampleAll fast path so sampling costs neither simulated time
+// nor a message round-trip. Samples land in a
 // sharded, fixed-capacity ring (ring.go) that never grows and never loses
 // data silently: under overload the newest samples are shed and counted. A
 // pump flow drains the ring every window and folds samples into
@@ -22,21 +24,25 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"embera/internal/core"
 )
 
 // Sample is one observation of one component at one sampling tick.
 type Sample struct {
-	// TimeUS is the sampler's virtual time (µs since monitoring started).
+	// TimeUS is the platform time of the tick (µs since monitoring
+	// started): virtual time on the simulated platforms, wall-clock time
+	// on native.
 	TimeUS int64
 	// Level is the observation level the sampler was driving.
 	Level core.ObsLevel
 	core.FastSample
 }
 
-// LevelPeriod configures one sampler: observation level and its virtual
-// sampling period.
+// LevelPeriod configures one sampler: observation level and its sampling
+// period in platform microseconds.
 type LevelPeriod struct {
 	Level    core.ObsLevel
 	PeriodUS int64
@@ -77,6 +83,9 @@ func (cfg *Config) setDefaults() {
 }
 
 // Monitor owns one streaming observation pipeline over one application.
+// The counters are atomic because on the native platform each sampler and
+// the pump are real goroutines; on the simulated platforms the atomics are
+// uncontended and free.
 type Monitor struct {
 	app  *core.App
 	cfg  Config
@@ -84,10 +93,30 @@ type Monitor struct {
 	agg  *Aggregator
 	mem  *MemorySink
 
-	samples      uint64 // samples successfully pushed
-	sinkErrs     uint64
-	liveSamplers int
+	// clockComp anchors the monitor's clock: timestamps come from the
+	// binding's NowUS through the app's first component, the same clock
+	// the middleware instrumentation uses. On the simulators that is
+	// virtual time and sampling stays deterministic; on the native
+	// platform it is the wall clock, so window spans and rates reflect
+	// real elapsed time rather than the sum of requested sleep periods.
+	clockComp *core.Component
+	baseUS    int64 // clock reading when Start ran; timestamps are relative
+
+	samples      atomic.Uint64 // samples successfully pushed
+	sinkErrs     atomic.Uint64
+	liveSamplers atomic.Int32
 	started      bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// nowUS reads the monitor clock, relative to Start.
+func (m *Monitor) nowUS() int64 {
+	if m.clockComp == nil {
+		return 0
+	}
+	return m.app.Binding().NowUS(m.clockComp) - m.baseUS
 }
 
 // New validates cfg and builds the pipeline stages. Call Start (before or
@@ -110,6 +139,11 @@ func New(app *core.App, cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("monitor: negative ring capacity/shards %d/%d",
 			cfg.RingCapacity, cfg.RingShards)
 	}
+	for i, s := range cfg.Sinks {
+		if s == nil {
+			return nil, fmt.Errorf("monitor: sink %d is nil", i)
+		}
+	}
 	// Samples shard by component index, so shards beyond the component
 	// count would sit empty while shrinking every used shard's slice of
 	// the capacity. Clamp (assemble the application before New).
@@ -122,6 +156,10 @@ func New(app *core.App, cfg Config) (*Monitor, error) {
 		ring: NewRing(cfg.RingCapacity, cfg.RingShards),
 		agg:  NewAggregator(0),
 		mem:  NewMemorySink(),
+		stop: make(chan struct{}),
+	}
+	if comps := app.Components(); len(comps) > 0 {
+		m.clockComp = comps[0]
 	}
 	m.cfg.Sinks = append([]Sink{m.mem}, cfg.Sinks...)
 	return m, nil
@@ -136,7 +174,10 @@ func (m *Monitor) Start() error {
 		return fmt.Errorf("monitor: already started")
 	}
 	m.started = true
-	m.liveSamplers = len(m.cfg.Levels)
+	if m.clockComp != nil {
+		m.baseUS = m.app.Binding().NowUS(m.clockComp)
+	}
+	m.liveSamplers.Store(int32(len(m.cfg.Levels)))
 	for i, lp := range m.cfg.Levels {
 		lp := lp
 		m.app.SpawnDriver(fmt.Sprintf("monitor/sampler-%d-%s", i, lp.Level), func(f core.Flow) {
@@ -153,39 +194,56 @@ func (m *Monitor) Start() error {
 // no per-tick allocation.
 func (m *Monitor) sampleLoop(f core.Flow, lp LevelPeriod) {
 	buf := make([]core.FastSample, 0, len(m.app.Components()))
-	var now int64
-	for !m.app.Done() {
+	for !m.app.Done() && !m.stopping() {
 		f.SleepUS(lp.PeriodUS)
-		now += lp.PeriodUS
+		now := m.nowUS()
 		buf = m.app.SampleAll(lp.Level, buf[:0])
 		for i := range buf {
 			if m.ring.Push(i, Sample{TimeUS: now, Level: lp.Level, FastSample: buf[i]}) {
-				m.samples++
+				m.samples.Add(1)
 			}
 		}
 	}
-	m.liveSamplers--
+	m.liveSamplers.Add(-1)
 }
 
 // pumpLoop drains the ring every window, folds the samples into the
 // aggregator and streams the closed windows to the sinks. It exits after
 // the final drain: application quiesced, every sampler gone, ring empty.
 func (m *Monitor) pumpLoop(f core.Flow) {
-	var now int64
 	for {
 		f.SleepUS(m.cfg.WindowUS)
-		now += m.cfg.WindowUS
+		now := m.nowUS()
 		drained := m.ring.Drain(func(s Sample) { m.agg.Add(s) })
 		for _, w := range m.agg.Flush(now) {
 			for _, sink := range m.cfg.Sinks {
 				if err := sink.WriteWindow(w); err != nil {
-					m.sinkErrs++
+					m.sinkErrs.Add(1)
 				}
 			}
 		}
-		if drained == 0 && m.liveSamplers == 0 && m.app.Done() {
+		if drained == 0 && m.liveSamplers.Load() == 0 && (m.app.Done() || m.stopping()) {
 			return
 		}
+	}
+}
+
+// Stop asks the sampler and pump flows to wind down even though the
+// application never quiesced — the error-path counterpart of the natural
+// exit. Flows notice within one period/window of platform time. On the
+// simulated platforms the flows are daemons and a stop is never needed; on
+// the native platform a harness that started the monitor and then failed
+// before (or during) the run must call Stop or the driver goroutines poll
+// forever. Safe to call from any goroutine, any number of times.
+func (m *Monitor) Stop() { m.stopOnce.Do(func() { close(m.stop) }) }
+
+// stopping reports whether Stop was called.
+func (m *Monitor) stopping() bool {
+	select {
+	case <-m.stop:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -197,13 +255,13 @@ func (m *Monitor) Windows() []WindowStats { return m.mem.Windows() }
 func (m *Monitor) Totals() []WindowStats { return MergeWindows(m.mem.Windows()) }
 
 // Samples reports how many samples were accepted into the ring.
-func (m *Monitor) Samples() uint64 { return m.samples }
+func (m *Monitor) Samples() uint64 { return m.samples.Load() }
 
 // Dropped reports how many samples the ring shed under overload.
 func (m *Monitor) Dropped() uint64 { return m.ring.Dropped() }
 
 // SinkErrors reports how many window writes a sink rejected.
-func (m *Monitor) SinkErrors() uint64 { return m.sinkErrs }
+func (m *Monitor) SinkErrors() uint64 { return m.sinkErrs.Load() }
 
 // Ring exposes the buffer stage (capacity/shard introspection).
 func (m *Monitor) Ring() *Ring { return m.ring }

@@ -57,10 +57,13 @@ func NewRing(capacity, shards int) *Ring {
 // shard). It returns false — and increments the shard's drop counter — when
 // the shard is full.
 func (r *Ring) Push(key int, s Sample) bool {
-	if key < 0 {
-		key = -key
+	idx := key % len(r.shards)
+	if idx < 0 {
+		// Euclidean wrap: correct for any negative key, including the
+		// minimum int, where negating would overflow.
+		idx += len(r.shards)
 	}
-	sh := &r.shards[key%len(r.shards)]
+	sh := &r.shards[idx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.n == len(sh.buf) {

@@ -1,0 +1,91 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"embera/internal/core"
+)
+
+// Machine supervises one native run: it owns the binding, waits for the
+// application's component goroutines and harness drivers, and tears the
+// daemon observation services down once the run is over. It satisfies the
+// platform Machine seam structurally (Run/NowUS), with the kernel accessor
+// supplied by the platform-layer wrapper since there is no kernel here.
+type Machine struct {
+	b   *Binding
+	app *core.App
+
+	mu  sync.Mutex
+	ran bool
+}
+
+// New constructs an independent native machine and its bound application.
+// locations sizes the advisory placement topology; pass runtime.NumCPU()
+// (or 0, which selects it) to mirror the host.
+func New(appName string, locations int) (*Machine, *core.App) {
+	if locations <= 0 {
+		locations = runtime.NumCPU()
+	}
+	b := NewBinding(locations)
+	app := core.NewApp(appName, b)
+	return &Machine{b: b, app: app}, app
+}
+
+// Binding exposes the underlying binding (for tests and reports).
+func (m *Machine) Binding() *Binding { return m.b }
+
+// NowUS reads the machine's wall clock in microseconds since construction.
+func (m *Machine) NowUS() int64 { return m.b.nowNS() / int64(time.Microsecond) }
+
+// Run waits until every component goroutine and every driver goroutine has
+// finished, then closes the service queues so the daemon observation
+// services exit too. horizonUS bounds the wait in wall-clock microseconds;
+// a run still incomplete at the horizon is an error (the goroutines are
+// left behind — there is no preempting them — exactly as a deadlocked
+// process would be).
+func (m *Machine) Run(horizonUS int64) error {
+	m.mu.Lock()
+	if m.ran {
+		m.mu.Unlock()
+		return fmt.Errorf("native: machine already ran")
+	}
+	m.ran = true
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.b.comps.Wait()
+		m.b.drivers.Wait()
+		close(done)
+	}()
+	horizon := time.Duration(horizonUS) * time.Microsecond
+	select {
+	case <-done:
+	case <-time.After(horizon):
+		return fmt.Errorf("native: run exceeded the %v horizon with components or drivers still executing",
+			horizon)
+	}
+
+	// Teardown: close every service queue so the per-component observation
+	// services and the observer inbox unblock and return.
+	m.b.mu.Lock()
+	qs := append([]*queue(nil), m.b.queues...)
+	m.b.mu.Unlock()
+	for _, q := range qs {
+		q.Close()
+	}
+	svcDone := make(chan struct{})
+	go func() {
+		m.b.services.Wait()
+		close(svcDone)
+	}()
+	select {
+	case <-svcDone:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("native: observation services did not stop after queue closure")
+	}
+	return nil
+}

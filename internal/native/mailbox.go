@@ -1,0 +1,239 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+
+	"embera/internal/core"
+)
+
+// waiter is the channel-backed broadcast primitive behind mailbox blocking:
+// a channel that is closed to wake every waiter and immediately replaced.
+// Unlike sync.Cond it composes with select, which is what lets a blocked
+// send or receive also react to the component's kill channel and to
+// mailbox closure.
+type waiter struct {
+	ch chan struct{}
+}
+
+func newWaiter() waiter { return waiter{ch: make(chan struct{})} }
+
+// wake wakes every goroutine currently waiting. Callers hold the owning
+// mailbox lock.
+func (w *waiter) wake() {
+	close(w.ch)
+	w.ch = make(chan struct{})
+}
+
+// mailbox is the bounded, byte-accounted FIFO behind a provided interface:
+// the §4.1 mailbox realized on channel signalling. Senders block while the
+// buffer lacks room for the message's modelled bytes; receivers block while
+// it is empty. Multiple concurrent producers are safe (the conformance
+// topologies fan many components into one inbox).
+type mailbox struct {
+	name     string
+	capacity int64
+
+	mu       sync.Mutex
+	buf      []core.Message
+	head     int
+	pending  int64 // modelled bytes buffered
+	closed   bool
+	maxDepth int
+	data     waiter // fires when a message arrives or the box closes
+	space    waiter // fires when room frees up or the box closes
+}
+
+func newMailbox(name string, capacity int64) *mailbox {
+	return &mailbox{name: name, capacity: capacity, data: newWaiter(), space: newWaiter()}
+}
+
+// killChan extracts the kill channel when the flow is a native component
+// flow; service flows (and foreign flows in tests) yield nil, meaning the
+// wait cannot be interrupted by a kill.
+func killChan(f core.Flow) chan struct{} {
+	if nf, ok := f.(*flow); ok {
+		return nf.killed
+	}
+	return nil
+}
+
+// await blocks until ch fires or the kill channel does.
+func await(ch <-chan struct{}, killed chan struct{}) {
+	if killed == nil {
+		<-ch
+		return
+	}
+	select {
+	case <-ch:
+	case <-killed:
+		panic(killedPanic{})
+	}
+}
+
+// Send implements core.Mailbox.
+func (m *mailbox) Send(sender core.Flow, msg core.Message) bool {
+	if int64(msg.Bytes) > m.capacity {
+		panic(fmt.Sprintf("native: message of %d bytes can never fit mailbox %s of %d bytes",
+			msg.Bytes, m.name, m.capacity))
+	}
+	killed := killChan(sender)
+	m.mu.Lock()
+	for !m.closed && m.pending+int64(msg.Bytes) > m.capacity {
+		ch := m.space.ch
+		m.mu.Unlock()
+		await(ch, killed)
+		m.mu.Lock()
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	m.buf = append(m.buf, msg)
+	m.pending += int64(msg.Bytes)
+	if d := len(m.buf) - m.head; d > m.maxDepth {
+		m.maxDepth = d
+	}
+	m.data.wake()
+	m.mu.Unlock()
+	return true
+}
+
+// Receive implements core.Mailbox.
+func (m *mailbox) Receive(receiver core.Flow) (core.Message, bool) {
+	killed := killChan(receiver)
+	m.mu.Lock()
+	for len(m.buf) == m.head {
+		if m.closed {
+			m.mu.Unlock()
+			return core.Message{}, false
+		}
+		ch := m.data.ch
+		m.mu.Unlock()
+		await(ch, killed)
+		m.mu.Lock()
+	}
+	msg := m.buf[m.head]
+	m.buf[m.head] = core.Message{} // release payload reference
+	m.head++
+	if m.head == len(m.buf) {
+		m.buf, m.head = m.buf[:0], 0
+	}
+	m.pending -= int64(msg.Bytes)
+	m.space.wake()
+	m.mu.Unlock()
+	return msg, true
+}
+
+// Close implements core.Mailbox: receivers drain the buffer then get
+// ok=false; blocked senders fail.
+func (m *mailbox) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.data.wake()
+		m.space.wake()
+	}
+	m.mu.Unlock()
+}
+
+// BufBytes implements core.Mailbox.
+func (m *mailbox) BufBytes() int64 { return m.capacity }
+
+// Depth implements core.Mailbox.
+func (m *mailbox) Depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf) - m.head
+}
+
+// PendingBytes reports the modelled bytes currently buffered (the live
+// part of the memory view).
+func (m *mailbox) PendingBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pending
+}
+
+// MaxDepth reports the high-water message count (for tests).
+func (m *mailbox) MaxDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxDepth
+}
+
+var _ core.Mailbox = (*mailbox)(nil)
+
+// queue is the unbounded service mailbox for observation traffic: sends
+// never block, receives wait for data, closure drains then reports
+// ok=false.
+type queue struct {
+	name string
+
+	mu     sync.Mutex
+	buf    []core.Message
+	head   int
+	closed bool
+	data   waiter
+}
+
+func newQueue(name string) *queue { return &queue{name: name, data: newWaiter()} }
+
+// Send implements core.Mailbox; it never blocks.
+func (q *queue) Send(sender core.Flow, m core.Message) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, m)
+	q.data.wake()
+	q.mu.Unlock()
+	return true
+}
+
+// Receive implements core.Mailbox.
+func (q *queue) Receive(receiver core.Flow) (core.Message, bool) {
+	killed := killChan(receiver)
+	q.mu.Lock()
+	for len(q.buf) == q.head {
+		if q.closed {
+			q.mu.Unlock()
+			return core.Message{}, false
+		}
+		ch := q.data.ch
+		q.mu.Unlock()
+		await(ch, killed)
+		q.mu.Lock()
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = core.Message{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	q.mu.Unlock()
+	return m, true
+}
+
+// Close implements core.Mailbox.
+func (q *queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.data.wake()
+	}
+	q.mu.Unlock()
+}
+
+// BufBytes implements core.Mailbox: service queues are unaccounted.
+func (q *queue) BufBytes() int64 { return 0 }
+
+// Depth implements core.Mailbox.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
+}
+
+var _ core.Mailbox = (*queue)(nil)

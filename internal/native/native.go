@@ -1,0 +1,289 @@
+// Package native implements the EMBera platform binding on the host Go
+// runtime itself: a component is a data structure and a goroutine, exactly
+// the paper's "a data structure and a POSIX thread" (§4) with the Go
+// scheduler standing in for the pthread library. Provided interfaces are
+// bounded, byte-accounted FIFO mailboxes built on channel signalling;
+// middleware timestamps come from the wall clock behind the same
+// core.Binding.NowUS seam the simulated platforms use; OS-level observation
+// reports real elapsed execution time and the component's structural memory
+// (goroutine stack estimate plus interface buffers plus live buffered
+// bytes).
+//
+// Unlike internal/smpbind and internal/os21bind this binding is not backed
+// by the discrete-event kernel: component bodies run concurrently on real
+// cores and all timing is wall-clock, so runs are fast and non-reproducible
+// in their timings while remaining bit-identical in their results (the
+// conformance matrix asserts workload checksums across all three
+// platforms). It is the harness's vehicle for real-throughput experiments:
+// the same assembly, the same observation interfaces, but executed as fast
+// as the hardware allows.
+package native
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"embera/internal/core"
+)
+
+// DefaultMailboxBytes is the default provided-interface buffer capacity
+// when the assembly does not size it explicitly.
+const DefaultMailboxBytes int64 = 1 << 20
+
+// GoroutineStackBytes is the per-component stack charge reported in the
+// OS-level memory view. Goroutine stacks grow dynamically; this is the
+// steady-state figure charged uniformly so memory reports stay comparable
+// across components.
+const GoroutineStackBytes int64 = 8 * 1024
+
+// killedPanic is the sentinel the binding throws through a killed
+// component's flow. core.Component.run recovers it, performs the framework
+// cleanup and re-panics; the spawn wrapper absorbs it.
+type killedPanic struct{ comp string }
+
+// Binding maps EMBera onto goroutines and channels.
+type Binding struct {
+	epoch time.Time
+
+	locations int
+	nextLoc   int
+
+	comps    sync.WaitGroup // component goroutines
+	drivers  sync.WaitGroup // harness driver goroutines (waited on by Run)
+	services sync.WaitGroup // daemon service goroutines (stopped at teardown)
+
+	mu     sync.Mutex
+	queues []*queue // service queues, closed at teardown
+}
+
+// NewBinding creates a binding whose placement topology has the given
+// number of locations (callers typically pass runtime.NumCPU()).
+func NewBinding(locations int) *Binding {
+	if locations < 1 {
+		locations = 1
+	}
+	return &Binding{epoch: time.Now(), locations: locations}
+}
+
+// platData is the per-component platform state.
+type platData struct {
+	loc    int
+	killed chan struct{}
+	kill   sync.Once
+
+	startNS atomic.Int64 // wall ns since epoch at spawn; 0 = not spawned
+	endNS   atomic.Int64 // wall ns since epoch at exit; 0 = still running
+
+	memBytes  atomic.Int64 // stack estimate + provided-interface capacities
+	mailboxes []*mailbox   // provided mailboxes, for live-occupancy memory
+	cycles    atomic.Int64 // modelled cycles charged through Compute
+}
+
+// PlatformName implements core.Binding.
+func (b *Binding) PlatformName() string {
+	return fmt.Sprintf("native Go runtime (%d-location topology, goroutines + channel mailboxes)",
+		b.locations)
+}
+
+// data returns (creating on first use) the component's platform state. It
+// is locked: on this platform observation flows genuinely race component
+// spawning.
+func (b *Binding) data(c *core.Component) *platData {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if d, ok := c.PlatformData.(*platData); ok {
+		return d
+	}
+	loc := c.Placement()
+	if loc < 0 {
+		loc = b.nextLoc % b.locations
+		b.nextLoc++
+	} else {
+		loc = loc % b.locations
+	}
+	d := &platData{loc: loc, killed: make(chan struct{})}
+	d.memBytes.Store(GoroutineStackBytes)
+	c.PlatformData = d
+	return d
+}
+
+// nowNS is the wall clock in nanoseconds since the binding's epoch.
+func (b *Binding) nowNS() int64 { return int64(time.Since(b.epoch)) }
+
+// Spawn implements core.Binding: the component body runs on its own
+// goroutine. A kill unwinds the flow with the sentinel panic, which the
+// wrapper absorbs after core's framework cleanup has run; any other panic
+// is a genuine application bug and propagates.
+func (b *Binding) Spawn(c *core.Component, run func(f core.Flow)) error {
+	d := b.data(c)
+	d.startNS.Store(b.nowNS())
+	b.comps.Add(1)
+	go func() {
+		defer b.comps.Done()
+		defer func() {
+			d.endNS.Store(b.nowNS())
+			if r := recover(); r != nil {
+				if _, isKill := r.(killedPanic); isKill {
+					return
+				}
+				panic(r)
+			}
+		}()
+		run(&flow{b: b, killed: d.killed, comp: d})
+	}()
+	return nil
+}
+
+// SpawnService implements core.Binding: a daemon goroutine. Services exit
+// when their queues close at teardown; the machine stops them, not the
+// application.
+func (b *Binding) SpawnService(name string, run func(f core.Flow)) {
+	b.services.Add(1)
+	go func() {
+		defer b.services.Done()
+		run(&flow{b: b})
+	}()
+}
+
+// SpawnDriver implements core.Binding: a harness goroutine the machine
+// waits for before declaring the run complete.
+func (b *Binding) SpawnDriver(name string, run func(f core.Flow)) {
+	b.drivers.Add(1)
+	go func() {
+		defer b.drivers.Done()
+		run(&flow{b: b})
+	}()
+}
+
+// NewMailbox implements core.Binding: a bounded, byte-accounted FIFO
+// charged to the component's memory.
+func (b *Binding) NewMailbox(c *core.Component, iface string, bufBytes int64) (core.Mailbox, error) {
+	if bufBytes == 0 {
+		bufBytes = DefaultMailboxBytes
+	}
+	d := b.data(c)
+	mb := newMailbox(c.Name()+"."+iface, bufBytes)
+	b.mu.Lock()
+	d.mailboxes = append(d.mailboxes, mb)
+	b.mu.Unlock()
+	d.memBytes.Add(bufBytes)
+	return mb, nil
+}
+
+// NewServiceQueue implements core.Binding: an unbounded, unaccounted queue
+// for observation traffic, closed at machine teardown so service flows
+// terminate.
+func (b *Binding) NewServiceQueue(name string) core.Mailbox {
+	q := newQueue(name)
+	b.mu.Lock()
+	b.queues = append(b.queues, q)
+	b.mu.Unlock()
+	return q
+}
+
+// NowUS implements core.Binding: one global wall clock at microsecond
+// resolution (the gettimeofday of §4.2, for real this time).
+func (b *Binding) NowUS(c *core.Component) int64 {
+	return b.nowNS() / int64(time.Microsecond)
+}
+
+// OSView implements core.Binding. Execution time is real elapsed wall time
+// between spawn and exit; memory is the goroutine stack charge plus the
+// provided-interface buffer capacities plus the bytes currently buffered in
+// them — so sampling MemBytes over a run shows the pipeline filling and
+// draining.
+func (b *Binding) OSView(c *core.Component) core.OSReport {
+	d := b.data(c)
+	rep := core.OSReport{}
+	start := d.startNS.Load()
+	if start == 0 {
+		return rep // not spawned yet
+	}
+	if end := d.endNS.Load(); end != 0 {
+		rep.ExecTimeUS = (end - start) / int64(time.Microsecond)
+	} else {
+		rep.Running = true
+		rep.ExecTimeUS = (b.nowNS() - start) / int64(time.Microsecond)
+	}
+	mem := d.memBytes.Load()
+	b.mu.Lock()
+	boxes := d.mailboxes
+	b.mu.Unlock()
+	for _, mb := range boxes {
+		mem += mb.PendingBytes()
+	}
+	rep.MemBytes = mem
+	return rep
+}
+
+// Kill implements core.Binding: the component's flow unwinds with the
+// sentinel panic the next time it computes, sleeps or touches a mailbox.
+func (b *Binding) Kill(c *core.Component) {
+	d := b.data(c)
+	d.kill.Do(func() { close(d.killed) })
+}
+
+// Location returns the placement slot assigned to a component (for tests
+// and reports). Locations are advisory on this platform: the Go scheduler
+// owns the actual core assignment.
+func (b *Binding) Location(c *core.Component) int { return b.data(c).loc }
+
+// CyclesCharged reports the modelled cycles a component charged through
+// Compute. On this platform modelled compute is accounting only — the real
+// cost of a body is the real code it runs.
+func (b *Binding) CyclesCharged(c *core.Component) int64 { return b.data(c).cycles.Load() }
+
+var _ core.Binding = (*Binding)(nil)
+
+// flow adapts a goroutine to core.Flow. Component flows carry the kill
+// channel; service and driver flows have none (nil) and can never unwind.
+type flow struct {
+	b      *Binding
+	killed chan struct{}
+	comp   *platData
+}
+
+// Compute implements core.Flow. The modelled cycles are recorded but cost
+// no wall time: on the native platform the body's real computation is the
+// work, and the platform's job is to run it as fast as the hardware
+// allows.
+func (f *flow) Compute(cycles int64) {
+	f.checkKilled()
+	if f.comp != nil && cycles > 0 {
+		f.comp.cycles.Add(cycles)
+	}
+}
+
+// SleepUS implements core.Flow with a real wall-clock sleep.
+func (f *flow) SleepUS(us int64) {
+	f.checkKilled()
+	if us <= 0 {
+		// Yield the processor, as the simulated flows do for zero sleeps.
+		time.Sleep(0)
+		return
+	}
+	d := time.Duration(us) * time.Microsecond
+	if f.killed == nil {
+		time.Sleep(d)
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-f.killed:
+		panic(killedPanic{})
+	}
+}
+
+// checkKilled unwinds the flow if the component has been killed.
+func (f *flow) checkKilled() {
+	if f.killed == nil {
+		return
+	}
+	select {
+	case <-f.killed:
+		panic(killedPanic{})
+	default:
+	}
+}

@@ -109,6 +109,13 @@ func (b *Binding) SpawnService(name string, run func(f core.Flow)) {
 	svc.Spawn(b.Chip.K, name, func(f *svc.Flow) { run(f) })
 }
 
+// SpawnDriver implements core.Binding; like the SMP binding, simulated
+// drivers ride the daemon service machinery because the kernel's event
+// loop already bounds the run.
+func (b *Binding) SpawnDriver(name string, run func(f core.Flow)) {
+	b.SpawnService(name, run)
+}
+
 // NewServiceQueue implements core.Binding.
 func (b *Binding) NewServiceQueue(name string) core.Mailbox {
 	return svc.NewQueue(b.Chip.K, name)

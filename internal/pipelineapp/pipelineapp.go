@@ -17,6 +17,7 @@ package pipelineapp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"embera/internal/core"
 	"embera/internal/platform"
@@ -89,12 +90,18 @@ type App struct {
 	// Workers holds the stage workers: Workers[stage][index].
 	Workers [][]*core.Component
 
-	// Received counts messages folded into the checksum so far.
-	Received int
+	// received counts messages folded into the checksum so far. It is
+	// atomic because the "messages_sunk" probe reads it from the
+	// observation service's flow, which on the native platform runs
+	// concurrently with the Sink goroutine incrementing it.
+	received atomic.Int64
 
 	checksum uint64
 	cfg      Config
 }
+
+// Received reports the messages folded into the checksum so far.
+func (app *App) Received() int { return int(app.received.Load()) }
 
 // Build assembles cfg onto a, consulting topo for placement: on symmetric
 // platforms components cycle across all locations; on host+accelerator
@@ -132,7 +139,7 @@ func Build(a *core.App, cfg Config, topo platform.Topology) (*App, error) {
 			}
 			ctx.Compute(cfg.SinkCost)
 			app.checksum += m.Payload.(uint64)
-			app.Received++
+			app.received.Add(1)
 		}
 	})
 	if err != nil {
@@ -144,7 +151,7 @@ func Build(a *core.App, cfg Config, topo platform.Topology) (*App, error) {
 	}
 	app.Sink = sink
 	if err := sink.RegisterProbe("messages_sunk", func() int64 {
-		return int64(app.Received)
+		return app.received.Load()
 	}); err != nil {
 		return nil, err
 	}
@@ -222,9 +229,9 @@ func (app *App) Checksum() uint64 { return app.checksum }
 // Check verifies the run delivered every message with the expected
 // transformation chain.
 func (app *App) Check() error {
-	if app.Received != app.cfg.Messages {
+	if app.Received() != app.cfg.Messages {
 		return fmt.Errorf("pipelineapp: sink received %d messages, want %d",
-			app.Received, app.cfg.Messages)
+			app.Received(), app.cfg.Messages)
 	}
 	if want := Expected(app.cfg); app.checksum != want {
 		return fmt.Errorf("pipelineapp: checksum %016x, want %016x", app.checksum, want)

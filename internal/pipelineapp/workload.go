@@ -52,7 +52,7 @@ type instance struct {
 // App exposes the assembled application.
 func (in *instance) App() *App { return in.app }
 
-func (in *instance) Units() int { return in.app.Received }
+func (in *instance) Units() int { return in.app.Received() }
 
 func (in *instance) Checksum() uint64 { return in.app.Checksum() }
 
@@ -61,5 +61,5 @@ func (in *instance) Check() error { return in.app.Check() }
 func (in *instance) Summary() string {
 	cfg := in.app.cfg
 	return fmt.Sprintf("sank %d/%d messages through %d stage(s) × %d worker(s) (checksum %016x)",
-		in.app.Received, cfg.Messages, cfg.Stages, cfg.Fanout, in.app.Checksum())
+		in.app.Received(), cfg.Messages, cfg.Stages, cfg.Fanout, in.app.Checksum())
 }

@@ -1,0 +1,49 @@
+package platform
+
+import (
+	"fmt"
+	"runtime"
+
+	"embera/internal/core"
+	"embera/internal/native"
+	"embera/internal/sim"
+)
+
+// nativePlatform executes components on real goroutines against the wall
+// clock (internal/native): the paper's §4 binding — "a data structure and a
+// POSIX thread" — realized on the host Go runtime instead of the simulated
+// Linux machine. It is the registry's third platform and the first one not
+// backed by the discrete-event kernel: results (workload checksums) match
+// the simulated platforms bit for bit, timings are real and therefore not
+// reproducible, which Deterministic reports so harnesses skip fingerprint
+// assertions.
+type nativePlatform struct{}
+
+func init() { Register(nativePlatform{}) }
+
+func (nativePlatform) Name() string { return "native" }
+
+func (nativePlatform) Describe() string {
+	return fmt.Sprintf("host Go runtime (%d CPUs), goroutines + channel mailboxes, wall-clock time",
+		runtime.NumCPU())
+}
+
+func (nativePlatform) Topology() Topology {
+	return Topology{Locations: runtime.NumCPU(), Host: -1}
+}
+
+func (nativePlatform) Deterministic() bool { return false }
+
+func (nativePlatform) New(appName string) (Machine, *core.App) {
+	m, app := native.New(appName, runtime.NumCPU())
+	return nativeMachine{m}, app
+}
+
+// nativeMachine adapts *native.Machine to the Machine interface (the
+// native package cannot import platform, so the kernel accessor lives
+// here).
+type nativeMachine struct{ m *native.Machine }
+
+func (n nativeMachine) Run(horizonUS int64) error { return n.m.Run(horizonUS) }
+func (n nativeMachine) NowUS() int64              { return n.m.NowUS() }
+func (n nativeMachine) Kernel() *sim.Kernel       { return nil }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"embera/internal/core"
 	"embera/internal/sim"
@@ -43,18 +44,63 @@ type Topology struct {
 // accelerator split).
 func (t Topology) Symmetric() bool { return t.Host < 0 && len(t.Accelerators) == 0 }
 
+// Machine is one constructed instance of a platform hosting one
+// application: the thing that owns the clock and drives execution to
+// completion. On the simulated platforms it wraps a discrete-event kernel;
+// on the native platform it supervises real goroutines against the wall
+// clock. Harness code that works through Machine instead of *sim.Kernel
+// runs unchanged on both kinds.
+type Machine interface {
+	// Run drives the started application until every component and every
+	// driver flow has finished. horizonUS bounds the run in platform time —
+	// virtual microseconds on simulated machines, wall-clock microseconds
+	// on native ones; a run still incomplete at the horizon (or a detected
+	// deadlock) is an error.
+	Run(horizonUS int64) error
+	// NowUS reads the machine's global clock in microseconds since
+	// construction.
+	NowUS() int64
+	// Kernel exposes the discrete-event kernel backing a simulated
+	// machine, or nil on platforms that execute in real time. Callers that
+	// need it (kernel-level tracing, custom event scheduling) must check
+	// for nil.
+	Kernel() *sim.Kernel
+}
+
 // Platform is one registered execution platform.
 type Platform interface {
-	// Name is the registry key ("smp", "sti7200").
+	// Name is the registry key ("smp", "sti7200", "native").
 	Name() string
 	// Describe is a one-line human description.
 	Describe() string
 	// Topology reports the placement metadata.
 	Topology() Topology
-	// New constructs a fresh simulation kernel and an application bound to
-	// this platform. Every call is an independent machine.
-	New(appName string) (*sim.Kernel, *core.App)
+	// Deterministic reports whether two identical runs produce
+	// bit-identical timing observations. True for the virtual-time
+	// simulators; false for wall-clock platforms, where harnesses must
+	// only assert result checksums, never timing fingerprints.
+	Deterministic() bool
+	// New constructs a fresh machine and an application bound to this
+	// platform. Every call is an independent machine.
+	New(appName string) (Machine, *core.App)
 }
+
+// SimMachine adapts a discrete-event kernel to the Machine interface; the
+// simulated platforms return it from New.
+type SimMachine struct{ K *sim.Kernel }
+
+// Run implements Machine via Kernel.RunUntil, reporting an unfinished run
+// exactly as the kernel does (a *sim.DeadlockError when flows are parked
+// with no pending events).
+func (m SimMachine) Run(horizonUS int64) error {
+	return m.K.RunUntil(sim.Time(sim.Duration(horizonUS) * sim.Microsecond))
+}
+
+// NowUS implements Machine.
+func (m SimMachine) NowUS() int64 { return int64(m.K.Now()) / int64(sim.Microsecond) }
+
+// Kernel implements Machine.
+func (m SimMachine) Kernel() *sim.Kernel { return m.K }
 
 // Options are the workload-independent assembly knobs the harness passes
 // through to Workload.Build.
@@ -100,14 +146,22 @@ type Instance interface {
 	Summary() string
 }
 
+// The registries are mutex-guarded: most registration happens in package
+// init functions, but nothing stops a test or a plugin-style extension from
+// registering (or resolving) concurrently, and an unsynchronized map write
+// is a crash under the race detector long before it is a logic bug.
 var (
+	regMu     sync.RWMutex
 	platforms = map[string]Platform{}
 	workloads = map[string]func() Workload{}
 )
 
 // Register adds a platform to the registry. Duplicate names panic: they are
-// programming errors in init wiring.
+// programming errors in init wiring, and overwriting silently would let two
+// packages fight over a name with import-order-dependent results.
 func Register(p Platform) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := platforms[p.Name()]; dup {
 		panic(fmt.Sprintf("platform: duplicate platform %q", p.Name()))
 	}
@@ -116,7 +170,10 @@ func Register(p Platform) {
 
 // RegisterWorkload adds a workload factory to the registry. The factory
 // returns a fresh Workload with default configuration on every call.
+// Duplicate names panic, as in Register.
 func RegisterWorkload(name string, f func() Workload) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := workloads[name]; dup {
 		panic(fmt.Sprintf("platform: duplicate workload %q", name))
 	}
@@ -126,7 +183,9 @@ func RegisterWorkload(name string, f func() Workload) {
 // Get resolves a platform by name. The error for an unknown name lists
 // every registered platform.
 func Get(name string) (Platform, error) {
+	regMu.RLock()
 	p, ok := platforms[name]
+	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("platform: unknown platform %q (registered: %s)",
 			name, strings.Join(Names(), ", "))
@@ -145,6 +204,8 @@ func MustGet(name string) Platform {
 
 // Names returns the registered platform names, sorted.
 func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	names := make([]string, 0, len(platforms))
 	for n := range platforms {
 		names = append(names, n)
@@ -156,7 +217,9 @@ func Names() []string {
 // GetWorkload resolves a workload by name, returning a fresh instance. The
 // error for an unknown name lists every registered workload.
 func GetWorkload(name string) (Workload, error) {
+	regMu.RLock()
 	f, ok := workloads[name]
+	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("platform: unknown workload %q (registered: %s)",
 			name, strings.Join(WorkloadNames(), ", "))
@@ -175,6 +238,8 @@ func MustGetWorkload(name string) Workload {
 
 // WorkloadNames returns the registered workload names, sorted.
 func WorkloadNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	names := make([]string, 0, len(workloads))
 	for n := range workloads {
 		names = append(names, n)

@@ -1,15 +1,22 @@
 package platform_test
 
 import (
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
+	"embera/internal/core"
 	"embera/internal/platform"
+
+	// Workload registrations for the registry tests.
+	_ "embera/internal/mjpegapp"
+	_ "embera/internal/pipelineapp"
 )
 
-func TestBothPlatformsRegistered(t *testing.T) {
+func TestAllPlatformsRegistered(t *testing.T) {
 	names := platform.Names()
-	want := []string{"smp", "sti7200"}
+	want := []string{"native", "smp", "sti7200"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
@@ -18,6 +25,67 @@ func TestBothPlatformsRegistered(t *testing.T) {
 			t.Fatalf("Names() = %v, want %v", names, want)
 		}
 	}
+}
+
+func TestDeterminismFlags(t *testing.T) {
+	for name, want := range map[string]bool{"smp": true, "sti7200": true, "native": false} {
+		if got := platform.MustGet(name).Deterministic(); got != want {
+			t.Errorf("%s.Deterministic() = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// fakePlatform exists only to exercise registration failure paths.
+type fakePlatform struct{ name string }
+
+func (f fakePlatform) Name() string                { return f.name }
+func (f fakePlatform) Describe() string            { return "fake" }
+func (f fakePlatform) Topology() platform.Topology { return platform.Topology{Locations: 1, Host: -1} }
+func (f fakePlatform) Deterministic() bool         { return true }
+func (f fakePlatform) New(string) (platform.Machine, *core.App) {
+	panic("fake platform cannot build machines")
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate platform", func() { platform.Register(fakePlatform{name: "smp"}) })
+	mustPanic("duplicate workload", func() {
+		platform.RegisterWorkload("mjpeg", func() platform.Workload { return nil })
+	})
+}
+
+// TestRegistryConcurrentAccess hammers the registries from many goroutines;
+// under -race an unguarded map would fail immediately.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 2*runtime.NumCPU(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = platform.Names()
+				_ = platform.WorkloadNames()
+				if _, err := platform.Get("smp"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := platform.GetWorkload("pipeline"); err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = platform.Get("nosuch")
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestUnknownPlatformErrorListsNames(t *testing.T) {
@@ -59,6 +127,10 @@ func TestTopologies(t *testing.T) {
 		if a == sti.Host || a < 0 || a >= sti.Locations {
 			t.Errorf("accelerator[%d] = %d out of range or on host", i, a)
 		}
+	}
+	nat := platform.MustGet("native").Topology()
+	if nat.Locations != runtime.NumCPU() || !nat.Symmetric() {
+		t.Errorf("native topology = %+v, want %d symmetric locations", nat, runtime.NumCPU())
 	}
 }
 

@@ -29,8 +29,10 @@ func (smpPlatform) Topology() Topology {
 	return Topology{Locations: cfg.Nodes * cfg.CoresPerNode, Host: -1}
 }
 
-func (smpPlatform) New(appName string) (*sim.Kernel, *core.App) {
+func (smpPlatform) Deterministic() bool { return true }
+
+func (smpPlatform) New(appName string) (Machine, *core.App) {
 	k := sim.NewKernel()
 	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
-	return k, core.NewApp(appName, smpbind.New(sys, appName))
+	return SimMachine{K: k}, core.NewApp(appName, smpbind.New(sys, appName))
 }

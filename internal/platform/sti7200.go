@@ -33,8 +33,10 @@ func (sti7200Platform) Topology() Topology {
 	return Topology{Locations: 1 + cfg.NumST231, Host: 0, Accelerators: accels}
 }
 
-func (sti7200Platform) New(appName string) (*sim.Kernel, *core.App) {
+func (sti7200Platform) Deterministic() bool { return true }
+
+func (sti7200Platform) New(appName string) (Machine, *core.App) {
 	k := sim.NewKernel()
 	chip := sti7200.MustNew(k, sti7200.DefaultConfig())
-	return k, core.NewApp(appName, os21bind.New(chip))
+	return SimMachine{K: k}, core.NewApp(appName, os21bind.New(chip))
 }

@@ -96,6 +96,14 @@ func (b *Binding) SpawnService(name string, run func(f core.Flow)) {
 	svc.Spawn(b.Sys.K, name, func(f *svc.Flow) { run(f) })
 }
 
+// SpawnDriver implements core.Binding. On the simulated platforms drivers
+// share the daemon service machinery unchanged: the kernel already knows
+// when the run is over (the event queue drains or the horizon cuts it
+// short), so there is nothing extra to wait for.
+func (b *Binding) SpawnDriver(name string, run func(f core.Flow)) {
+	b.SpawnService(name, run)
+}
+
 // NewServiceQueue implements core.Binding.
 func (b *Binding) NewServiceQueue(name string) core.Mailbox {
 	return svc.NewQueue(b.Sys.K, name)

@@ -19,14 +19,18 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"embera/internal/core"
 )
 
 // Recorder is a bounded in-memory event trace. It implements
 // core.EventSink. When the ring fills, the oldest events are overwritten and
-// counted as dropped — embedded trace buffers behave the same way.
+// counted as dropped — embedded trace buffers behave the same way. Emit is
+// locked: on the native platform every component goroutine emits into the
+// same recorder; on the simulated platforms the lock is uncontended.
 type Recorder struct {
+	mu      sync.Mutex
 	buf     []core.Event
 	next    int
 	wrapped bool
@@ -45,6 +49,8 @@ func NewRecorder(capacity int) *Recorder {
 
 // Emit implements core.EventSink.
 func (r *Recorder) Emit(e core.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.enabled {
 		return
 	}
@@ -62,10 +68,16 @@ func (r *Recorder) Emit(e core.Event) {
 
 // SetEnabled toggles collection (events emitted while disabled are lost
 // silently, like a stopped hardware trace unit).
-func (r *Recorder) SetEnabled(v bool) { r.enabled = v }
+func (r *Recorder) SetEnabled(v bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enabled = v
+}
 
 // Events returns the retained events in emission order.
 func (r *Recorder) Events() []core.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.wrapped {
 		return append([]core.Event(nil), r.buf[:r.next]...)
 	}
@@ -76,10 +88,16 @@ func (r *Recorder) Events() []core.Event {
 }
 
 // Stats reports total emitted and dropped (overwritten) event counts.
-func (r *Recorder) Stats() (total, dropped uint64) { return r.total, r.dropped }
+func (r *Recorder) Stats() (total, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.dropped
+}
 
 // Len returns the number of retained events.
 func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.wrapped {
 		return len(r.buf)
 	}
