@@ -1,9 +1,14 @@
 // embera-bench regenerates every table and figure of the paper's evaluation
-// (§4–§5), plus the ablations of DESIGN.md §5 and the cross-platform
-// comparisons (P1 serial, MX concurrent matrix). At the default paper scale
+// (§4–§5), plus the ablations of DESIGN.md §5, the cross-platform
+// comparisons (P1 serial, MX concurrent matrix) and the FUZZ differential
+// soak over generated rand:<seed> workloads. At the default paper scale
 // (578/3000 frames) the full run takes a few minutes of host time, most of
 // it real JPEG decoding inside the Fetch components; -small/-large shrink
 // the inputs for a quick pass.
+//
+// Every run also emits a machine-readable BENCH_embera.json (experiment →
+// ns/op, allocs/op, throughput) so the performance trajectory is tracked
+// run over run; -bench-json "" disables it.
 //
 // Usage:
 //
@@ -11,23 +16,53 @@
 //	embera-bench -exp T1 -small 578 -large 3000
 //	embera-bench -exp F4,F8
 //	embera-bench -exp MX -platform native          # one matrix row
+//	embera-bench -exp FUZZ -seeds 256              # differential seed soak
+//	embera-bench -exp FUZZ -seed 41                # one-seed deep repro
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"embera/internal/cliutil"
+	"embera/internal/conformance"
 	"embera/internal/exp"
 	"embera/internal/platform"
 )
 
 // experiments lists every valid -exp identifier, in run order.
-var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX"}
+var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ"}
+
+// benchEntry is one experiment's record in BENCH_embera.json. Totals
+// cover the whole experiment invocation; the per-op fields are normalized
+// by the experiment's work-unit count (matrix cells, sweep cells) and are
+// present only when the experiment reports one, so records stay comparable
+// across invocations with different -seeds / matrix sizes.
+type benchEntry struct {
+	TotalNs     int64   `json:"total_ns"`
+	TotalAllocs uint64  `json:"total_allocs"`
+	TotalBytes  uint64  `json:"total_alloc_bytes"`
+	Units       float64 `json:"units,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Throughput  float64 `json:"units_per_s,omitempty"`
+}
+
+// writeBenchJSON emits the collected records, keys sorted by experiment.
+func writeBenchJSON(path string, entries map[string]benchEntry) error {
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
 
 func main() {
 	which := flag.String("exp", "all",
@@ -35,9 +70,13 @@ func main() {
 	small := flag.Int("small", exp.SmallFrames, "frame count of the small input (paper: 578)")
 	large := flag.Int("large", exp.LargeFrames, "frame count of the large input (paper: 3000)")
 	msgs := flag.Int("msgs", 30, "messages per point in the send-time sweeps")
-	platformName := flag.String("platform", "", "restrict the MX matrix to one platform (default: all registered)")
+	platformName := flag.String("platform", "", "restrict the MX matrix / FUZZ sweep to one platform (default: all registered)")
 	workloadName := flag.String("workload", "", "restrict the MX matrix to one workload (default: all registered)")
 	mxScale := flag.Int("mx-scale", 60, "workload scale of each MX matrix cell")
+	seeds := flag.Int("seeds", 64, "seed count of the FUZZ differential sweep")
+	seedStart := flag.Int64("seed-start", 0, "first seed of the FUZZ sweep")
+	oneSeed := flag.Int64("seed", -1, "run the full differential battery for this single seed (FUZZ repro mode)")
+	benchJSON := flag.String("bench-json", "BENCH_embera.json", "write machine-readable per-experiment timings here (empty = disabled)")
 	flag.Parse()
 
 	valid := map[string]bool{}
@@ -75,14 +114,39 @@ func main() {
 		mxWorkloads = []string{*workloadName}
 	}
 
+	// Every experiment is timed and allocation-profiled into benchEntries;
+	// runners report a work-unit count through setUnits so throughput can
+	// be derived where "units" means something (matrix cells, seeds).
+	benchEntries := map[string]benchEntry{}
+	units := map[string]float64{}
+	setUnits := func(id string, n float64) { units[id] = n }
 	runIf := func(id string, f func() (string, error)) {
 		if !want[id] {
 			return
 		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
 		out, err := f()
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&m1)
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
+		e := benchEntry{
+			TotalNs:     elapsed.Nanoseconds(),
+			TotalAllocs: m1.Mallocs - m0.Mallocs,
+			TotalBytes:  m1.TotalAlloc - m0.TotalAlloc,
+			Units:       units[id],
+		}
+		if e.Units > 0 {
+			e.NsPerOp = float64(e.TotalNs) / e.Units
+			e.AllocsPerOp = float64(e.TotalAllocs) / e.Units
+			if elapsed > 0 {
+				e.Throughput = e.Units / elapsed.Seconds()
+			}
+		}
+		benchEntries[id] = e
 		fmt.Printf("===== %s =====\n%s\n", id, out)
 	}
 
@@ -184,8 +248,47 @@ func main() {
 				return "", fmt.Errorf("%s × %s: %w", c.Platform, c.Workload, c.Err)
 			}
 		}
+		setUnits("MX", float64(len(cells)))
 		return exp.FormatMatrix(cells), nil
 	})
+	runIf("FUZZ", func() (string, error) {
+		if *oneSeed >= 0 {
+			// Repro mode: the deep single-seed battery (fingerprint reruns
+			// on deterministic platforms, kernel-copy correlation on smp),
+			// honoring the -platform restriction like the sweep does.
+			if err := conformance.DifferentialOn(mxPlatforms, *oneSeed); err != nil {
+				return "", err
+			}
+			setUnits("FUZZ", 1)
+			ran := mxPlatforms
+			if ran == nil {
+				ran = platform.Names()
+			}
+			return fmt.Sprintf("seed %d passed the differential battery on %s\n",
+				*oneSeed, strings.Join(ran, ", ")), nil
+		}
+		cells, err := conformance.SweepSeeds(mxPlatforms, *seedStart, *seeds, platform.Options{})
+		if err != nil {
+			// The error already ends with the failing seed's one-line
+			// repro command; log.Fatalf in runIf surfaces it verbatim.
+			return "", err
+		}
+		setUnits("FUZZ", float64(cells))
+		pcount := len(mxPlatforms)
+		if mxPlatforms == nil {
+			pcount = len(platform.Names())
+		}
+		return fmt.Sprintf(
+			"FUZZ: seeds [%d,%d) × %d platform(s) = %d cells — checksums equal, flows conserved, monitor agrees\n",
+			*seedStart, *seedStart+int64(*seeds), pcount, cells), nil
+	})
+
+	if *benchJSON != "" && len(benchEntries) > 0 {
+		if err := writeBenchJSON(*benchJSON, benchEntries); err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *benchJSON, len(benchEntries))
+	}
 }
 
 func min(a, b int) int {

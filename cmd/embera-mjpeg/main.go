@@ -24,6 +24,8 @@ import (
 	"embera/internal/cliutil"
 	"embera/internal/core"
 	"embera/internal/exp"
+
+	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
 	"embera/internal/platform"
 	"embera/internal/report"
 	"embera/internal/sim"
@@ -61,6 +63,9 @@ func main() {
 		fmt.Println("workloads:")
 		for _, n := range platform.WorkloadNames() {
 			fmt.Printf("  %-10s %s\n", n, platform.MustGetWorkload(n).Describe())
+		}
+		for _, f := range platform.WorkloadFamilies() {
+			fmt.Printf("  %-10s %s\n", f.Placeholder, f.Describe)
 		}
 		return
 	}

@@ -19,6 +19,8 @@ import (
 	"embera/internal/cliutil"
 	"embera/internal/core"
 	"embera/internal/exp"
+
+	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
 	"embera/internal/trace"
 )
 

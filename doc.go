@@ -26,6 +26,30 @@
 // Platform.Deterministic() reports which guarantee holds, and harness
 // code asserts reproducibility fingerprints only where it does.
 //
+// # Generated workloads and differential conformance
+//
+// Besides the hand-written mjpeg and pipeline workloads, internal/fuzzwl
+// registers the parameterized workload family "rand:<seed>": a random
+// layered DAG of producer/transform/fan-in/fan-out/sink components —
+// message sizes, emission periods, compute costs and mailbox capacities
+// all randomized — derived deterministically from the seed, with the
+// correct checksum and message counts computable from the generating
+// spec alone. Every registry consumer drives the family unchanged
+// (embera-mjpeg -workload rand:42); malformed seeds are rejected with
+// the same exit-2 registry listing as unknown names.
+//
+// The differential conformance engine (internal/conformance) runs each
+// seed across every registered platform and asserts checksum equality
+// everywhere, bit-identical timing fingerprints on deterministic
+// platforms, per-interface flow conservation (sends == receives +
+// in-flight depth at teardown), agreement between the streaming
+// monitor's window aggregates and the final observer report, and — on
+// simulated Linux — complete correlation between kernel copies and
+// application sends. `go test ./internal/conformance -run Differential`
+// sweeps 64 seeds; `embera-bench -exp FUZZ -seeds N` soaks further, and
+// any failure prints a one-line `embera-bench -exp FUZZ -seed <n>`
+// repro.
+//
 // See README.md for the package layout, including the platform
 // abstraction layer and workload registry of internal/platform (one
 // harness, any platform × any workload — with an "adding a platform /

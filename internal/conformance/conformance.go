@@ -268,13 +268,11 @@ type MatrixCell struct {
 	Units int
 }
 
-// RunMatrixCell executes workload w on platform p through the single
-// exp.Run harness and reduces the outcome to a MatrixCell.
-func RunMatrixCell(p platform.Platform, w platform.Workload, opts platform.Options) (*MatrixCell, error) {
-	run, err := exp.Run(p, w, exp.Options{Options: opts})
-	if err != nil {
-		return nil, err
-	}
+// Fingerprint digests everything a completed run observed — the full
+// observation reports plus the makespan — bit-exactly: two runs of the same
+// workload on the same Deterministic platform must produce identical
+// fingerprints.
+func Fingerprint(run *exp.Result) (uint64, error) {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "makespan=%d\n", run.MakespanUS)
 	names := make([]string, 0, len(run.Reports))
@@ -288,12 +286,26 @@ func RunMatrixCell(p platform.Platform, w platform.Workload, opts platform.Optio
 		// dereferenced and map keys sorted.
 		blob, err := json.Marshal(run.Reports[n])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		fmt.Fprintf(h, "%s: %s\n", n, blob)
 	}
+	return h.Sum64(), nil
+}
+
+// RunMatrixCell executes workload w on platform p through the single
+// exp.Run harness and reduces the outcome to a MatrixCell.
+func RunMatrixCell(p platform.Platform, w platform.Workload, opts platform.Options) (*MatrixCell, error) {
+	run, err := exp.Run(p, w, exp.Options{Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	fp, err := Fingerprint(run)
+	if err != nil {
+		return nil, err
+	}
 	return &MatrixCell{
-		Fingerprint: h.Sum64(),
+		Fingerprint: fp,
 		Checksum:    run.Instance.Checksum(),
 		Units:       run.Instance.Units(),
 	}, nil

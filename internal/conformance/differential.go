@@ -1,0 +1,373 @@
+// Differential conformance: the record-and-compare battery that runs one
+// generated workload seed (internal/fuzzwl's "rand:<seed>" family) across
+// every registered platform and cross-checks everything the observation
+// stack reports. It is the strongest pressure the repository puts on the
+// paper's central claim — that component-level observation stays faithful
+// across heterogeneous platforms — because none of the workloads it runs
+// were ever hand-written:
+//
+//   - result checksums and unit counts must be identical on every platform
+//     (portability of application semantics);
+//   - timing fingerprints must be bit-identical between two runs of the
+//     same cell on Deterministic (virtual-time) platforms;
+//   - flow conservation must hold per interface: messages sent into every
+//     inbox equal messages received plus the in-flight depth the final
+//     report shows at teardown — and both must match the closed-form model
+//     of the generating Spec;
+//   - the streaming monitor's window aggregates must agree with the final
+//     pull-model observer report (cumulative counters never exceed the
+//     final ones, merged deltas reproduce the cumulative totals, and no
+//     sample is lost unaccounted);
+//   - on the simulated-Linux platform the kernel trace must correlate
+//     completely with the EMBera send trace: no kernel copy without an
+//     application-level explanation, and no send without its kernel copy.
+//
+// Every failure carries the one-line repro command
+// ("embera-bench -exp FUZZ -seed <n>") so a nightly soak finding reduces to
+// a single deterministic invocation.
+package conformance
+
+import (
+	"fmt"
+
+	"embera/internal/core"
+	"embera/internal/correlate"
+	"embera/internal/exp"
+	"embera/internal/fuzzwl"
+	"embera/internal/kptrace"
+	"embera/internal/monitor"
+	"embera/internal/platform"
+	"embera/internal/smpbind"
+	"embera/internal/trace"
+)
+
+// specProvider is implemented by fuzzwl instances: the effective
+// (override-adjusted) topology the run was built from.
+type specProvider interface{ Spec() *fuzzwl.Spec }
+
+// diffMonitorConfig is the streaming-observation attachment every
+// differential run carries: application-level sampling fine enough to land
+// samples inside small virtual makespans, plus a coarser OS-level sampler
+// so both facets of the aggregation pipeline are exercised.
+func diffMonitorConfig() *monitor.Config {
+	return &monitor.Config{
+		Levels: []monitor.LevelPeriod{
+			{Level: core.LevelApplication, PeriodUS: 200},
+			{Level: core.LevelOS, PeriodUS: 1000},
+		},
+		WindowUS: 2000,
+	}
+}
+
+// traceCapacity bounds the per-run event recorder. Generated topologies
+// stay in the low thousands of messages; the engine verifies nothing was
+// dropped before correlating, so an undersized buffer is an explicit
+// failure rather than a silent orphan source.
+const traceCapacity = 1 << 17
+
+// Differential runs the full differential battery for one seed across
+// every registered platform. Any returned error ends with the single-line
+// repro command for the failing seed.
+func Differential(seed int64) error {
+	return DifferentialOn(nil, seed)
+}
+
+// DifferentialOn is Differential restricted to the named platforms (nil =
+// every registered platform); with a single platform the cross-platform
+// comparison is vacuous but the per-run battery still applies, which is
+// what a platform-targeted repro wants.
+func DifferentialOn(platformNames []string, seed int64) error {
+	if platformNames == nil {
+		platformNames = platform.Names()
+	}
+	if err := differential(platformNames, seed); err != nil {
+		return fmt.Errorf("%w\nrepro: %s", err, fuzzwl.ReproCommand(seed))
+	}
+	return nil
+}
+
+func differential(platformNames []string, seed int64) error {
+	type outcome struct {
+		platform string
+		checksum uint64
+		units    int
+	}
+	var outcomes []outcome
+	for _, pn := range platformNames {
+		p, err := platform.Get(pn)
+		if err != nil {
+			return err
+		}
+		runs := 1
+		if p.Deterministic() {
+			runs = 2 // rerun to assert bit-identical timing fingerprints
+		}
+		var fingerprints []uint64
+		var first *outcome
+		for r := 0; r < runs; r++ {
+			var rec *trace.Recorder
+			var ktr *kptrace.Tracer
+			opts := exp.Options{
+				Monitor: diffMonitorConfig(),
+				Customize: func(a *core.App, obs *core.Observer) {
+					// Kernel-copy correlation only exists on the
+					// simulated-Linux platform, so both tracers — the
+					// kernel-level baseline and the EMBera event recorder
+					// it correlates against — attach only there; other
+					// platforms skip the buffer and the per-event locking.
+					if b, ok := a.Binding().(*smpbind.Binding); ok {
+						rec = trace.NewRecorder(traceCapacity)
+						a.SetEventSink(rec)
+						ktr = kptrace.Attach(b.Sys, 0)
+					}
+				},
+			}
+			run, err := exp.RunNamed(pn, fuzzwl.Name(seed), opts)
+			if err != nil {
+				return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
+			}
+			if err := CheckRun(run); err != nil {
+				return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
+			}
+			if ktr != nil {
+				if err := checkKernelCorrelation(ktr, rec); err != nil {
+					return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
+				}
+			}
+			if runs > 1 {
+				// Fingerprints are only ever compared between reruns, so
+				// skip the full-report serialization on wall-clock
+				// platforms where no rerun exists to compare against.
+				fp, err := Fingerprint(run)
+				if err != nil {
+					return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
+				}
+				fingerprints = append(fingerprints, fp)
+			}
+			o := outcome{platform: pn, checksum: run.Instance.Checksum(), units: run.Instance.Units()}
+			if first == nil {
+				first = &o
+			} else if o.checksum != first.checksum || o.units != first.units {
+				return fmt.Errorf("conformance: seed %d on %s: rerun results differ: %016x/%d vs %016x/%d",
+					seed, pn, o.checksum, o.units, first.checksum, first.units)
+			}
+		}
+		for i := 1; i < len(fingerprints); i++ {
+			if fp := fingerprints[i]; fp != fingerprints[0] {
+				return fmt.Errorf("conformance: seed %d on %s: nondeterministic timing fingerprints: %016x vs %016x",
+					seed, pn, fp, fingerprints[0])
+			}
+		}
+		outcomes = append(outcomes, *first)
+	}
+	for _, o := range outcomes[1:] {
+		if o.checksum != outcomes[0].checksum || o.units != outcomes[0].units {
+			return fmt.Errorf("conformance: seed %d: %s disagrees with %s: checksum %016x/%d units vs %016x/%d",
+				seed, o.platform, outcomes[0].platform, o.checksum, o.units,
+				outcomes[0].checksum, outcomes[0].units)
+		}
+	}
+	return nil
+}
+
+// CheckRun verifies the per-run differential invariants on a completed
+// generated-workload run: flow conservation against the generating Spec and
+// monitor/observer agreement. It applies to any run whose Instance carries
+// its Spec (fuzzwl runs); RunMatrix sweeps reuse it cell by cell.
+func CheckRun(run *exp.Result) error {
+	sp, ok := run.Instance.(specProvider)
+	if !ok {
+		return fmt.Errorf("conformance: run instance %T carries no topology spec", run.Instance)
+	}
+	if err := checkFlowConservation(sp.Spec(), run.Reports); err != nil {
+		return err
+	}
+	return checkMonitorAgreement(run)
+}
+
+// checkFlowConservation asserts the per-interface accounting identity on
+// the final reports: for every inbox, messages sent into it == messages
+// received from it + the depth reported in-flight at teardown; and both
+// sides match the closed-form Processed counts of the generating Spec.
+func checkFlowConservation(spec *fuzzwl.Spec, reports map[string]core.ObsReport) error {
+	processed := spec.Processed()
+	for i := range spec.Nodes {
+		n := &spec.Nodes[i]
+		rep, ok := reports[n.Name]
+		if !ok {
+			return fmt.Errorf("flow: no report for %s", n.Name)
+		}
+		if rep.Middleware == nil || rep.App == nil {
+			return fmt.Errorf("flow: %s report misses middleware/application sections", n.Name)
+		}
+		// Every handled message leaves on every output, exactly once per
+		// out-interface.
+		wantSend := uint64(processed[i]) * uint64(len(n.Outs))
+		if rep.App.SendOps != wantSend {
+			return fmt.Errorf("flow: %s sent %d ops, model says %d", n.Name, rep.App.SendOps, wantSend)
+		}
+		for oi := range n.Outs {
+			iface := fmt.Sprintf("out%d", oi)
+			if got := rep.Middleware.Send[iface].Ops; got != uint64(processed[i]) {
+				return fmt.Errorf("flow: %s.%s carried %d sends, model says %d",
+					n.Name, iface, got, processed[i])
+			}
+		}
+		if len(n.Ins) == 0 {
+			continue
+		}
+		// Conservation on the inbox: sends in == receives out + in-flight.
+		var sentInto uint64
+		for _, src := range n.Ins {
+			s := &spec.Nodes[src]
+			for oi, dst := range s.Outs {
+				if dst == i {
+					sentInto += reports[s.Name].Middleware.Send[fmt.Sprintf("out%d", oi)].Ops
+				}
+			}
+		}
+		depth := -1
+		for _, ifc := range rep.App.Interfaces {
+			if ifc.Name == "in" && ifc.Type == "provided" {
+				depth = ifc.Depth
+			}
+		}
+		if depth < 0 {
+			return fmt.Errorf("flow: %s listing misses the provided inbox", n.Name)
+		}
+		recv := rep.Middleware.Recv["in"].Ops
+		if sentInto != recv+uint64(depth) {
+			return fmt.Errorf("flow: %s inbox: %d sent in != %d received + %d in flight",
+				n.Name, sentInto, recv, depth)
+		}
+		if recv != uint64(processed[i]) {
+			return fmt.Errorf("flow: %s received %d, model says %d", n.Name, recv, processed[i])
+		}
+	}
+	return nil
+}
+
+// checkMonitorAgreement asserts that the streaming monitor's windowed view
+// of the run is consistent with the final pull-model observer report: the
+// monitor is a sampled prefix of the truth, so its cumulative counters can
+// never exceed the final ones, its merged window deltas must reproduce its
+// cumulative totals, and every accepted sample must be accounted for in a
+// window.
+func checkMonitorAgreement(run *exp.Result) error {
+	mon := run.Monitor
+	if mon == nil {
+		return fmt.Errorf("monitor: differential run carried no monitor")
+	}
+	var windowed int
+	for _, w := range mon.Windows() {
+		windowed += w.Samples
+	}
+	if accepted := mon.Samples(); uint64(windowed) != accepted {
+		return fmt.Errorf("monitor: %d samples accepted but %d aggregated into windows",
+			accepted, windowed)
+	}
+	for _, t := range mon.Totals() {
+		rep, ok := run.Reports[t.Component]
+		if !ok {
+			return fmt.Errorf("monitor: sampled unknown component %q", t.Component)
+		}
+		if t.SendOps > rep.App.SendOps || t.RecvOps > rep.App.RecvOps {
+			return fmt.Errorf("monitor: %s sampled counters %d/%d exceed final report %d/%d",
+				t.Component, t.SendOps, t.RecvOps, rep.App.SendOps, rep.App.RecvOps)
+		}
+		if t.DeltaSendOps != t.SendOps || t.DeltaRecvOps != t.RecvOps {
+			return fmt.Errorf("monitor: %s window deltas %d/%d do not reproduce cumulative totals %d/%d",
+				t.Component, t.DeltaSendOps, t.DeltaRecvOps, t.SendOps, t.RecvOps)
+		}
+	}
+	return nil
+}
+
+// checkKernelCorrelation joins the kernel-level copy trace with the EMBera
+// send trace of the same execution and requires a complete two-way mapping:
+// every kernel copy explained by an application send and vice versa.
+func checkKernelCorrelation(ktr *kptrace.Tracer, rec *trace.Recorder) error {
+	if _, dropped := rec.Stats(); dropped > 0 {
+		return fmt.Errorf("correlate: event recorder overflowed (%d dropped); enlarge traceCapacity", dropped)
+	}
+	res := correlate.Kernel(ktr.Events(), rec.Events())
+	if len(res.OrphanKernel) > 0 {
+		return fmt.Errorf("correlate: %d kernel copies have no application-level explanation (coverage %.3f)",
+			len(res.OrphanKernel), res.Coverage())
+	}
+	if len(res.OrphanSends) > 0 {
+		return fmt.Errorf("correlate: %d application sends produced no kernel copy", len(res.OrphanSends))
+	}
+	return nil
+}
+
+// SweepSeeds is the soak mode behind `embera-bench -exp FUZZ -seeds N`: it
+// fans the seed range [start, start+n) × every requested platform out as
+// one concurrent exp.RunMatrix sweep (each seed is one generated workload
+// name, each cell an isolated machine), then replays the differential
+// checks per cell and the cross-platform comparisons per seed. The first
+// failing seed — lowest seed, platform-name order within a seed — is
+// returned as an error ending with its one-line repro command. It returns
+// the number of cells executed.
+func SweepSeeds(platformNames []string, start int64, n int, opts platform.Options) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("conformance: sweep needs a positive seed count, got %d", n)
+	}
+	if platformNames == nil {
+		platformNames = platform.Names()
+	}
+	const chunk = 16 // seeds per RunMatrix call: bounds in-flight machines
+	cells := 0
+	for lo := start; lo < start+int64(n); lo += chunk {
+		hi := lo + chunk
+		if max := start + int64(n); hi > max {
+			hi = max
+		}
+		names := make([]string, 0, hi-lo)
+		for s := lo; s < hi; s++ {
+			names = append(names, fuzzwl.Name(s))
+		}
+		results, err := exp.RunMatrix(platformNames, names, exp.Options{Monitor: diffMonitorConfig(), Options: opts})
+		if err != nil {
+			return cells, err
+		}
+		cells += len(results)
+		bySeed := map[string][]exp.MatrixResult{}
+		for _, c := range results {
+			bySeed[c.Workload] = append(bySeed[c.Workload], c)
+		}
+		for s := lo; s < hi; s++ {
+			if err := checkSweepSeed(bySeed[fuzzwl.Name(s)]); err != nil {
+				return cells, fmt.Errorf("%w\nrepro: %s", err, fuzzwl.ReproCommand(s))
+			}
+		}
+	}
+	return cells, nil
+}
+
+// checkSweepSeed verifies one seed's row of a sweep: every cell ran clean,
+// per-cell differential invariants hold, and results agree across
+// platforms.
+func checkSweepSeed(row []exp.MatrixResult) error {
+	if len(row) == 0 {
+		return fmt.Errorf("conformance: sweep produced no cells for this seed")
+	}
+	for _, c := range row {
+		if c.Err != nil {
+			return fmt.Errorf("conformance: %s × %s: %w", c.Platform, c.Workload, c.Err)
+		}
+		if err := CheckRun(c.Result); err != nil {
+			return fmt.Errorf("conformance: %s × %s: %w", c.Platform, c.Workload, err)
+		}
+	}
+	for _, c := range row[1:] {
+		ref := row[0]
+		if c.Result.Instance.Checksum() != ref.Result.Instance.Checksum() ||
+			c.Result.Instance.Units() != ref.Result.Instance.Units() {
+			return fmt.Errorf("conformance: %s: %s result %016x/%d disagrees with %s %016x/%d",
+				c.Workload, c.Platform, c.Result.Instance.Checksum(), c.Result.Instance.Units(),
+				ref.Platform, ref.Result.Instance.Checksum(), ref.Result.Instance.Units())
+		}
+	}
+	return nil
+}

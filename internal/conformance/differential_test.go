@@ -1,0 +1,70 @@
+package conformance_test
+
+import (
+	"strings"
+	"testing"
+
+	"embera/internal/conformance"
+	"embera/internal/exp"
+	"embera/internal/fuzzwl"
+	"embera/internal/platform"
+)
+
+// differentialSeeds is the per-run sweep width of the checked-in test: 64
+// generated topologies, each executed on every registered platform (twice
+// on the deterministic ones). The nightly soak re-runs the same engine over
+// a much larger range through `embera-bench -exp FUZZ`.
+const differentialSeeds = 64
+
+// TestDifferentialConformance is the acceptance battery: every seed runs
+// across all registered platforms under the full differential engine —
+// checksum equality everywhere, bit-identical timing fingerprints on
+// Deterministic platforms, per-interface flow conservation, monitor/observer
+// agreement, and complete kernel-copy correlation on simulated Linux. A
+// failure message always ends with the one-line repro command.
+func TestDifferentialConformance(t *testing.T) {
+	if len(platform.Names()) < 3 {
+		t.Fatalf("registered platforms = %v, want at least smp, sti7200, native", platform.Names())
+	}
+	for seed := int64(0); seed < differentialSeeds; seed++ {
+		seed := seed
+		t.Run(fuzzwl.Name(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := conformance.Differential(seed); err != nil {
+				if !strings.Contains(err.Error(), fuzzwl.ReproCommand(seed)) {
+					t.Errorf("failure lacks its repro command: %v", err)
+				}
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialSweepSoak exercises the concurrent RunMatrix-based soak
+// path embera-bench uses: one matrix call per seed chunk, platforms × seeds
+// as isolated cells.
+func TestDifferentialSweepSoak(t *testing.T) {
+	const seeds = 24
+	cells, err := conformance.SweepSeeds(nil, 100, seeds, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := seeds * len(platform.Names()); cells != want {
+		t.Errorf("sweep ran %d cells, want %d", cells, want)
+	}
+}
+
+// TestDifferentialRejectsMalformedSeedNames is the harness-side regression
+// for family parsing: a malformed seed travelling the same exp.RunNamed
+// path the sweep cells use must surface the uniform registry-listing error
+// (the one every binary turns into an exit-2 usage failure), not reach a
+// build or run.
+func TestDifferentialRejectsMalformedSeedNames(t *testing.T) {
+	_, err := exp.RunNamed("smp", "rand:bogus", exp.Options{})
+	if err == nil {
+		t.Fatal("malformed seed accepted")
+	}
+	if !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("error lacks registry listing: %v", err)
+	}
+}

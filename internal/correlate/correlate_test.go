@@ -119,6 +119,75 @@ func TestEmptyInputs(t *testing.T) {
 	}
 }
 
+func TestOneSidedStreams(t *testing.T) {
+	copies := []linux.KernelEvent{
+		{TimeNS: 1_000_000, Kind: "copy", TID: 3, Arg: 256},
+		{TimeNS: 2_000_000, Kind: "copy", TID: 3, Arg: 512},
+	}
+	sends := []core.Event{
+		{TimeUS: 1_000, Kind: core.EvSend, Component: "A", Bytes: 256},
+		{TimeUS: 2_000, Kind: core.EvSend, Component: "A", Bytes: 512},
+	}
+	// Kernel stream only: every copy is an orphan, coverage collapses to 0.
+	res := correlate.Kernel(copies, nil)
+	if len(res.OrphanKernel) != 2 || res.Coverage() != 0 || len(res.Matches) != 0 {
+		t.Errorf("kernel-only: %d orphans, coverage %v", len(res.OrphanKernel), res.Coverage())
+	}
+	if len(res.TIDMap()) != 0 {
+		t.Errorf("kernel-only TID map = %v", res.TIDMap())
+	}
+	// Send stream only: no copies to explain, so coverage is vacuously
+	// complete but every send is an orphan.
+	res = correlate.Kernel(nil, sends)
+	if len(res.OrphanSends) != 2 || res.Coverage() != 1 {
+		t.Errorf("send-only: %d orphans, coverage %v", len(res.OrphanSends), res.Coverage())
+	}
+}
+
+func TestDuplicateTimestamps(t *testing.T) {
+	// Several copies and sends sharing one identical timestamp and size —
+	// the fan-out burst shape. Each event must be consumed exactly once so
+	// the pairing stays 1:1 despite the ties.
+	var copies []linux.KernelEvent
+	var sends []core.Event
+	for i := 0; i < 5; i++ {
+		copies = append(copies, linux.KernelEvent{TimeNS: 7_000_000, Kind: "copy", TID: i + 1, Arg: 128})
+		sends = append(sends, core.Event{TimeUS: 7_000, Kind: core.EvSend, Component: "A", Bytes: 128})
+	}
+	res := correlate.Kernel(copies, sends)
+	if len(res.Matches) != 5 || len(res.OrphanKernel) != 0 || len(res.OrphanSends) != 0 {
+		t.Fatalf("tied timestamps: %d matches, %d/%d orphans",
+			len(res.Matches), len(res.OrphanKernel), len(res.OrphanSends))
+	}
+	// One extra copy at the same instant with nothing left to consume must
+	// surface as an orphan, not steal an already-used send.
+	copies = append(copies, linux.KernelEvent{TimeNS: 7_000_000, Kind: "copy", TID: 9, Arg: 128})
+	res = correlate.Kernel(copies, sends)
+	if len(res.Matches) != 5 || len(res.OrphanKernel) != 1 {
+		t.Errorf("surplus tied copy: %d matches, %d orphan kernel",
+			len(res.Matches), len(res.OrphanKernel))
+	}
+}
+
+func TestCopiesWithNoSendsAtAll(t *testing.T) {
+	// Kernel activity while the application traced nothing (e.g. the trace
+	// recorder attached late): complete orphanhood, not a crash.
+	copies := []linux.KernelEvent{
+		{TimeNS: 1_000_000, Kind: "copy", TID: 1, Arg: 64},
+		{TimeNS: 1_000_000, Kind: "copy", TID: 1, Arg: 64}, // duplicate event
+	}
+	recvOnly := []core.Event{
+		{TimeUS: 1_000, Kind: core.EvReceive, Component: "B", Bytes: 64},
+	}
+	res := correlate.Kernel(copies, recvOnly)
+	if len(res.OrphanKernel) != 2 || len(res.Matches) != 0 {
+		t.Errorf("orphans = %d, matches = %d", len(res.OrphanKernel), len(res.Matches))
+	}
+	if got := res.Format(); !strings.Contains(got, "0.0% coverage") {
+		t.Errorf("format: %q", got)
+	}
+}
+
 func TestNearestSizeTiedMatch(t *testing.T) {
 	// Two candidate sends of the same size inside the window: the copy must
 	// take the nearest, leaving the other for a later copy.

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"embera/internal/platform"
+
+	_ "embera/internal/fuzzwl" // rand:<seed> family registration
+)
+
+// TestRunMatrixConcurrentSweepsShareRegistry drives several RunMatrix
+// sweeps at once — each cell resolves platforms and workloads through the
+// shared registries, and the rand:<seed> cells additionally exercise the
+// family parser — while other goroutines hammer the registry read paths.
+// The assertion is the race detector's: CI runs this package under -race.
+func TestRunMatrixConcurrentSweepsShareRegistry(t *testing.T) {
+	const sweeps = 4
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = platform.Names()
+			_ = platform.WorkloadNames()
+			_ = platform.WorkloadListing()
+			if _, err := platform.GetWorkload("rand:7"); err != nil {
+				t.Errorf("family resolution failed mid-sweep: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, sweeps)
+	cellCounts := make([]int, sweeps)
+	for i := 0; i < sweeps; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cells, err := RunMatrix(nil, []string{"pipeline", "rand:5", "rand:6"},
+				Options{Options: platform.Options{Scale: 4}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cellCounts[i] = len(cells)
+			for _, c := range cells {
+				if c.Err != nil {
+					t.Errorf("sweep %d: %s × %s: %v", i, c.Platform, c.Workload, c.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	want := 3 * len(platform.Names())
+	for i := 0; i < sweeps; i++ {
+		if errs[i] != nil {
+			t.Errorf("sweep %d: %v", i, errs[i])
+		}
+		if errs[i] == nil && cellCounts[i] != want {
+			t.Errorf("sweep %d ran %d cells, want %d", i, cellCounts[i], want)
+		}
+	}
+}
+
+// TestRunMatrixRejectsMalformedSeedUpFront is the harness-level regression
+// for rand:<seed> parsing: a malformed seed fails the whole sweep before
+// any cell spawns, with the uniform registry-listing error every front-end
+// turns into an exit-2 usage failure.
+func TestRunMatrixRejectsMalformedSeedUpFront(t *testing.T) {
+	for _, bad := range []string{"rand:", "rand:nope", "rand:-1"} {
+		_, err := RunMatrix(nil, []string{bad}, Options{})
+		if err == nil {
+			t.Errorf("%q accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "registered:") ||
+			!strings.Contains(err.Error(), "rand:<seed>") {
+			t.Errorf("%q: error lacks the registry listing: %v", bad, err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package fuzzwl_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"embera/internal/exp"
+	"embera/internal/fuzzwl"
+	"embera/internal/platform"
+)
+
+func TestSpecDeterministicPerSeed(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := fuzzwl.NewSpec(seed), fuzzwl.NewSpec(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	if reflect.DeepEqual(fuzzwl.NewSpec(1).Nodes, fuzzwl.NewSpec(2).Nodes) {
+		t.Error("seeds 1 and 2 generated identical topologies")
+	}
+}
+
+func TestSpecShapeInvariants(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		spec := fuzzwl.NewSpec(seed)
+		units, _ := spec.Expected()
+		if units == 0 {
+			t.Fatalf("seed %d: degenerate topology folds nothing", seed)
+		}
+		sinks, producers := 0, 0
+		for i, n := range spec.Nodes {
+			switch {
+			case len(n.Ins) == 0:
+				producers++
+				if n.Produces <= 0 {
+					t.Fatalf("seed %d: producer %s emits nothing", seed, n.Name)
+				}
+			case len(n.Outs) == 0:
+				sinks++
+			}
+			if len(n.Ins) > 0 {
+				if spec.BufBytes(i) < int64(spec.InBytes(i)) {
+					t.Fatalf("seed %d: node %s inbox %dB cannot hold a %dB message",
+						seed, n.Name, spec.BufBytes(i), spec.InBytes(i))
+				}
+			}
+			// Edges must point strictly forward: the generated graph is a DAG.
+			for _, o := range n.Outs {
+				if o <= i {
+					t.Fatalf("seed %d: edge %d->%d is not forward", seed, i, o)
+				}
+			}
+		}
+		if sinks == 0 || producers == 0 {
+			t.Fatalf("seed %d: %d producers / %d sinks", seed, producers, sinks)
+		}
+	}
+}
+
+// TestRunMatchesClosedFormModel runs a handful of seeds end to end on the
+// simulated SMP platform; exp.Run invokes Instance.Check, which compares
+// the run against Spec.Expected.
+func TestRunMatchesClosedFormModel(t *testing.T) {
+	p := platform.MustGet("smp")
+	for seed := int64(0); seed < 8; seed++ {
+		run, err := exp.Run(p, fuzzwl.New(seed), exp.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		units, sum := fuzzwl.NewSpec(seed).Expected()
+		if run.Instance.Units() != units || run.Instance.Checksum() != sum {
+			t.Errorf("seed %d: run %d/%016x, model %d/%016x", seed,
+				run.Instance.Units(), run.Instance.Checksum(), units, sum)
+		}
+	}
+}
+
+func TestFamilyResolvesThroughRegistry(t *testing.T) {
+	w, err := platform.GetWorkload("rand:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "rand:42" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if !strings.Contains(strings.Join(platform.WorkloadListing(), ","), "rand:<seed>") {
+		t.Errorf("listing lacks the family placeholder: %v", platform.WorkloadListing())
+	}
+	// Concrete enumeration must stay family-free: a sweep over "all
+	// workloads" cannot instantiate a family without an argument.
+	for _, n := range platform.WorkloadNames() {
+		if strings.HasPrefix(n, "rand") {
+			t.Errorf("WorkloadNames leaked family entry %q", n)
+		}
+	}
+}
+
+// TestMalformedSeedsRejectedUniformly is the regression test for the CLI
+// contract: a malformed seed fails exactly like an unknown workload name,
+// with the registry listing in the error (cliutil turns that into the
+// uniform exit-2 usage error).
+func TestMalformedSeedsRejectedUniformly(t *testing.T) {
+	for _, bad := range []string{"rand:", "rand:x", "rand:1.5", "rand:-3", "rand:1e3", "rand:0x10", "rand:9223372036854775808"} {
+		_, err := platform.GetWorkload(bad)
+		if err == nil {
+			t.Errorf("%q accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "rand:<seed>") {
+			t.Errorf("%q: error lacks the registry listing: %v", bad, err)
+		}
+	}
+}
+
+func TestOptionOverrides(t *testing.T) {
+	p := platform.MustGet("smp")
+	run, err := exp.Run(p, fuzzwl.New(3), exp.Options{
+		Options: platform.Options{Scale: 2, MessageBytes: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := fuzzwl.NewSpec(3).Expected()
+	if run.Instance.Units() == base {
+		t.Errorf("scale override did not change the unit count (%d)", base)
+	}
+}

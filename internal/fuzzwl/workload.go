@@ -1,0 +1,227 @@
+package fuzzwl
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+
+	"embera/internal/core"
+	"embera/internal/platform"
+)
+
+func init() {
+	platform.RegisterWorkloadFamily(platform.WorkloadFamily{
+		Prefix:      Family,
+		Placeholder: Family + ":<seed>",
+		Describe:    "seeded random-topology DAG workload (deterministic per seed; e.g. rand:42)",
+		Parse: func(arg string) (platform.Workload, error) {
+			seed, err := ParseSeed(arg)
+			if err != nil {
+				return nil, err
+			}
+			return New(seed), nil
+		},
+	})
+}
+
+// ParseSeed parses the family argument: a non-negative base-10 integer.
+func ParseSeed(arg string) (int64, error) {
+	seed, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || seed < 0 {
+		return 0, fmt.Errorf("fuzzwl: seed %q is not a non-negative integer", arg)
+	}
+	return seed, nil
+}
+
+// Workload adapts one seed's generated topology to platform.Workload.
+type Workload struct {
+	Seed int64
+}
+
+// New returns the workload for one seed.
+func New(seed int64) *Workload { return &Workload{Seed: seed} }
+
+// Name implements platform.Workload ("rand:<seed>").
+func (w *Workload) Name() string { return Name(w.Seed) }
+
+// Describe implements platform.Workload.
+func (w *Workload) Describe() string {
+	return NewSpec(w.Seed).String()
+}
+
+// specFor applies the harness option overrides to the seed's generated
+// spec: Scale replaces every producer's message count, MessageBytes every
+// node's wire size. Capacities are factors of incoming sizes, so overrides
+// can never produce a message its target mailbox cannot hold.
+func (w *Workload) specFor(opts platform.Options) *Spec {
+	spec := NewSpec(w.Seed)
+	for i := range spec.Nodes {
+		if opts.Scale > 0 && spec.Nodes[i].Kind == KindProducer {
+			spec.Nodes[i].Produces = opts.Scale
+		}
+		if opts.MessageBytes > 0 {
+			spec.Nodes[i].OutBytes = opts.MessageBytes
+		}
+	}
+	return spec
+}
+
+// Build implements platform.Workload: it instantiates the generated DAG on
+// the application. Placement hints are drawn from a PRNG seeded by the
+// workload seed and the platform name, so rebuilding the same cell is
+// bit-identical while different platforms exercise different placements.
+func (w *Workload) Build(a *core.App, p platform.Platform, opts platform.Options) (platform.Instance, error) {
+	spec := w.specFor(opts)
+	inst := newInstance(spec)
+
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", p.Name(), w.Seed)
+	prng := rand.New(rand.NewSource(int64(h.Sum64() >> 1)))
+	locations := p.Topology().Locations
+
+	comps := make([]*core.Component, len(spec.Nodes))
+	for i := range spec.Nodes {
+		n := &spec.Nodes[i]
+		c, err := a.NewComponent(n.Name, inst.body(i))
+		if err != nil {
+			return nil, err
+		}
+		if locations > 0 && prng.Intn(2) == 0 {
+			c.Place(prng.Intn(locations))
+		}
+		if len(n.Ins) > 0 {
+			if err := c.AddProvided("in", spec.BufBytes(i)); err != nil {
+				return nil, err
+			}
+		}
+		for oi := range n.Outs {
+			if err := c.AddRequired(fmt.Sprintf("out%d", oi)); err != nil {
+				return nil, err
+			}
+		}
+		if n.Kind == KindSink {
+			i := i
+			if err := c.RegisterProbe("sunk", func() int64 {
+				return inst.perSink[i].Load()
+			}); err != nil {
+				return nil, err
+			}
+		}
+		comps[i] = c
+	}
+	for i := range spec.Nodes {
+		for oi, dst := range spec.Nodes[i].Outs {
+			if err := a.Connect(comps[i], fmt.Sprintf("out%d", oi), comps[dst], "in"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}
+
+// instance tracks one assembled run of a generated topology. The counters
+// are atomic: on the native platform every sink is a real goroutine, and
+// probes and monitor samplers read mid-run.
+type instance struct {
+	spec     *Spec
+	expUnits int
+	expSum   uint64
+
+	received atomic.Int64
+	checksum atomic.Uint64
+	perSink  map[int]*atomic.Int64
+}
+
+func newInstance(spec *Spec) *instance {
+	inst := &instance{spec: spec, perSink: map[int]*atomic.Int64{}}
+	inst.expUnits, inst.expSum = spec.Expected()
+	for i := range spec.Nodes {
+		if spec.Nodes[i].Kind == KindSink {
+			inst.perSink[i] = &atomic.Int64{}
+		}
+	}
+	return inst
+}
+
+// body returns the component body for node i: producers emit seed-derived
+// values on a fixed period, everything else mixes and broadcasts, sinks
+// fold the checksum.
+func (in *instance) body(i int) core.Body {
+	n := &in.spec.Nodes[i]
+	spec := in.spec
+	if len(n.Ins) == 0 {
+		produces, period, cost := n.Produces, n.PeriodUS, n.ComputeCycles
+		bytes, outs, seed := n.OutBytes, len(n.Outs), spec.Seed
+		return func(ctx *core.Ctx) {
+			for seq := 0; seq < produces; seq++ {
+				ctx.Compute(cost)
+				if period > 0 {
+					ctx.SleepUS(period)
+				}
+				v := seedValue(seed, i, seq)
+				for oi := 0; oi < outs; oi++ {
+					ctx.Send(fmt.Sprintf("out%d", oi), v, bytes)
+				}
+			}
+		}
+	}
+	cost, salt, bytes, outs := n.ComputeCycles, n.Salt, n.OutBytes, len(n.Outs)
+	if outs == 0 {
+		sunk := in.perSink[i]
+		return func(ctx *core.Ctx) {
+			for {
+				m, ok := ctx.Receive("in")
+				if !ok {
+					return
+				}
+				ctx.Compute(cost)
+				in.checksum.Add(mix(m.Payload.(uint64), salt))
+				in.received.Add(1)
+				sunk.Add(1)
+			}
+		}
+	}
+	return func(ctx *core.Ctx) {
+		for {
+			m, ok := ctx.Receive("in")
+			if !ok {
+				return
+			}
+			ctx.Compute(cost)
+			v := mix(m.Payload.(uint64), salt)
+			for oi := 0; oi < outs; oi++ {
+				ctx.Send(fmt.Sprintf("out%d", oi), v, bytes)
+			}
+		}
+	}
+}
+
+// Spec exposes the effective (override-adjusted) topology of this run —
+// the conformance engine checks flow conservation against it.
+func (in *instance) Spec() *Spec { return in.spec }
+
+// Units implements platform.Instance.
+func (in *instance) Units() int { return int(in.received.Load()) }
+
+// Checksum implements platform.Instance.
+func (in *instance) Checksum() uint64 { return in.checksum.Load() }
+
+// Check implements platform.Instance against the closed-form model.
+func (in *instance) Check() error {
+	if got := in.Units(); got != in.expUnits {
+		return fmt.Errorf("fuzzwl: sinks folded %d messages, want %d (%s)",
+			got, in.expUnits, in.spec)
+	}
+	if got := in.checksum.Load(); got != in.expSum {
+		return fmt.Errorf("fuzzwl: checksum %016x, want %016x (%s)", got, in.expSum, in.spec)
+	}
+	return nil
+}
+
+// Summary implements platform.Instance.
+func (in *instance) Summary() string {
+	return fmt.Sprintf("folded %d/%d messages (checksum %016x) — %s",
+		in.Units(), in.expUnits, in.checksum.Load(), in.spec)
+}

@@ -87,6 +87,50 @@ func TestTracerLimit(t *testing.T) {
 	}
 }
 
+func TestEmptyStream(t *testing.T) {
+	// A tracer attached to a system that never runs sees nothing: empty
+	// summaries and a header-only table, not a crash.
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	tr := kptrace.Attach(sys, 0)
+	if tr.Len() != 0 || len(tr.Events()) != 0 {
+		t.Fatalf("fresh tracer holds %d events", tr.Len())
+	}
+	sums := tr.Summarize()
+	if len(sums) != 0 {
+		t.Fatalf("empty stream summarized to %d TIDs", len(sums))
+	}
+	if table := kptrace.Format(sums); !strings.Contains(table, "TID") {
+		t.Errorf("empty table lost its header: %q", table)
+	}
+}
+
+func TestSummarizeDuplicateTimestamps(t *testing.T) {
+	// Injected events sharing one timestamp: spans stay zero instead of
+	// going negative, and copy accounting still sums.
+	k := sim.NewKernel()
+	sys := linux.NewSystem(smp.MustNew(k, smp.DefaultConfig()))
+	tr := kptrace.Attach(sys, 0)
+	hook := sys.KHook
+	for i := 0; i < 3; i++ {
+		hook(linux.KernelEvent{TimeNS: 5_000, Kind: "copy", TID: 7, Arg: 100})
+	}
+	hook(linux.KernelEvent{TimeNS: 5_000, Kind: "copy", TID: 8, Arg: 1})
+	sums := tr.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("TIDs = %d", len(sums))
+	}
+	if sums[0].TID != 7 || sums[0].Copies != 3 || sums[0].CopyBytes != 300 {
+		t.Errorf("TID 7 summary = %+v", sums[0])
+	}
+	if sums[0].SpanNS != 0 || sums[1].SpanNS != 0 {
+		t.Errorf("identical timestamps produced nonzero spans: %+v", sums)
+	}
+	if sums[0].Created || sums[0].Exited {
+		t.Errorf("copies without lifecycle events marked lifecycle flags: %+v", sums[0])
+	}
+}
+
 func TestTracerEventsCopy(t *testing.T) {
 	tr, _ := runMJPEGWithKPTrace(t, 0)
 	evs := tr.Events()

@@ -214,18 +214,31 @@ func (m *Monitor) pumpLoop(f core.Flow) {
 	for {
 		f.SleepUS(m.cfg.WindowUS)
 		now := m.nowUS()
-		drained := m.ring.Drain(func(s Sample) { m.agg.Add(s) })
-		for _, w := range m.agg.Flush(now) {
-			for _, sink := range m.cfg.Sinks {
-				if err := sink.WriteWindow(w); err != nil {
-					m.sinkErrs.Add(1)
-				}
-			}
-		}
+		drained := m.drainAndFlush(now)
 		if drained == 0 && m.liveSamplers.Load() == 0 && (m.app.Done() || m.stopping()) {
+			// On the native platform a sampler may push its final sample
+			// after the drain above and exit before the liveSamplers read.
+			// Samplers are certainly gone now, so one more sweep is enough
+			// to guarantee every accepted sample reaches a window.
+			m.drainAndFlush(m.nowUS())
 			return
 		}
 	}
+}
+
+// drainAndFlush moves every buffered sample into the aggregator, closes the
+// window at now and streams it to the sinks, returning how many samples the
+// drain moved.
+func (m *Monitor) drainAndFlush(now int64) int {
+	drained := m.ring.Drain(func(s Sample) { m.agg.Add(s) })
+	for _, w := range m.agg.Flush(now) {
+		for _, sink := range m.cfg.Sinks {
+			if err := sink.WriteWindow(w); err != nil {
+				m.sinkErrs.Add(1)
+			}
+		}
+	}
+	return drained
 }
 
 // Stop asks the sampler and pump flows to wind down even though the

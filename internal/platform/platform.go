@@ -146,6 +146,27 @@ type Instance interface {
 	Summary() string
 }
 
+// WorkloadFamily is a parameterized workload generator registered under a
+// prefix: a name of the form "<prefix>:<arg>" resolves by handing arg to
+// Parse. The canonical example is the fuzz family "rand:<seed>", which
+// turns every registry consumer — binaries, experiment harnesses,
+// RunMatrix sweeps, conformance batteries — into a driver for generated
+// workloads without any of them knowing the family exists.
+type WorkloadFamily struct {
+	// Prefix is the registry key before the colon ("rand").
+	Prefix string
+	// Placeholder is the listing form shown next to concrete workload
+	// names ("rand:<seed>").
+	Placeholder string
+	// Describe is a one-line human description.
+	Describe string
+	// Parse builds a fresh Workload from the text after the colon. A
+	// malformed argument returns an error; the registry wraps it in the
+	// uniform unknown-workload error so every front-end rejects it with
+	// the same exit-2 registry listing as a typo'd concrete name.
+	Parse func(arg string) (Workload, error)
+}
+
 // The registries are mutex-guarded: most registration happens in package
 // init functions, but nothing stops a test or a plugin-style extension from
 // registering (or resolving) concurrently, and an unsynchronized map write
@@ -154,6 +175,7 @@ var (
 	regMu     sync.RWMutex
 	platforms = map[string]Platform{}
 	workloads = map[string]func() Workload{}
+	families  = map[string]WorkloadFamily{}
 )
 
 // Register adds a platform to the registry. Duplicate names panic: they are
@@ -170,14 +192,44 @@ func Register(p Platform) {
 
 // RegisterWorkload adds a workload factory to the registry. The factory
 // returns a fresh Workload with default configuration on every call.
-// Duplicate names panic, as in Register.
+// Duplicate names panic, as in Register. Names containing a colon are
+// rejected (that syntax is reserved for workload families), and a name
+// colliding with a registered family prefix panics regardless of which
+// side registered first, so resolution can never depend on init order.
 func RegisterWorkload(name string, f func() Workload) {
+	if strings.Contains(name, ":") {
+		panic(fmt.Sprintf("platform: workload name %q contains ':' (reserved for families)", name))
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := workloads[name]; dup {
 		panic(fmt.Sprintf("platform: duplicate workload %q", name))
 	}
+	if _, dup := families[name]; dup {
+		panic(fmt.Sprintf("platform: workload %q collides with a workload family prefix", name))
+	}
 	workloads[name] = f
+}
+
+// RegisterWorkloadFamily adds a parameterized workload family. Duplicate
+// prefixes — including a prefix colliding with a concrete workload name —
+// panic, as in RegisterWorkload.
+func RegisterWorkloadFamily(f WorkloadFamily) {
+	if f.Prefix == "" || strings.Contains(f.Prefix, ":") || f.Parse == nil {
+		panic(fmt.Sprintf("platform: workload family needs a colon-free prefix and a parser, got %q", f.Prefix))
+	}
+	if f.Placeholder == "" {
+		f.Placeholder = f.Prefix + ":<arg>"
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := families[f.Prefix]; dup {
+		panic(fmt.Sprintf("platform: duplicate workload family %q", f.Prefix))
+	}
+	if _, dup := workloads[f.Prefix]; dup {
+		panic(fmt.Sprintf("platform: workload family %q collides with a workload name", f.Prefix))
+	}
+	families[f.Prefix] = f
 }
 
 // Get resolves a platform by name. The error for an unknown name lists
@@ -214,17 +266,36 @@ func Names() []string {
 	return names
 }
 
-// GetWorkload resolves a workload by name, returning a fresh instance. The
-// error for an unknown name lists every registered workload.
+// GetWorkload resolves a workload by name, returning a fresh instance.
+// Names containing a colon resolve through the workload-family registry:
+// "rand:42" hands "42" to the "rand" family's parser. Unknown names — and
+// family arguments the parser rejects — return the uniform registry error
+// listing every registered workload and family, so a malformed "rand:x" is
+// refused exactly like a typo'd concrete name.
 func GetWorkload(name string) (Workload, error) {
 	regMu.RLock()
 	f, ok := workloads[name]
-	regMu.RUnlock()
+	var fam WorkloadFamily
+	var famOK bool
 	if !ok {
-		return nil, fmt.Errorf("platform: unknown workload %q (registered: %s)",
-			name, strings.Join(WorkloadNames(), ", "))
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			fam, famOK = families[name[:i]]
+		}
 	}
-	return f(), nil
+	regMu.RUnlock()
+	if ok {
+		return f(), nil
+	}
+	if famOK {
+		w, err := fam.Parse(name[strings.IndexByte(name, ':')+1:])
+		if err != nil {
+			return nil, fmt.Errorf("platform: unknown workload %q (registered: %s): %w",
+				name, strings.Join(WorkloadListing(), ", "), err)
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("platform: unknown workload %q (registered: %s)",
+		name, strings.Join(WorkloadListing(), ", "))
 }
 
 // MustGetWorkload is GetWorkload that panics on error.
@@ -236,13 +307,47 @@ func MustGetWorkload(name string) Workload {
 	return w
 }
 
-// WorkloadNames returns the registered workload names, sorted.
+// WorkloadNames returns the registered concrete workload names, sorted.
+// Families are excluded: enumerating callers (RunMatrix over "all
+// workloads", the conformance matrix) cannot run a family without an
+// argument. Use WorkloadListing for human-facing listings.
 func WorkloadNames() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(workloads))
 	for n := range workloads {
 		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WorkloadFamilies returns the registered families sorted by prefix.
+func WorkloadFamilies() []WorkloadFamily {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]WorkloadFamily, 0, len(families))
+	for _, f := range families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// WorkloadListing returns the concrete workload names plus each family's
+// placeholder form ("rand:<seed>"), sorted — the human-facing listing
+// usage errors and the binaries' -list output print. (-list-workloads
+// deliberately sticks to WorkloadNames: its output is machine-enumerable
+// and gets fed back into -workload, which a placeholder would break.)
+func WorkloadListing() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(workloads)+len(families))
+	for n := range workloads {
+		names = append(names, n)
+	}
+	for _, f := range families {
+		names = append(names, f.Placeholder)
 	}
 	sort.Strings(names)
 	return names

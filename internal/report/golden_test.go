@@ -1,0 +1,123 @@
+package report_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/report"
+)
+
+// -update regenerates the golden files:
+//
+//	go test ./internal/report -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReports is a fixture wide enough to exercise every column: all
+// three levels populated, empty middleware maps, probes, and a component
+// with a missing OS section.
+func goldenReports() map[string]core.ObsReport {
+	return map[string]core.ObsReport{
+		"Fetch": {
+			Component: "Fetch",
+			Level:     core.LevelAll,
+			OS:        &core.OSReport{ExecTimeUS: 4084, MemBytes: 8593408, CacheHits: 7, CacheMisses: 2},
+			Middleware: &core.MWReport{
+				Send: map[string]core.IfaceStats{
+					"fetchIdct1": {Ops: 3468, Bytes: 15092736, TotalUS: 46000, MaxUS: 20},
+					"fetchIdct2": {Ops: 3468, Bytes: 15092736, TotalUS: 45180, MaxUS: 19},
+				},
+				Recv: map[string]core.IfaceStats{},
+			},
+			App: &core.AppReport{
+				SendOps: 6936,
+				State:   "done",
+				Interfaces: []core.IfaceInfo{
+					{Name: core.ObsIfaceName, Type: "provided", Connected: true},
+					{Name: core.ObsIfaceName, Type: "required", Connected: true},
+					{Name: "fetchIdct1", Type: "required", Connected: true},
+				},
+			},
+			Probes: map[string]int64{"frames": 578},
+		},
+		"Reorder": {
+			Component: "Reorder",
+			Level:     core.LevelAll,
+			OS:        &core.OSReport{ExecTimeUS: 4086, MemBytes: 13627392},
+			Middleware: &core.MWReport{
+				Send: map[string]core.IfaceStats{},
+				Recv: map[string]core.IfaceStats{
+					"idctReorder": {Ops: 10404, Bytes: 23970816, TotalUS: 118000, MaxUS: 31},
+				},
+			},
+			App: &core.AppReport{RecvOps: 10404, State: "done"},
+		},
+		"Bare": {
+			Component:  "Bare",
+			Level:      core.LevelMiddleware,
+			Middleware: &core.MWReport{Send: map[string]core.IfaceStats{}, Recv: map[string]core.IfaceStats{}},
+		},
+	}
+}
+
+// checkGolden byte-compares got with the named golden file (or rewrites it
+// under -update). The byte format — key order, indentation, number
+// formatting, trailing newlines — is the locked contract: downstream
+// dashboards and diff tooling parse these files, so a formatting change
+// must show up as an explicit golden-file update in review.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, goldenReports()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "reports.golden.json", buf.Bytes())
+
+	// The golden bytes must round-trip, not just render.
+	back, err := report.ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(goldenReports()) {
+		t.Errorf("round trip lost reports: %d", len(back))
+	}
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf, goldenReports()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "summary.golden.csv", buf.Bytes())
+}
+
+func TestGoldenIfaceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.WriteIfaceCSV(&buf, goldenReports()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "iface.golden.csv", buf.Bytes())
+}
