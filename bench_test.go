@@ -455,6 +455,36 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorSamplePath measures one steady-state monitor sampling
+// tick over the five-component MJPEG application: SampleAll into a reused
+// buffer, wrap into ring samples, PushBatch, periodic batch drain. This is
+// the per-tick price of leaving the streaming monitor enabled; the
+// zero-alloc overhaul pinned it at 0 allocs/op, gated by the committed
+// perfstat baseline.
+func BenchmarkMonitorSamplePath(b *testing.B) {
+	stream, err := exp.RefStream(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, a := platform.MustGet("smp").New("bench")
+	if _, err := mjpegapp.Build(a, smpMJPEG(stream)); err != nil {
+		b.Fatal(err)
+	}
+	n := len(a.Components())
+	ring := monitor.NewRing(4096, 4)
+	buf := make([]core.FastSample, 0, n)
+	batch := make([]monitor.Sample, 0, n)
+	drain := make([]monitor.Sample, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, buf, batch = monitor.SampleTick(a, core.LevelApplication, int64(i), ring, buf, batch)
+		if ring.Len()+n > ring.Capacity() {
+			drain = ring.DrainInto(drain[:0])
+		}
+	}
+}
+
 // BenchmarkNativePipelineThroughput runs the synthetic pipeline workload on
 // the native (goroutine) platform end to end — real concurrency, wall-clock
 // timing, the full observation stack attached — and reports real messages

@@ -18,10 +18,10 @@
 //	embera-bench -exp MX -platform native          # one matrix row
 //	embera-bench -exp FUZZ -seeds 256              # differential seed soak
 //	embera-bench -exp FUZZ -seed 41                # one-seed deep repro
+//	embera-bench -exp OV                           # observation-overhead harness + zero-alloc micros
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,35 +34,15 @@ import (
 	"embera/internal/cliutil"
 	"embera/internal/conformance"
 	"embera/internal/exp"
+	"embera/internal/perfstat"
 	"embera/internal/platform"
 )
 
-// experiments lists every valid -exp identifier, in run order.
-var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ"}
-
-// benchEntry is one experiment's record in BENCH_embera.json. Totals
-// cover the whole experiment invocation; the per-op fields are normalized
-// by the experiment's work-unit count (matrix cells, sweep cells) and are
-// present only when the experiment reports one, so records stay comparable
-// across invocations with different -seeds / matrix sizes.
-type benchEntry struct {
-	TotalNs     int64   `json:"total_ns"`
-	TotalAllocs uint64  `json:"total_allocs"`
-	TotalBytes  uint64  `json:"total_alloc_bytes"`
-	Units       float64 `json:"units,omitempty"`
-	NsPerOp     float64 `json:"ns_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	Throughput  float64 `json:"units_per_s,omitempty"`
-}
-
-// writeBenchJSON emits the collected records, keys sorted by experiment.
-func writeBenchJSON(path string, entries map[string]benchEntry) error {
-	blob, err := json.MarshalIndent(entries, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(blob, '\n'), 0o644)
-}
+// experiments lists every valid -exp identifier, in run order. OV is the
+// perfstat observation-overhead harness plus the zero-alloc hot-path
+// micro-benchmarks; its per-cell entries are what CI's bench-regress job
+// diffs against testdata/baselines/.
+var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ", "OV"}
 
 func main() {
 	which := flag.String("exp", "all",
@@ -76,6 +56,7 @@ func main() {
 	seeds := flag.Int("seeds", 64, "seed count of the FUZZ differential sweep")
 	seedStart := flag.Int64("seed-start", 0, "first seed of the FUZZ sweep")
 	oneSeed := flag.Int64("seed", -1, "run the full differential battery for this single seed (FUZZ repro mode)")
+	ovScale := flag.Int("ov-scale", 40, "workload scale of each OV overhead-harness cell")
 	benchJSON := flag.String("bench-json", "BENCH_embera.json", "write machine-readable per-experiment timings here (empty = disabled)")
 	flag.Parse()
 
@@ -117,7 +98,7 @@ func main() {
 	// Every experiment is timed and allocation-profiled into benchEntries;
 	// runners report a work-unit count through setUnits so throughput can
 	// be derived where "units" means something (matrix cells, seeds).
-	benchEntries := map[string]benchEntry{}
+	benchEntries := perfstat.Record{}
 	units := map[string]float64{}
 	setUnits := func(id string, n float64) { units[id] = n }
 	runIf := func(id string, f func() (string, error)) {
@@ -133,20 +114,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
-		e := benchEntry{
-			TotalNs:     elapsed.Nanoseconds(),
-			TotalAllocs: m1.Mallocs - m0.Mallocs,
-			TotalBytes:  m1.TotalAlloc - m0.TotalAlloc,
-			Units:       units[id],
-		}
-		if e.Units > 0 {
-			e.NsPerOp = float64(e.TotalNs) / e.Units
-			e.AllocsPerOp = float64(e.TotalAllocs) / e.Units
-			if elapsed > 0 {
-				e.Throughput = e.Units / elapsed.Seconds()
-			}
-		}
-		benchEntries[id] = e
+		benchEntries[id] = perfstat.NewEntry(elapsed.Nanoseconds(),
+			m1.Mallocs-m0.Mallocs, m1.TotalAlloc-m0.TotalAlloc, units[id])
 		fmt.Printf("===== %s =====\n%s\n", id, out)
 	}
 
@@ -283,8 +252,50 @@ func main() {
 			*seedStart, *seedStart+int64(*seeds), pcount, cells), nil
 	})
 
+	runIf("OV", func() (string, error) {
+		// The steady-state observation-overhead harness: every (restricted)
+		// platform×workload cell run monitor-off then monitor-on, plus the
+		// zero-alloc hot-path micro-benchmarks. The per-cell entries merge
+		// into the same record the other experiments write, so one
+		// BENCH_embera.json carries the whole trajectory.
+		rec, err := perfstat.ObservationOverhead(perfstat.HarnessOptions{
+			Platforms: mxPlatforms,
+			Workloads: mxWorkloads,
+			Scale:     *ovScale,
+		})
+		if err != nil {
+			return "", err
+		}
+		rec.Merge(perfstat.MicroBenchmarks())
+		benchEntries.Merge(rec)
+		setUnits("OV", float64(len(rec)))
+
+		var b strings.Builder
+		ids := make([]string, 0, len(rec))
+		for id := range rec {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(&b, "%-36s %12s %14s %10s %9s\n",
+			"cell", "ns/op", "allocs/op", "units", "overhead")
+		for _, id := range ids {
+			e := rec[id]
+			over := "-"
+			if e.OverheadPct != 0 {
+				over = fmt.Sprintf("%+.1f%%", e.OverheadPct)
+			}
+			fmt.Fprintf(&b, "%-36s %12.0f %14.3f %10.0f %9s\n",
+				id, e.NsPerOp, e.AllocsPerOp, e.Units, over)
+		}
+		return b.String(), nil
+	})
+	// The aggregate OV entry sums a heterogeneous harness whose micro
+	// b.N counts scale with machine speed — per-cell entries carry the
+	// comparable data, so the aggregate never enters the record.
+	delete(benchEntries, "OV")
+
 	if *benchJSON != "" && len(benchEntries) > 0 {
-		if err := writeBenchJSON(*benchJSON, benchEntries); err != nil {
+		if err := benchEntries.WriteFile(*benchJSON); err != nil {
 			log.Fatalf("bench-json: %v", err)
 		}
 		fmt.Printf("wrote %s (%d experiments)\n", *benchJSON, len(benchEntries))

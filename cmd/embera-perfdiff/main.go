@@ -1,0 +1,152 @@
+// embera-perfdiff compares a candidate BENCH_embera.json against a
+// committed baseline and gates regressions: the CLI half of
+// internal/perfstat, run by the bench-regress CI job after every perfstat
+// harness run.
+//
+// The gate defaults to the allocation metrics (total_allocs,
+// allocs_per_op), which transfer across machines; time metrics are always
+// compared and reported but only fail the build with -gate-time, because a
+// baseline committed from one machine carries its wall-clock, not the CI
+// runner's. A delta exactly at the tolerance passes; strictly beyond fails.
+//
+// Usage:
+//
+//	embera-perfdiff -baseline testdata/baselines/BENCH_embera.json -candidate BENCH_embera.json
+//	embera-perfdiff ... -tolerance 15% -json perfdiff.json   # machine-readable diff
+//	embera-perfdiff ... -metric-tolerance allocs_per_op=5%   # per-metric override
+//	embera-perfdiff ... -update                              # intentional re-baseline
+//
+// Exit status: 0 when no gated metric regressed, 1 on regression, 2 on
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"embera/internal/perfstat"
+)
+
+// parseTolerance accepts "15%" or "0.15".
+func parseTolerance(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("tolerance %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if !(v >= 0) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("tolerance %q must be a finite non-negative value", s)
+	}
+	return v, nil
+}
+
+// parseMetricTolerances accepts "name=pct,name=pct".
+func parseMetricTolerances(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("metric tolerance %q: want name=value", kv)
+		}
+		t, err := parseTolerance(val)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = t
+	}
+	return out, nil
+}
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "embera-perfdiff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	baseline := flag.String("baseline", "testdata/baselines/BENCH_embera.json",
+		"committed baseline record")
+	candidate := flag.String("candidate", "BENCH_embera.json",
+		"candidate record from the run under test")
+	tolerance := flag.String("tolerance", "15%",
+		"relative slack before a gated metric regresses (\"15%\" or \"0.15\"); exactly at the boundary passes")
+	metricTol := flag.String("metric-tolerance", "",
+		"per-metric overrides, e.g. \"allocs_per_op=5%,total_allocs=25%\" (metrics: "+
+			strings.Join(perfstat.MetricNames(), ", ")+")")
+	gateTime := flag.Bool("gate-time", false,
+		"also gate the time metrics (total_ns, ns_per_op, units_per_s); use when baseline and candidate ran on the same machine")
+	jsonOut := flag.String("json", "", "also write the machine-readable diff here")
+	update := flag.Bool("update", false,
+		"re-baseline intentionally: merge the candidate's entries over the baseline file and exit (no comparison)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErr("unexpected arguments %q", flag.Args())
+	}
+
+	tol, err := parseTolerance(*tolerance)
+	if err != nil {
+		usageErr("%v", err)
+	}
+	perMetric, err := parseMetricTolerances(*metricTol)
+	if err != nil {
+		usageErr("%v", err)
+	}
+
+	cand, err := perfstat.ReadFile(*candidate)
+	if err != nil {
+		usageErr("candidate: %v", err)
+	}
+
+	if *update {
+		// Merge rather than replace: a restricted -exp run must not drop
+		// the baseline entries it did not regenerate.
+		base, err := perfstat.ReadFile(*baseline)
+		if os.IsNotExist(err) {
+			base = perfstat.Record{}
+		} else if err != nil {
+			usageErr("baseline: %v", err)
+		}
+		base.Merge(cand)
+		if err := base.WriteFile(*baseline); err != nil {
+			usageErr("writing baseline: %v", err)
+		}
+		fmt.Printf("re-baselined %s (%d experiments)\n", *baseline, len(base))
+		return
+	}
+
+	base, err := perfstat.ReadFile(*baseline)
+	if err != nil {
+		usageErr("baseline: %v (run with -update to create it)", err)
+	}
+	diff, err := perfstat.Compare(base, cand, perfstat.Options{
+		Tolerance:       tol,
+		MetricTolerance: perMetric,
+		GateTime:        *gateTime,
+	})
+	if err != nil {
+		usageErr("%v", err)
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(diff, "", "  ")
+		if err != nil {
+			usageErr("encoding diff: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			usageErr("writing diff: %v", err)
+		}
+	}
+	fmt.Print(perfstat.Format(diff))
+	if !diff.OK() {
+		os.Exit(1)
+	}
+}

@@ -50,6 +50,25 @@
 // any failure prints a one-line `embera-bench -exp FUZZ -seed <n>`
 // repro.
 //
+// # Tracking performance
+//
+// Observation-path cost is a CI-gated invariant. Every embera-bench run
+// writes a machine-readable BENCH_embera.json (experiment → total_ns,
+// total_allocs, and per-op normalizations where the experiment reports
+// work units); `embera-bench -exp OV` adds the internal/perfstat
+// harness entries — each platform×workload cell run with the streaming
+// monitor off and on (the relative host cost lands in overhead_pct) and
+// micro-benchmarks of the zero-alloc hot paths (monitor sample tick,
+// native mailbox send, sim-kernel park/wake round, trace emit/codec).
+// The committed reference lives under testdata/baselines/;
+// cmd/embera-perfdiff diffs a fresh record against it and exits
+// non-zero when a gated metric regresses beyond the tolerance
+// (-tolerance 15% in CI's bench-regress job). Allocation metrics gate —
+// they transfer across machines, and a committed 0 allocs/op is an
+// absolute invariant — while time metrics are reported but gate only
+// under -gate-time. Re-baseline intentionally with
+// `embera-perfdiff -update` and commit the result.
+//
 // See README.md for the package layout, including the platform
 // abstraction layer and workload registry of internal/platform (one
 // harness, any platform × any workload — with an "adding a platform /

@@ -10,7 +10,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"embera/internal/core"
 	"embera/internal/mjpeg"
@@ -209,6 +211,34 @@ func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error
 		return nil, err
 	}
 	return r, nil
+}
+
+// HostCost is the host-side price of one Run: wall-clock time and heap
+// allocation between entry and exit, as read from runtime.MemStats. It is
+// what the perfstat harness records per platform×workload cell to quantify
+// observation overhead.
+type HostCost struct {
+	WallNs int64
+	Allocs uint64
+	Bytes  uint64
+}
+
+// MeasuredRun is Run bracketed by host-cost accounting. The memory-stats
+// read pairs are cheap relative to any run, but callers comparing cells
+// should still run cells back-to-back on an otherwise idle process so GC
+// timing noise stays small relative to the measured work.
+func MeasuredRun(p platform.Platform, w platform.Workload, opts Options) (*Result, HostCost, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	r, err := Run(p, w, opts)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return r, HostCost{
+		WallNs: wall.Nanoseconds(),
+		Allocs: m1.Mallocs - m0.Mallocs,
+		Bytes:  m1.TotalAlloc - m0.TotalAlloc,
+	}, err
 }
 
 // RunNamed resolves both registries and runs. Unknown names return the

@@ -1,0 +1,120 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/monitor"
+)
+
+// TestSamplePathZeroAlloc locks the monitor's per-tick hot path — SampleAll
+// into a reused buffer, wrap into ring samples, PushBatch — at zero
+// allocations. This is the invariant that makes millisecond-period sampling
+// affordable in production: the committed perf baseline gates it in CI, and
+// this test gates it everywhere else.
+func TestSamplePathZeroAlloc(t *testing.T) {
+	a, _ := buildPipelineApp(t, 1, 0)
+	ring := monitor.NewRing(4096, 2)
+	buf := make([]core.FastSample, 0, 8)
+	batch := make([]monitor.Sample, 0, 8)
+	drain := make([]monitor.Sample, 0, 4096)
+
+	tick := func() {
+		_, buf, batch = monitor.SampleTick(a, core.LevelApplication, 1000, ring, buf, batch)
+	}
+	tick() // warm the buffers
+	drain = ring.DrainInto(drain[:0])
+
+	if allocs := testing.AllocsPerRun(500, func() {
+		tick()
+		drain = ring.DrainInto(drain[:0])
+	}); allocs != 0 {
+		t.Fatalf("sample path allocates %v per tick, want 0", allocs)
+	}
+	if len(drain) == 0 {
+		t.Fatal("drain returned no samples")
+	}
+}
+
+// TestPushBatchMatchesPush verifies the batched producer path lands every
+// sample on the same shard, in the same order, with the same overflow
+// accounting as the per-sample Push it replaces.
+func TestPushBatchMatchesPush(t *testing.T) {
+	mk := func(i int) monitor.Sample {
+		return monitor.Sample{TimeUS: int64(i), FastSample: core.FastSample{Component: "c", SendOps: uint64(i)}}
+	}
+	single := monitor.NewRing(8, 3)
+	batched := monitor.NewRing(8, 3)
+	var batch []monitor.Sample
+	wantAccepted := 0
+	for i := 0; i < 12; i++ { // overflows: capacity 8, 12 offered
+		if single.Push(i, mk(i)) {
+			wantAccepted++
+		}
+		batch = append(batch, mk(i))
+	}
+	if got := batched.PushBatch(batch); got != wantAccepted {
+		t.Fatalf("PushBatch accepted %d, Push accepted %d", got, wantAccepted)
+	}
+	if batched.Dropped() != single.Dropped() {
+		t.Fatalf("PushBatch dropped %d, Push dropped %d", batched.Dropped(), single.Dropped())
+	}
+	var fromSingle, fromBatched []monitor.Sample
+	fromSingle = single.DrainInto(fromSingle)
+	fromBatched = batched.DrainInto(fromBatched)
+	if len(fromSingle) != len(fromBatched) {
+		t.Fatalf("drained %d vs %d samples", len(fromBatched), len(fromSingle))
+	}
+	for i := range fromSingle {
+		if fromSingle[i] != fromBatched[i] {
+			t.Fatalf("sample %d differs: batched %+v, single %+v", i, fromBatched[i], fromSingle[i])
+		}
+	}
+}
+
+// TestDrainIntoMatchesDrain verifies the batched consumer path yields the
+// same samples in the same order as the callback Drain.
+func TestDrainIntoMatchesDrain(t *testing.T) {
+	mk := func(i int) monitor.Sample {
+		return monitor.Sample{TimeUS: int64(i), FastSample: core.FastSample{Component: "c"}}
+	}
+	a := monitor.NewRing(16, 4)
+	b := monitor.NewRing(16, 4)
+	for i := 0; i < 10; i++ {
+		a.Push(i, mk(i))
+		b.Push(i, mk(i))
+	}
+	var viaCallback []monitor.Sample
+	n := a.Drain(func(s monitor.Sample) { viaCallback = append(viaCallback, s) })
+	viaInto := b.DrainInto(nil)
+	if n != len(viaInto) {
+		t.Fatalf("Drain moved %d, DrainInto %d", n, len(viaInto))
+	}
+	for i := range viaCallback {
+		if viaCallback[i] != viaInto[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, viaCallback[i], viaInto[i])
+		}
+	}
+	if a.Len() != 0 || b.Len() != 0 {
+		t.Fatal("rings not empty after drain")
+	}
+}
+
+// TestFlushBufferReuse pins the Flush contract: the returned slice is valid
+// until the next Flush and is reused by it.
+func TestFlushBufferReuse(t *testing.T) {
+	ag := monitor.NewAggregator(0)
+	s := monitor.Sample{TimeUS: 1, Level: core.LevelApplication,
+		FastSample: core.FastSample{Component: "A", SendOps: 5}}
+	ag.Add(s)
+	w1 := ag.Flush(10)
+	if len(w1) != 1 {
+		t.Fatalf("flush-1 emitted %d windows, want 1", len(w1))
+	}
+	s.TimeUS, s.SendOps = 11, 9
+	ag.Add(s)
+	w2 := ag.Flush(20)
+	if len(w2) != 1 || &w1[0] != &w2[0] {
+		t.Fatal("Flush must reuse its buffer across windows")
+	}
+}

@@ -75,6 +75,51 @@ func (r *Ring) Push(key int, s Sample) bool {
 	return true
 }
 
+// PushBatch offers one tick's worth of samples, where s[i] carries the key
+// i (the component index, exactly as the samplers produce them). Each shard
+// is locked once for its whole share of the batch instead of once per
+// sample; full shards count their rejected samples as dropped. It returns
+// how many samples were accepted.
+func (r *Ring) PushBatch(s []Sample) int {
+	accepted := 0
+	ns := len(r.shards)
+	for start := 0; start < ns && start < len(s); start++ {
+		sh := &r.shards[start]
+		sh.mu.Lock()
+		for i := start; i < len(s); i += ns {
+			if sh.n == len(sh.buf) {
+				sh.dropped++
+				continue
+			}
+			sh.buf[(sh.head+sh.n)%len(sh.buf)] = s[i]
+			sh.n++
+			accepted++
+		}
+		sh.mu.Unlock()
+	}
+	return accepted
+}
+
+// DrainInto removes every buffered sample, appending them in shard order
+// (FIFO within a shard) to dst, and returns the extended slice. Each shard
+// is locked exactly once; pass dst[:0] to reuse a scratch buffer across
+// drains, which is what keeps the pump flow allocation-free at steady
+// state.
+func (r *Ring) DrainInto(dst []Sample) []Sample {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for sh.n > 0 {
+			dst = append(dst, sh.buf[sh.head])
+			sh.buf[sh.head] = Sample{} // release payload references
+			sh.head = (sh.head + 1) % len(sh.buf)
+			sh.n--
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
 // Drain removes every buffered sample, invoking fn on each in shard order
 // (FIFO within a shard), and returns the number drained.
 func (r *Ring) Drain(fn func(Sample)) int {

@@ -158,6 +158,7 @@ type Aggregator struct {
 	startUS int64
 	comps   map[string]*compAgg
 	order   []string
+	out     []WindowStats // reusable flush buffer
 }
 
 // NewAggregator creates an aggregator whose first window opens at startUS.
@@ -202,8 +203,13 @@ func (ag *Aggregator) Add(s Sample) {
 // component that received samples, in component-name order. Components with
 // no samples this window are skipped (their counters resume from the old
 // baseline next window). The next window opens at endUS.
+//
+// The returned slice is the aggregator's own flush buffer, valid until the
+// next Flush: consumers stream the windows to sinks (which copy what they
+// retain) rather than holding the slice, so the per-window allocation is
+// paid once per run instead of once per window.
 func (ag *Aggregator) Flush(endUS int64) []WindowStats {
-	var out []WindowStats
+	out := ag.out[:0]
 	winUS := endUS - ag.startUS
 	for _, name := range ag.order {
 		ca := ag.comps[name]
@@ -230,6 +236,7 @@ func (ag *Aggregator) Flush(endUS int64) []WindowStats {
 		ca.depthHist, ca.latHist = Hist{}, Hist{}
 	}
 	ag.startUS = endUS
+	ag.out = out
 	return out
 }
 

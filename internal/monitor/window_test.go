@@ -174,7 +174,9 @@ func TestAggregatorMultiComponentOrder(t *testing.T) {
 func TestMergeWindows(t *testing.T) {
 	ag := NewAggregator(0)
 	ag.Add(mkSample("A", 1_000, 5, 0, 0, 4))
-	w1 := ag.Flush(10_000)
+	// Flush returns the aggregator's reusable buffer: copy before flushing
+	// again, as any window-retaining consumer must.
+	w1 := append([]WindowStats(nil), ag.Flush(10_000)...)
 	ag.Add(mkSample("A", 11_000, 25, 0, 0, 9))
 	w2 := ag.Flush(20_000)
 	tot := MergeWindows(append(w1, w2...))

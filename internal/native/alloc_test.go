@@ -1,0 +1,96 @@
+package native
+
+import (
+	"testing"
+
+	"embera/internal/core"
+)
+
+// TestMailboxSteadyStateZeroAlloc locks the uncontended mailbox hot path at
+// zero allocations: a send finding room and a receive finding data, with
+// nobody parked on the other side, must not touch the waiter channels (the
+// previous implementation closed-and-replaced a channel on every
+// operation, allocating once per send and once per receive).
+func TestMailboxSteadyStateZeroAlloc(t *testing.T) {
+	mb := newMailbox("in", 1<<20)
+	msg := core.Message{Bytes: 1024, From: "prod"}
+	// Warm the buffer.
+	for i := 0; i < 16; i++ {
+		mb.Send(nil, msg)
+	}
+	for i := 0; i < 16; i++ {
+		mb.Receive(nil)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		mb.Send(nil, msg)
+		mb.Receive(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state send/receive allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestServiceQueueSteadyStateZeroAlloc is the same invariant for the
+// unbounded observation-service queue.
+func TestServiceQueueSteadyStateZeroAlloc(t *testing.T) {
+	q := newQueue("observer-in")
+	msg := core.Message{Bytes: 64, From: "obs"}
+	for i := 0; i < 16; i++ {
+		q.Send(nil, msg)
+	}
+	for i := 0; i < 16; i++ {
+		q.Receive(nil)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Send(nil, msg)
+		q.Receive(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state service send/receive allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestMailboxNeverDrainedStaysBounded guards the compaction path: a
+// mailbox holding a resident message never hits the reset-on-empty, so
+// without compaction its buffer would grow by one slot per send forever.
+func TestMailboxNeverDrainedStaysBounded(t *testing.T) {
+	mb := newMailbox("in", 1<<30)
+	msg := core.Message{Bytes: 1, From: "prod"}
+	mb.Send(nil, msg) // resident message: the mailbox never drains
+	for i := 0; i < 100_000; i++ {
+		mb.Send(nil, msg)
+		mb.Receive(nil)
+	}
+	if d := mb.Depth(); d != 1 {
+		t.Fatalf("Depth = %d, want the single resident message", d)
+	}
+	if cap(mb.buf) > 128 {
+		t.Fatalf("buffer grew to %d slots for a depth-1 mailbox, want O(depth)", cap(mb.buf))
+	}
+}
+
+// TestWaiterWakeOnlyAllocatesWhenParked pins the lazy-channel contract:
+// wake with no waiter is free, and a parked waiter's channel is dropped
+// after one wake so closure and re-park each cost exactly one channel.
+func TestWaiterWakeOnlyAllocatesWhenParked(t *testing.T) {
+	var w waiter
+	if allocs := testing.AllocsPerRun(100, w.wake); allocs != 0 {
+		t.Fatalf("wake with no waiter allocates %v, want 0", allocs)
+	}
+	ch := w.channel()
+	if ch == nil {
+		t.Fatal("channel() returned nil")
+	}
+	if again := w.channel(); again != ch {
+		t.Fatal("channel() must return the same channel until the next wake")
+	}
+	w.wake()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("wake did not close the parked channel")
+	}
+	if w.ch != nil {
+		t.Fatal("wake must drop the closed channel")
+	}
+}

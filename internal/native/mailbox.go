@@ -5,24 +5,41 @@ import (
 	"sync"
 
 	"embera/internal/core"
+	"embera/internal/ringbuf"
 )
 
 // waiter is the channel-backed broadcast primitive behind mailbox blocking:
-// a channel that is closed to wake every waiter and immediately replaced.
-// Unlike sync.Cond it composes with select, which is what lets a blocked
-// send or receive also react to the component's kill channel and to
-// mailbox closure.
+// a channel that is closed to wake every waiter. Unlike sync.Cond it
+// composes with select, which is what lets a blocked send or receive also
+// react to the component's kill channel and to mailbox closure.
+//
+// The channel is created lazily, only when a flow actually needs to park,
+// and wake drops it once closed: the uncontended fast path — a send finding
+// room, a receive finding data, with nobody parked on the other side —
+// touches no channel at all and allocates nothing. Before this the wake
+// side closed-and-replaced its channel on every operation, which made every
+// native send pay for a channel allocation whether or not anyone was
+// waiting.
 type waiter struct {
 	ch chan struct{}
 }
 
-func newWaiter() waiter { return waiter{ch: make(chan struct{})} }
+// channel returns the channel to park on, creating it on first need.
+// Callers hold the owning mailbox lock.
+func (w *waiter) channel() chan struct{} {
+	if w.ch == nil {
+		w.ch = make(chan struct{})
+	}
+	return w.ch
+}
 
-// wake wakes every goroutine currently waiting. Callers hold the owning
-// mailbox lock.
+// wake wakes every goroutine currently waiting; with no waiters it is a
+// nil check. Callers hold the owning mailbox lock.
 func (w *waiter) wake() {
-	close(w.ch)
-	w.ch = make(chan struct{})
+	if w.ch != nil {
+		close(w.ch)
+		w.ch = nil
+	}
 }
 
 // mailbox is the bounded, byte-accounted FIFO behind a provided interface:
@@ -45,7 +62,7 @@ type mailbox struct {
 }
 
 func newMailbox(name string, capacity int64) *mailbox {
-	return &mailbox{name: name, capacity: capacity, data: newWaiter(), space: newWaiter()}
+	return &mailbox{name: name, capacity: capacity}
 }
 
 // killChan extracts the kill channel when the flow is a native component
@@ -80,7 +97,7 @@ func (m *mailbox) Send(sender core.Flow, msg core.Message) bool {
 	killed := killChan(sender)
 	m.mu.Lock()
 	for !m.closed && m.pending+int64(msg.Bytes) > m.capacity {
-		ch := m.space.ch
+		ch := m.space.channel()
 		m.mu.Unlock()
 		await(ch, killed)
 		m.mu.Lock()
@@ -108,17 +125,13 @@ func (m *mailbox) Receive(receiver core.Flow) (core.Message, bool) {
 			m.mu.Unlock()
 			return core.Message{}, false
 		}
-		ch := m.data.ch
+		ch := m.data.channel()
 		m.mu.Unlock()
 		await(ch, killed)
 		m.mu.Lock()
 	}
-	msg := m.buf[m.head]
-	m.buf[m.head] = core.Message{} // release payload reference
-	m.head++
-	if m.head == len(m.buf) {
-		m.buf, m.head = m.buf[:0], 0
-	}
+	msg, buf, head := ringbuf.PopFront(m.buf, m.head)
+	m.buf, m.head = buf, head
 	m.pending -= int64(msg.Bytes)
 	m.space.wake()
 	m.mu.Unlock()
@@ -177,7 +190,7 @@ type queue struct {
 	data   waiter
 }
 
-func newQueue(name string) *queue { return &queue{name: name, data: newWaiter()} }
+func newQueue(name string) *queue { return &queue{name: name} }
 
 // Send implements core.Mailbox; it never blocks.
 func (q *queue) Send(sender core.Flow, m core.Message) bool {
@@ -201,17 +214,13 @@ func (q *queue) Receive(receiver core.Flow) (core.Message, bool) {
 			q.mu.Unlock()
 			return core.Message{}, false
 		}
-		ch := q.data.ch
+		ch := q.data.channel()
 		q.mu.Unlock()
 		await(ch, killed)
 		q.mu.Lock()
 	}
-	m := q.buf[q.head]
-	q.buf[q.head] = core.Message{}
-	q.head++
-	if q.head == len(q.buf) {
-		q.buf, q.head = q.buf[:0], 0
-	}
+	m, buf, head := ringbuf.PopFront(q.buf, q.head)
+	q.buf, q.head = buf, head
 	q.mu.Unlock()
 	return m, true
 }

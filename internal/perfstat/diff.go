@@ -1,0 +1,284 @@
+package perfstat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metric statuses, ordered from benign to fatal.
+const (
+	StatusOK        = "ok"        // within tolerance
+	StatusImproved  = "improved"  // better than baseline beyond tolerance
+	StatusNew       = "new"       // in candidate only — informational
+	StatusMissing   = "missing"   // in baseline only — warned, never gated
+	StatusRegressed = "regressed" // worse than baseline beyond tolerance
+)
+
+// metricDef describes one comparable Entry field.
+type metricDef struct {
+	name   string
+	get    func(Entry) float64
+	higher bool // true when larger values are better (throughput)
+
+	// gated marks metrics that participate in the regression gate by
+	// default: the allocation counters, which are near-deterministic across
+	// machines. Time metrics are compared and reported but only gate under
+	// Options.GateTime, because wall-clock differs between the machine that
+	// committed a baseline and the machine checking against it.
+	gated bool
+
+	// zeroMeaningful marks metrics where a zero baseline is a measured
+	// invariant (a zero-alloc path) rather than "not measured": a candidate
+	// moving off such a zero beyond zeroEps is a regression. For time
+	// metrics a zero baseline just means the experiment reported no units,
+	// and a non-zero candidate is StatusNew.
+	zeroMeaningful bool
+
+	// zeroEps is the absolute slack against (near-)zero baselines, in the
+	// metric's own unit, absorbing e.g. a one-off allocation amortized over
+	// b.N operations.
+	zeroEps float64
+
+	// perOp marks metrics that only exist when the experiment reports
+	// units; a side without units has them structurally absent, which is
+	// "new"/"missing", never a regression.
+	perOp bool
+
+	// ungatedWithUnits drops the metric from the gate when either side
+	// reports units: totals are not comparable across runs whose work-unit
+	// counts differ (a different -seeds sweep, a different b.N), which is
+	// exactly what the per-op metrics normalize away.
+	ungatedWithUnits bool
+}
+
+// metrics is the comparison schema over Entry, in report order.
+var metrics = []metricDef{
+	{name: "total_ns", get: func(e Entry) float64 { return float64(e.TotalNs) }},
+	{name: "total_allocs", get: func(e Entry) float64 { return float64(e.TotalAllocs) },
+		gated: true, zeroMeaningful: true, zeroEps: 64, ungatedWithUnits: true},
+	{name: "total_alloc_bytes", get: func(e Entry) float64 { return float64(e.TotalBytes) }},
+	{name: "ns_per_op", get: func(e Entry) float64 { return e.NsPerOp }, perOp: true},
+	{name: "allocs_per_op", get: func(e Entry) float64 { return e.AllocsPerOp },
+		gated: true, zeroMeaningful: true, zeroEps: 0.5, perOp: true},
+	{name: "units_per_s", get: func(e Entry) float64 { return e.Throughput }, higher: true, perOp: true},
+}
+
+// MetricNames lists the comparable metric names, in report order.
+func MetricNames() []string {
+	out := make([]string, len(metrics))
+	for i, m := range metrics {
+		out[i] = m.name
+	}
+	return out
+}
+
+// Options parameterizes a comparison.
+type Options struct {
+	// Tolerance is the relative slack before a change counts as a
+	// regression or an improvement: 0.15 means a gated metric may be up to
+	// 15% worse than its baseline. A delta exactly at the tolerance passes;
+	// only strictly beyond it fails.
+	Tolerance float64
+
+	// MetricTolerance overrides Tolerance per metric name.
+	MetricTolerance map[string]float64
+
+	// GateTime adds the time-derived metrics (total_ns, ns_per_op,
+	// units_per_s) to the regression gate. Off by default: baselines are
+	// committed from one machine and checked on another, and wall-clock
+	// does not transfer the way allocation counts do.
+	GateTime bool
+}
+
+func (o Options) tolerance(metric string) float64 {
+	if t, ok := o.MetricTolerance[metric]; ok {
+		return t
+	}
+	return o.Tolerance
+}
+
+func (o Options) validate() error {
+	if !(o.Tolerance >= 0) || math.IsInf(o.Tolerance, 0) {
+		// Rejects negatives and also NaN/Inf, either of which would make
+		// every comparison pass and silently disable the gate.
+		return fmt.Errorf("perfstat: invalid tolerance %v", o.Tolerance)
+	}
+	known := map[string]bool{}
+	for _, m := range metrics {
+		known[m.name] = true
+	}
+	for name, t := range o.MetricTolerance {
+		if !known[name] {
+			return fmt.Errorf("perfstat: unknown metric %q in tolerance override (valid: %v)",
+				name, MetricNames())
+		}
+		if !(t >= 0) || math.IsInf(t, 0) {
+			return fmt.Errorf("perfstat: invalid tolerance %v for metric %q", t, name)
+		}
+	}
+	return nil
+}
+
+// MetricDiff is one metric's baseline/candidate comparison.
+type MetricDiff struct {
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	// DeltaPct is the signed relative change in percent (positive =
+	// increased). Meaningless (0) when either side is absent.
+	DeltaPct float64 `json:"delta_pct"`
+	Status   string  `json:"status"`
+	// Gated reports whether this metric could have failed the build under
+	// the options used.
+	Gated bool `json:"gated"`
+}
+
+// ExperimentDiff aggregates one experiment's metric comparisons.
+type ExperimentDiff struct {
+	Experiment string `json:"experiment"`
+	// Status is the worst metric status, or "new"/"missing" when the
+	// experiment exists on only one side.
+	Status  string       `json:"status"`
+	Metrics []MetricDiff `json:"metrics,omitempty"`
+}
+
+// Diff is a full baseline/candidate comparison: the machine-readable
+// artifact embera-perfdiff emits with -json.
+type Diff struct {
+	Tolerance   float64          `json:"tolerance"`
+	GateTime    bool             `json:"gate_time"`
+	Experiments []ExperimentDiff `json:"experiments"`
+	// Regressions lists every gated "experiment/metric" that failed, the
+	// build-breaking subset.
+	Regressions []string `json:"regressions"`
+}
+
+// OK reports whether the candidate passed the gate.
+func (d *Diff) OK() bool { return len(d.Regressions) == 0 }
+
+// Compare diffs candidate against baseline under opts.
+func Compare(baseline, candidate Record, opts Options) (*Diff, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	d := &Diff{Tolerance: opts.Tolerance, GateTime: opts.GateTime}
+	names := map[string]bool{}
+	for k := range baseline {
+		names[k] = true
+	}
+	for k := range candidate {
+		names[k] = true
+	}
+	order := make([]string, 0, len(names))
+	for k := range names {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+
+	for _, name := range order {
+		base, inBase := baseline[name]
+		cand, inCand := candidate[name]
+		ed := ExperimentDiff{Experiment: name}
+		switch {
+		case !inBase:
+			// New experiment in the candidate: nothing to gate against.
+			ed.Status = StatusNew
+		case !inCand:
+			// Present in the baseline, absent from this run (e.g. a
+			// restricted -exp selection): warn, never fail.
+			ed.Status = StatusMissing
+		default:
+			ed.Status = StatusOK
+			for _, m := range metrics {
+				md := compareMetric(m, base, cand, opts)
+				ed.Metrics = append(ed.Metrics, md)
+				if md.Status == StatusRegressed && md.Gated {
+					d.Regressions = append(d.Regressions, name+"/"+m.name)
+				}
+				ed.Status = worseStatus(ed.Status, md.Status)
+			}
+		}
+		d.Experiments = append(d.Experiments, ed)
+	}
+	return d, nil
+}
+
+// compareMetric applies the tolerance rules to one metric of one
+// experiment.
+func compareMetric(m metricDef, base, cand Entry, opts Options) MetricDiff {
+	b, c := m.get(base), m.get(cand)
+	gated := m.gated || opts.GateTime
+	if m.ungatedWithUnits && (base.Units > 0 || cand.Units > 0) {
+		gated = false
+	}
+	if base.Nondeterministic || cand.Nondeterministic {
+		// Scheduling-dependent cell: even its allocation counts embed one
+		// machine's goroutine park rate, so nothing about it gates.
+		gated = false
+	}
+	md := MetricDiff{Metric: m.name, Baseline: b, Candidate: c, Gated: gated}
+	tol := opts.tolerance(m.name)
+	if m.perOp && (base.Units == 0) != (cand.Units == 0) {
+		// Units appeared or disappeared: the per-op metrics are
+		// structurally absent on one side, not zero-valued.
+		if base.Units == 0 {
+			md.Status = StatusNew
+		} else {
+			md.Status = StatusMissing
+		}
+		md.Gated = false
+		return md
+	}
+	switch {
+	case b == 0 && c == 0:
+		md.Status = StatusOK
+	case b == 0:
+		// A zero baseline is a measured invariant for the allocation
+		// metrics (the zero-alloc hot paths) and "not measured" for the
+		// rest.
+		if !m.zeroMeaningful {
+			md.Status, md.Gated = StatusNew, false
+		} else if !m.higher && c > m.zeroEps {
+			md.Status = StatusRegressed
+		} else {
+			md.Status = StatusOK
+		}
+	case c == 0:
+		// The candidate stopped reporting this metric (omitempty makes a
+		// zero indistinguishable from absent): surface it, never gate it.
+		md.Status, md.Gated = StatusMissing, false
+	default:
+		delta := (c - b) / b
+		md.DeltaPct = delta * 100
+		worse, better := delta, -delta
+		if m.higher {
+			worse, better = -delta, delta
+		}
+		switch {
+		case worse > tol && m.zeroMeaningful && c-b <= m.zeroEps:
+			// Tiny absolute drift over a near-zero baseline (e.g. 3 allocs
+			// over a baseline of 10) is noise, not a regression.
+			md.Status = StatusOK
+		case worse > tol:
+			md.Status = StatusRegressed
+		case better > tol:
+			md.Status = StatusImproved
+		default:
+			md.Status = StatusOK
+		}
+	}
+	return md
+}
+
+// statusRank orders statuses from benign to fatal for aggregation.
+var statusRank = map[string]int{
+	StatusOK: 0, StatusImproved: 1, StatusNew: 2, StatusMissing: 3, StatusRegressed: 4,
+}
+
+func worseStatus(a, b string) string {
+	if statusRank[b] > statusRank[a] {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,323 @@
+package perfstat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// find returns the metric diff for experiment/metric, failing the test if
+// the comparison did not produce one.
+func find(t *testing.T, d *Diff, experiment, metric string) MetricDiff {
+	t.Helper()
+	for _, ed := range d.Experiments {
+		if ed.Experiment != experiment {
+			continue
+		}
+		for _, md := range ed.Metrics {
+			if md.Metric == metric {
+				return md
+			}
+		}
+	}
+	t.Fatalf("no diff for %s/%s in %+v", experiment, metric, d.Experiments)
+	return MetricDiff{}
+}
+
+func expStatus(t *testing.T, d *Diff, experiment string) string {
+	t.Helper()
+	for _, ed := range d.Experiments {
+		if ed.Experiment == experiment {
+			return ed.Status
+		}
+	}
+	t.Fatalf("experiment %s missing from diff", experiment)
+	return ""
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 500, 4096, 10)}
+	cand := Record{"T1": NewEntry(1040, 510, 4100, 10)}
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("clean run failed the gate: %v", d.Regressions)
+	}
+}
+
+func TestCompareGatesAllocRegression(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 1000, 4096, 10)}
+	cand := Record{"T1": NewEntry(1000, 1300, 4096, 10)} // +30% allocs
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("30% alloc regression passed a 15% gate")
+	}
+	// total_allocs is reported but ungated when units are present (totals
+	// are not comparable across different-sized runs); allocs_per_op is the
+	// gate.
+	want := []string{"T1/allocs_per_op"}
+	if len(d.Regressions) != len(want) || d.Regressions[0] != want[0] {
+		t.Fatalf("regressions = %v, want %v", d.Regressions, want)
+	}
+	if md := find(t, d, "T1", "total_allocs"); md.Status != StatusRegressed || md.Gated {
+		t.Fatalf("total_allocs = %+v, want reported-regressed but ungated with units", md)
+	}
+}
+
+// TestCompareTotalsGateOnlyWithoutUnits: unitless experiments have nothing
+// to normalize by, so there total_allocs is the gate.
+func TestCompareTotalsGateOnlyWithoutUnits(t *testing.T) {
+	base := Record{"F5": NewEntry(1000, 1000, 4096, 0)}
+	cand := Record{"F5": NewEntry(1000, 1300, 4096, 0)} // +30% allocs, no units
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("unitless 30% alloc regression passed the gate")
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0] != "F5/total_allocs" {
+		t.Fatalf("regressions = %v, want [F5/total_allocs]", d.Regressions)
+	}
+}
+
+// TestCompareTimeMetricsGateOnlyWhenAsked: wall-clock does not transfer
+// between machines, so ns regressions are reported but only fail the build
+// under GateTime.
+func TestCompareTimeMetricsGateOnlyWhenAsked(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 100, 4096, 10)}
+	cand := Record{"T1": NewEntry(2000, 100, 4096, 10)} // 2x slower, same allocs
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("ungated time regression failed the build: %v", d.Regressions)
+	}
+	if md := find(t, d, "T1", "ns_per_op"); md.Status != StatusRegressed || md.Gated {
+		t.Fatalf("ns_per_op = %+v, want reported-regressed but ungated", md)
+	}
+	d, err = Compare(base, cand, Options{Tolerance: 0.15, GateTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("GateTime did not gate the 2x time regression")
+	}
+}
+
+// TestCompareMissingExperimentInBaseline: a candidate experiment the
+// baseline has never seen is informational, not a failure — there is
+// nothing to regress against.
+func TestCompareMissingExperimentInBaseline(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 100, 0, 0)}
+	cand := Record{
+		"T1":    NewEntry(1000, 100, 0, 0),
+		"BRAND": NewEntry(9999, 99999, 0, 1),
+	}
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("new experiment failed the gate: %v", d.Regressions)
+	}
+	if got := expStatus(t, d, "BRAND"); got != StatusNew {
+		t.Fatalf("new experiment status = %q, want %q", got, StatusNew)
+	}
+}
+
+// TestCompareMissingExperimentInCandidate: a baseline experiment absent
+// from the candidate (restricted -exp run) warns but never gates.
+func TestCompareMissingExperimentInCandidate(t *testing.T) {
+	base := Record{
+		"T1": NewEntry(1000, 100, 0, 0),
+		"T2": NewEntry(1000, 100, 0, 0),
+	}
+	cand := Record{"T1": NewEntry(1000, 100, 0, 0)}
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("missing candidate experiment failed the gate: %v", d.Regressions)
+	}
+	if got := expStatus(t, d, "T2"); got != StatusMissing {
+		t.Fatalf("missing experiment status = %q, want %q", got, StatusMissing)
+	}
+}
+
+// TestCompareZeroBaselineIsAnInvariant: allocs_per_op 0 in the baseline is
+// the zero-alloc guarantee. A candidate clearly off zero regresses; one
+// within the absolute epsilon (a setup allocation amortized over b.N ops)
+// passes.
+func TestCompareZeroBaselineIsAnInvariant(t *testing.T) {
+	base := Record{"micro/native-send": NewEntry(1000, 0, 0, 1000)}
+
+	within := Record{"micro/native-send": NewEntry(1000, 400, 0, 1000)} // 0.4 allocs/op
+	d, err := Compare(base, within, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := find(t, d, "micro/native-send", "allocs_per_op"); md.Status != StatusOK {
+		t.Fatalf("0.4 allocs/op over a zero baseline = %q, want ok (within epsilon)", md.Status)
+	}
+
+	broken := Record{"micro/native-send": NewEntry(1000, 5000, 0, 1000)} // 5 allocs/op
+	d, err = Compare(base, broken, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("5 allocs/op over a zero-alloc baseline passed the gate")
+	}
+	if md := find(t, d, "micro/native-send", "allocs_per_op"); md.Status != StatusRegressed || !md.Gated {
+		t.Fatalf("allocs_per_op = %+v, want gated regression", md)
+	}
+}
+
+// TestCompareZeroTimeBaselineIsNotGated: zero ns_per_op means "no units
+// reported", so a candidate that starts reporting is new, not regressed.
+func TestCompareZeroTimeBaselineIsNotGated(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 100, 0, 0)} // no units: per-op absent
+	cand := Record{"T1": NewEntry(1000, 100, 0, 10)}
+	d, err := Compare(base, cand, Options{Tolerance: 0.15, GateTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("newly-reported per-op metrics failed the gate: %v", d.Regressions)
+	}
+	if md := find(t, d, "T1", "ns_per_op"); md.Status != StatusNew || md.Gated {
+		t.Fatalf("ns_per_op = %+v, want ungated %q", md, StatusNew)
+	}
+}
+
+// TestCompareToleranceBoundaryExactness: a delta exactly at the tolerance
+// passes; only strictly beyond fails. 15% over a baseline of 100 units is
+// the canonical boundary.
+func TestCompareToleranceBoundaryExactness(t *testing.T) {
+	base := Record{"T1": NewEntry(100_000, 100_000, 0, 1000)} // 100 allocs/op
+	at := Record{"T1": NewEntry(100_000, 115_000, 0, 1000)}   // exactly +15%
+	d, err := Compare(base, at, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("delta exactly at tolerance failed: %v", d.Regressions)
+	}
+	if md := find(t, d, "T1", "allocs_per_op"); md.Status != StatusOK {
+		t.Fatalf("exact-boundary status = %q, want ok", md.Status)
+	}
+
+	over := Record{"T1": NewEntry(100_000, 115_001, 0, 1000)} // one alloc beyond
+	d, err = Compare(base, over, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("delta strictly beyond tolerance passed")
+	}
+}
+
+// TestCompareImprovementReported: improvements beyond tolerance are
+// surfaced (the trajectory celebrates wins too) and never gate.
+func TestCompareImprovementReported(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 1000, 0, 10)}
+	cand := Record{"T1": NewEntry(1000, 100, 0, 10)}
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("improvement failed the gate: %v", d.Regressions)
+	}
+	if md := find(t, d, "T1", "allocs_per_op"); md.Status != StatusImproved {
+		t.Fatalf("status = %q, want %q", md.Status, StatusImproved)
+	}
+}
+
+func TestComparePerMetricToleranceOverride(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 1000, 0, 10)}
+	cand := Record{"T1": NewEntry(1000, 1200, 0, 10)} // +20%
+	d, err := Compare(base, cand, Options{
+		Tolerance:       0.15,
+		MetricTolerance: map[string]float64{"allocs_per_op": 0.5, "total_allocs": 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("override did not widen the gate: %v", d.Regressions)
+	}
+	if _, err := Compare(base, cand, Options{
+		Tolerance:       0.15,
+		MetricTolerance: map[string]float64{"no_such_metric": 0.1},
+	}); err == nil {
+		t.Fatal("unknown metric override accepted")
+	}
+}
+
+// TestCompareNondeterministicCellsNeverGate: wall-clock platform cells
+// embed one machine's goroutine park rate in their allocation counts, so
+// they are reported but exempt from the gate on either side.
+func TestCompareNondeterministicCellsNeverGate(t *testing.T) {
+	nd := func(e Entry) Entry { e.Nondeterministic = true; return e }
+	base := Record{"OV/native×pipeline/monitor-off": nd(NewEntry(1000, 1000, 0, 40))}
+	cand := Record{"OV/native×pipeline/monitor-off": nd(NewEntry(1000, 2000, 0, 40))} // +100% allocs
+	d, err := Compare(base, cand, Options{Tolerance: 0.15, GateTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("nondeterministic cell gated: %v", d.Regressions)
+	}
+	md := find(t, d, "OV/native×pipeline/monitor-off", "allocs_per_op")
+	if md.Status != StatusRegressed || md.Gated {
+		t.Fatalf("allocs_per_op = %+v, want reported-regressed but ungated", md)
+	}
+}
+
+func TestCompareNegativeToleranceRejected(t *testing.T) {
+	if _, err := Compare(Record{}, Record{}, Options{Tolerance: -0.1}); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestFormatVerdictLines(t *testing.T) {
+	base := Record{"T1": NewEntry(1000, 1000, 0, 10)}
+	cand := Record{"T1": NewEntry(1000, 2000, 0, 10)}
+	d, err := Compare(base, cand, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(d)
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "T1/allocs_per_op") {
+		t.Fatalf("failing format missing verdict:\n%s", out)
+	}
+	d, err = Compare(base, base, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Format(d); !strings.Contains(out, "PASS") {
+		t.Fatalf("passing format missing verdict:\n%s", out)
+	}
+}
+
+func TestCompareNaNInfToleranceRejected(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := Compare(Record{}, Record{}, Options{Tolerance: bad}); err == nil {
+			t.Fatalf("tolerance %v accepted; it would disable the gate", bad)
+		}
+		if _, err := Compare(Record{}, Record{}, Options{
+			Tolerance: 0.15, MetricTolerance: map[string]float64{"allocs_per_op": bad},
+		}); err == nil {
+			t.Fatalf("metric tolerance %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package perfstat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the diff as the human-readable table embera-perfdiff
+// prints: one line per experiment/metric that changed (or regressed), and a
+// verdict footer. Unchanged metrics are elided so a clean run prints a few
+// lines, not the cross product.
+func Format(d *Diff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %-18s %14s %14s %9s  %s\n",
+		"experiment", "metric", "baseline", "candidate", "delta", "status")
+	changes := 0
+	for _, ed := range d.Experiments {
+		if ed.Status == StatusNew || ed.Status == StatusMissing {
+			fmt.Fprintf(&b, "%-32s %-18s %14s %14s %9s  %s\n",
+				ed.Experiment, "-", "-", "-", "-", ed.Status)
+			changes++
+			continue
+		}
+		for _, md := range ed.Metrics {
+			if md.Status == StatusOK {
+				continue
+			}
+			gate := ""
+			if md.Status == StatusRegressed && md.Gated {
+				gate = " (gated)"
+			}
+			fmt.Fprintf(&b, "%-32s %-18s %14s %14s %8.1f%%  %s%s\n",
+				ed.Experiment, md.Metric,
+				formatValue(md.Baseline), formatValue(md.Candidate),
+				md.DeltaPct, md.Status, gate)
+			changes++
+		}
+	}
+	if changes == 0 {
+		fmt.Fprintf(&b, "(no changes beyond tolerance)\n")
+	}
+	if d.OK() {
+		fmt.Fprintf(&b, "PASS: no gated metric regressed beyond %.0f%%\n", d.Tolerance*100)
+	} else {
+		fmt.Fprintf(&b, "FAIL: %d gated regression(s) beyond %.0f%%: %s\n",
+			len(d.Regressions), d.Tolerance*100, strings.Join(d.Regressions, ", "))
+	}
+	return b.String()
+}
+
+// formatValue renders a metric value compactly (counts without decimals,
+// small per-op values with them).
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e9:
+		return fmt.Sprintf("%.3g", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

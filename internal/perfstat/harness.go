@@ -1,0 +1,242 @@
+package perfstat
+
+import (
+	"fmt"
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/monitor"
+	"embera/internal/platform"
+	"embera/internal/sim"
+	"embera/internal/trace"
+)
+
+// HarnessOptions parameterizes the steady-state observation-overhead
+// harness.
+type HarnessOptions struct {
+	// Platforms / Workloads restrict the matrix; empty means every
+	// registered platform × every registered (non-family) workload.
+	Platforms []string
+	Workloads []string
+	// Scale is the workload scale of each cell (default 40).
+	Scale int
+	// SamplePeriodUS is the monitor-on sampling period (default 1000 µs of
+	// platform time, the production-realistic millisecond sampler).
+	SamplePeriodUS int64
+}
+
+func (o *HarnessOptions) setDefaults() {
+	if len(o.Platforms) == 0 {
+		o.Platforms = platform.Names()
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = platform.WorkloadNames()
+	}
+	if o.Scale == 0 {
+		o.Scale = 40
+	}
+	if o.SamplePeriodUS == 0 {
+		o.SamplePeriodUS = 1000
+	}
+}
+
+// ObservationOverhead runs every platform×workload cell twice — monitor off
+// (baseline) and monitor on (millisecond application-level sampling) — and
+// records both cells' host costs into a Record, keyed
+// "OV/<platform>×<workload>/monitor-{off,on}". Monitor-on entries carry the
+// relative host-time overhead in OverheadPct: the paper's "cheap enough to
+// leave enabled" claim as a number the trajectory tracks run over run.
+func ObservationOverhead(opts HarnessOptions) (Record, error) {
+	opts.setDefaults()
+	rec := Record{}
+	for _, pname := range opts.Platforms {
+		p, err := platform.Get(pname)
+		if err != nil {
+			return nil, err
+		}
+		for _, wname := range opts.Workloads {
+			w, err := platform.GetWorkload(wname)
+			if err != nil {
+				return nil, err
+			}
+			runOpts := exp.Options{Options: platform.Options{Scale: opts.Scale}}
+			off, offCost, err := exp.MeasuredRun(p, w, runOpts)
+			if err != nil {
+				return nil, fmt.Errorf("perfstat: %s × %s monitor-off: %w", pname, wname, err)
+			}
+			monOpts := runOpts
+			monOpts.Monitor = &monitor.Config{
+				Levels: []monitor.LevelPeriod{
+					{Level: core.LevelApplication, PeriodUS: opts.SamplePeriodUS},
+				},
+			}
+			on, onCost, err := exp.MeasuredRun(p, w, monOpts)
+			if err != nil {
+				return nil, fmt.Errorf("perfstat: %s × %s monitor-on: %w", pname, wname, err)
+			}
+			units := float64(off.Instance.Units())
+			key := "OV/" + pname + "×" + wname
+			offEntry := NewEntry(offCost.WallNs, offCost.Allocs, offCost.Bytes, units)
+			onEntry := NewEntry(onCost.WallNs, onCost.Allocs, onCost.Bytes, float64(on.Instance.Units()))
+			if offCost.WallNs > 0 {
+				onEntry.OverheadPct = 100 * float64(onCost.WallNs-offCost.WallNs) / float64(offCost.WallNs)
+			}
+			// Wall-clock platforms park goroutines at scheduling-dependent
+			// rates, so even their allocation counts are not comparable
+			// across machines: record the cells, exempt them from the gate.
+			if !p.Deterministic() {
+				offEntry.Nondeterministic, onEntry.Nondeterministic = true, true
+			}
+			rec[key+"/monitor-off"] = offEntry
+			rec[key+"/monitor-on"] = onEntry
+		}
+	}
+	return rec, nil
+}
+
+// MicroBenchmarks measures the zero-alloc hot paths the overhaul of this
+// record's first baseline established — the monitor sample path, the native
+// mailbox send path, the sim kernel event loop and the trace recorder/codec
+// — via testing.Benchmark, and returns them keyed "micro/<path>". Their
+// allocs_per_op entries are the committed invariant: CI diffs them against
+// the baseline, so a change that re-introduces per-operation allocation on
+// any of these paths fails the build.
+func MicroBenchmarks() Record {
+	rec := Record{}
+	rec["micro/monitor-sample-tick"] = fromBenchmark(testing.Benchmark(benchMonitorSampleTick))
+	// The native micro parks goroutines at a scheduling-dependent rate and
+	// each park allocates a waiter channel, so like the OV native cells it
+	// is tracked but exempt from the gate.
+	native := fromBenchmark(testing.Benchmark(benchNativeMailboxSend))
+	native.Nondeterministic = true
+	rec["micro/native-mailbox-send"] = native
+	rec["micro/sim-kernel-send"] = fromBenchmark(testing.Benchmark(benchSimKernelSend))
+	rec["micro/trace-emit"] = fromBenchmark(testing.Benchmark(benchTraceEmit))
+	rec["micro/trace-write-event"] = fromBenchmark(testing.Benchmark(benchTraceWrite))
+	return rec
+}
+
+// fromBenchmark converts a benchmark result into a record entry (units =
+// executed operations).
+func fromBenchmark(r testing.BenchmarkResult) Entry {
+	return NewEntry(r.T.Nanoseconds(), uint64(r.MemAllocs), uint64(r.MemBytes), float64(r.N))
+}
+
+// benchMonitorSampleTick measures one monitor sampling tick over the
+// registered pipeline workload on smp: SampleAll into a reused buffer, wrap,
+// PushBatch into the ring, drain. This is the per-tick cost of leaving the
+// streaming monitor enabled.
+func benchMonitorSampleTick(b *testing.B) {
+	p := platform.MustGet("smp")
+	_, a := p.New("perfstat")
+	w := platform.MustGetWorkload("pipeline")
+	if _, err := w.Build(a, p, platform.Options{Scale: 4}); err != nil {
+		b.Fatal(err)
+	}
+	n := len(a.Components())
+	ring := monitor.NewRing(4096, 2)
+	buf := make([]core.FastSample, 0, n)
+	batch := make([]monitor.Sample, 0, n)
+	drain := make([]monitor.Sample, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, buf, batch = monitor.SampleTick(a, core.LevelApplication, int64(i), ring, buf, batch)
+		if ring.Len()+n > ring.Capacity() {
+			drain = ring.DrainInto(drain[:0])
+		}
+	}
+}
+
+// benchNativeMailboxSend measures one instrumented send+receive round
+// through the native channel-backed mailbox, the wall-clock platform's hot
+// path.
+func benchNativeMailboxSend(b *testing.B) {
+	m, a := platform.MustGet("native").New("perfstat")
+	n := b.N
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < n; i++ {
+			ctx.Send("out", nil, 1024)
+		}
+	})
+	prod.MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	})
+	cons.MustAddProvided("in", 1<<20)
+	a.MustConnect(prod, "out", cons, "in")
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := a.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(int64(10 * 60 * 1e6)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchSimKernelSend measures one blocking put+get round through the sim
+// kernel's queue — park, wake and resume riding the recycled event structs.
+func benchSimKernelSend(b *testing.B) {
+	k := sim.NewKernel()
+	q := sim.NewQueue[int](k, "q", 1)
+	n := b.N
+	k.Spawn("prod", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	k.Spawn("cons", func(p *sim.Proc) {
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchTraceEmit measures the recorder's per-event collection cost.
+func benchTraceEmit(b *testing.B) {
+	r := trace.NewRecorder(1 << 16)
+	e := core.Event{TimeUS: 1, Kind: core.EvSend, Component: "Fetch",
+		Interface: "fetchIdct1", Bytes: 4352, DurUS: 13}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(e)
+	}
+}
+
+// benchTraceWrite measures the binary codec per event (4096-event trace per
+// Write call).
+func benchTraceWrite(b *testing.B) {
+	r := trace.NewRecorder(4096)
+	for i := 0; i < 4096; i++ {
+		r.Emit(core.Event{TimeUS: int64(i), Kind: core.EvSend,
+			Component: "Fetch", Interface: "fetchIdct1", Bytes: 4352, DurUS: 13})
+	}
+	events := r.Events()
+	var sink countWriter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(events) {
+		if err := trace.Write(&sink, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += len(p); return len(p), nil }

@@ -1,0 +1,119 @@
+// Package perfstat makes observation-path cost a tracked invariant instead
+// of a hope: it models the BENCH_embera.json benchmark records that
+// cmd/embera-bench emits on every run, loads/merges/diffs them across runs
+// against committed baselines with per-metric tolerances, and provides the
+// steady-state harness that measures the framework's own observation
+// overhead (monitor on vs off) per platform×workload cell plus
+// micro-benchmarks of the zero-alloc hot paths. cmd/embera-perfdiff is the
+// CLI over the diff model; CI runs it against testdata/baselines/ and fails
+// the build on regression.
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one experiment's record in BENCH_embera.json. Totals cover the
+// whole experiment invocation; the per-op fields are normalized by the
+// experiment's work-unit count and present only when the experiment reports
+// one, so records stay comparable across invocations with different sweep
+// sizes.
+type Entry struct {
+	TotalNs     int64   `json:"total_ns"`
+	TotalAllocs uint64  `json:"total_allocs"`
+	TotalBytes  uint64  `json:"total_alloc_bytes"`
+	Units       float64 `json:"units,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Throughput  float64 `json:"units_per_s,omitempty"`
+
+	// OverheadPct is filled by the observation-overhead harness on
+	// monitor-on entries: the relative host-time cost of leaving the
+	// streaming monitor enabled, in percent over the matching monitor-off
+	// cell.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+
+	// Nondeterministic marks entries whose counts depend on scheduling —
+	// the wall-clock (native) platform cells, where even allocation counts
+	// move with goroutine park rates. Such entries are compared and
+	// reported but never gated.
+	Nondeterministic bool `json:"nondeterministic,omitempty"`
+}
+
+// NewEntry derives the normalized per-op fields from totals. units <= 0
+// leaves the per-op fields zero (absent in JSON).
+func NewEntry(totalNs int64, totalAllocs, totalBytes uint64, units float64) Entry {
+	e := Entry{
+		TotalNs:     totalNs,
+		TotalAllocs: totalAllocs,
+		TotalBytes:  totalBytes,
+	}
+	if units > 0 {
+		e.Units = units
+		e.NsPerOp = float64(totalNs) / units
+		e.AllocsPerOp = float64(totalAllocs) / units
+		if totalNs > 0 {
+			e.Throughput = units / (float64(totalNs) / 1e9)
+		}
+	}
+	return e
+}
+
+// Record maps experiment identifier → measurements: the in-memory form of
+// one BENCH_embera.json.
+type Record map[string]Entry
+
+// Merge copies every entry of src into r, overwriting entries for
+// experiments present in both — the "latest run wins" rule used when a
+// partial re-run refreshes a subset of a trajectory record.
+func (r Record) Merge(src Record) {
+	for k, v := range src {
+		r[k] = v
+	}
+}
+
+// Encode renders the record as the canonical indented JSON (keys sorted,
+// trailing newline) written by embera-bench.
+func (r Record) Encode() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// Decode parses a BENCH_embera.json blob.
+func Decode(blob []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("perfstat: %w", err)
+	}
+	if r == nil {
+		r = Record{}
+	}
+	return r, nil
+}
+
+// ReadFile loads a record from disk.
+func ReadFile(path string) (Record, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("perfstat: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteFile saves a record to disk in the canonical encoding.
+func (r Record) WriteFile(path string) error {
+	blob, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}

@@ -1,0 +1,67 @@
+package perfstat
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{
+		"T1": NewEntry(1_000_000, 5000, 1<<20, 578),
+		"OV/smp×pipeline/monitor-on": func() Entry {
+			e := NewEntry(2_000_000, 800, 4096, 60)
+			e.OverheadPct = 3.5
+			return e
+		}(),
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_embera.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rec) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(got), len(rec))
+	}
+	for k, want := range rec {
+		if got[k] != want {
+			t.Fatalf("entry %s round-tripped to %+v, want %+v", k, got[k], want)
+		}
+	}
+}
+
+func TestNewEntryNormalization(t *testing.T) {
+	e := NewEntry(2_000_000_000, 500, 1024, 100)
+	if e.NsPerOp != 20_000_000 {
+		t.Fatalf("ns_per_op = %v, want 2e7", e.NsPerOp)
+	}
+	if e.AllocsPerOp != 5 {
+		t.Fatalf("allocs_per_op = %v, want 5", e.AllocsPerOp)
+	}
+	if e.Throughput != 50 {
+		t.Fatalf("units_per_s = %v, want 50", e.Throughput)
+	}
+	if z := NewEntry(1000, 5, 0, 0); z.NsPerOp != 0 || z.AllocsPerOp != 0 || z.Throughput != 0 {
+		t.Fatalf("unitless entry grew per-op fields: %+v", z)
+	}
+}
+
+func TestRecordMergeLatestWins(t *testing.T) {
+	dst := Record{"A": NewEntry(1, 1, 1, 0), "B": NewEntry(2, 2, 2, 0)}
+	dst.Merge(Record{"B": NewEntry(9, 9, 9, 0), "C": NewEntry(3, 3, 3, 0)})
+	if len(dst) != 3 || dst["B"].TotalNs != 9 || dst["C"].TotalNs != 3 || dst["A"].TotalNs != 1 {
+		t.Fatalf("merge result wrong: %+v", dst)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	r, err := Decode([]byte("null"))
+	if err != nil || r == nil {
+		t.Fatalf("null must decode to an empty record, got %v, %v", r, err)
+	}
+}

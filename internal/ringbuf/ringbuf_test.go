@@ -1,0 +1,71 @@
+package ringbuf
+
+import "testing"
+
+func TestPopFrontFIFO(t *testing.T) {
+	var buf []int
+	head := 0
+	for i := 0; i < 100; i++ {
+		buf = append(buf, i)
+	}
+	for i := 0; i < 100; i++ {
+		var v int
+		v, buf, head = PopFront(buf, head)
+		if v != i {
+			t.Fatalf("popped %d, want %d", v, i)
+		}
+	}
+	if len(buf) != head {
+		t.Fatalf("buffer not drained: len=%d head=%d", len(buf), head)
+	}
+}
+
+func TestPopFrontResetsWhenDrained(t *testing.T) {
+	buf := []string{"a", "b"}
+	head := 0
+	_, buf, head = PopFront(buf, head)
+	_, buf, head = PopFront(buf, head)
+	if len(buf) != 0 || head != 0 {
+		t.Fatalf("drained buffer not reset: len=%d head=%d", len(buf), head)
+	}
+}
+
+func TestPopFrontZeroesVacatedSlot(t *testing.T) {
+	buf := []*int{new(int), new(int)}
+	head := 0
+	_, buf, head = PopFront(buf, head)
+	if head != 1 || buf[0] != nil {
+		t.Fatalf("vacated slot retains reference: head=%d buf[0]=%v", head, buf[0])
+	}
+}
+
+// TestPopFrontStaysBounded is the leak guard: a FIFO that always holds one
+// resident element never hits the reset-on-empty, so without compaction the
+// backing array would grow by one slot per push forever.
+func TestPopFrontStaysBounded(t *testing.T) {
+	var buf []int
+	head := 0
+	buf = append(buf, -1) // resident element
+	for i := 0; i < 100_000; i++ {
+		buf = append(buf, i)
+		_, buf, head = PopFront(buf, head)
+	}
+	if live := len(buf) - head; live != 1 {
+		t.Fatalf("live = %d, want the single resident element", live)
+	}
+	if cap(buf) > 4*compactAt {
+		t.Fatalf("backing array grew to %d slots for a depth-1 FIFO, want O(depth)", cap(buf))
+	}
+}
+
+func TestPopFrontZeroAlloc(t *testing.T) {
+	buf := make([]int, 0, 8)
+	head := 0
+	buf = append(buf, 1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		buf = append(buf, 2)
+		_, buf, head = PopFront(buf, head)
+	}); allocs != 0 {
+		t.Fatalf("steady-state push/pop allocates %v per op, want 0", allocs)
+	}
+}

@@ -59,11 +59,25 @@ func (d Duration) Milliseconds() float64 { return float64(d) / float64(Milliseco
 // Seconds reports the duration as a floating-point second count.
 func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 
+// Event kinds. Process wake-ups are the overwhelming majority of scheduled
+// events (every send, receive, advance and sleep produces at least one), so
+// they carry the target process in the event struct itself instead of a
+// closure: the park/wake/resume cycle allocates nothing once the free list
+// is warm.
+const (
+	evFn     uint8 = iota // run fn in kernel context
+	evWake                // timer aimed at p: call wake(p) when dispatched
+	evResume              // resume p if still ready and its park matches pseq
+)
+
 // event is a scheduled kernel callback.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among simultaneous events
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   func() // evFn only
+	p    *Proc  // evWake / evResume target
+	pseq uint64 // evResume: park sequence the resume is aimed at
+	kind uint8
 }
 
 // eventHeap is a min-heap on (at, seq).
@@ -119,6 +133,10 @@ func (k *Kernel) Now() Time { return k.now }
 // A nil tracer disables tracing.
 func (k *Kernel) SetTracer(fn func(t Time, format string, args ...any)) { k.tracer = fn }
 
+// trace forwards to the installed tracer. Hot-path callers must guard with
+// `if k.tracer != nil` themselves: a variadic call materializes its []any
+// argument pack at the call site whether or not the tracer is installed,
+// which used to cost the park/wake cycle several allocations per operation.
 func (k *Kernel) trace(format string, args ...any) {
 	if k.tracer != nil {
 		k.tracer(k.now, format, args...)
@@ -128,6 +146,17 @@ func (k *Kernel) trace(format string, args ...any) {
 // At schedules fn to run in kernel context when the virtual clock reaches
 // now+d. Scheduling in the past panics: the kernel never rewinds.
 func (k *Kernel) At(d Duration, fn func()) {
+	k.schedule(d, evFn, fn, nil, 0)
+}
+
+// atWake schedules a closure-free wake-up of p at now+d (the timer half of
+// Advance, YieldTurn and SleepUS).
+func (k *Kernel) atWake(d Duration, p *Proc) {
+	k.schedule(d, evWake, nil, p, 0)
+}
+
+// schedule is the shared scheduling path behind At, atWake and wake.
+func (k *Kernel) schedule(d Duration, kind uint8, fn func(), p *Proc, pseq uint64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
@@ -140,13 +169,13 @@ func (k *Kernel) At(d Duration, fn func()) {
 	} else {
 		ev = new(event)
 	}
-	ev.at, ev.seq, ev.fn = k.now+Time(d), k.seq, fn
+	ev.at, ev.seq, ev.fn, ev.p, ev.pseq, ev.kind = k.now+Time(d), k.seq, fn, p, pseq, kind
 	heap.Push(&k.events, ev)
 }
 
 // recycle returns a dispatched event to the free list.
 func (k *Kernel) recycle(ev *event) {
-	ev.fn = nil
+	ev.fn, ev.p = nil, nil
 	if len(k.free) < heapHint {
 		k.free = append(k.free, ev)
 	}
@@ -210,16 +239,27 @@ func (k *Kernel) wake(p *Proc) {
 	if p.state != StateParked {
 		return // already woken by someone else, or terminated
 	}
-	seq := p.parkSeq
 	p.state = StateReady
-	k.At(0, func() {
-		if p.state != StateReady || p.parkSeq != seq {
+	k.schedule(0, evResume, nil, p, p.parkSeq)
+}
+
+// dispatch runs one dequeued event after it has been recycled.
+func (k *Kernel) dispatch(kind uint8, fn func(), p *Proc, pseq uint64) {
+	switch kind {
+	case evFn:
+		fn()
+	case evWake:
+		k.wake(p)
+	case evResume:
+		if p.state != StateReady || p.parkSeq != pseq {
 			return // superseded: the process moved on in the meantime
 		}
 		p.state = StateRunning
-		k.trace("resume %s", p.name)
+		if k.tracer != nil {
+			k.trace("resume %s", p.name)
+		}
 		k.handoff(p)
-	})
+	}
 }
 
 // Run executes events until none remain, then verifies that no process is
@@ -244,11 +284,12 @@ func (k *Kernel) RunUntil(limit Time) error {
 			panic("sim: event queue time went backwards")
 		}
 		k.now = ev.at
-		fn := ev.fn
-		// Recycle before dispatch: once fn is saved the struct carries no
-		// live state, and fn itself may schedule (and so reuse) events.
+		kind, fn, p, pseq := ev.kind, ev.fn, ev.p, ev.pseq
+		// Recycle before dispatch: once its fields are saved the struct
+		// carries no live state, and the dispatched work may schedule (and
+		// so reuse) events.
 		k.recycle(ev)
-		fn()
+		k.dispatch(kind, fn, p, pseq)
 	}
 	var parked []string
 	for p := range k.procs {

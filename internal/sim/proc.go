@@ -77,7 +77,9 @@ func (p *Proc) park(reason string) {
 	p.parkSeq++
 	p.state = StateParked
 	p.waitReason = reason
-	p.k.trace("park %s: %s", p.name, reason)
+	if p.k.tracer != nil {
+		p.k.trace("park %s: %s", p.name, reason)
+	}
 	p.k.yield <- struct{}{}
 	<-p.resume
 	p.waitReason = ""
@@ -97,7 +99,7 @@ func (p *Proc) Advance(d Duration) {
 		p.YieldTurn()
 		return
 	}
-	p.k.At(d, func() { p.k.wake(p) })
+	p.k.atWake(d, p)
 	p.parkSeq++
 	p.state = StateParked
 	p.waitReason = "advance"
@@ -112,7 +114,7 @@ func (p *Proc) Advance(d Duration) {
 // YieldTurn relinquishes the processor without advancing time; the process
 // resumes after all other events already scheduled for the current instant.
 func (p *Proc) YieldTurn() {
-	p.k.At(0, func() { p.k.wake(p) })
+	p.k.atWake(0, p)
 	p.parkSeq++
 	p.state = StateParked
 	p.waitReason = "yield"

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"embera/internal/ringbuf"
+)
 
 // Queue is a bounded or unbounded FIFO channel between simulated processes.
 // A capacity of 0 means unbounded. Queue is the building block for the SMP
@@ -10,9 +14,14 @@ type Queue[T any] struct {
 	name    string
 	cap     int
 	items   []T
+	head    int // index of the oldest buffered item
 	getters waiterList
 	putters waiterList
 	closed  bool
+
+	// Park reasons are precomputed so a blocking Put/Get performs no
+	// per-operation string concatenation.
+	putReason, getReason string
 
 	// Statistics maintained for observation.
 	puts, gets uint64
@@ -24,14 +33,17 @@ func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
 	if capacity < 0 {
 		panic(fmt.Sprintf("sim: negative queue capacity %d", capacity))
 	}
-	return &Queue[T]{k: k, name: name, cap: capacity}
+	return &Queue[T]{
+		k: k, name: name, cap: capacity,
+		putReason: "put " + name, getReason: "get " + name,
+	}
 }
 
 // Name returns the queue name.
 func (q *Queue[T]) Name() string { return q.name }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Cap returns the configured capacity (0 = unbounded).
 func (q *Queue[T]) Cap() int { return q.cap }
@@ -44,64 +56,72 @@ func (q *Queue[T]) Stats() (puts, gets uint64, maxDepth int) {
 // Put appends v, blocking p while the queue is at capacity. Putting into a
 // closed queue panics, mirroring Go channel semantics.
 func (q *Queue[T]) Put(p *Proc, v T) {
-	for q.cap > 0 && len(q.items) >= q.cap {
+	for q.cap > 0 && q.Len() >= q.cap {
 		if q.closed {
 			panic(fmt.Sprintf("sim: put on closed queue %q", q.name))
 		}
 		q.putters.add(p)
-		p.park("put " + q.name)
+		p.park(q.putReason)
 	}
 	if q.closed {
 		panic(fmt.Sprintf("sim: put on closed queue %q", q.name))
 	}
-	q.items = append(q.items, v)
-	q.puts++
-	if len(q.items) > q.maxDepth {
-		q.maxDepth = len(q.items)
-	}
+	q.push(v)
 	q.getters.wakeOne(q.k)
 }
 
 // TryPut appends v without blocking and reports whether it was accepted.
 func (q *Queue[T]) TryPut(v T) bool {
-	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+	if q.closed || (q.cap > 0 && q.Len() >= q.cap) {
 		return false
 	}
-	q.items = append(q.items, v)
-	q.puts++
-	if len(q.items) > q.maxDepth {
-		q.maxDepth = len(q.items)
-	}
+	q.push(v)
 	q.getters.wakeOne(q.k)
 	return true
+}
+
+// push appends v and maintains the statistics. The buffer is a head-indexed
+// slice that resets to its start whenever it drains, so a steady-state
+// producer/consumer pair reuses the same backing array forever instead of
+// re-allocating as the slice window crawls forward.
+func (q *Queue[T]) push(v T) {
+	q.items = append(q.items, v)
+	q.puts++
+	if d := q.Len(); d > q.maxDepth {
+		q.maxDepth = d
+	}
+}
+
+// pop removes the oldest item. Callers have checked Len() > 0.
+func (q *Queue[T]) pop() T {
+	v, items, head := ringbuf.PopFront(q.items, q.head)
+	q.items, q.head = items, head
+	q.gets++
+	return v
 }
 
 // Get removes and returns the oldest item, blocking p while the queue is
 // empty. When the queue is closed and drained, Get returns the zero value
 // and ok=false.
 func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		if q.closed {
 			return v, false
 		}
 		q.getters.add(p)
-		p.park("get " + q.name)
+		p.park(q.getReason)
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	q.gets++
+	v = q.pop()
 	q.putters.wakeOne(q.k)
 	return v, true
 }
 
 // TryGet removes the oldest item without blocking.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	q.gets++
+	v = q.pop()
 	q.putters.wakeOne(q.k)
 	return v, true
 }
@@ -120,15 +140,25 @@ func (q *Queue[T]) Close() {
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
 
-// waiterList is a FIFO of parked processes.
-type waiterList struct{ ps []*Proc }
+// waiterList is a FIFO of parked processes. Like the queue item buffer it is
+// head-indexed and resets to its start when drained, so park/wake cycles
+// reuse one backing array instead of shedding capacity as they go.
+type waiterList struct {
+	ps   []*Proc
+	head int
+}
 
 func (w *waiterList) add(p *Proc) { w.ps = append(w.ps, p) }
 
+func (w *waiterList) pop() *Proc {
+	p, ps, head := ringbuf.PopFront(w.ps, w.head)
+	w.ps, w.head = ps, head
+	return p
+}
+
 func (w *waiterList) wakeOne(k *Kernel) {
-	for len(w.ps) > 0 {
-		p := w.ps[0]
-		w.ps = w.ps[1:]
+	for len(w.ps) > w.head {
+		p := w.pop()
 		if p.state == StateParked {
 			k.wake(p)
 			return
@@ -137,18 +167,19 @@ func (w *waiterList) wakeOne(k *Kernel) {
 }
 
 func (w *waiterList) wakeAll(k *Kernel) {
-	for _, p := range w.ps {
+	for len(w.ps) > w.head {
+		p := w.pop()
 		if p.state == StateParked {
 			k.wake(p)
 		}
 	}
-	w.ps = nil
 }
 
 // Semaphore is a counting semaphore for simulated processes.
 type Semaphore struct {
 	k       *Kernel
 	name    string
+	reason  string // precomputed park reason
 	count   int
 	waiters waiterList
 }
@@ -158,14 +189,14 @@ func NewSemaphore(k *Kernel, name string, initial int) *Semaphore {
 	if initial < 0 {
 		panic(fmt.Sprintf("sim: negative semaphore count %d", initial))
 	}
-	return &Semaphore{k: k, name: name, count: initial}
+	return &Semaphore{k: k, name: name, reason: "sem " + name, count: initial}
 }
 
 // Wait decrements the count, blocking p while it is zero (P operation).
 func (s *Semaphore) Wait(p *Proc) {
 	for s.count == 0 {
 		s.waiters.add(p)
-		p.park("sem " + s.name)
+		p.park(s.reason)
 	}
 	s.count--
 }
@@ -195,18 +226,19 @@ func (s *Semaphore) Count() int { return s.count }
 type Signal struct {
 	k       *Kernel
 	name    string
+	reason  string // precomputed park reason
 	waiters waiterList
 }
 
 // NewSignal creates a named broadcast signal.
 func NewSignal(k *Kernel, name string) *Signal {
-	return &Signal{k: k, name: name}
+	return &Signal{k: k, name: name, reason: "signal " + name}
 }
 
 // Await parks p until the next Fire.
 func (s *Signal) Await(p *Proc) {
 	s.waiters.add(p)
-	p.park("signal " + s.name)
+	p.park(s.reason)
 }
 
 // Fire wakes every currently-parked waiter.

@@ -18,6 +18,7 @@ import (
 
 	"embera/internal/core"
 	"embera/internal/linux"
+	"embera/internal/ringbuf"
 	"embera/internal/sim"
 	"embera/internal/smp"
 	"embera/internal/svc"
@@ -198,7 +199,11 @@ type mailbox struct {
 	capacity int64
 	addr     uint64
 
+	// buf is head-indexed and resets to its start when drained, so a
+	// steady-state sender/receiver pair reuses one backing array instead of
+	// re-allocating as the slice window crawls forward.
 	buf     []core.Message
+	head    int
 	pending int64
 	closed  bool
 
@@ -235,8 +240,8 @@ func (m *mailbox) Send(sender core.Flow, msg core.Message) bool {
 	f.t.CopyTo(m.node, msg.Bytes, m.addr)
 	m.buf = append(m.buf, msg)
 	m.pending += int64(msg.Bytes)
-	if len(m.buf) > m.maxDepth {
-		m.maxDepth = len(m.buf)
+	if d := len(m.buf) - m.head; d > m.maxDepth {
+		m.maxDepth = d
 	}
 	m.data.Fire()
 	return true
@@ -249,14 +254,14 @@ func (m *mailbox) Receive(receiver core.Flow) (core.Message, bool) {
 		panic("smpbind: receive from foreign flow type")
 	}
 	p := h.Proc()
-	for len(m.buf) == 0 {
+	for len(m.buf) == m.head {
 		if m.closed {
 			return core.Message{}, false
 		}
 		m.data.Await(p)
 	}
-	msg := m.buf[0]
-	m.buf = m.buf[1:]
+	msg, buf, head := ringbuf.PopFront(m.buf, m.head)
+	m.buf, m.head = buf, head
 	m.pending -= int64(msg.Bytes)
 	p.Advance(receivePopCost)
 	m.space.Fire()
@@ -277,6 +282,6 @@ func (m *mailbox) Close() {
 func (m *mailbox) BufBytes() int64 { return m.capacity }
 
 // Depth implements core.Mailbox.
-func (m *mailbox) Depth() int { return len(m.buf) }
+func (m *mailbox) Depth() int { return len(m.buf) - m.head }
 
 var _ core.Mailbox = (*mailbox)(nil)

@@ -76,15 +76,31 @@ func (r *Recorder) SetEnabled(v bool) {
 
 // Events returns the retained events in emission order.
 func (r *Recorder) Events() []core.Event {
+	return r.EventsInto(nil)
+}
+
+// EventsInto appends the retained events to dst in emission order and
+// returns the extended slice — the buffer-reusing form of Events for
+// harnesses that snapshot a recorder repeatedly (pass dst[:0] to reuse the
+// previous snapshot's capacity).
+func (r *Recorder) EventsInto(dst []core.Event) []core.Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.wrapped {
-		return append([]core.Event(nil), r.buf[:r.next]...)
+		return append(dst, r.buf[:r.next]...)
 	}
-	out := make([]core.Event, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
-	return out
+	dst = append(dst, r.buf[r.next:]...)
+	return append(dst, r.buf[:r.next]...)
+}
+
+// Reset discards the retained events and counters while keeping the
+// allocated ring, so one recorder can be reused across many runs without
+// re-allocating its (potentially large) event buffer.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.buf)
+	r.next, r.wrapped, r.dropped, r.total = 0, false, 0, 0
 }
 
 // Stats reports total emitted and dropped (overwritten) event counts.
@@ -111,103 +127,95 @@ var magic = [4]byte{'E', 'M', 'B', 'T'}
 
 const version = 1
 
-// Write serializes events to w: a 6-byte header, a string table, then
-// fixed-layout little-endian records referencing the table.
+// recBytes is the fixed on-disk record size: t(8) dur(8) comp(4) ifac(4)
+// bytes(4) kind(1).
+const recBytes = 8 + 8 + 4 + 4 + 4 + 1
+
+// Write serializes events to w: a 13-byte header, a string table, then
+// fixed-layout little-endian records referencing the table. The whole trace
+// is assembled in one pre-sized buffer and written with a single Write call
+// — no per-field reflection, no per-record allocation (the previous codec
+// boxed every field through binary.Write, costing six allocations per
+// event).
 func Write(w io.Writer, events []core.Event) error {
-	// Build the string table (components + interfaces).
+	// Pass 1: build the string table (components + interfaces) and size the
+	// output buffer exactly.
 	index := map[string]uint32{}
 	var table []string
-	intern := func(s string) uint32 {
+	tableBytes := 0
+	intern := func(s string) (uint32, error) {
 		if id, ok := index[s]; ok {
-			return id
+			return id, nil
+		}
+		if len(s) > 0xFFFF {
+			return 0, errors.New("trace: string too long")
 		}
 		id := uint32(len(table))
 		index[s] = id
 		table = append(table, s)
-		return id
+		tableBytes += 2 + len(s)
+		return id, nil
 	}
-	type rec struct {
-		t          int64
-		dur        int64
-		comp, ifac uint32
-		bytes      uint32
-		kind       uint8
-	}
-	recs := make([]rec, len(events))
 	for i, e := range events {
 		if e.Bytes < 0 {
 			return fmt.Errorf("trace: event %d has negative size", i)
 		}
-		recs[i] = rec{
-			t: e.TimeUS, dur: e.DurUS,
-			comp: intern(e.Component), ifac: intern(e.Interface),
-			bytes: uint32(e.Bytes), kind: uint8(e.Kind),
+		if _, err := intern(e.Component); err != nil {
+			return err
+		}
+		if _, err := intern(e.Interface); err != nil {
+			return err
 		}
 	}
 
-	if _, err := w.Write(magic[:]); err != nil {
-		return err
-	}
-	hdr := []any{uint8(version), uint32(len(table)), uint32(len(recs))}
-	for _, v := range hdr {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
+	// Pass 2: encode header, table and records into one buffer.
+	buf := make([]byte, 0, len(magic)+1+4+4+tableBytes+recBytes*len(events))
+	buf = append(buf, magic[:]...)
+	buf = append(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(table)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(events)))
 	for _, s := range table {
-		if len(s) > 0xFFFF {
-			return errors.New("trace: string too long")
-		}
-		if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
-			return err
-		}
-		if _, err := io.WriteString(w, s); err != nil {
-			return err
-		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
 	}
-	for _, rc := range recs {
-		for _, v := range []any{rc.t, rc.dur, rc.comp, rc.ifac, rc.bytes, rc.kind} {
-			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-				return err
-			}
-		}
+	for _, e := range events {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.TimeUS))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.DurUS))
+		buf = binary.LittleEndian.AppendUint32(buf, index[e.Component])
+		buf = binary.LittleEndian.AppendUint32(buf, index[e.Interface])
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Bytes))
+		buf = append(buf, uint8(e.Kind))
 	}
-	return nil
+	_, err := w.Write(buf)
+	return err
 }
 
-// Read deserializes a trace written by Write.
+// Read deserializes a trace written by Write. Records are decoded from a
+// fixed-size scratch buffer, so the per-record cost is one ReadFull and six
+// integer loads.
 func Read(r io.Reader) ([]core.Event, error) {
-	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	var hdr [4 + 1 + 4 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if m != magic {
+	if [4]byte(hdr[:4]) != magic {
 		return nil, errors.New("trace: bad magic")
 	}
-	var ver uint8
-	var nStrings, nRecs uint32
-	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
-		return nil, err
-	}
-	if ver != version {
+	if ver := hdr[4]; ver != version {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &nStrings); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &nRecs); err != nil {
-		return nil, err
-	}
+	nStrings := binary.LittleEndian.Uint32(hdr[5:])
+	nRecs := binary.LittleEndian.Uint32(hdr[9:])
 	if nStrings > 1<<24 || nRecs > 1<<30 {
 		return nil, errors.New("trace: implausible header counts")
 	}
 	table := make([]string, nStrings)
+	var scratch [recBytes]byte
 	for i := range table {
-		var l uint16
-		if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+		if _, err := io.ReadFull(r, scratch[:2]); err != nil {
 			return nil, err
 		}
-		b := make([]byte, l)
+		b := make([]byte, binary.LittleEndian.Uint16(scratch[:2]))
 		if _, err := io.ReadFull(r, b); err != nil {
 			return nil, err
 		}
@@ -215,21 +223,20 @@ func Read(r io.Reader) ([]core.Event, error) {
 	}
 	events := make([]core.Event, nRecs)
 	for i := range events {
-		var t, dur int64
-		var comp, ifac, bytes uint32
-		var kind uint8
-		for _, v := range []any{&t, &dur, &comp, &ifac, &bytes, &kind} {
-			if err := binary.Read(r, binary.LittleEndian, v); err != nil {
-				return nil, err
-			}
+		if _, err := io.ReadFull(r, scratch[:]); err != nil {
+			return nil, err
 		}
+		comp := binary.LittleEndian.Uint32(scratch[16:])
+		ifac := binary.LittleEndian.Uint32(scratch[20:])
 		if int(comp) >= len(table) || int(ifac) >= len(table) {
 			return nil, errors.New("trace: string index out of range")
 		}
 		events[i] = core.Event{
-			TimeUS: t, DurUS: dur,
+			TimeUS:    int64(binary.LittleEndian.Uint64(scratch[0:])),
+			DurUS:     int64(binary.LittleEndian.Uint64(scratch[8:])),
 			Component: table[comp], Interface: table[ifac],
-			Bytes: int(bytes), Kind: core.EventKind(kind),
+			Bytes: int(binary.LittleEndian.Uint32(scratch[24:])),
+			Kind:  core.EventKind(scratch[28]),
 		}
 	}
 	return events, nil
