@@ -22,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -236,8 +238,14 @@ func main() {
 			return fmt.Sprintf("seed %d passed the differential battery on %s\n",
 				*oneSeed, strings.Join(ran, ", ")), nil
 		}
-		cells, err := conformance.SweepSeeds(mxPlatforms, *seedStart, *seeds, platform.Options{})
-		if err != nil {
+		// The soak honors SIGINT/SIGTERM between chunks: a Ctrl-C drains
+		// the chunk in flight and exits clean (zero) with the cell count so
+		// far — only a real differential failure is fatal.
+		ctx, stopSignals := cliutil.ShutdownContext()
+		defer stopSignals()
+		cells, err := conformance.SweepSeedsCtx(ctx, mxPlatforms, *seedStart, *seeds, platform.Options{})
+		interrupted := errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
 			// The error already ends with the failing seed's one-line
 			// repro command; log.Fatalf in runIf surfaces it verbatim.
 			return "", err
@@ -246,6 +254,11 @@ func main() {
 		pcount := len(mxPlatforms)
 		if mxPlatforms == nil {
 			pcount = len(platform.Names())
+		}
+		if interrupted {
+			return fmt.Sprintf(
+				"FUZZ: interrupted after %d clean cells (seeds from %d, %d platform(s)) — shutdown requested, not a failure\n",
+				cells, *seedStart, pcount), nil
 		}
 		return fmt.Sprintf(
 			"FUZZ: seeds [%d,%d) × %d platform(s) = %d cells — checksums equal, flows conserved, monitor agrees\n",

@@ -90,7 +90,7 @@ func main() {
 		mon.Samples(), mon.Dropped(), mon.Ring().Capacity(), mon.Ring().Shards(),
 		len(mon.Windows()))
 
-	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped()))
+	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped(), mon.SinkErrors()))
 	if *jsonl != "" {
 		fmt.Printf("\nper-window JSONL written to %s\n", *jsonl)
 	}

@@ -1,0 +1,168 @@
+// embera-serve is the always-on front door to the observation stack: it
+// keeps one or more platform×workload assemblies running indefinitely
+// (exp.RunServed relaunches each finite workload in generations under one
+// persistent monitor stream) and serves the windows, the paper's control
+// functions and the service's own health over HTTP:
+//
+//	GET  /healthz                       liveness + per-assembly status
+//	GET  /metrics                       Prometheus text: window aggregates + self-metrics
+//	GET  /v1/assemblies                 JSON listing (SSE stream of every
+//	                                    assembly with Accept: text/event-stream)
+//	GET  /v1/assemblies/{id}            one assembly's snapshot
+//	GET  /v1/assemblies/{id}/windows    SSE stream of closed windows
+//	POST /v1/assemblies/{id}/control    start/stop, pause/resume, set-period,
+//	                                    set-window, reconnect, terminate
+//
+// Usage:
+//
+//	embera-serve                                   # smp/pipeline on :8707
+//	embera-serve -assembly native/pipeline/2000    # wall-clock assembly
+//	embera-serve -assembly smp/mjpeg -assembly smp/rand:42
+//	embera-serve -addr :9000 -period 500 -window 5000
+//
+// SIGINT/SIGTERM drain cleanly: HTTP stops, every assembly's generation
+// loop is closed, exit status is zero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"embera/internal/cliutil"
+	"embera/internal/core"
+	"embera/internal/exp"
+
+	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
+	"embera/internal/monitor"
+	"embera/internal/platform"
+	"embera/internal/serve"
+)
+
+// assemblySpec is the repeatable -assembly flag: "platform/workload" or
+// "platform/workload/scale". The separator is "/" because workload family
+// names carry ":" (rand:42).
+type assemblySpec struct {
+	platform string
+	workload string
+	scale    int
+}
+
+type assemblyFlags []assemblySpec
+
+func (a *assemblyFlags) String() string {
+	parts := make([]string, len(*a))
+	for i, s := range *a {
+		parts[i] = fmt.Sprintf("%s/%s/%d", s.platform, s.workload, s.scale)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (a *assemblyFlags) Set(v string) error {
+	parts := strings.Split(v, "/")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want platform/workload[/scale], got %q", v)
+	}
+	spec := assemblySpec{platform: parts[0], workload: parts[1]}
+	if len(parts) == 3 {
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad scale in %q", v)
+		}
+		spec.scale = n
+	}
+	*a = append(*a, spec)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8707", "HTTP listen address")
+	var assemblies assemblyFlags
+	flag.Var(&assemblies, "assembly",
+		"assembly to serve as platform/workload[/scale] (repeatable; default smp/pipeline)")
+	scale := flag.Int("scale", 0, "default workload scale for assemblies without one (0 = workload default)")
+	period := flag.Int64("period", 1000, "application-level sampling period (platform µs)")
+	osPeriod := flag.Int64("os-period", 5000, "OS-level sampling period (platform µs, 0 = off)")
+	window := flag.Int64("window", 10_000, "aggregation window (platform µs)")
+	ringCap := flag.Int("ring", 4096, "monitor ring buffer capacity (samples)")
+	shards := flag.Int("shards", 4, "monitor ring buffer shard count")
+	queue := flag.Int("queue", serve.DefaultQueueCap, "per-subscriber SSE queue capacity (events)")
+	pace := flag.Duration("pace", 50*time.Millisecond, "pause between workload generations")
+	flag.Parse()
+
+	if len(assemblies) == 0 {
+		assemblies = assemblyFlags{{platform: "smp", workload: "pipeline"}}
+	}
+
+	srv := serve.NewServer(serve.Config{QueueCap: *queue})
+	for _, spec := range assemblies {
+		// Unknown names exit 2 before anything is served, listing the
+		// registered platforms and workloads.
+		p, w := cliutil.Resolve("embera-serve", spec.platform, spec.workload)
+		levels := []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: *period}}
+		if *osPeriod > 0 {
+			levels = append(levels, monitor.LevelPeriod{Level: core.LevelOS, PeriodUS: *osPeriod})
+		}
+		specScale := spec.scale
+		if specScale == 0 {
+			specScale = *scale
+		}
+		as, err := srv.AddAssembly("", p, w, exp.ServedOptions{
+			Options: exp.Options{
+				Options: platform.Options{Scale: specScale},
+				Monitor: &monitor.Config{
+					Levels:       levels,
+					RingCapacity: *ringCap,
+					RingShards:   *shards,
+					WindowUS:     *window,
+				},
+			},
+			Pace: *pace,
+		})
+		if err != nil {
+			log.Fatalf("embera-serve: %s/%s: %v", spec.platform, spec.workload, err)
+		}
+		log.Printf("assembly %s: %s × %s (scale %d)", as.ID(), spec.platform, spec.workload, specScale)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("embera-serve: %v", err)
+	}
+	log.Printf("serving on http://%s — /healthz /metrics /v1/assemblies", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := cliutil.ShutdownContext()
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Graceful drain: give idle connections a moment, then force the
+		// open SSE streams closed (they only end when their client goes
+		// away), then close every assembly's generation loop.
+		log.Printf("shutdown requested, draining")
+		shCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			_ = httpSrv.Close()
+		}
+		cancel()
+		srv.Close()
+		log.Printf("drained, bye")
+	case err := <-httpErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			log.Printf("embera-serve: http: %v", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -69,6 +69,29 @@
 // under -gate-time. Re-baseline intentionally with
 // `embera-perfdiff -update` and commit the result.
 //
+// # Serving observation
+//
+// The paper's observation model is meant to stay enabled, so
+// cmd/embera-serve runs it as a service: exp.RunServed keeps any
+// platform×workload assembly alive indefinitely — relaunching the
+// finite workload in generations under persistent monitor sinks, with
+// repeated failures parking the assembly rather than spinning — and
+// internal/serve puts HTTP in front of it. Closed observation windows
+// stream over SSE (GET /v1/assemblies/{id}/windows, or the all-assembly
+// firehose on /v1/assemblies) through a bounded fan-out broker: each
+// subscriber owns a fixed-capacity queue and slow readers shed events
+// as exactly counted per-subscriber drops, the same
+// bounded-memory-with-counted-loss contract as the monitor ring. The
+// paper's control functions are a live API (POST
+// /v1/assemblies/{id}/control): start/stop, pause/resume sampling,
+// set-period and set-window retune the running monitor without a
+// restart, and reconnect/terminate rewire or stop components inside the
+// running generation. /metrics exports Prometheus text (stdlib-only)
+// covering both the observed windows (rates, latency percentiles,
+// mailbox high-water marks per component) and the observer itself
+// (ring drops, sink errors, subscriber counts and drops,
+// goroutine/heap gauges); /healthz reports per-assembly health.
+//
 // See README.md for the package layout, including the platform
 // abstraction layer and workload registry of internal/platform (one
 // harness, any platform × any workload — with an "adding a platform /

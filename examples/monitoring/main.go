@@ -99,7 +99,7 @@ func main() {
 	}
 
 	fmt.Println("\nWhole-run totals:")
-	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped()))
+	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped(), mon.SinkErrors()))
 
 	fmt.Printf("\nJSONL export: %d bytes (first line):\n", jsonl.Len())
 	if line, err := jsonl.ReadString('\n'); err == nil {

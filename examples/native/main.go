@@ -73,7 +73,7 @@ func main() {
 	mon := monRun.Monitor
 	fmt.Printf("monitored native run: %d samples, %d windows, %d drops\n",
 		mon.Samples(), len(mon.Windows()), mon.Dropped())
-	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped()))
+	fmt.Print(monitor.FormatTotals(mon.Totals(), mon.Dropped(), mon.SinkErrors()))
 
 	// 3. Mid-run observation of live goroutines.
 	m, a := platform.MustGet("native").New("live")

@@ -28,6 +28,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 
 	"embera/internal/core"
@@ -310,6 +311,15 @@ func checkKernelCorrelation(ktr *kptrace.Tracer, rec *trace.Recorder) error {
 // returned as an error ending with its one-line repro command. It returns
 // the number of cells executed.
 func SweepSeeds(platformNames []string, start int64, n int, opts platform.Options) (int, error) {
+	return SweepSeedsCtx(context.Background(), platformNames, start, n, opts)
+}
+
+// SweepSeedsCtx is SweepSeeds with cooperative cancellation: the context
+// is checked between chunks, so an interrupted soak finishes the chunk in
+// flight (no half-verified seeds) and returns ctx.Err() with the cell
+// count so far. Callers distinguish a clean interrupt (context.Canceled
+// after Ctrl-C) from a real differential failure.
+func SweepSeedsCtx(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options) (int, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("conformance: sweep needs a positive seed count, got %d", n)
 	}
@@ -319,6 +329,9 @@ func SweepSeeds(platformNames []string, start int64, n int, opts platform.Option
 	const chunk = 16 // seeds per RunMatrix call: bounds in-flight machines
 	cells := 0
 	for lo := start; lo < start+int64(n); lo += chunk {
+		if err := ctx.Err(); err != nil {
+			return cells, err
+		}
 		hi := lo + chunk
 		if max := start + int64(n); hi > max {
 			hi = max

@@ -80,6 +80,11 @@ type Options struct {
 	// Monitor, when non-nil, attaches a streaming observation pipeline
 	// with this configuration; the running monitor is returned on Run.
 	Monitor *monitor.Config
+	// OnMonitor, when non-nil (and Monitor asked for a pipeline), receives
+	// the live monitor right after it starts — the hook long-running front
+	// ends (exp.RunServed, embera-serve) use to apply sampling-period,
+	// window and pause control to a run already in flight.
+	OnMonitor func(m *monitor.Monitor)
 	// Customize runs after the observer is attached and before Start —
 	// extra drivers, probes, sinks.
 	Customize func(a *core.App, obs *core.Observer)
@@ -167,6 +172,9 @@ func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error
 				mon.Stop()
 			}
 		}()
+		if opts.OnMonitor != nil {
+			opts.OnMonitor(mon)
+		}
 	}
 	obs, err := a.AttachObserver()
 	if err != nil {

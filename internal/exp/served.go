@@ -1,0 +1,565 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"embera/internal/core"
+	"embera/internal/monitor"
+	"embera/internal/platform"
+	"embera/internal/sim"
+)
+
+// ErrNotRunning is returned by control operations that need a live
+// generation (reconnect, stop-drain) when the assembly is idle — stopped,
+// between generations, or already torn down.
+var ErrNotRunning = fmt.Errorf("exp: assembly is not running")
+
+// ServedOptions configures RunServed beyond the per-run Options.
+type ServedOptions struct {
+	Options
+
+	// Pace is the wall-clock pause between generations (default 50 ms): it
+	// keeps a fast simulated workload from busy-looping the host while the
+	// assembly idles between runs.
+	Pace time.Duration
+	// CtlPollUS is the control driver's poll period in platform
+	// microseconds (default 1000): the latency bound on applying queued
+	// control operations (reconnect, stop) inside a running generation.
+	CtlPollUS int64
+	// GenerationHorizonUS bounds one generation in platform time on
+	// wall-clock platforms (default 5 minutes). Simulated generations keep
+	// the batch harness's virtual horizon.
+	GenerationHorizonUS int64
+	// MaxConsecutiveFailures stops the assembly after this many failed
+	// generations in a row (default 3), so a workload broken by a control
+	// change does not relaunch forever.
+	MaxConsecutiveFailures int
+}
+
+// ServedStats is a point-in-time snapshot of a served assembly, merging
+// counters accumulated over completed generations with the live
+// generation's monitor.
+type ServedStats struct {
+	// Generations counts generation launches (including the live one);
+	// CompletedChecks counts generations that finished and passed the
+	// workload self-check; Units accumulates work units across generations.
+	Generations     uint64
+	CompletedChecks uint64
+	Units           uint64
+
+	// Samples/RingDropped/SinkErrors aggregate the monitor pipeline's
+	// accounting across all generations, live one included.
+	Samples     uint64
+	RingDropped uint64
+	SinkErrors  uint64
+
+	Running bool // a generation is executing right now
+	Stopped bool // stop requested; no further generations until Start
+	Paused  bool // sampling suspended
+
+	// Levels and WindowUS are the live sampling configuration (the desired
+	// state every new generation starts from, updated by SetPeriod /
+	// SetWindowUS).
+	Levels   []monitor.LevelPeriod
+	WindowUS int64
+
+	// LastMakespanUS is the platform time at which the most recent
+	// completed generation finished.
+	LastMakespanUS int64
+	// LastErr is the most recent generation failure ("" when healthy);
+	// ConsecutiveFailures counts the current failure streak.
+	LastErr             string
+	ConsecutiveFailures int
+}
+
+// controlOp is one queued control operation, applied by the control driver
+// from driver-flow context — the only context core.App.Reconnect and
+// termination are safe in on every platform (kernel context on the
+// simulators, a plain goroutine on native).
+type controlOp struct {
+	apply func(a *core.App) error
+	done  chan error // buffered(1); every enqueued op is answered exactly once
+}
+
+// ServedRun is a long-running assembly: RunServed relaunches the workload
+// in generations — each generation a fresh machine, application and
+// monitor, all fed into the same persistent sinks — so the window stream
+// never ends while the paper's control functions (stop/start, reconnect,
+// sampling-period and window changes, pause/resume) apply live to the
+// generation in flight. This is the exp-layer engine behind embera-serve.
+type ServedRun struct {
+	p    platform.Platform
+	w    platform.Workload
+	base Options
+
+	pace      time.Duration
+	ctlPollUS int64
+	horizonUS int64
+	maxFails  int
+
+	quit     chan struct{} // Close(): permanent shutdown
+	quitOnce sync.Once
+	done     chan struct{} // generation loop exited
+
+	mu       sync.Mutex
+	levels   []monitor.LevelPeriod // desired sampler config (live + next generations)
+	windowUS int64
+	paused   bool
+	stopReq  bool
+	wake     chan struct{} // Start() signal, buffered(1)
+	ops      []*controlOp
+	running  bool
+	machine  platform.Machine
+	app      *core.App
+	mon      *monitor.Monitor
+	lastErr  error
+	fails    int
+
+	gens    atomic.Uint64
+	checks  atomic.Uint64
+	units   atomic.Uint64
+	samples atomic.Uint64
+	dropped atomic.Uint64
+	sinkErr atomic.Uint64
+	lastEnd atomic.Int64
+}
+
+// RunServed launches workload w on platform p as a long-running served
+// assembly and returns immediately; the assembly keeps re-running the
+// workload until Stop or Close. Unlike Run it never tears the observation
+// stream down: opts.Monitor.Sinks persist across generations, which is how
+// a streaming front end keeps one subscriber-facing window stream over an
+// arbitrarily long-lived assembly.
+func RunServed(p platform.Platform, w platform.Workload, opts ServedOptions) (*ServedRun, error) {
+	if p == nil || w == nil {
+		return nil, fmt.Errorf("exp: RunServed needs a platform and a workload")
+	}
+	if err := opts.Options.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Pace == 0 {
+		opts.Pace = 50 * time.Millisecond
+	}
+	if opts.Pace < 0 {
+		return nil, fmt.Errorf("exp: negative pace %v", opts.Pace)
+	}
+	if opts.CtlPollUS == 0 {
+		opts.CtlPollUS = 1000
+	}
+	if opts.CtlPollUS < 0 {
+		return nil, fmt.Errorf("exp: negative control poll period %d µs", opts.CtlPollUS)
+	}
+	if opts.GenerationHorizonUS == 0 {
+		opts.GenerationHorizonUS = wallHorizonUS
+	}
+	if opts.MaxConsecutiveFailures == 0 {
+		opts.MaxConsecutiveFailures = 3
+	}
+	if opts.Monitor == nil {
+		opts.Monitor = &monitor.Config{}
+	}
+	sr := &ServedRun{
+		p: p, w: w, base: opts.Options,
+		pace:      opts.Pace,
+		ctlPollUS: opts.CtlPollUS,
+		horizonUS: opts.GenerationHorizonUS,
+		maxFails:  opts.MaxConsecutiveFailures,
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		wake:      make(chan struct{}, 1),
+	}
+	// Desired sampling state starts from the configured monitor, with the
+	// monitor package's own defaults where unset.
+	sr.levels = append([]monitor.LevelPeriod(nil), opts.Monitor.Levels...)
+	if len(sr.levels) == 0 {
+		sr.levels = []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 1000}}
+	}
+	sr.windowUS = opts.Monitor.WindowUS
+	if sr.windowUS == 0 {
+		sr.windowUS = 10_000
+	}
+	go sr.loop()
+	return sr, nil
+}
+
+// loop is the generation supervisor: run a generation, pace, repeat —
+// parking while stopped, exiting on Close.
+func (sr *ServedRun) loop() {
+	defer close(sr.done)
+	for {
+		select {
+		case <-sr.quit:
+			return
+		default:
+		}
+		if sr.stopRequested() {
+			select {
+			case <-sr.wake:
+				continue
+			case <-sr.quit:
+				return
+			}
+		}
+		err := sr.runGeneration()
+		sr.mu.Lock()
+		if err != nil && !sr.stopReq {
+			sr.lastErr = err
+			sr.fails++
+			if sr.fails >= sr.maxFails {
+				// A persistently failing workload parks the assembly
+				// instead of relaunching forever; Start() retries.
+				sr.stopReq = true
+			}
+		} else if err == nil {
+			sr.lastErr = nil
+			sr.fails = 0
+		}
+		sr.mu.Unlock()
+		select {
+		case <-time.After(sr.pace):
+		case <-sr.quit:
+			return
+		}
+	}
+}
+
+// runGeneration executes one full workload run under observation: the
+// served counterpart of Run, without the final observer query (the window
+// stream is the product) and tolerant of an interrupt mid-run.
+func (sr *ServedRun) runGeneration() error {
+	sr.gens.Add(1)
+
+	sr.mu.Lock()
+	mcfg := *sr.base.Monitor
+	mcfg.Levels = append([]monitor.LevelPeriod(nil), sr.levels...)
+	mcfg.WindowUS = sr.windowUS
+	paused := sr.paused
+	sr.mu.Unlock()
+
+	m, a := sr.p.New(sr.w.Name())
+	inst, err := sr.w.Build(a, sr.p, sr.base.Options)
+	if err != nil {
+		return err
+	}
+	if sr.base.EventSink != nil {
+		a.SetEventSink(sr.base.EventSink)
+	}
+	mon, err := monitor.New(a, mcfg)
+	if err != nil {
+		return err
+	}
+	if err := mon.Start(); err != nil {
+		return err
+	}
+	if paused {
+		mon.Pause()
+	}
+	if sr.base.OnMonitor != nil {
+		sr.base.OnMonitor(mon)
+	}
+
+	sr.mu.Lock()
+	sr.machine, sr.app, sr.mon = m, a, mon
+	sr.running = true
+	sr.mu.Unlock()
+
+	defer func() {
+		// Unpublish the generation, fold its pipeline accounting into the
+		// long-run totals and answer any control op that raced the exit.
+		sr.mu.Lock()
+		sr.machine, sr.app, sr.mon = nil, nil, nil
+		sr.running = false
+		ops := sr.ops
+		sr.ops = nil
+		sr.mu.Unlock()
+		for _, op := range ops {
+			op.done <- ErrNotRunning
+		}
+		sr.samples.Add(mon.Samples())
+		sr.dropped.Add(mon.Dropped())
+		sr.sinkErr.Add(mon.SinkErrors())
+	}()
+
+	obs, err := a.AttachObserver()
+	if err != nil {
+		mon.Stop()
+		return err
+	}
+	if sr.base.Customize != nil {
+		sr.base.Customize(a, obs)
+	}
+	a.SpawnDriver("serve/control", func(f core.Flow) { sr.controlLoop(a, f) })
+	if err := a.Start(); err != nil {
+		mon.Stop()
+		return err
+	}
+	horizonUS := int64(horizon) / int64(sim.Microsecond)
+	if !sr.p.Deterministic() {
+		horizonUS = sr.horizonUS
+	}
+	if err := m.Run(horizonUS); err != nil {
+		mon.Stop()
+		return err
+	}
+	if !a.Done() {
+		mon.Stop()
+		return fmt.Errorf("exp: generation did not finish before the horizon")
+	}
+	sr.lastEnd.Store(m.NowUS())
+	sr.units.Add(uint64(inst.Units()))
+	if sr.interrupted() {
+		// A stopped generation is cut short by design: its units count,
+		// its self-check is meaningless.
+		return nil
+	}
+	if cerr := inst.Check(); cerr != nil {
+		return fmt.Errorf("exp: workload self-check: %w", cerr)
+	}
+	sr.checks.Add(1)
+	return nil
+}
+
+// controlLoop is the per-generation control driver: it polls the op queue
+// on platform time and applies queued operations from driver-flow context,
+// which is safe on every binding (it runs inside the kernel on the
+// simulators). The final drain answers ops enqueued in the same poll the
+// application finished.
+func (sr *ServedRun) controlLoop(a *core.App, f core.Flow) {
+	for !a.Done() {
+		f.SleepUS(sr.ctlPollUS)
+		sr.applyOps(a)
+	}
+	sr.applyOps(a)
+}
+
+// applyOps drains and answers the pending control-op queue.
+func (sr *ServedRun) applyOps(a *core.App) {
+	sr.mu.Lock()
+	ops := sr.ops
+	sr.ops = nil
+	sr.mu.Unlock()
+	for _, op := range ops {
+		op.done <- op.apply(a)
+	}
+}
+
+// enqueue hands an operation to the live generation's control driver and
+// waits for the answer. Every accepted op is answered: the driver drains
+// on completion and runGeneration's teardown answers stragglers.
+func (sr *ServedRun) enqueue(apply func(a *core.App) error) error {
+	op := &controlOp{apply: apply, done: make(chan error, 1)}
+	sr.mu.Lock()
+	if !sr.running {
+		sr.mu.Unlock()
+		return ErrNotRunning
+	}
+	sr.ops = append(sr.ops, op)
+	sr.mu.Unlock()
+	return <-op.done
+}
+
+func (sr *ServedRun) stopRequested() bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.stopReq
+}
+
+// interrupted reports whether the current generation was asked to die
+// (assembly stop or full shutdown).
+func (sr *ServedRun) interrupted() bool {
+	select {
+	case <-sr.quit:
+		return true
+	default:
+	}
+	return sr.stopRequested()
+}
+
+// terminateAll is the stop operation's body: terminate every component so
+// the application drains and the generation's machine run returns.
+func terminateAll(a *core.App) error {
+	for _, c := range a.Components() {
+		if err := a.Terminate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop requests the assembly to stop: the in-flight generation is
+// terminated — through the platform's Interruptible lifecycle hook when
+// the machine has one, otherwise via a queued termination op applied from
+// driver context — and no further generations launch until Start. Stop
+// returns without waiting for the drain; Stats().Running flips once the
+// generation is gone.
+func (sr *ServedRun) Stop() {
+	sr.mu.Lock()
+	sr.stopReq = true
+	m := sr.machine
+	running := sr.running
+	if running {
+		// The queued op covers machines without an Interrupt hook; done is
+		// buffered and deliberately unread — Stop is asynchronous.
+		sr.ops = append(sr.ops, &controlOp{apply: terminateAll, done: make(chan error, 1)})
+	}
+	sr.mu.Unlock()
+	if running && m != nil {
+		platform.Interrupt(m)
+	}
+}
+
+// Start clears a stop (including the automatic stop after repeated
+// generation failures) and relaunches the generation loop.
+func (sr *ServedRun) Start() {
+	sr.mu.Lock()
+	sr.stopReq = false
+	sr.fails = 0
+	sr.mu.Unlock()
+	select {
+	case sr.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close shuts the assembly down for good: stop the live generation, exit
+// the loop, and wait for it. Safe to call more than once.
+func (sr *ServedRun) Close() {
+	sr.quitOnce.Do(func() { close(sr.quit) })
+	sr.Stop()
+	<-sr.done
+}
+
+// SetPeriod retunes the sampling period of every sampler at the given
+// level — live on the in-flight generation, and persistently for every
+// later one.
+func (sr *ServedRun) SetPeriod(level core.ObsLevel, periodUS int64) error {
+	if periodUS <= 0 {
+		return fmt.Errorf("exp: non-positive period %d µs", periodUS)
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	found := false
+	for i := range sr.levels {
+		if sr.levels[i].Level == level {
+			sr.levels[i].PeriodUS = periodUS
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("exp: no sampler at level %s", level)
+	}
+	if sr.mon != nil {
+		return sr.mon.SetPeriod(level, periodUS)
+	}
+	return nil
+}
+
+// SetWindowUS changes the aggregation window, live and persistently.
+func (sr *ServedRun) SetWindowUS(windowUS int64) error {
+	if windowUS <= 0 {
+		return fmt.Errorf("exp: non-positive window %d µs", windowUS)
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.windowUS = windowUS
+	if sr.mon != nil {
+		return sr.mon.SetWindowUS(windowUS)
+	}
+	return nil
+}
+
+// Pause suspends sampling (the workload keeps running); Resume restarts
+// it. Both apply live and persist across generations.
+func (sr *ServedRun) Pause() { sr.setPaused(true) }
+
+// Resume re-enables sampling after a Pause.
+func (sr *ServedRun) Resume() { sr.setPaused(false) }
+
+func (sr *ServedRun) setPaused(p bool) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.paused = p
+	if sr.mon == nil {
+		return
+	}
+	if p {
+		sr.mon.Pause()
+	} else {
+		sr.mon.Resume()
+	}
+}
+
+// Reconnect rewires a running component's required interface to a new
+// provider, applied from the control driver's flow — the paper's dynamic
+// reconfiguration as a live API. It fails with ErrNotRunning between
+// generations (each generation is a fresh assembly; there is nothing to
+// rewire).
+func (sr *ServedRun) Reconnect(from, req, to, prov string) error {
+	return sr.enqueue(func(a *core.App) error {
+		fc, ok := a.Component(from)
+		if !ok {
+			return fmt.Errorf("exp: no component %q", from)
+		}
+		tc, ok := a.Component(to)
+		if !ok {
+			return fmt.Errorf("exp: no component %q", to)
+		}
+		return a.Reconnect(fc, req, tc, prov)
+	})
+}
+
+// Terminate force-stops one named component of the live generation (the
+// paper's termination control function), leaving the rest of the assembly
+// to drain naturally.
+func (sr *ServedRun) Terminate(name string) error {
+	return sr.enqueue(func(a *core.App) error {
+		c, ok := a.Component(name)
+		if !ok {
+			return fmt.Errorf("exp: no component %q", name)
+		}
+		return a.Terminate(c)
+	})
+}
+
+// Platform and Workload name the assembly's fixed coordinates.
+func (sr *ServedRun) Platform() platform.Platform { return sr.p }
+
+// Workload returns the served workload.
+func (sr *ServedRun) Workload() platform.Workload { return sr.w }
+
+// Generations reports how many generations have launched so far.
+func (sr *ServedRun) Generations() uint64 { return sr.gens.Load() }
+
+// Stats snapshots the assembly, merging accumulated generation totals with
+// the live monitor's counters.
+func (sr *ServedRun) Stats() ServedStats {
+	sr.mu.Lock()
+	st := ServedStats{
+		Generations:         sr.gens.Load(),
+		CompletedChecks:     sr.checks.Load(),
+		Units:               sr.units.Load(),
+		Samples:             sr.samples.Load(),
+		RingDropped:         sr.dropped.Load(),
+		SinkErrors:          sr.sinkErr.Load(),
+		Running:             sr.running,
+		Stopped:             sr.stopReq,
+		Paused:              sr.paused,
+		Levels:              append([]monitor.LevelPeriod(nil), sr.levels...),
+		WindowUS:            sr.windowUS,
+		LastMakespanUS:      sr.lastEnd.Load(),
+		ConsecutiveFailures: sr.fails,
+	}
+	if sr.lastErr != nil {
+		st.LastErr = sr.lastErr.Error()
+	}
+	if sr.mon != nil {
+		st.Samples += sr.mon.Samples()
+		st.RingDropped += sr.mon.Dropped()
+		st.SinkErrors += sr.mon.SinkErrors()
+	}
+	sr.mu.Unlock()
+	return st
+}

@@ -82,6 +82,15 @@ func (cfg *Config) setDefaults() {
 	}
 }
 
+// samplerState is one sampler flow's live configuration. The period is
+// atomic so the paper's control functions can retune a running sampler —
+// a long-running front end (embera-serve) changes sampling rates without
+// restarting the assembly — while the sampler flow reads it every tick.
+type samplerState struct {
+	level    core.ObsLevel
+	periodUS atomic.Int64
+}
+
 // Monitor owns one streaming observation pipeline over one application.
 // The counters are atomic because on the native platform each sampler and
 // the pump are real goroutines; on the simulated platforms the atomics are
@@ -92,6 +101,14 @@ type Monitor struct {
 	ring *Ring
 	agg  *Aggregator
 	mem  *MemorySink
+
+	// samplers carries the live sampler configuration (one entry per
+	// cfg.Levels entry); windowUS and paused are the pump/sampler knobs the
+	// control surface flips at run time. All atomic: control calls arrive
+	// from arbitrary goroutines while the flows read them.
+	samplers []*samplerState
+	windowUS atomic.Int64
+	paused   atomic.Bool
 
 	// clockComp anchors the monitor's clock: timestamps come from the
 	// binding's NowUS through the app's first component, the same clock
@@ -165,7 +182,22 @@ func New(app *core.App, cfg Config) (*Monitor, error) {
 	if comps := app.Components(); len(comps) > 0 {
 		m.clockComp = comps[0]
 	}
+	for _, lp := range cfg.Levels {
+		st := &samplerState{level: lp.Level}
+		st.periodUS.Store(lp.PeriodUS)
+		m.samplers = append(m.samplers, st)
+	}
+	m.windowUS.Store(cfg.WindowUS)
 	m.cfg.Sinks = append([]Sink{m.mem}, cfg.Sinks...)
+	// Sinks that record loss accounting alongside the data (the JSONL
+	// export) get the monitor's counters wired in here, so every report
+	// path can surface drops without the assembly threading the monitor
+	// through to its sinks by hand.
+	for _, s := range m.cfg.Sinks {
+		if ca, ok := s.(CounterAttacher); ok {
+			ca.AttachCounters(m)
+		}
+	}
 	return m, nil
 }
 
@@ -181,11 +213,11 @@ func (m *Monitor) Start() error {
 	if m.clockComp != nil {
 		m.baseUS = m.app.Binding().NowUS(m.clockComp)
 	}
-	m.liveSamplers.Store(int32(len(m.cfg.Levels)))
-	for i, lp := range m.cfg.Levels {
-		lp := lp
-		m.app.SpawnDriver(fmt.Sprintf("monitor/sampler-%d-%s", i, lp.Level), func(f core.Flow) {
-			m.sampleLoop(f, lp)
+	m.liveSamplers.Store(int32(len(m.samplers)))
+	for i, st := range m.samplers {
+		st := st
+		m.app.SpawnDriver(fmt.Sprintf("monitor/sampler-%d-%s", i, st.level), func(f core.Flow) {
+			m.sampleLoop(f, st)
 		})
 	}
 	m.app.SpawnDriver("monitor/pump", func(f core.Flow) { m.pumpLoop(f) })
@@ -214,15 +246,20 @@ func SampleTick(app *core.App, level core.ObsLevel, nowUS int64, ring *Ring,
 
 // sampleLoop is one sampler: sleep a period of virtual time, run one
 // SampleTick. The per-tick buffers are reused across ticks, so
-// steady-state sampling performs no per-tick allocation.
-func (m *Monitor) sampleLoop(f core.Flow, lp LevelPeriod) {
+// steady-state sampling performs no per-tick allocation. Period and pause
+// state are re-read every tick, so live control changes take effect within
+// one period.
+func (m *Monitor) sampleLoop(f core.Flow, st *samplerState) {
 	n := len(m.app.Components())
 	buf := make([]core.FastSample, 0, n)
 	batch := make([]Sample, 0, n)
 	for !m.app.Done() && !m.stopping() {
-		f.SleepUS(lp.PeriodUS)
+		f.SleepUS(st.periodUS.Load())
+		if m.paused.Load() {
+			continue
+		}
 		var accepted int
-		accepted, buf, batch = SampleTick(m.app, lp.Level, m.nowUS(), m.ring, buf, batch)
+		accepted, buf, batch = SampleTick(m.app, st.level, m.nowUS(), m.ring, buf, batch)
 		if accepted > 0 {
 			m.samples.Add(uint64(accepted))
 		}
@@ -235,7 +272,7 @@ func (m *Monitor) sampleLoop(f core.Flow, lp LevelPeriod) {
 // the final drain: application quiesced, every sampler gone, ring empty.
 func (m *Monitor) pumpLoop(f core.Flow) {
 	for {
-		f.SleepUS(m.cfg.WindowUS)
+		f.SleepUS(m.windowUS.Load())
 		now := m.nowUS()
 		drained := m.drainAndFlush(now)
 		if drained == 0 && m.liveSamplers.Load() == 0 && (m.app.Done() || m.stopping()) {
@@ -288,6 +325,62 @@ func (m *Monitor) stopping() bool {
 	}
 }
 
+// SetPeriod retunes every sampler driving the given observation level to a
+// new sampling period, live: the next tick after the store uses the new
+// period. It is the paper's sampling-rate control function exposed at run
+// time (embera-serve's control API lands here) and is safe to call from any
+// goroutine on any platform — the samplers read the period atomically.
+func (m *Monitor) SetPeriod(level core.ObsLevel, periodUS int64) error {
+	if periodUS <= 0 {
+		return fmt.Errorf("monitor: non-positive period %d µs", periodUS)
+	}
+	found := false
+	for _, st := range m.samplers {
+		if st.level == level {
+			st.periodUS.Store(periodUS)
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("monitor: no sampler at level %s", level)
+	}
+	return nil
+}
+
+// SetWindowUS changes the aggregation window length, live; the pump picks
+// it up on its next wake.
+func (m *Monitor) SetWindowUS(windowUS int64) error {
+	if windowUS <= 0 {
+		return fmt.Errorf("monitor: non-positive window %d µs", windowUS)
+	}
+	m.windowUS.Store(windowUS)
+	return nil
+}
+
+// Pause suspends sampling without stopping the sampler flows: ticks keep
+// firing but take no samples, so Resume restarts observation instantly.
+// The pump keeps draining, so windows already buffered still close.
+func (m *Monitor) Pause() { m.paused.Store(true) }
+
+// Resume re-enables sampling after a Pause.
+func (m *Monitor) Resume() { m.paused.Store(false) }
+
+// Paused reports whether sampling is currently suspended.
+func (m *Monitor) Paused() bool { return m.paused.Load() }
+
+// Levels reports the current live sampler configuration, reflecting any
+// SetPeriod changes.
+func (m *Monitor) Levels() []LevelPeriod {
+	out := make([]LevelPeriod, len(m.samplers))
+	for i, st := range m.samplers {
+		out[i] = LevelPeriod{Level: st.level, PeriodUS: st.periodUS.Load()}
+	}
+	return out
+}
+
+// WindowUS reports the current aggregation window length.
+func (m *Monitor) WindowUS() int64 { return m.windowUS.Load() }
+
 // Windows returns every window closed so far, in time order.
 func (m *Monitor) Windows() []WindowStats { return m.mem.Windows() }
 
@@ -308,8 +401,9 @@ func (m *Monitor) SinkErrors() uint64 { return m.sinkErrs.Load() }
 func (m *Monitor) Ring() *Ring { return m.ring }
 
 // FormatTotals renders whole-run totals as the aligned rate/percentile
-// table cmd/embera-monitor prints.
-func FormatTotals(totals []WindowStats, dropped uint64) string {
+// table cmd/embera-monitor prints, with the loss accounting — ring drops
+// and sink errors — appended so no report path can hide shed data.
+func FormatTotals(totals []WindowStats, dropped, sinkErrors uint64) string {
 	rows := append([]WindowStats(nil), totals...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Component < rows[j].Component })
 	out := fmt.Sprintf("%-16s %8s %10s %10s %9s %7s %7s %7s %9s\n",
@@ -321,5 +415,6 @@ func FormatTotals(totals []WindowStats, dropped uint64) string {
 			w.LatencyHist.Quantile(0.95))
 	}
 	out += fmt.Sprintf("ring drops: %d\n", dropped)
+	out += fmt.Sprintf("sink errors: %d\n", sinkErrors)
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -137,7 +138,8 @@ func TestMonitorEndToEnd(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatalf("bad JSONL line: %v", err)
 		}
-		for _, key := range []string{"component", "end_us", "send_rate", "depth_p95"} {
+		for _, key := range []string{"component", "end_us", "send_rate", "depth_p95",
+			"ring_dropped", "sink_errors"} {
 			if _, ok := rec[key]; !ok {
 				t.Fatalf("JSONL line missing %q: %s", key, sc.Text())
 			}
@@ -165,8 +167,8 @@ func TestMonitorEndToEnd(t *testing.T) {
 		t.Fatalf("monitor windows do not serialize through trace framing: %v", err)
 	}
 
-	if s := monitor.FormatTotals(totals, mon.Dropped()); !strings.Contains(s, "prod") ||
-		!strings.Contains(s, "ring drops: 0") {
+	if s := monitor.FormatTotals(totals, mon.Dropped(), mon.SinkErrors()); !strings.Contains(s, "prod") ||
+		!strings.Contains(s, "ring drops: 0") || !strings.Contains(s, "sink errors: 0") {
 		t.Errorf("FormatTotals output malformed:\n%s", s)
 	}
 }
@@ -207,8 +209,151 @@ func TestMonitorOverflowCounted(t *testing.T) {
 	if len(mon.Windows()) == 0 {
 		t.Fatal("no windows despite accepted samples")
 	}
-	if !strings.Contains(monitor.FormatTotals(mon.Totals(), mon.Dropped()), "ring drops:") {
+	if !strings.Contains(monitor.FormatTotals(mon.Totals(), mon.Dropped(), mon.SinkErrors()), "ring drops:") {
 		t.Fatal("drops not surfaced in the formatted table")
+	}
+	// The formatted drop count is the live counter, verbatim.
+	if s := monitor.FormatTotals(mon.Totals(), mon.Dropped(), mon.SinkErrors()); !strings.Contains(s,
+		fmt.Sprintf("ring drops: %d", mon.Dropped())) {
+		t.Fatalf("formatted drop count does not match Dropped()=%d:\n%s", mon.Dropped(), s)
+	}
+}
+
+// TestJSONLDropAccounting starves the ring with a JSONL sink attached: the
+// export lines must carry the cumulative ring_dropped counter (wired
+// automatically by New through the CounterAttacher seam), and a failing
+// sink must surface in sink_errors on the lines of the healthy one.
+func TestJSONLDropAccounting(t *testing.T) {
+	a, k := buildPipelineApp(t, 400, 100)
+	var jsonl bytes.Buffer
+	failing := monitor.SinkFunc(func(monitor.WindowStats) error {
+		return fmt.Errorf("disk full")
+	})
+	mon, err := monitor.New(a, monitor.Config{
+		Levels:       []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 10}},
+		RingCapacity: 8,
+		RingShards:   2,
+		WindowUS:     20_000,
+		Sinks:        []monitor.Sink{failing, monitor.NewJSONLSink(&jsonl)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, a)
+
+	if mon.Dropped() == 0 {
+		t.Fatal("overloaded ring reported zero drops")
+	}
+	if mon.SinkErrors() == 0 {
+		t.Fatal("failing sink reported zero errors")
+	}
+	var lastDropped, lastSinkErrs uint64
+	lines := 0
+	sc := bufio.NewScanner(&jsonl)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		d, ok := rec["ring_dropped"].(float64)
+		if !ok {
+			t.Fatalf("JSONL line missing ring_dropped: %s", sc.Text())
+		}
+		if uint64(d) < lastDropped {
+			t.Fatalf("ring_dropped went backwards: %d after %d", uint64(d), lastDropped)
+		}
+		lastDropped = uint64(d)
+		se, ok := rec["sink_errors"].(float64)
+		if !ok {
+			t.Fatalf("JSONL line missing sink_errors: %s", sc.Text())
+		}
+		lastSinkErrs = uint64(se)
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no JSONL lines written")
+	}
+	if lastDropped == 0 {
+		t.Error("JSONL lines never surfaced the ring drops")
+	}
+	if lastSinkErrs == 0 {
+		t.Error("JSONL lines never surfaced the sink errors")
+	}
+	if lastDropped != mon.Dropped() {
+		t.Errorf("final JSONL ring_dropped = %d, monitor reports %d", lastDropped, mon.Dropped())
+	}
+}
+
+// TestMonitorLiveControl drives the run-time control surface: sampling
+// periods retuned mid-run take effect, pause stops sample intake, resume
+// restarts it, and the live Levels/WindowUS accessors reflect every change.
+func TestMonitorLiveControl(t *testing.T) {
+	a, k := buildPipelineApp(t, 300, 500)
+	mon, err := monitor.New(a, monitor.Config{
+		Levels:   []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 100}},
+		WindowUS: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Control errors: unknown level, bad period, bad window.
+	if err := mon.SetPeriod(core.LevelOS, 50); err == nil {
+		t.Error("SetPeriod on an unsampled level accepted")
+	}
+	if err := mon.SetPeriod(core.LevelApplication, 0); err == nil {
+		t.Error("SetPeriod with zero period accepted")
+	}
+	if err := mon.SetWindowUS(-1); err == nil {
+		t.Error("negative window accepted")
+	}
+
+	if err := mon.SetPeriod(core.LevelApplication, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.SetWindowUS(4000); err != nil {
+		t.Fatal(err)
+	}
+	lv := mon.Levels()
+	if len(lv) != 1 || lv[0].PeriodUS != 250 {
+		t.Fatalf("Levels() = %+v, want one application sampler at 250µs", lv)
+	}
+	if mon.WindowUS() != 4000 {
+		t.Fatalf("WindowUS() = %d, want 4000", mon.WindowUS())
+	}
+
+	// Pause before the run: no samples land while paused even though the
+	// application executes.
+	mon.Pause()
+	if !mon.Paused() {
+		t.Fatal("Paused() false after Pause")
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run a slice of the application with sampling paused, then resume from
+	// a kernel callback: the remainder must be observed.
+	k.At(sim.Duration(20_000)*sim.Microsecond, func() {
+		if mon.Samples() != 0 {
+			t.Errorf("samples accepted while paused: %d", mon.Samples())
+		}
+		mon.Resume()
+	})
+	runToCompletion(t, k, a)
+	if mon.Samples() == 0 {
+		t.Fatal("no samples after Resume")
+	}
+	if mon.Paused() {
+		t.Error("Paused() true after Resume")
 	}
 }
 

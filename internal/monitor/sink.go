@@ -15,6 +15,30 @@ type Sink interface {
 	WriteWindow(w WindowStats) error
 }
 
+// SinkFunc adapts a plain function to the Sink interface — the adapter
+// streaming front ends use to feed closed windows into their own fan-out
+// (serve.Broker) without a named type per consumer.
+type SinkFunc func(w WindowStats) error
+
+// WriteWindow implements Sink.
+func (f SinkFunc) WriteWindow(w WindowStats) error { return f(w) }
+
+// LossCounters exposes a pipeline's loss accounting — how many samples the
+// ring shed and how many window writes a sink rejected. *Monitor implements
+// it; sinks that record the accounting alongside the data accept it through
+// AttachCounters.
+type LossCounters interface {
+	Dropped() uint64
+	SinkErrors() uint64
+}
+
+// CounterAttacher is implemented by sinks that want the monitor's loss
+// counters wired in; New attaches the monitor to every configured sink that
+// implements it.
+type CounterAttacher interface {
+	AttachCounters(c LossCounters)
+}
+
 // MemorySink retains every window in memory, for tests and for end-of-run
 // reporting (MergeWindows over Windows()).
 type MemorySink struct {
@@ -40,10 +64,14 @@ func (s *MemorySink) Windows() []WindowStats {
 	return append([]WindowStats(nil), s.windows...)
 }
 
-// jsonlWindow is the flat JSONL export schema: one line per component per
-// window, with percentiles pre-extracted so downstream tooling needs no
-// histogram math.
-type jsonlWindow struct {
+// WindowRecord is the flat export schema of one component's window: the
+// JSONL line format and the SSE wire payload of embera-serve, with
+// percentiles pre-extracted so downstream tooling needs no histogram math.
+// RingDropped and SinkErrors carry the pipeline's cumulative loss
+// accounting at write time when the writer has counters attached (the
+// monitor wires itself into every CounterAttacher sink), so a consumer of
+// any single line can tell whether data was shed getting to it.
+type WindowRecord struct {
 	Component    string  `json:"component"`
 	StartUS      int64   `json:"start_us"`
 	EndUS        int64   `json:"end_us"`
@@ -60,25 +88,14 @@ type jsonlWindow struct {
 	LatencyP95US int64   `json:"latency_p95_us"`
 	LatencyP99US int64   `json:"latency_p99_us"`
 	MemHighBytes int64   `json:"mem_high_bytes"`
+	RingDropped  uint64  `json:"ring_dropped"`
+	SinkErrors   uint64  `json:"sink_errors"`
 }
 
-// JSONLSink streams one JSON object per window per line — the interchange
-// format for dashboards and offline analysis.
-type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-}
-
-// NewJSONLSink creates a sink writing to w.
-func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
-}
-
-// WriteWindow implements Sink.
-func (s *JSONLSink) WriteWindow(w WindowStats) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.enc.Encode(jsonlWindow{
+// NewWindowRecord flattens one window into the export schema (loss
+// counters zero; writers with counters attached fill them).
+func NewWindowRecord(w WindowStats) WindowRecord {
+	return WindowRecord{
 		Component: w.Component,
 		StartUS:   w.StartUS, EndUS: w.EndUS,
 		Samples: w.Samples,
@@ -92,7 +109,40 @@ func (s *JSONLSink) WriteWindow(w WindowStats) error {
 		LatencyP95US: w.LatencyHist.Quantile(0.95),
 		LatencyP99US: w.LatencyHist.Quantile(0.99),
 		MemHighBytes: w.MemHigh,
-	})
+	}
+}
+
+// JSONLSink streams one JSON object per window per line — the interchange
+// format for dashboards and offline analysis.
+type JSONLSink struct {
+	mu       sync.Mutex
+	enc      *json.Encoder
+	counters LossCounters
+}
+
+// NewJSONLSink creates a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// AttachCounters implements CounterAttacher: subsequent records carry the
+// pipeline's cumulative ring-drop and sink-error counts.
+func (s *JSONLSink) AttachCounters(c LossCounters) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = c
+}
+
+// WriteWindow implements Sink.
+func (s *JSONLSink) WriteWindow(w WindowStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := NewWindowRecord(w)
+	if s.counters != nil {
+		rec.RingDropped = s.counters.Dropped()
+		rec.SinkErrors = s.counters.SinkErrors()
+	}
+	return s.enc.Encode(rec)
 }
 
 // EventSinkAdapter bridges monitor windows into the core trace event stream

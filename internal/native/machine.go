@@ -37,6 +37,18 @@ func New(appName string, locations int) (*Machine, *core.App) {
 // Binding exposes the underlying binding (for tests and reports).
 func (m *Machine) Binding() *Binding { return m.b }
 
+// Interrupt terminates every component of the bound application, cutting
+// an in-flight Run short: the killed goroutines unwind through the normal
+// framework cleanup (mailboxes close, downstream drains), so Run returns
+// through its ordinary teardown path. Safe from any goroutine, any number
+// of times, including before the application starts (termination of an
+// unstarted app is a no-op).
+func (m *Machine) Interrupt() {
+	for _, c := range m.app.Components() {
+		_ = m.app.Terminate(c) // only fails when the app never started
+	}
+}
+
 // NowUS reads the machine's wall clock in microseconds since construction.
 func (m *Machine) NowUS() int64 { return m.b.nowNS() / int64(time.Microsecond) }
 

@@ -47,3 +47,10 @@ type nativeMachine struct{ m *native.Machine }
 func (n nativeMachine) Run(horizonUS int64) error { return n.m.Run(horizonUS) }
 func (n nativeMachine) NowUS() int64              { return n.m.NowUS() }
 func (n nativeMachine) Kernel() *sim.Kernel       { return nil }
+
+// Interrupt implements the Interruptible lifecycle hook: components run on
+// real goroutines here, so a cross-goroutine termination is safe and an
+// in-flight Run winds down promptly.
+func (n nativeMachine) Interrupt() { n.m.Interrupt() }
+
+var _ Interruptible = nativeMachine{}

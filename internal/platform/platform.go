@@ -67,6 +67,31 @@ type Machine interface {
 	Kernel() *sim.Kernel
 }
 
+// Interruptible is the optional long-running lifecycle hook: machines that
+// can cut an in-flight Run short from another goroutine implement it.
+// Interrupt asks the running application to wind down — on the native
+// machine every component is terminated, so Run returns once the unwound
+// goroutines and drivers drain — and must be safe to call from any
+// goroutine, any number of times, including before Run. The simulated
+// machines do not implement it: their kernel is single-threaded and a
+// cross-thread poke would race it, so long-running front ends let a
+// simulated generation run out (virtual-time runs finish at host speed)
+// and stop between runs instead.
+type Interruptible interface {
+	Interrupt()
+}
+
+// Interrupt invokes m's Interruptible hook when the machine has one and
+// reports whether it did — the seam embera-serve's stop/shutdown paths use
+// without caring which binding they are holding.
+func Interrupt(m Machine) bool {
+	if i, ok := m.(Interruptible); ok {
+		i.Interrupt()
+		return true
+	}
+	return false
+}
+
 // Platform is one registered execution platform.
 type Platform interface {
 	// Name is the registry key ("smp", "sti7200", "native").

@@ -1,0 +1,191 @@
+// Package serve turns the batch observation harness into an always-on
+// service: exp.RunServed keeps platform×workload assemblies running in
+// generations, every closed monitor window is published through a Broker
+// to any number of SSE subscribers, the paper's control functions
+// (start/stop, reconnect, sampling-period and window changes, pause) are a
+// live HTTP API, and the service exports its own health — window
+// aggregates plus self-metrics — in Prometheus text format. The observer
+// is itself observable.
+//
+// The Broker holds the package's one hard promise, inherited from
+// monitor.Ring: bounded memory with counted loss. Each subscriber owns a
+// fixed-capacity queue; a publish that finds the queue full drops the
+// event and counts the drop — per subscriber and in aggregate — instead
+// of buffering. A stalled reader therefore costs one queue of memory and
+// an exact drop count, never the service.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"embera/internal/monitor"
+)
+
+// Event is one closed window as published to subscribers: the flattened
+// window record plus the coordinates a multiplexed consumer needs to
+// demultiplex the stream — which assembly, which generation of it, and a
+// per-assembly sequence number (gaps in Seq are exactly the subscriber's
+// drops).
+type Event struct {
+	Assembly   string               `json:"assembly"`
+	Generation uint64               `json:"generation"`
+	Seq        uint64               `json:"seq"`
+	Window     monitor.WindowRecord `json:"window"`
+}
+
+// DefaultQueueCap is the per-subscriber queue capacity when NewBroker is
+// given zero.
+const DefaultQueueCap = 256
+
+// Broker fans published events out to subscribers with per-subscriber
+// bounded queues and counted drops. One Broker serves every assembly of a
+// Server; subscribers filter by assembly ID at publish time, so an event
+// is queued once per interested subscriber and never retained by the
+// broker itself.
+type Broker struct {
+	queueCap int
+
+	mu   sync.Mutex
+	subs map[*Subscriber]struct{}
+
+	nextID    atomic.Uint64
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewBroker creates a broker whose subscribers each buffer at most
+// queueCap events (0 selects DefaultQueueCap).
+func NewBroker(queueCap int) *Broker {
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	return &Broker{queueCap: queueCap, subs: make(map[*Subscriber]struct{})}
+}
+
+// QueueCap reports the per-subscriber queue capacity.
+func (b *Broker) QueueCap() int { return b.queueCap }
+
+// Subscribe registers a new subscriber. filter selects one assembly by ID;
+// "" subscribes to every assembly. The caller must Unsubscribe when done.
+func (b *Broker) Subscribe(filter string) *Subscriber {
+	s := &Subscriber{
+		id:     b.nextID.Add(1),
+		filter: filter,
+		ch:     make(chan Event, b.queueCap),
+	}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes a subscriber. Its channel is left open (readers
+// drain what was already queued and then block; they should select on
+// their own done signal), so there is no close/publish race to manage.
+func (b *Broker) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Publish offers ev to every subscriber whose filter matches. It never
+// blocks: a full subscriber queue counts a drop on the subscriber and on
+// the broker aggregate. Publish order is the per-assembly window order, so
+// for any subscriber matched + (enqueued arithmetic) stays exact:
+// Matched() == Enqueued() + Dropped() at all times.
+func (b *Broker) Publish(ev Event) {
+	b.published.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		if s.filter != "" && s.filter != ev.Assembly {
+			continue
+		}
+		s.matched.Add(1)
+		select {
+		case s.ch <- ev:
+			s.enqueued.Add(1)
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribers reports how many subscribers are currently registered.
+func (b *Broker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Published reports the total events offered to the broker.
+func (b *Broker) Published() uint64 { return b.published.Load() }
+
+// Dropped reports the aggregate drops across all subscribers, past and
+// present.
+func (b *Broker) Dropped() uint64 { return b.dropped.Load() }
+
+// SubscriberStats is one subscriber's accounting snapshot.
+type SubscriberStats struct {
+	ID       uint64 `json:"id"`
+	Filter   string `json:"filter"`
+	Matched  uint64 `json:"matched"`
+	Enqueued uint64 `json:"enqueued"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// SubscriberSnapshots returns per-subscriber accounting for the current
+// subscribers, for /metrics and debugging.
+func (b *Broker) SubscriberSnapshots() []SubscriberStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]SubscriberStats, 0, len(b.subs))
+	for s := range b.subs {
+		out = append(out, s.Stats())
+	}
+	return out
+}
+
+// Subscriber is one bounded-queue consumer of the broker. Read events from
+// C; the drop counters tell the reader (and /metrics) exactly how many
+// matching events never made it into the queue.
+type Subscriber struct {
+	id     uint64
+	filter string
+	ch     chan Event
+
+	matched  atomic.Uint64
+	enqueued atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// C is the subscriber's event queue.
+func (s *Subscriber) C() <-chan Event { return s.ch }
+
+// ID is the broker-unique subscriber ID.
+func (s *Subscriber) ID() uint64 { return s.id }
+
+// Filter returns the assembly filter ("" = all).
+func (s *Subscriber) Filter() string { return s.filter }
+
+// Matched counts events whose filter matched this subscriber.
+func (s *Subscriber) Matched() uint64 { return s.matched.Load() }
+
+// Enqueued counts matched events that made it into the queue.
+func (s *Subscriber) Enqueued() uint64 { return s.enqueued.Load() }
+
+// Dropped counts matched events shed because the queue was full.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Stats snapshots the subscriber's accounting.
+func (s *Subscriber) Stats() SubscriberStats {
+	return SubscriberStats{
+		ID:       s.id,
+		Filter:   s.filter,
+		Matched:  s.matched.Load(),
+		Enqueued: s.enqueued.Load(),
+		Dropped:  s.dropped.Load(),
+	}
+}

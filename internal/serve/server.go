@@ -1,0 +1,481 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/monitor"
+	"embera/internal/platform"
+)
+
+// Config parameterizes a Server. The zero value is serviceable.
+type Config struct {
+	// QueueCap is the per-SSE-subscriber event queue capacity (0 selects
+	// DefaultQueueCap). A stalled reader holds at most this many events.
+	QueueCap int
+}
+
+// Server owns a set of served assemblies and the HTTP surface over them:
+// SSE window streams, the live control API, health and metrics. Create
+// with NewServer, add assemblies, then mount Handler on an http.Server.
+type Server struct {
+	broker *Broker
+	start  time.Time
+
+	mu    sync.Mutex
+	byID  map[string]*Assembly
+	order []*Assembly // insertion order, for stable listings
+}
+
+// NewServer creates an empty server.
+func NewServer(cfg Config) *Server {
+	return &Server{
+		broker: NewBroker(cfg.QueueCap),
+		start:  time.Now(),
+		byID:   make(map[string]*Assembly),
+	}
+}
+
+// Broker exposes the server's fan-out broker (tests, custom subscribers).
+func (s *Server) Broker() *Broker { return s.broker }
+
+// AddAssembly launches workload w on platform p as a served assembly under
+// the given ID ("" auto-assigns a0, a1, …). The assembly's monitor config
+// comes from sopts.Monitor; the server appends its own streaming sink so
+// every closed window reaches the broker.
+func (s *Server) AddAssembly(id string, p platform.Platform, w platform.Workload, sopts exp.ServedOptions) (*Assembly, error) {
+	s.mu.Lock()
+	if id == "" {
+		id = fmt.Sprintf("a%d", len(s.order))
+	}
+	if _, dup := s.byID[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: duplicate assembly id %q", id)
+	}
+	// Reserve the ID before the (slow) launch so concurrent adds cannot
+	// collide on it.
+	s.byID[id] = nil
+	s.mu.Unlock()
+
+	as := &Assembly{id: id, server: s, last: make(map[string]monitor.WindowRecord)}
+	if sopts.Monitor == nil {
+		sopts.Monitor = &monitor.Config{}
+	} else {
+		mcfg := *sopts.Monitor
+		sopts.Monitor = &mcfg
+	}
+	sopts.Monitor.Sinks = append(append([]monitor.Sink(nil), sopts.Monitor.Sinks...), as)
+	run, err := exp.RunServed(p, w, sopts)
+	if err != nil {
+		s.mu.Lock()
+		delete(s.byID, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	as.run.Store(run)
+	s.mu.Lock()
+	s.byID[id] = as
+	s.order = append(s.order, as)
+	s.mu.Unlock()
+	return as, nil
+}
+
+// Assemblies returns the assemblies in insertion order.
+func (s *Server) Assemblies() []*Assembly {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Assembly(nil), s.order...)
+}
+
+// Assembly looks one assembly up by ID.
+func (s *Server) Assembly(id string) (*Assembly, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	as, ok := s.byID[id]
+	return as, ok && as != nil
+}
+
+// Close shuts every assembly down and waits for their generation loops.
+func (s *Server) Close() {
+	for _, as := range s.Assemblies() {
+		as.Run().Close()
+	}
+}
+
+// Assembly is one served platform×workload pair: the exp.ServedRun doing
+// the work plus the streaming seam that feeds its windows to the broker.
+// It implements monitor.Sink (every generation's monitor writes closed
+// windows here) and monitor.CounterAttacher (each generation's monitor
+// wires its loss counters in, so published records carry ring-drop and
+// sink-error accounting).
+type Assembly struct {
+	id     string
+	server *Server
+	run    atomic.Pointer[exp.ServedRun]
+	seq    atomic.Uint64
+
+	mu       sync.Mutex
+	counters monitor.LossCounters
+	last     map[string]monitor.WindowRecord // latest window per component
+	windows  uint64
+}
+
+// ID returns the assembly's server-unique ID.
+func (as *Assembly) ID() string { return as.id }
+
+// Run returns the underlying served run (control surface and stats).
+func (as *Assembly) Run() *exp.ServedRun { return as.run.Load() }
+
+// Windows reports how many windows the assembly has published.
+func (as *Assembly) Windows() uint64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.windows
+}
+
+// LastWindows returns the latest window record per component — the
+// "current" aggregates /metrics exports as gauges.
+func (as *Assembly) LastWindows() []monitor.WindowRecord {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make([]monitor.WindowRecord, 0, len(as.last))
+	for _, rec := range as.last {
+		out = append(out, rec)
+	}
+	return out
+}
+
+// AttachCounters implements monitor.CounterAttacher; each generation's
+// monitor attaches itself when built.
+func (as *Assembly) AttachCounters(c monitor.LossCounters) {
+	as.mu.Lock()
+	as.counters = c
+	as.mu.Unlock()
+}
+
+// WriteWindow implements monitor.Sink: flatten the window, stamp the
+// current generation's loss counters, remember it as the component's
+// latest, and publish. It never blocks — Publish is non-blocking by
+// contract — so the monitor's pump flow is never held up by subscribers.
+func (as *Assembly) WriteWindow(w monitor.WindowStats) error {
+	rec := monitor.NewWindowRecord(w)
+	as.mu.Lock()
+	if as.counters != nil {
+		rec.RingDropped = as.counters.Dropped()
+		rec.SinkErrors = as.counters.SinkErrors()
+	}
+	as.last[rec.Component] = rec
+	as.windows++
+	as.mu.Unlock()
+	var gen uint64
+	if run := as.run.Load(); run != nil {
+		gen = run.Generations()
+	}
+	as.server.broker.Publish(Event{
+		Assembly:   as.id,
+		Generation: gen,
+		Seq:        as.seq.Add(1),
+		Window:     rec,
+	})
+	return nil
+}
+
+// LevelSnapshot is one sampler's live configuration on the wire.
+type LevelSnapshot struct {
+	Level    string `json:"level"`
+	PeriodUS int64  `json:"period_us"`
+}
+
+// Snapshot is one assembly's state as served by the listing endpoints.
+type Snapshot struct {
+	ID       string `json:"id"`
+	Platform string `json:"platform"`
+	Workload string `json:"workload"`
+
+	Running bool `json:"running"`
+	Stopped bool `json:"stopped"`
+	Paused  bool `json:"paused"`
+
+	Generations     uint64 `json:"generations"`
+	CompletedChecks uint64 `json:"completed_checks"`
+	Units           uint64 `json:"units"`
+	Windows         uint64 `json:"windows"`
+	Samples         uint64 `json:"samples"`
+	RingDropped     uint64 `json:"ring_dropped"`
+	SinkErrors      uint64 `json:"sink_errors"`
+
+	Levels         []LevelSnapshot `json:"levels"`
+	WindowUS       int64           `json:"window_us"`
+	LastMakespanUS int64           `json:"last_makespan_us"`
+
+	LastErr             string `json:"last_err,omitempty"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+}
+
+// Snapshot captures the assembly's current state.
+func (as *Assembly) Snapshot() Snapshot {
+	run := as.Run()
+	st := run.Stats()
+	snap := Snapshot{
+		ID:                  as.id,
+		Platform:            run.Platform().Name(),
+		Workload:            run.Workload().Name(),
+		Running:             st.Running,
+		Stopped:             st.Stopped,
+		Paused:              st.Paused,
+		Generations:         st.Generations,
+		CompletedChecks:     st.CompletedChecks,
+		Units:               st.Units,
+		Windows:             as.Windows(),
+		Samples:             st.Samples,
+		RingDropped:         st.RingDropped,
+		SinkErrors:          st.SinkErrors,
+		WindowUS:            st.WindowUS,
+		LastMakespanUS:      st.LastMakespanUS,
+		LastErr:             st.LastErr,
+		ConsecutiveFailures: st.ConsecutiveFailures,
+	}
+	for _, lp := range st.Levels {
+		snap.Levels = append(snap.Levels, LevelSnapshot{Level: lp.Level.String(), PeriodUS: lp.PeriodUS})
+	}
+	return snap
+}
+
+// Handler mounts the service's HTTP surface:
+//
+//	GET  /healthz                       liveness + per-assembly status
+//	GET  /metrics                       Prometheus text exposition
+//	GET  /v1/assemblies                 JSON listing; SSE window stream of
+//	                                    every assembly when the request
+//	                                    accepts text/event-stream
+//	GET  /v1/assemblies/{id}            one assembly's JSON snapshot
+//	GET  /v1/assemblies/{id}/windows    SSE window stream of one assembly
+//	POST /v1/assemblies/{id}/control    live control API
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/assemblies", s.handleAssemblies)
+	mux.HandleFunc("GET /v1/assemblies/{id}", s.handleAssembly)
+	mux.HandleFunc("GET /v1/assemblies/{id}/windows", s.handleWindows)
+	mux.HandleFunc("POST /v1/assemblies/{id}/control", s.handleControl)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleAssemblies(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamWindows(w, r, "")
+		return
+	}
+	snaps := []Snapshot{}
+	for _, as := range s.Assemblies() {
+		snaps = append(snaps, as.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, snaps)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Assembly, bool) {
+	id := r.PathValue("id")
+	as, ok := s.Assembly(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no assembly %q", id)})
+		return nil, false
+	}
+	return as, true
+}
+
+func (s *Server) handleAssembly(w http.ResponseWriter, r *http.Request) {
+	as, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, as.Snapshot())
+}
+
+func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
+	as, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.streamWindows(w, r, as.id)
+}
+
+// wireEvent is the SSE data payload: the event plus the reader's own
+// cumulative drop count, so every message tells the consumer how much of
+// its stream has been shed so far.
+type wireEvent struct {
+	Event
+	SubscriberDropped uint64 `json:"subscriber_dropped"`
+}
+
+// streamWindows serves one SSE subscription: subscribe, stream until the
+// client goes away. A reader that stops consuming blocks here on Write
+// once the socket buffers fill; its queue then sheds with counted drops
+// and the rest of the service is unaffected.
+func (s *Server) streamWindows(w http.ResponseWriter, r *http.Request, filter string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.broker.Subscribe(filter)
+	defer s.broker.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "retry: 2000\n\n")
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-sub.C():
+			data, err := json.Marshal(wireEvent{Event: ev, SubscriberDropped: sub.Dropped()})
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: window\nid: %d\ndata: %s\n\n", ev.Seq, data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// ControlRequest is the control API's POST body. Action selects the verb;
+// the other fields parameterize it:
+//
+//	start       relaunch a stopped assembly
+//	stop        terminate the live generation, park the assembly
+//	pause       suspend sampling (workload keeps running)
+//	resume      re-enable sampling
+//	set-period  level + period_us: retune a sampler live
+//	set-window  window_us: change the aggregation window live
+//	reconnect   from + required + to + provided: rewire a live connection
+//	terminate   component: force-stop one component of the live generation
+type ControlRequest struct {
+	Action    string `json:"action"`
+	Level     string `json:"level,omitempty"`
+	PeriodUS  int64  `json:"period_us,omitempty"`
+	WindowUS  int64  `json:"window_us,omitempty"`
+	From      string `json:"from,omitempty"`
+	Required  string `json:"required,omitempty"`
+	To        string `json:"to,omitempty"`
+	Provided  string `json:"provided,omitempty"`
+	Component string `json:"component,omitempty"`
+}
+
+// parseLevel maps the wire names to observation levels.
+func parseLevel(s string) (core.ObsLevel, error) {
+	switch s {
+	case "os":
+		return core.LevelOS, nil
+	case "middleware":
+		return core.LevelMiddleware, nil
+	case "application":
+		return core.LevelApplication, nil
+	case "all":
+		return core.LevelAll, nil
+	}
+	return 0, fmt.Errorf("unknown observation level %q (want os, middleware, application or all)", s)
+}
+
+func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
+	as, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req ControlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad control body: %v", err)})
+		return
+	}
+	run := as.Run()
+	var err error
+	switch req.Action {
+	case "start":
+		run.Start()
+	case "stop":
+		run.Stop()
+	case "pause":
+		run.Pause()
+	case "resume":
+		run.Resume()
+	case "set-period":
+		var level core.ObsLevel
+		if level, err = parseLevel(req.Level); err == nil {
+			err = run.SetPeriod(level, req.PeriodUS)
+		}
+	case "set-window":
+		err = run.SetWindowUS(req.WindowUS)
+	case "reconnect":
+		err = run.Reconnect(req.From, req.Required, req.To, req.Provided)
+	case "terminate":
+		err = run.Terminate(req.Component)
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("unknown action %q", req.Action)})
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, exp.ErrNotRunning) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "assembly": as.Snapshot()})
+}
+
+// healthReply is the /healthz body.
+type healthReply struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Subscribers   int        `json:"subscribers"`
+	Assemblies    []Snapshot `json:"assemblies"`
+}
+
+// handleHealthz reports liveness: 200 while at least the service itself is
+// healthy, 503 when any assembly has been parked by repeated generation
+// failures (Stopped with a LastErr) — the condition an operator must act
+// on.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := healthReply{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Subscribers:   s.broker.Subscribers(),
+		Assemblies:    []Snapshot{},
+	}
+	status := http.StatusOK
+	for _, as := range s.Assemblies() {
+		snap := as.Snapshot()
+		rep.Assemblies = append(rep.Assemblies, snap)
+		if snap.Stopped && snap.LastErr != "" {
+			rep.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, rep)
+}
