@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -60,7 +61,26 @@ func main() {
 	oneSeed := flag.Int64("seed", -1, "run the full differential battery for this single seed (FUZZ repro mode)")
 	ovScale := flag.Int("ov-scale", 40, "workload scale of each OV overhead-harness cell")
 	benchJSON := flag.String("bench-json", "BENCH_embera.json", "write machine-readable per-experiment timings here (empty = disabled)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here (pprof format)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("embera-bench: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("embera-bench: -cpuprofile: %v", err)
+		}
+		// The deferred stop also runs on the normal exit path below;
+		// log.Fatal paths lose the profile, as they lose the JSON.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("embera-bench: -cpuprofile: %v", err)
+			}
+		}()
+	}
 
 	valid := map[string]bool{}
 	for _, e := range experiments {

@@ -14,6 +14,7 @@
 //	embera-perfdiff -baseline testdata/baselines/BENCH_embera.json -candidate BENCH_embera.json
 //	embera-perfdiff ... -tolerance 15% -json perfdiff.json   # machine-readable diff
 //	embera-perfdiff ... -metric-tolerance allocs_per_op=5%   # per-metric override
+//	embera-perfdiff ... -max-overhead-pct 100                # absolute monitoring-cost ceiling
 //	embera-perfdiff ... -update                              # intentional re-baseline
 //
 // Exit status: 0 when no gated metric regressed, 1 on regression, 2 on
@@ -85,6 +86,9 @@ func main() {
 			strings.Join(perfstat.MetricNames(), ", ")+")")
 	gateTime := flag.Bool("gate-time", false,
 		"also gate the time metrics (total_ns, ns_per_op, units_per_s); use when baseline and candidate ran on the same machine")
+	maxOverhead := flag.Float64("max-overhead-pct", 0,
+		"absolute ceiling on any candidate entry's overhead_pct (0 = off); applies even to "+
+			"nondeterministic wall-clock cells, bounding the cost of leaving the monitor on")
 	jsonOut := flag.String("json", "", "also write the machine-readable diff here")
 	update := flag.Bool("update", false,
 		"re-baseline intentionally: merge the candidate's entries over the baseline file and exit (no comparison)")
@@ -132,6 +136,7 @@ func main() {
 		Tolerance:       tol,
 		MetricTolerance: perMetric,
 		GateTime:        *gateTime,
+		MaxOverheadPct:  *maxOverhead,
 	})
 	if err != nil {
 		usageErr("%v", err)

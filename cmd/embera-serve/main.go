@@ -19,6 +19,9 @@
 //	embera-serve -assembly native/pipeline/2000    # wall-clock assembly
 //	embera-serve -assembly smp/mjpeg -assembly smp/rand:42
 //	embera-serve -addr :9000 -period 500 -window 5000
+//	embera-serve -assembly native/pipeline/2000 -overhead-budget 5
+//	                                               # adaptive sampling: ≤5% host time;
+//	                                               # effective rate on /metrics
 //
 // SIGINT/SIGTERM drain cleanly: HTTP stops, every assembly's generation
 // loop is closed, exit status is zero.
@@ -93,7 +96,11 @@ func main() {
 	osPeriod := flag.Int64("os-period", 5000, "OS-level sampling period (platform µs, 0 = off)")
 	window := flag.Int64("window", 10_000, "aggregation window (platform µs)")
 	ringCap := flag.Int("ring", 4096, "monitor ring buffer capacity (samples)")
-	shards := flag.Int("shards", 4, "monitor ring buffer shard count")
+	shards := flag.Int("shards", 0, "monitor ring buffer shard count (0 = min(GOMAXPROCS, components))")
+	budget := flag.Float64("overhead-budget", 0,
+		"adaptive sampling budget: max percent of host time per sampler on wall-clock platforms "+
+			"(0 = fixed-period sampling); the effective period is exported as "+
+			"embera_serve_monitor_effective_period_us")
 	queue := flag.Int("queue", serve.DefaultQueueCap, "per-subscriber SSE queue capacity (events)")
 	pace := flag.Duration("pace", 50*time.Millisecond, "pause between workload generations")
 	flag.Parse()
@@ -119,10 +126,11 @@ func main() {
 			Options: exp.Options{
 				Options: platform.Options{Scale: specScale},
 				Monitor: &monitor.Config{
-					Levels:       levels,
-					RingCapacity: *ringCap,
-					RingShards:   *shards,
-					WindowUS:     *window,
+					Levels:            levels,
+					RingCapacity:      *ringCap,
+					RingShards:        *shards,
+					WindowUS:          *window,
+					OverheadBudgetPct: *budget,
 				},
 			},
 			Pace: *pace,

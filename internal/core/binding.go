@@ -59,6 +59,25 @@ type Binding interface {
 	Kill(c *Component)
 }
 
+// WallClocked is an optional Binding refinement: a platform whose NowUS is
+// real wall-clock time rather than virtual time reports WallClock() true.
+// Consumers (the streaming monitor) use it to decide whether host-time
+// techniques — interruptible waits, self-cost measurement — are meaningful;
+// on virtual-time platforms they would perturb deterministic schedules.
+type WallClocked interface {
+	WallClock() bool
+}
+
+// SweepViewer is an optional Binding refinement for batched observation
+// sweeps. BeginSweep reads the platform clock once and returns an opaque
+// cookie; OSViewAt is OSView evaluated against that cookie instead of a
+// fresh clock read per component. SampleAll uses it so a sweep over N
+// components costs one clock read, not N.
+type SweepViewer interface {
+	BeginSweep() int64
+	OSViewAt(c *Component, cookie int64) OSReport
+}
+
 // Flow is a component's execution-flow handle inside its body.
 type Flow interface {
 	// Compute charges cycles of CPU work at the component's processor.

@@ -58,7 +58,19 @@ type App struct {
 
 	observer *Observer
 	sink     EventSink
-	started  bool
+
+	// started is atomic because Terminate (reachable from any goroutine
+	// through a platform Interrupt) checks it while Start may still be
+	// running on the launching goroutine.
+	started atomic.Bool
+
+	// live counts components that have not yet reached StateDone; quiesced
+	// is closed when the count hits zero. Platforms with real concurrency
+	// (and the monitor's wall-clock flows) wait on the channel instead of
+	// polling Done, so wind-down latency is event-driven, not a sleep
+	// period.
+	live     atomic.Int32
+	quiesced chan struct{}
 
 	// connMu guards the connection reference counts after Start
 	// (ProvidedIface.conns/senders) and serializes Reconnect against
@@ -72,7 +84,11 @@ type App struct {
 
 // NewApp creates an application on the given platform binding.
 func NewApp(name string, b Binding) *App {
-	return &App{Name: name, binding: b, comps: make(map[string]*Component)}
+	return &App{
+		Name: name, binding: b,
+		comps:    make(map[string]*Component),
+		quiesced: make(chan struct{}),
+	}
 }
 
 // Binding returns the platform binding.
@@ -85,7 +101,7 @@ func (a *App) SetEventSink(s EventSink) { a.sink = s }
 // NewComponent creates a component with the given functional body. Names
 // must be unique within the application.
 func (a *App) NewComponent(name string, body Body) (*Component, error) {
-	if a.started {
+	if a.started.Load() {
 		return nil, fmt.Errorf("core: app %q already started", a.Name)
 	}
 	if name == "" || body == nil {
@@ -133,7 +149,7 @@ func (a *App) Components() []*Component {
 // prov — "connections between components are established by linking required
 // and provided interfaces".
 func (a *App) Connect(from *Component, req string, to *Component, prov string) error {
-	if a.started {
+	if a.started.Load() {
 		return fmt.Errorf("core: app %q already started", a.Name)
 	}
 	if from == nil || to == nil {
@@ -176,7 +192,7 @@ func (a *App) MustConnect(from *Component, req string, to *Component, prov strin
 // Reconnect must be called from kernel context (a scheduled callback) or a
 // driver flow, never from inside a component body that is mid-send.
 func (a *App) Reconnect(from *Component, req string, to *Component, prov string) error {
-	if !a.started {
+	if !a.started.Load() {
 		return fmt.Errorf("core: app %q not started; use Connect during assembly", a.Name)
 	}
 	if from == nil || to == nil {
@@ -229,10 +245,11 @@ func (a *App) Reconnect(from *Component, req string, to *Component, prov string)
 // as a platform mailbox, starts each component's observation service, and
 // spawns each component's execution flow (§3.1 "launching").
 func (a *App) Start() error {
-	if a.started {
+	if a.started.Load() {
 		return fmt.Errorf("core: app %q already started", a.Name)
 	}
-	a.started = true
+	a.started.Store(true)
+	a.live.Store(int32(len(a.order)))
 
 	// Count live senders per provided interface so mailboxes close when the
 	// last producer terminates.
@@ -277,6 +294,11 @@ func (a *App) Done() bool {
 	}
 	return len(a.order) > 0
 }
+
+// Quiesced returns a channel closed once every component has reached
+// StateDone — the event-driven counterpart of polling Done. It never
+// closes before Start, nor for an application with no components.
+func (a *App) Quiesced() <-chan struct{} { return a.quiesced }
 
 // AwaitQuiescence blocks the calling flow until every component has
 // terminated, polling on virtual time. Observation drivers use it to query
@@ -324,9 +346,20 @@ type Component struct {
 
 	obsIn Mailbox // provided observation interface (service queue)
 
-	// PlatformData is owned by the binding (thread, task, CPU assignment).
-	PlatformData any
+	// platformData is owned by the binding (thread, task, CPU assignment).
+	// It is published atomically: on platforms with real concurrency an
+	// observation sampler reads it lock-free while the binding lazily
+	// creates it under its own lock.
+	platformData atomic.Value
 }
+
+// PlatformData returns the binding-owned platform state, or nil before the
+// binding created it.
+func (c *Component) PlatformData() any { return c.platformData.Load() }
+
+// SetPlatformData publishes the binding-owned platform state. Bindings
+// serialize creation under their own lock; readers need no lock at all.
+func (c *Component) SetPlatformData(v any) { c.platformData.Store(v) }
 
 // Name returns the component name.
 func (c *Component) Name() string { return c.name }
@@ -351,7 +384,7 @@ func (c *Component) Place(loc int) *Component {
 // capacity (0 selects the binding default). The name "introspection" is
 // reserved for the observation interface.
 func (c *Component) AddProvided(name string, bufBytes int64) error {
-	if c.app.started {
+	if c.app.started.Load() {
 		return fmt.Errorf("core: app already started")
 	}
 	if name == "" || name == ObsIfaceName {
@@ -370,7 +403,7 @@ func (c *Component) AddProvided(name string, bufBytes int64) error {
 
 // AddRequired declares a required interface (a connection slot).
 func (c *Component) AddRequired(name string) error {
-	if c.app.started {
+	if c.app.started.Load() {
 		return fmt.Errorf("core: app already started")
 	}
 	if name == "" || name == ObsIfaceName {
@@ -476,6 +509,11 @@ func (c *Component) run(f Flow) {
 			}
 		}
 		c.app.connMu.Unlock()
+		// The countdown comes after the StateDone store, so once quiesced
+		// closes, Done() observably holds for every waiter.
+		if c.app.live.Add(-1) == 0 {
+			close(c.app.quiesced)
+		}
 		if r != nil {
 			panic(r)
 		}
@@ -489,7 +527,7 @@ func (c *Component) run(f Flow) {
 // producer is gone) and its observation interface keeps answering with the
 // final statistics. Terminating a finished component is a no-op.
 func (a *App) Terminate(c *Component) error {
-	if !a.started {
+	if !a.started.Load() {
 		return fmt.Errorf("core: app %q not started", a.Name)
 	}
 	if c.State() == StateDone {

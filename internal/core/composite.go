@@ -37,7 +37,7 @@ type exportKey struct {
 // components. A component can belong to at most one composite; composite
 // names share the component namespace.
 func (a *App) NewComposite(name string, members ...*Component) (*Composite, error) {
-	if a.started {
+	if a.started.Load() {
 		return nil, fmt.Errorf("core: app %q already started", a.Name)
 	}
 	if name == "" {
@@ -84,7 +84,7 @@ func (cp *Composite) Name() string { return cp.name }
 
 // Add places a primitive component into the composite's content.
 func (cp *Composite) Add(c *Component) error {
-	if cp.app.started {
+	if cp.app.started.Load() {
 		return fmt.Errorf("core: app already started")
 	}
 	if c == nil {
@@ -101,7 +101,7 @@ func (cp *Composite) Add(c *Component) error {
 // AddComposite nests child inside cp (Fractal hierarchies are arbitrarily
 // deep).
 func (cp *Composite) AddComposite(child *Composite) error {
-	if cp.app.started {
+	if cp.app.started.Load() {
 		return fmt.Errorf("core: app already started")
 	}
 	if child == nil || child == cp {

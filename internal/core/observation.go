@@ -182,7 +182,7 @@ type Observer struct {
 // component's required observation interface to it. Call after all
 // components exist and before Start.
 func (a *App) AttachObserver() (*Observer, error) {
-	if a.started {
+	if a.started.Load() {
 		return nil, fmt.Errorf("core: app %q already started", a.Name)
 	}
 	if a.observer != nil {
@@ -265,6 +265,14 @@ type FastSample struct {
 // Snapshot it never allocates: the per-interface stat maps are represented
 // by their flat totals and the interface listing by its occupancy summary.
 func (c *Component) FastSnapshot(level ObsLevel, s *FastSample) {
+	c.fastSnapshot(level, s, nil, 0)
+}
+
+// fastSnapshot is FastSnapshot with an optional sweep cookie: when sv is
+// non-nil the OS view is evaluated at the cookie's clock reading instead of
+// taking a fresh one, which is how SampleAll amortizes one clock read over
+// a whole sweep.
+func (c *Component) fastSnapshot(level ObsLevel, s *FastSample, sv SweepViewer, cookie int64) {
 	s.Component = c.name
 	s.State = c.State()
 	s.SendOps, s.RecvOps, s.SendBytes, s.RecvBytes, s.SendUS, s.RecvUS = c.stats.totals()
@@ -285,7 +293,12 @@ func (c *Component) FastSnapshot(level ObsLevel, s *FastSample) {
 	}
 	s.ExecTimeUS, s.MemBytes, s.Running = 0, 0, false
 	if level == LevelOS || level == LevelAll {
-		os := c.app.binding.OSView(c)
+		var os OSReport
+		if sv != nil {
+			os = sv.OSViewAt(c, cookie)
+		} else {
+			os = c.app.binding.OSView(c)
+		}
 		s.ExecTimeUS, s.MemBytes, s.Running = os.ExecTimeUS, os.MemBytes, os.Running
 	}
 }
@@ -298,9 +311,19 @@ func (c *Component) FastSnapshot(level ObsLevel, s *FastSample) {
 // allocation — the prerequisite for sampling every component at millisecond
 // periods without perturbing the observed application.
 func (a *App) SampleAll(level ObsLevel, dst []FastSample) []FastSample {
+	// One clock read per sweep: bindings exposing the SweepViewer
+	// refinement evaluate every component's OS view against a single
+	// BeginSweep cookie instead of reading the clock per component.
+	var sv SweepViewer
+	var cookie int64
+	if level == LevelOS || level == LevelAll {
+		if v, ok := a.binding.(SweepViewer); ok {
+			sv, cookie = v, v.BeginSweep()
+		}
+	}
 	for _, c := range a.order {
 		var s FastSample
-		c.FastSnapshot(level, &s)
+		c.fastSnapshot(level, &s, sv, cookie)
 		dst = append(dst, s)
 	}
 	return dst

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // IfaceStats aggregates the middleware-level instrumentation of one
 // direction of one interface: operation count, bytes moved and the time
@@ -22,12 +25,24 @@ func (s IfaceStats) MeanUS() float64 {
 	return float64(s.TotalUS) / float64(s.Ops)
 }
 
-func (s *IfaceStats) record(bytes int, us int64) {
-	s.Ops++
-	s.Bytes += uint64(bytes)
-	s.TotalUS += us
-	if us > s.MaxUS {
-		s.MaxUS = us
+// ifaceCounters is the live accumulator behind one direction of one
+// interface. The fields are atomic so observation flows can read them while
+// the owning component's flow updates them; cross-field consistency comes
+// from the owning stats seqlock.
+type ifaceCounters struct {
+	ops     atomic.Uint64
+	bytes   atomic.Uint64
+	totalUS atomic.Int64
+	maxUS   atomic.Int64
+}
+
+// load reads one entry's fields (consistency is the caller's seqlock).
+func (e *ifaceCounters) load() IfaceStats {
+	return IfaceStats{
+		Ops:     e.ops.Load(),
+		Bytes:   e.bytes.Load(),
+		TotalUS: e.totalUS.Load(),
+		MaxUS:   e.maxUS.Load(),
 	}
 }
 
@@ -36,91 +51,146 @@ func (s *IfaceStats) record(bytes int, us int64) {
 // maps it keeps flat totals so the streaming monitor's SampleAll fast path
 // can read them without walking (or copying) the maps.
 //
-// The mutex exists for platforms whose flows are real OS threads of
-// control: there the component mutates its counters while an observation
-// service or monitor sampler reads them from another goroutine. On the
-// simulated platforms exactly one flow runs at a time, so the lock is
-// always uncontended and costs a few nanoseconds per primitive.
+// Concurrency model: exactly one writer — the component's own execution
+// flow, which is the only context Ctx.Send/Ctx.Receive run in — and any
+// number of readers (monitor samplers, observation services on platforms
+// with real concurrency). Instead of a mutex, which made every sampler tick
+// contend with the send/receive hot path on the native platform, the
+// counters are plain atomics guarded by a seqlock: the writer bumps seq to
+// odd, updates, bumps back to even; readers retry while seq is odd or moved
+// under them. Writers never block and never wait on readers, so sampling
+// can never stall a component. The per-interface maps are copy-on-write
+// (an insert publishes a fresh map; entries are stable pointers), letting
+// readers walk them without any lock at all.
 type stats struct {
-	mu sync.Mutex
+	// seq is the seqlock generation: odd while a write is in progress.
+	// Only the owning component's flow writes it.
+	seq atomic.Uint64
 
-	send map[string]*IfaceStats
-	recv map[string]*IfaceStats
+	send atomic.Pointer[map[string]*ifaceCounters]
+	recv atomic.Pointer[map[string]*ifaceCounters]
 
-	sendOps, recvOps     uint64
-	sendBytes, recvBytes uint64
-	sendUS, recvUS       int64
-	computeUS            int64
+	sendOps, recvOps     atomic.Uint64
+	sendBytes, recvBytes atomic.Uint64
+	sendUS, recvUS       atomic.Int64
 }
 
 func newStats() *stats {
-	return &stats{
-		send: make(map[string]*IfaceStats),
-		recv: make(map[string]*IfaceStats),
+	st := &stats{}
+	emptySend := map[string]*ifaceCounters{}
+	emptyRecv := map[string]*ifaceCounters{}
+	st.send.Store(&emptySend)
+	st.recv.Store(&emptyRecv)
+	return st
+}
+
+// entry returns the counters for iface in dir, inserting copy-on-write on
+// first use. Only the single writer calls it (inside its seqlock window),
+// so the copy-and-swap needs no CAS.
+func entry(dir *atomic.Pointer[map[string]*ifaceCounters], iface string) *ifaceCounters {
+	m := *dir.Load()
+	if e := m[iface]; e != nil {
+		return e
 	}
+	e := &ifaceCounters{}
+	next := make(map[string]*ifaceCounters, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	next[iface] = e
+	dir.Store(&next)
+	return e
 }
 
 func (st *stats) recordSend(iface string, bytes int, us int64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	s := st.send[iface]
-	if s == nil {
-		s = &IfaceStats{}
-		st.send[iface] = s
+	st.seq.Add(1) // odd: write in progress
+	e := entry(&st.send, iface)
+	e.ops.Add(1)
+	e.bytes.Add(uint64(bytes))
+	e.totalUS.Add(us)
+	if us > e.maxUS.Load() {
+		e.maxUS.Store(us)
 	}
-	s.record(bytes, us)
-	st.sendOps++
-	st.sendBytes += uint64(bytes)
-	st.sendUS += us
+	st.sendOps.Add(1)
+	st.sendBytes.Add(uint64(bytes))
+	st.sendUS.Add(us)
+	st.seq.Add(1) // even: write complete
 }
 
 func (st *stats) recordRecv(iface string, bytes int, us int64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	s := st.recv[iface]
-	if s == nil {
-		s = &IfaceStats{}
-		st.recv[iface] = s
+	st.seq.Add(1)
+	e := entry(&st.recv, iface)
+	e.ops.Add(1)
+	e.bytes.Add(uint64(bytes))
+	e.totalUS.Add(us)
+	if us > e.maxUS.Load() {
+		e.maxUS.Store(us)
 	}
-	s.record(bytes, us)
-	st.recvOps++
-	st.recvBytes += uint64(bytes)
-	st.recvUS += us
+	st.recvOps.Add(1)
+	st.recvBytes.Add(uint64(bytes))
+	st.recvUS.Add(us)
+	st.seq.Add(1)
+}
+
+// readConsistent runs read under the seqlock, retrying until it observes a
+// quiet generation. The writer's critical section is a handful of atomic
+// adds, so a retry loop converges in a few spins even against a component
+// sending at full rate; the Gosched guards against pathological scheduling
+// (reader and writer pinned to the same core).
+func (st *stats) readConsistent(read func()) {
+	for spins := 0; ; spins++ {
+		s1 := st.seq.Load()
+		if s1&1 == 0 {
+			read()
+			if st.seq.Load() == s1 {
+				return
+			}
+		}
+		if spins%32 == 31 {
+			runtime.Gosched()
+		}
+	}
 }
 
 // totals reads the flat counters consistently (the SampleAll fast path).
 func (st *stats) totals() (sendOps, recvOps, sendBytes, recvBytes uint64, sendUS, recvUS int64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.sendOps, st.recvOps, st.sendBytes, st.recvBytes, st.sendUS, st.recvUS
+	st.readConsistent(func() {
+		sendOps = st.sendOps.Load()
+		recvOps = st.recvOps.Load()
+		sendBytes = st.sendBytes.Load()
+		recvBytes = st.recvBytes.Load()
+		sendUS = st.sendUS.Load()
+		recvUS = st.recvUS.Load()
+	})
+	return
 }
 
 // ops reads just the operation counters.
 func (st *stats) ops() (sendOps, recvOps uint64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.sendOps, st.recvOps
+	st.readConsistent(func() {
+		sendOps = st.sendOps.Load()
+		recvOps = st.recvOps.Load()
+	})
+	return
 }
 
 // snapshotSend / snapshotRecv deep-copy the per-interface maps for a report.
 func (st *stats) snapshotSend() map[string]IfaceStats {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return snapshotMap(st.send)
+	return st.snapshot(&st.send)
 }
 
 func (st *stats) snapshotRecv() map[string]IfaceStats {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return snapshotMap(st.recv)
+	return st.snapshot(&st.recv)
 }
 
-// snapshotMap deep-copies a stats map for inclusion in a report. Callers
-// must hold the stats lock.
-func snapshotMap(m map[string]*IfaceStats) map[string]IfaceStats {
-	out := make(map[string]IfaceStats, len(m))
-	for k, v := range m {
-		out[k] = *v
-	}
+func (st *stats) snapshot(dir *atomic.Pointer[map[string]*ifaceCounters]) map[string]IfaceStats {
+	var out map[string]IfaceStats
+	st.readConsistent(func() {
+		m := *dir.Load()
+		out = make(map[string]IfaceStats, len(m))
+		for k, e := range m {
+			out[k] = e.load()
+		}
+	})
 	return out
 }

@@ -65,6 +65,15 @@ type ServedStats struct {
 	// SetWindowUS).
 	Levels   []monitor.LevelPeriod
 	WindowUS int64
+	// EffectiveLevels is the period each sampler is actually running at:
+	// equal to Levels unless the adaptive overhead controller has backed a
+	// sampler off its configured period under load. Between generations it
+	// holds the last live generation's reading, so the gauge does not
+	// flap to base at every relaunch.
+	EffectiveLevels []monitor.LevelPeriod
+	// OverheadBudgetPct is the configured adaptive sampling budget
+	// (percent of host time per sampler; 0 = controller off).
+	OverheadBudgetPct float64
 
 	// LastMakespanUS is the platform time at which the most recent
 	// completed generation finished.
@@ -106,6 +115,7 @@ type ServedRun struct {
 
 	mu       sync.Mutex
 	levels   []monitor.LevelPeriod // desired sampler config (live + next generations)
+	lastEff  []monitor.LevelPeriod // last observed effective periods (survives generation ends)
 	windowUS int64
 	paused   bool
 	stopReq  bool
@@ -270,6 +280,7 @@ func (sr *ServedRun) runGeneration() error {
 		// Unpublish the generation, fold its pipeline accounting into the
 		// long-run totals and answer any control op that raced the exit.
 		sr.mu.Lock()
+		sr.lastEff = mon.EffectiveLevels()
 		sr.machine, sr.app, sr.mon = nil, nil, nil
 		sr.running = false
 		ops := sr.ops
@@ -552,6 +563,9 @@ func (sr *ServedRun) Stats() ServedStats {
 		LastMakespanUS:      sr.lastEnd.Load(),
 		ConsecutiveFailures: sr.fails,
 	}
+	if sr.base.Monitor != nil {
+		st.OverheadBudgetPct = sr.base.Monitor.OverheadBudgetPct
+	}
 	if sr.lastErr != nil {
 		st.LastErr = sr.lastErr.Error()
 	}
@@ -559,6 +573,14 @@ func (sr *ServedRun) Stats() ServedStats {
 		st.Samples += sr.mon.Samples()
 		st.RingDropped += sr.mon.Dropped()
 		st.SinkErrors += sr.mon.SinkErrors()
+		sr.lastEff = sr.mon.EffectiveLevels()
+	}
+	switch {
+	case sr.lastEff != nil:
+		st.EffectiveLevels = append([]monitor.LevelPeriod(nil), sr.lastEff...)
+	default:
+		// No generation has sampled yet: effective = configured.
+		st.EffectiveLevels = append([]monitor.LevelPeriod(nil), sr.levels...)
 	}
 	sr.mu.Unlock()
 	return st

@@ -1,0 +1,221 @@
+package monitor_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"embera/internal/core"
+	"embera/internal/monitor"
+	"embera/internal/platform"
+
+	_ "embera/internal/fuzzwl" // register the rand:<seed> workload family
+)
+
+const nativeHorizonUS = int64(60 * 1e6)
+
+// windowedSamples sums the per-window sample counts: the number of samples
+// that made it all the way through the pipeline into closed windows.
+func windowedSamples(ws []monitor.WindowStats) uint64 {
+	var n uint64
+	for _, w := range ws {
+		n += uint64(w.Samples)
+	}
+	return n
+}
+
+// TestAdaptiveBudgetBacksOffNative runs a saturating seeded random workload
+// on the native platform under a deliberately impossible overhead budget:
+// the controller must back the effective period off the configured base
+// (visible through EffectiveLevels), the base period must stay what was
+// configured, and the exact accounting contract — every accepted sample
+// lands in a closed window — must survive the backoff.
+func TestAdaptiveBudgetBacksOffNative(t *testing.T) {
+	p := platform.MustGet("native")
+	m, a := p.New("adaptive-backoff")
+	w := platform.MustGetWorkload("rand:7")
+	if _, err := w.Build(a, p, platform.Options{Scale: 60}); err != nil {
+		t.Fatal(err)
+	}
+	// A straggler pins the run open for ~30 ms of wall time so the samplers
+	// take enough governed ticks for the EWMA to move, however fast the
+	// random DAG itself drains.
+	a.MustNewComponent("straggler", func(ctx *core.Ctx) { ctx.SleepUS(30_000) })
+	mon, err := monitor.New(a, monitor.Config{
+		Levels: []monitor.LevelPeriod{{Level: core.LevelAll, PeriodUS: 100}},
+		// With ticks costing microseconds, a 0.0001% budget demands a
+		// period of seconds: the controller must saturate well above base.
+		OverheadBudgetPct: 0.0001,
+		WindowUS:          2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(nativeHorizonUS); err != nil {
+		t.Fatal(err)
+	}
+
+	base := mon.Levels()[0].PeriodUS
+	eff := mon.EffectiveLevels()[0].PeriodUS
+	if base != 100 {
+		t.Fatalf("base period = %dµs, want the configured 100", base)
+	}
+	if eff <= base {
+		t.Fatalf("effective period = %dµs, want > base %dµs under an impossible budget", eff, base)
+	}
+	if mon.OverheadBudgetPct() != 0.0001 {
+		t.Fatalf("OverheadBudgetPct() = %g, want 0.0001", mon.OverheadBudgetPct())
+	}
+	if mon.Samples() == 0 {
+		t.Fatal("no samples accepted at all")
+	}
+	if got, want := windowedSamples(mon.Windows()), mon.Samples(); got != want {
+		t.Fatalf("windowed samples = %d, accepted = %d; backoff broke exact accounting", got, want)
+	}
+}
+
+// TestSetPeriodWakesNativeSampler pins the live-retune latency: a sampler
+// parked in a 10-second wait must apply a SetPeriod to 500 µs immediately,
+// not after the old sleep expires. Before the wake channel this test could
+// not pass — the first tick at the new period arrived 10 s in.
+func TestSetPeriodWakesNativeSampler(t *testing.T) {
+	m, a := platform.MustGet("native").New("retune-wake")
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < 300; i++ {
+			ctx.SleepUS(200) // pin the run open ~60 ms of wall time
+			ctx.Send("out", i, 256)
+		}
+	}).MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	}).MustAddProvided("in", 1<<16)
+	a.MustConnect(prod, "out", cons, "in")
+	mon, err := monitor.New(a, monitor.Config{
+		Levels:   []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 10_000_000}},
+		WindowUS: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var retuneErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond) // let the sampler park in its 10 s wait
+		retuneErr = mon.SetPeriod(core.LevelApplication, 500)
+	}()
+	if err := m.Run(nativeHorizonUS); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if retuneErr != nil {
+		t.Fatal(retuneErr)
+	}
+	// ~55 ms of run left after the retune at 500 µs over two components:
+	// well over a hundred samples if the wake worked, at most a handful
+	// (the wind-down tick) if the sampler slept out the old period.
+	if got := mon.Samples(); got < 20 {
+		t.Fatalf("samples after live retune = %d, want ≥ 20 — SetPeriod did not interrupt the wait", got)
+	}
+	if got, want := windowedSamples(mon.Windows()), mon.Samples(); got != want {
+		t.Fatalf("windowed samples = %d, accepted = %d", got, want)
+	}
+}
+
+// TestNativeControlChurnExactAccounting hammers the control surface —
+// Pause, Resume, SetPeriod retunes — while the application runs on the
+// wall-clock platform, then checks the invariant the conformance harness
+// relies on: accepted samples equal windowed samples, exactly, no matter
+// how the controls interleaved with the samplers and the pump.
+func TestNativeControlChurnExactAccounting(t *testing.T) {
+	m, a := platform.MustGet("native").New("control-churn")
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < 250; i++ {
+			ctx.SleepUS(200)
+			ctx.Send("out", i, 512)
+		}
+	}).MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	}).MustAddProvided("in", 1<<16)
+	a.MustConnect(prod, "out", cons, "in")
+	mon, err := monitor.New(a, monitor.Config{
+		Levels:   []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 100}},
+		WindowUS: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	churnDone := make(chan error, 1)
+	go func() {
+		periods := []int64{300, 100, 700, 100}
+		for i := 0; i < 8; i++ {
+			mon.Pause()
+			time.Sleep(time.Millisecond)
+			mon.Resume()
+			if err := mon.SetPeriod(core.LevelApplication, periods[i%len(periods)]); err != nil {
+				churnDone <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		churnDone <- nil
+	}()
+	if err := m.Run(nativeHorizonUS); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-churnDone; err != nil {
+		t.Fatal(err)
+	}
+	if mon.Paused() {
+		t.Fatal("monitor left paused after churn")
+	}
+	if mon.Samples() == 0 {
+		t.Fatal("no samples accepted across the churn")
+	}
+	if got, want := windowedSamples(mon.Windows()), mon.Samples(); got != want {
+		t.Fatalf("windowed samples = %d, accepted = %d; control churn broke exact accounting", got, want)
+	}
+}
+
+// TestMonitorShardsDefaultClampsToComponents: with no explicit RingShards
+// the monitor spreads the ring across min(GOMAXPROCS, components) SPSC
+// shards — never more shards than components, since samples shard by
+// component index.
+func TestMonitorShardsDefaultClampsToComponents(t *testing.T) {
+	a, _ := buildPipelineApp(t, 1, 0) // two components
+	mon, err := monitor.New(a, monitor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Ring().Shards(); got > 2 || got < 1 {
+		t.Fatalf("default ring shards = %d, want within [1, 2] for a 2-component app", got)
+	}
+}

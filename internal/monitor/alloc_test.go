@@ -15,12 +15,13 @@ import (
 func TestSamplePathZeroAlloc(t *testing.T) {
 	a, _ := buildPipelineApp(t, 1, 0)
 	ring := monitor.NewRing(4096, 2)
+	w := ring.SoleWriter()
 	buf := make([]core.FastSample, 0, 8)
 	batch := make([]monitor.Sample, 0, 8)
 	drain := make([]monitor.Sample, 0, 4096)
 
 	tick := func() {
-		_, buf, batch = monitor.SampleTick(a, core.LevelApplication, 1000, ring, buf, batch)
+		_, buf, batch = monitor.SampleTick(a, core.LevelApplication, 1000, w, buf, batch)
 	}
 	tick() // warm the buffers
 	drain = ring.DrainInto(drain[:0])

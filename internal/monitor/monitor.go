@@ -23,9 +23,11 @@ package monitor
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"embera/internal/core"
 )
@@ -58,16 +60,28 @@ type Config struct {
 	Levels []LevelPeriod
 	// RingCapacity is the total buffered-sample capacity (default 4096).
 	RingCapacity int
-	// RingShards is the lock-sharding factor (default 4).
+	// RingShards is the ring's SPSC sharding factor. The default —
+	// min(GOMAXPROCS, number of components) — spreads samples across the
+	// parallelism actually available instead of funnelling big assemblies
+	// through a fixed shard count; set it explicitly to override.
 	RingShards int
 	// WindowUS is the aggregation window length (default 10 ms).
 	WindowUS int64
+	// OverheadBudgetPct caps the sampling duty cycle on wall-clock
+	// platforms: the fraction of host time (in percent) one sampler may
+	// spend inside its sampling ticks. When the measured per-tick cost
+	// exceeds the budget's share of the configured period, the sampler
+	// backs its effective period off just far enough to fit, and recovers
+	// toward the configured period as ticks get cheap again. Zero disables
+	// the controller; it is also inert on virtual-time platforms, where
+	// host-time feedback would perturb deterministic schedules.
+	OverheadBudgetPct float64
 	// Sinks receive closed windows. A MemorySink is always attached
 	// internally so Totals works; list additional sinks here.
 	Sinks []Sink
 }
 
-func (cfg *Config) setDefaults() {
+func (cfg *Config) setDefaults(ncomps int) {
 	if len(cfg.Levels) == 0 {
 		cfg.Levels = []LevelPeriod{{Level: core.LevelApplication, PeriodUS: 1000}}
 	}
@@ -75,20 +89,40 @@ func (cfg *Config) setDefaults() {
 		cfg.RingCapacity = 4096
 	}
 	if cfg.RingShards == 0 {
-		cfg.RingShards = 4
+		cfg.RingShards = runtime.GOMAXPROCS(0)
+		if ncomps > 0 && cfg.RingShards > ncomps {
+			cfg.RingShards = ncomps
+		}
+		if cfg.RingShards < 1 {
+			cfg.RingShards = 1
+		}
 	}
 	if cfg.WindowUS == 0 {
 		cfg.WindowUS = 10_000
 	}
 }
 
-// samplerState is one sampler flow's live configuration. The period is
+// samplerState is one sampler flow's live configuration. The periods are
 // atomic so the paper's control functions can retune a running sampler —
 // a long-running front end (embera-serve) changes sampling rates without
-// restarting the assembly — while the sampler flow reads it every tick.
+// restarting the assembly — while the sampler flow reads them every tick.
 type samplerState struct {
-	level    core.ObsLevel
-	periodUS atomic.Int64
+	level core.ObsLevel
+	// basePeriodUS is the configured period (what SetPeriod sets);
+	// effPeriodUS is the period actually slept, which the adaptive
+	// controller may back off above base when ticks cost more than the
+	// overhead budget allows. With the controller off they are equal.
+	basePeriodUS atomic.Int64
+	effPeriodUS  atomic.Int64
+	// ewmaTickNs smooths the measured per-tick host cost (controller state;
+	// written by the sampler flow, read by SetPeriod for recomputes).
+	ewmaTickNs atomic.Int64
+	// wake interrupts the wall-clock wait so a live SetPeriod applies
+	// immediately instead of after one sleep at the old period.
+	wake chan struct{}
+	// writer is the sampler's own partition of the ring's shards: one
+	// producer per shard, no lock on the push path.
+	writer *Writer
 }
 
 // Monitor owns one streaming observation pipeline over one application.
@@ -124,6 +158,20 @@ type Monitor struct {
 	liveSamplers atomic.Int32
 	started      bool
 
+	// wallClock marks a platform whose NowUS is host time. There the
+	// monitor flows wait on interruptible timers (woken by control calls,
+	// Stop and application quiescence) instead of fixed platform sleeps,
+	// and the adaptive controller may govern the sampling period. On
+	// virtual-time platforms both stay off: flows sleep in simulated time
+	// and runs remain deterministic.
+	wallClock bool
+	budgetPct float64
+	appDone   <-chan struct{} // closed when every component terminated
+	// samplersDone closes when the last sampler flow exits: the pump's
+	// signal that one final drain accounts for every accepted sample.
+	samplersDone chan struct{}
+	pumpWake     chan struct{} // interrupts the pump's wall-clock wait
+
 	// drainBuf is the pump flow's reusable drain scratch (the pump is the
 	// only flow touching it).
 	drainBuf []Sample
@@ -146,7 +194,8 @@ func New(app *core.App, cfg Config) (*Monitor, error) {
 	if app == nil {
 		return nil, fmt.Errorf("monitor: nil app")
 	}
-	cfg.setDefaults()
+	ncomps := len(app.Components())
+	cfg.setDefaults(ncomps)
 	for _, lp := range cfg.Levels {
 		if lp.PeriodUS <= 0 {
 			return nil, fmt.Errorf("monitor: level %s has non-positive period %d µs",
@@ -160,6 +209,9 @@ func New(app *core.App, cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("monitor: negative ring capacity/shards %d/%d",
 			cfg.RingCapacity, cfg.RingShards)
 	}
+	if cfg.OverheadBudgetPct < 0 {
+		return nil, fmt.Errorf("monitor: negative overhead budget %g%%", cfg.OverheadBudgetPct)
+	}
 	for i, s := range cfg.Sinks {
 		if s == nil {
 			return nil, fmt.Errorf("monitor: sink %d is nil", i)
@@ -168,23 +220,44 @@ func New(app *core.App, cfg Config) (*Monitor, error) {
 	// Samples shard by component index, so shards beyond the component
 	// count would sit empty while shrinking every used shard's slice of
 	// the capacity. Clamp (assemble the application before New).
-	if n := len(app.Components()); n > 0 && cfg.RingShards > n {
-		cfg.RingShards = n
+	if ncomps > 0 && cfg.RingShards > ncomps {
+		cfg.RingShards = ncomps
+	}
+	// The SPSC contract needs one shard per sampler flow at minimum (each
+	// writer partition must own at least one shard), and NewRing clamps the
+	// shard count down to the capacity — so raise both floors here.
+	if cfg.RingShards < len(cfg.Levels) {
+		cfg.RingShards = len(cfg.Levels)
+	}
+	if cfg.RingCapacity < cfg.RingShards {
+		cfg.RingCapacity = cfg.RingShards
 	}
 	m := &Monitor{
-		app:  app,
-		cfg:  cfg,
-		ring: NewRing(cfg.RingCapacity, cfg.RingShards),
-		agg:  NewAggregator(0),
-		mem:  NewMemorySink(),
-		stop: make(chan struct{}),
+		app:          app,
+		cfg:          cfg,
+		ring:         NewRing(cfg.RingCapacity, cfg.RingShards),
+		agg:          NewAggregator(0),
+		mem:          NewMemorySink(),
+		stop:         make(chan struct{}),
+		budgetPct:    cfg.OverheadBudgetPct,
+		appDone:      app.Quiesced(),
+		samplersDone: make(chan struct{}),
+		pumpWake:     make(chan struct{}, 1),
+	}
+	if wc, ok := app.Binding().(core.WallClocked); ok && wc.WallClock() {
+		m.wallClock = true
 	}
 	if comps := app.Components(); len(comps) > 0 {
 		m.clockComp = comps[0]
 	}
-	for _, lp := range cfg.Levels {
-		st := &samplerState{level: lp.Level}
-		st.periodUS.Store(lp.PeriodUS)
+	for i, lp := range cfg.Levels {
+		st := &samplerState{
+			level:  lp.Level,
+			wake:   make(chan struct{}, 1),
+			writer: m.ring.Writer(i, len(cfg.Levels)),
+		}
+		st.basePeriodUS.Store(lp.PeriodUS)
+		st.effPeriodUS.Store(lp.PeriodUS)
 		m.samplers = append(m.samplers, st)
 	}
 	m.windowUS.Store(cfg.WindowUS)
@@ -226,60 +299,185 @@ func (m *Monitor) Start() error {
 
 // SampleTick is the monitor's per-tick hot path: sweep every component of
 // app through the SampleAll fast path into buf, wrap the sweep into ring
-// samples stamped nowUS in batch, and push the whole tick into the ring as
-// one batch (one lock acquisition per shard instead of one per sample). It
-// returns the accepted count and the two buffers for reuse — pass them
-// back on the next tick and the steady state allocates nothing.
+// samples stamped nowUS in batch, and push the whole tick through the
+// writer's shard partition (one producer-cursor release per shard instead
+// of a lock per sample). It returns the accepted count and the two buffers
+// for reuse — pass them back on the next tick and the steady state
+// allocates nothing.
 //
 // It is exported so the top-level benchmarks, the perfstat micro harness
 // and the zero-alloc regression test measure exactly the code the sampler
 // flows execute, not a copy that could drift.
-func SampleTick(app *core.App, level core.ObsLevel, nowUS int64, ring *Ring,
+func SampleTick(app *core.App, level core.ObsLevel, nowUS int64, w *Writer,
 	buf []core.FastSample, batch []Sample) (accepted int, bufOut []core.FastSample, batchOut []Sample) {
 	buf = app.SampleAll(level, buf[:0])
 	batch = batch[:0]
 	for i := range buf {
 		batch = append(batch, Sample{TimeUS: nowUS, Level: level, FastSample: buf[i]})
 	}
-	return ring.PushBatch(batch), buf, batch
+	return w.PushBatch(batch), buf, batch
 }
 
-// sampleLoop is one sampler: sleep a period of virtual time, run one
-// SampleTick. The per-tick buffers are reused across ticks, so
-// steady-state sampling performs no per-tick allocation. Period and pause
-// state are re-read every tick, so live control changes take effect within
-// one period.
+// sampleLoop is one sampler: wait one period, run one SampleTick. The
+// per-tick buffers are reused across ticks, so steady-state sampling
+// performs no per-tick allocation. Period and pause state are re-read
+// every tick; on wall-clock platforms the wait is additionally
+// interruptible (SetPeriod, Stop, application quiescence), so control
+// changes apply immediately rather than after one sleep at the old period,
+// and wind-down costs microseconds rather than a final period.
 func (m *Monitor) sampleLoop(f core.Flow, st *samplerState) {
+	defer func() {
+		if m.liveSamplers.Add(-1) == 0 {
+			close(m.samplersDone)
+		}
+	}()
 	n := len(m.app.Components())
 	buf := make([]core.FastSample, 0, n)
 	batch := make([]Sample, 0, n)
+	var timer *time.Timer
+	if m.wallClock {
+		timer = time.NewTimer(time.Hour)
+		timer.Stop()
+		defer timer.Stop()
+	}
+	govern := m.wallClock && m.budgetPct > 0
 	for !m.app.Done() && !m.stopping() {
-		f.SleepUS(st.periodUS.Load())
+		m.samplerWait(f, st, timer)
 		if m.paused.Load() {
 			continue
 		}
+		var t0 time.Time
+		if govern {
+			t0 = time.Now()
+		}
 		var accepted int
-		accepted, buf, batch = SampleTick(m.app, st.level, m.nowUS(), m.ring, buf, batch)
+		accepted, buf, batch = SampleTick(m.app, st.level, m.nowUS(), st.writer, buf, batch)
 		if accepted > 0 {
 			m.samples.Add(uint64(accepted))
 		}
+		if govern {
+			m.observeTickCost(st, time.Since(t0))
+		}
 	}
-	m.liveSamplers.Add(-1)
+}
+
+// samplerWait blocks for one effective period. Virtual-time platforms
+// sleep in simulated time (the deterministic schedule must not depend on
+// host events); wall-clock platforms wait on a timer that SetPeriod, Stop
+// and application quiescence can all cut short.
+func (m *Monitor) samplerWait(f core.Flow, st *samplerState, timer *time.Timer) {
+	us := st.effPeriodUS.Load()
+	if !m.wallClock {
+		f.SleepUS(us)
+		return
+	}
+	timer.Reset(time.Duration(us) * time.Microsecond)
+	select {
+	case <-timer.C:
+	case <-st.wake:
+		timer.Stop()
+	case <-m.stop:
+		timer.Stop()
+	case <-m.appDone:
+		timer.Stop()
+	}
+}
+
+// ewmaShift is the adaptive controller's smoothing: each tick contributes
+// 1/8 of its cost to the moving average, so a single slow tick (GC pause,
+// scheduler hiccup) cannot slam the period, while sustained load moves the
+// average within a handful of ticks.
+const ewmaShift = 3
+
+// maxBackoffFactor caps the governed period at this multiple of the base
+// period: under any load the sampler still samples, just coarsely.
+const maxBackoffFactor = 1000
+
+// observeTickCost folds one measured tick cost into the EWMA and
+// republishes the effective period.
+func (m *Monitor) observeTickCost(st *samplerState, cost time.Duration) {
+	c := int64(cost)
+	if c < 0 {
+		c = 0
+	}
+	ewma := st.ewmaTickNs.Load()
+	if ewma == 0 {
+		ewma = c
+	} else {
+		ewma += (c - ewma) >> ewmaShift
+	}
+	st.ewmaTickNs.Store(ewma)
+	st.effPeriodUS.Store(governPeriodUS(ewma, st.basePeriodUS.Load(), m.budgetPct))
+}
+
+// governPeriodUS is the controller law: the smallest period ≥ base at
+// which a tick costing ewmaNs stays within budgetPct of host time, capped
+// at maxBackoffFactor×base. duty = ewmaNs/(periodUS·1000) ≤ budgetPct/100
+// solves to periodUS ≥ ewmaNs/(10·budgetPct).
+func governPeriodUS(ewmaNs, baseUS int64, budgetPct float64) int64 {
+	if budgetPct <= 0 {
+		return baseUS
+	}
+	eff := baseUS
+	if minUS := int64(float64(ewmaNs) / (10 * budgetPct)); minUS > eff {
+		eff = minUS
+	}
+	if capUS := baseUS * maxBackoffFactor; eff > capUS {
+		eff = capUS
+	}
+	return eff
 }
 
 // pumpLoop drains the ring every window, folds the samples into the
 // aggregator and streams the closed windows to the sinks. It exits after
 // the final drain: application quiesced, every sampler gone, ring empty.
 func (m *Monitor) pumpLoop(f core.Flow) {
+	if m.wallClock {
+		m.pumpLoopWall()
+		return
+	}
 	for {
 		f.SleepUS(m.windowUS.Load())
 		now := m.nowUS()
 		drained := m.drainAndFlush(now)
 		if drained == 0 && m.liveSamplers.Load() == 0 && (m.app.Done() || m.stopping()) {
-			// On the native platform a sampler may push its final sample
-			// after the drain above and exit before the liveSamplers read.
-			// Samplers are certainly gone now, so one more sweep is enough
-			// to guarantee every accepted sample reaches a window.
+			// A sampler may push its final sample after the drain above and
+			// exit before the liveSamplers read. Samplers are certainly
+			// gone now, so one more sweep is enough to guarantee every
+			// accepted sample reaches a window.
+			m.drainAndFlush(m.nowUS())
+			return
+		}
+	}
+}
+
+// pumpLoopWall is the pump on wall-clock platforms: the window wait is an
+// interruptible timer, and the exit is event-driven — application
+// quiescence (or Stop) wakes it immediately, it waits for the samplers'
+// prompt exit, and one final drain accounts for every accepted sample.
+// Before this the pump slept whole uninterruptible windows after the
+// application had already finished, which dominated the measured cost of
+// monitoring short native runs.
+func (m *Monitor) pumpLoopWall() {
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+	for {
+		timer.Reset(time.Duration(m.windowUS.Load()) * time.Microsecond)
+		select {
+		case <-timer.C:
+		case <-m.pumpWake:
+			timer.Stop()
+		case <-m.stop:
+			timer.Stop()
+		case <-m.appDone:
+			timer.Stop()
+		}
+		m.drainAndFlush(m.nowUS())
+		if m.app.Done() || m.stopping() {
+			// The same events that woke the pump wake every sampler, so
+			// this wait is microseconds, not a period.
+			<-m.samplersDone
 			m.drainAndFlush(m.nowUS())
 			return
 		}
@@ -326,10 +524,12 @@ func (m *Monitor) stopping() bool {
 }
 
 // SetPeriod retunes every sampler driving the given observation level to a
-// new sampling period, live: the next tick after the store uses the new
-// period. It is the paper's sampling-rate control function exposed at run
-// time (embera-serve's control API lands here) and is safe to call from any
-// goroutine on any platform — the samplers read the period atomically.
+// new sampling period, live. It is the paper's sampling-rate control
+// function exposed at run time (embera-serve's control API lands here) and
+// is safe to call from any goroutine on any platform — the samplers read
+// the period atomically. On wall-clock platforms the change also
+// interrupts any wait in progress, so retuning a 1 s sampler down to 1 ms
+// takes effect now, not up to a second later.
 func (m *Monitor) SetPeriod(level core.ObsLevel, periodUS int64) error {
 	if periodUS <= 0 {
 		return fmt.Errorf("monitor: non-positive period %d µs", periodUS)
@@ -337,7 +537,16 @@ func (m *Monitor) SetPeriod(level core.ObsLevel, periodUS int64) error {
 	found := false
 	for _, st := range m.samplers {
 		if st.level == level {
-			st.periodUS.Store(periodUS)
+			st.basePeriodUS.Store(periodUS)
+			if m.wallClock && m.budgetPct > 0 {
+				st.effPeriodUS.Store(governPeriodUS(st.ewmaTickNs.Load(), periodUS, m.budgetPct))
+			} else {
+				st.effPeriodUS.Store(periodUS)
+			}
+			select {
+			case st.wake <- struct{}{}:
+			default:
+			}
 			found = true
 		}
 	}
@@ -348,12 +557,17 @@ func (m *Monitor) SetPeriod(level core.ObsLevel, periodUS int64) error {
 }
 
 // SetWindowUS changes the aggregation window length, live; the pump picks
-// it up on its next wake.
+// it up immediately on wall-clock platforms and on its next wake on the
+// simulators.
 func (m *Monitor) SetWindowUS(windowUS int64) error {
 	if windowUS <= 0 {
 		return fmt.Errorf("monitor: non-positive window %d µs", windowUS)
 	}
 	m.windowUS.Store(windowUS)
+	select {
+	case m.pumpWake <- struct{}{}:
+	default:
+	}
 	return nil
 }
 
@@ -368,15 +582,31 @@ func (m *Monitor) Resume() { m.paused.Store(false) }
 // Paused reports whether sampling is currently suspended.
 func (m *Monitor) Paused() bool { return m.paused.Load() }
 
-// Levels reports the current live sampler configuration, reflecting any
-// SetPeriod changes.
+// Levels reports the current live sampler configuration — the configured
+// (base) periods, reflecting any SetPeriod changes but not the adaptive
+// controller's backoff; see EffectiveLevels for what is actually running.
 func (m *Monitor) Levels() []LevelPeriod {
 	out := make([]LevelPeriod, len(m.samplers))
 	for i, st := range m.samplers {
-		out[i] = LevelPeriod{Level: st.level, PeriodUS: st.periodUS.Load()}
+		out[i] = LevelPeriod{Level: st.level, PeriodUS: st.basePeriodUS.Load()}
 	}
 	return out
 }
+
+// EffectiveLevels reports the period each sampler is actually running at:
+// equal to Levels unless the adaptive overhead controller has backed a
+// sampler off its configured period under load.
+func (m *Monitor) EffectiveLevels() []LevelPeriod {
+	out := make([]LevelPeriod, len(m.samplers))
+	for i, st := range m.samplers {
+		out[i] = LevelPeriod{Level: st.level, PeriodUS: st.effPeriodUS.Load()}
+	}
+	return out
+}
+
+// OverheadBudgetPct reports the configured adaptive sampling budget (0 =
+// controller off).
+func (m *Monitor) OverheadBudgetPct() float64 { return m.budgetPct }
 
 // WindowUS reports the current aggregation window length.
 func (m *Monitor) WindowUS() int64 { return m.windowUS.Load() }

@@ -2,29 +2,44 @@ package monitor
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Ring is a sharded, fixed-capacity sample buffer: the lossy-but-bounded
-// stage between the samplers and the windowed aggregation. Producers push
-// under a per-shard lock; a full shard rejects the incoming sample and
-// counts it as dropped (oldest-wins: buffered samples are never evicted by
-// newer ones, mirroring a hardware trace unit in fill mode). Memory never
-// grows past the configured capacity and loss is never silent — Dropped
-// reports exactly how many samples were shed.
+// stage between the samplers and the windowed aggregation. Each shard is a
+// lock-free single-producer/single-consumer ring: the producer advances an
+// atomic tail, the consumer an atomic head, and neither ever blocks the
+// other. A full shard rejects the incoming sample and counts it as dropped
+// (oldest-wins: buffered samples are never evicted by newer ones, mirroring
+// a hardware trace unit in fill mode). Memory never grows past the
+// configured capacity and loss is never silent — Dropped reports exactly
+// how many samples were shed.
+//
+// Contract: at most one producer may push into a given shard at a time, and
+// at most one consumer may drain the ring at a time. The monitor satisfies
+// the producer side by partitioning shard ownership across its sampler
+// flows (see Writer) and the consumer side with its single pump flow.
+// Concurrent producers on the same shard — or concurrent drains — are a
+// data race, exactly like two goroutines sharing an SPSC queue end.
 type Ring struct {
-	shards []ringShard
+	shards []spscShard
+	sole   Writer // prebuilt all-shard writer backing PushBatch
 }
 
-// ringShard is one independently locked segment of the ring.
-type ringShard struct {
-	mu      sync.Mutex
-	buf     []Sample
-	head    int // index of the oldest buffered sample
-	n       int // buffered sample count
-	dropped uint64
+// spscShard is one single-producer/single-consumer segment of the ring.
+// head and tail are monotonic cursors (slot = cursor mod len(buf)); the
+// padding keeps the producer-written and consumer-written words on separate
+// cache lines so the two sides do not false-share.
+type spscShard struct {
+	buf []Sample
 
-	_ [32]byte // padding: keep shard locks on separate cache lines
+	_    [40]byte
+	head atomic.Uint64 // consumer cursor: next slot to drain
+	_    [56]byte
+	tail atomic.Uint64 // producer cursor: next slot to fill
+	// dropped is producer-written (same flow as tail), reader-aggregated.
+	dropped atomic.Uint64
+	_       [48]byte
 }
 
 // NewRing creates a ring of the given total capacity split across shards.
@@ -39,7 +54,7 @@ func NewRing(capacity, shards int) *Ring {
 	if shards > capacity {
 		shards = capacity
 	}
-	r := &Ring{shards: make([]ringShard, shards)}
+	r := &Ring{shards: make([]spscShard, shards)}
 	per := capacity / shards
 	extra := capacity % shards
 	for i := range r.shards {
@@ -49,13 +64,29 @@ func NewRing(capacity, shards int) *Ring {
 		}
 		r.shards[i].buf = make([]Sample, c)
 	}
+	r.sole = Writer{ring: r, shards: make([]int, shards)}
+	for i := range r.sole.shards {
+		r.sole.shards[i] = i
+	}
 	return r
+}
+
+// push is the single-producer push: one acquire (head), one release (tail).
+func (sh *spscShard) push(s Sample) bool {
+	t := sh.tail.Load()
+	if t-sh.head.Load() >= uint64(len(sh.buf)) {
+		sh.dropped.Add(1)
+		return false
+	}
+	sh.buf[t%uint64(len(sh.buf))] = s
+	sh.tail.Store(t + 1)
+	return true
 }
 
 // Push offers s to the shard selected by key (callers use a stable
 // per-component key so one component's samples stay ordered within a single
 // shard). It returns false — and increments the shard's drop counter — when
-// the shard is full.
+// the shard is full. The caller must be the shard's sole producer.
 func (r *Ring) Push(key int, s Sample) bool {
 	idx := key % len(r.shards)
 	if idx < 0 {
@@ -63,95 +94,137 @@ func (r *Ring) Push(key int, s Sample) bool {
 		// minimum int, where negating would overflow.
 		idx += len(r.shards)
 	}
-	sh := &r.shards[idx]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.n == len(sh.buf) {
-		sh.dropped++
-		return false
-	}
-	sh.buf[(sh.head+sh.n)%len(sh.buf)] = s
-	sh.n++
-	return true
+	return r.shards[idx].push(s)
 }
 
 // PushBatch offers one tick's worth of samples, where s[i] carries the key
-// i (the component index, exactly as the samplers produce them). Each shard
-// is locked once for its whole share of the batch instead of once per
-// sample; full shards count their rejected samples as dropped. It returns
-// how many samples were accepted.
+// i (the component index, exactly as the samplers produce them), across
+// every shard: the whole-ring Writer's batch push. The caller must be the
+// sole producer of the entire ring; producers sharing a ring use Writer
+// partitions instead. It returns how many samples were accepted.
 func (r *Ring) PushBatch(s []Sample) int {
+	return r.sole.PushBatch(s)
+}
+
+// Writer is the producer handle over a subset of the ring's shards. The
+// monitor gives each sampler flow its own Writer over a disjoint shard set,
+// which is what upholds the single-producer contract without any lock on
+// the push path.
+type Writer struct {
+	ring   *Ring
+	shards []int // owned shard indices, ascending
+}
+
+// Writer returns the producer handle owning the shard subset
+// {s : s ≡ idx (mod of)} — partition the ring across `of` producers by
+// giving producer i Writer(i, of). A partition may own no shards when there
+// are more producers than shards; its pushes all count as drops, so size
+// the ring with at least one shard per producer.
+func (r *Ring) Writer(idx, of int) *Writer {
+	if of <= 0 || idx < 0 || idx >= of {
+		panic(fmt.Sprintf("monitor: writer partition %d of %d", idx, of))
+	}
+	w := &Writer{ring: r}
+	for s := idx; s < len(r.shards); s += of {
+		w.shards = append(w.shards, s)
+	}
+	return w
+}
+
+// SoleWriter returns the producer handle owning every shard, for callers
+// with a single sampling flow (benchmarks, tests, single-level monitors).
+func (r *Ring) SoleWriter() *Writer { return &r.sole }
+
+// PushBatch distributes one tick's samples across the writer's owned
+// shards (sample i lands in owned shard i mod the partition size, so a
+// whole-ring writer reproduces Ring.PushBatch's layout exactly). Each shard
+// costs one acquire of the consumer cursor and one release of the producer
+// cursor for its entire share of the batch; full shards count their
+// rejected samples as dropped. It returns how many samples were accepted.
+func (w *Writer) PushBatch(s []Sample) int {
 	accepted := 0
-	ns := len(r.shards)
-	for start := 0; start < ns && start < len(s); start++ {
-		sh := &r.shards[start]
-		sh.mu.Lock()
-		for i := start; i < len(s); i += ns {
-			if sh.n == len(sh.buf) {
-				sh.dropped++
+	np := len(w.shards)
+	if np == 0 {
+		if len(s) > 0 && len(w.ring.shards) > 0 {
+			// An ownerless partition can push nowhere: account the loss on
+			// shard 0 rather than losing samples silently.
+			w.ring.shards[0].dropped.Add(uint64(len(s)))
+		}
+		return 0
+	}
+	for start := 0; start < np && start < len(s); start++ {
+		sh := &w.ring.shards[w.shards[start]]
+		t := sh.tail.Load()
+		free := uint64(len(sh.buf)) - (t - sh.head.Load())
+		var drops uint64
+		for i := start; i < len(s); i += np {
+			if free == 0 {
+				drops++
 				continue
 			}
-			sh.buf[(sh.head+sh.n)%len(sh.buf)] = s[i]
-			sh.n++
+			sh.buf[t%uint64(len(sh.buf))] = s[i]
+			t++
+			free--
 			accepted++
 		}
-		sh.mu.Unlock()
+		sh.tail.Store(t)
+		if drops > 0 {
+			sh.dropped.Add(drops)
+		}
 	}
 	return accepted
 }
 
 // DrainInto removes every buffered sample, appending them in shard order
 // (FIFO within a shard) to dst, and returns the extended slice. Each shard
-// is locked exactly once; pass dst[:0] to reuse a scratch buffer across
-// drains, which is what keeps the pump flow allocation-free at steady
-// state.
+// costs one acquire of the producer cursor and one release of the consumer
+// cursor for the whole window; pass dst[:0] to reuse a scratch buffer
+// across drains, which is what keeps the pump flow allocation-free at
+// steady state. The caller must be the ring's sole consumer.
 func (r *Ring) DrainInto(dst []Sample) []Sample {
 	for i := range r.shards {
 		sh := &r.shards[i]
-		sh.mu.Lock()
-		for sh.n > 0 {
-			dst = append(dst, sh.buf[sh.head])
-			sh.buf[sh.head] = Sample{} // release payload references
-			sh.head = (sh.head + 1) % len(sh.buf)
-			sh.n--
+		t := sh.tail.Load()
+		n := uint64(len(sh.buf))
+		for h := sh.head.Load(); h != t; h++ {
+			slot := &sh.buf[h%n]
+			dst = append(dst, *slot)
+			*slot = Sample{} // release payload references
 		}
-		sh.mu.Unlock()
+		sh.head.Store(t)
 	}
 	return dst
 }
 
 // Drain removes every buffered sample, invoking fn on each in shard order
-// (FIFO within a shard), and returns the number drained.
+// (FIFO within a shard), and returns the number drained. The consumer
+// cursor advances before each fn call, so a slow fn costs ring space, not
+// producer progress. The caller must be the ring's sole consumer.
 func (r *Ring) Drain(fn func(Sample)) int {
 	total := 0
 	for i := range r.shards {
 		sh := &r.shards[i]
-		sh.mu.Lock()
-		for sh.n > 0 {
-			s := sh.buf[sh.head]
-			sh.buf[sh.head] = Sample{} // release payload references
-			sh.head = (sh.head + 1) % len(sh.buf)
-			sh.n--
-			total++
-			sh.mu.Unlock() // fn may be arbitrarily slow; do not hold the lock
+		t := sh.tail.Load()
+		n := uint64(len(sh.buf))
+		for h := sh.head.Load(); h != t; h++ {
+			s := sh.buf[h%n]
+			sh.buf[h%n] = Sample{} // release payload references
+			sh.head.Store(h + 1)
 			fn(s)
-			sh.mu.Lock()
+			total++
 		}
-		sh.mu.Unlock()
 	}
 	return total
 }
 
 // Len reports the number of currently buffered samples.
 func (r *Ring) Len() int {
-	n := 0
+	n := uint64(0)
 	for i := range r.shards {
 		sh := &r.shards[i]
-		sh.mu.Lock()
-		n += sh.n
-		sh.mu.Unlock()
+		n += sh.tail.Load() - sh.head.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Capacity reports the total sample capacity across shards.
@@ -170,10 +243,7 @@ func (r *Ring) Shards() int { return len(r.shards) }
 func (r *Ring) Dropped() uint64 {
 	var n uint64
 	for i := range r.shards {
-		sh := &r.shards[i]
-		sh.mu.Lock()
-		n += sh.dropped
-		sh.mu.Unlock()
+		n += r.shards[i].dropped.Load()
 	}
 	return n
 }

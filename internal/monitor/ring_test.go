@@ -77,16 +77,19 @@ func TestRingShardIsolation(t *testing.T) {
 	}
 }
 
-// TestRingConcurrent hammers the ring from many goroutines while a drainer
-// runs, verifying the accounting identity pushed = drained + dropped and
-// that buffered memory never exceeds capacity. Run with -race this also
-// validates the per-shard locking.
+// TestRingConcurrent hammers the ring under its SPSC contract — one
+// producer goroutine per shard, pushing as fast as it can — while the
+// single drainer runs concurrently, verifying the accounting identity
+// pushed = drained + dropped and that buffered memory never exceeds
+// capacity. Run with -race this also validates the lock-free cursor
+// protocol: producer slot writes must be ordered by the tail release, and
+// the drainer's slot reads and clears by the head release.
 func TestRingConcurrent(t *testing.T) {
 	const (
-		producers = 8
+		producers = 4 // one per shard: the single-producer-per-shard contract
 		perProd   = 2000
 	)
-	r := NewRing(64, 4)
+	r := NewRing(64, producers)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	accepted := 0

@@ -3,6 +3,7 @@ package native
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"embera/internal/core"
 	"embera/internal/ringbuf"
@@ -51,14 +52,22 @@ type mailbox struct {
 	name     string
 	capacity int64
 
-	mu       sync.Mutex
-	buf      []core.Message
-	head     int
-	pending  int64 // modelled bytes buffered
-	closed   bool
-	maxDepth int
-	data     waiter // fires when a message arrives or the box closes
-	space    waiter // fires when room frees up or the box closes
+	mu      sync.Mutex
+	buf     []core.Message
+	head    int
+	pending int64 // modelled bytes buffered
+	closed  bool
+	data    waiter // fires when a message arrives or the box closes
+	space   waiter // fires when room frees up or the box closes
+
+	// depthA/pendingA/maxDepthA mirror the depth, buffered bytes and
+	// high-water mark atomically: they are stored while holding mu, so the
+	// published values are always exact, but Depth/PendingBytes readers —
+	// the monitor's per-tick sweep over every mailbox — never take the lock
+	// and therefore never stall a sender or receiver mid-transfer.
+	depthA    atomic.Int64
+	pendingA  atomic.Int64
+	maxDepthA atomic.Int64
 }
 
 func newMailbox(name string, capacity int64) *mailbox {
@@ -108,8 +117,11 @@ func (m *mailbox) Send(sender core.Flow, msg core.Message) bool {
 	}
 	m.buf = append(m.buf, msg)
 	m.pending += int64(msg.Bytes)
-	if d := len(m.buf) - m.head; d > m.maxDepth {
-		m.maxDepth = d
+	d := int64(len(m.buf) - m.head)
+	m.depthA.Store(d)
+	m.pendingA.Store(m.pending)
+	if d > m.maxDepthA.Load() {
+		m.maxDepthA.Store(d)
 	}
 	m.data.wake()
 	m.mu.Unlock()
@@ -133,6 +145,8 @@ func (m *mailbox) Receive(receiver core.Flow) (core.Message, bool) {
 	msg, buf, head := ringbuf.PopFront(m.buf, m.head)
 	m.buf, m.head = buf, head
 	m.pending -= int64(msg.Bytes)
+	m.depthA.Store(int64(len(m.buf) - m.head))
+	m.pendingA.Store(m.pending)
 	m.space.wake()
 	m.mu.Unlock()
 	return msg, true
@@ -153,27 +167,16 @@ func (m *mailbox) Close() {
 // BufBytes implements core.Mailbox.
 func (m *mailbox) BufBytes() int64 { return m.capacity }
 
-// Depth implements core.Mailbox.
-func (m *mailbox) Depth() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.buf) - m.head
-}
+// Depth implements core.Mailbox. Lock-free: observation sweeps read the
+// atomic mirror and never contend with transfers in flight.
+func (m *mailbox) Depth() int { return int(m.depthA.Load()) }
 
 // PendingBytes reports the modelled bytes currently buffered (the live
-// part of the memory view).
-func (m *mailbox) PendingBytes() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pending
-}
+// part of the memory view). Lock-free, like Depth.
+func (m *mailbox) PendingBytes() int64 { return m.pendingA.Load() }
 
 // MaxDepth reports the high-water message count (for tests).
-func (m *mailbox) MaxDepth() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.maxDepth
-}
+func (m *mailbox) MaxDepth() int { return int(m.maxDepthA.Load()) }
 
 var _ core.Mailbox = (*mailbox)(nil)
 

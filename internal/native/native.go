@@ -76,8 +76,11 @@ type platData struct {
 	startNS atomic.Int64 // wall ns since epoch at spawn; 0 = not spawned
 	endNS   atomic.Int64 // wall ns since epoch at exit; 0 = still running
 
-	memBytes  atomic.Int64 // stack estimate + provided-interface capacities
-	mailboxes []*mailbox   // provided mailboxes, for live-occupancy memory
+	memBytes atomic.Int64 // stack estimate + provided-interface capacities
+	// mailboxes is the provided-mailbox list for live-occupancy memory,
+	// copy-on-write: NewMailbox publishes a fresh slice under the binding
+	// lock, OSView readers (the monitor's per-tick sweep) load it lock-free.
+	mailboxes atomic.Pointer[[]*mailbox]
 	cycles    atomic.Int64 // modelled cycles charged through Compute
 }
 
@@ -87,13 +90,19 @@ func (b *Binding) PlatformName() string {
 		b.locations)
 }
 
-// data returns (creating on first use) the component's platform state. It
-// is locked: on this platform observation flows genuinely race component
-// spawning.
+// data returns (creating on first use) the component's platform state.
+// The fast path is a lock-free atomic load: on this platform the monitor's
+// sampler calls data for every component on every tick, and taking the
+// binding lock here made each OS-level sample contend with every other
+// observation and spawn in the process. Creation is double-checked under
+// the lock and published atomically.
 func (b *Binding) data(c *core.Component) *platData {
+	if d, ok := c.PlatformData().(*platData); ok {
+		return d
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if d, ok := c.PlatformData.(*platData); ok {
+	if d, ok := c.PlatformData().(*platData); ok {
 		return d
 	}
 	loc := c.Placement()
@@ -105,7 +114,7 @@ func (b *Binding) data(c *core.Component) *platData {
 	}
 	d := &platData{loc: loc, killed: make(chan struct{})}
 	d.memBytes.Store(GoroutineStackBytes)
-	c.PlatformData = d
+	c.SetPlatformData(d)
 	return d
 }
 
@@ -166,7 +175,12 @@ func (b *Binding) NewMailbox(c *core.Component, iface string, bufBytes int64) (c
 	d := b.data(c)
 	mb := newMailbox(c.Name()+"."+iface, bufBytes)
 	b.mu.Lock()
-	d.mailboxes = append(d.mailboxes, mb)
+	var boxes []*mailbox
+	if p := d.mailboxes.Load(); p != nil {
+		boxes = append(boxes, *p...)
+	}
+	boxes = append(boxes, mb)
+	d.mailboxes.Store(&boxes)
 	b.mu.Unlock()
 	d.memBytes.Add(bufBytes)
 	return mb, nil
@@ -195,6 +209,22 @@ func (b *Binding) NowUS(c *core.Component) int64 {
 // them — so sampling MemBytes over a run shows the pipeline filling and
 // draining.
 func (b *Binding) OSView(c *core.Component) core.OSReport {
+	return b.osView(c, b.nowNS())
+}
+
+// BeginSweep implements core.SweepViewer: one wall-clock read covering a
+// whole SampleAll sweep.
+func (b *Binding) BeginSweep() int64 { return b.nowNS() }
+
+// OSViewAt implements core.SweepViewer: OSView against the sweep's shared
+// clock reading instead of a fresh time.Now per component.
+func (b *Binding) OSViewAt(c *core.Component, cookie int64) core.OSReport {
+	return b.osView(c, cookie)
+}
+
+// osView builds the OS-level report against the given wall-clock reading,
+// entirely from atomics — the per-tick observation sweep takes no lock.
+func (b *Binding) osView(c *core.Component, nowNS int64) core.OSReport {
 	d := b.data(c)
 	rep := core.OSReport{}
 	start := d.startNS.Load()
@@ -205,18 +235,25 @@ func (b *Binding) OSView(c *core.Component) core.OSReport {
 		rep.ExecTimeUS = (end - start) / int64(time.Microsecond)
 	} else {
 		rep.Running = true
-		rep.ExecTimeUS = (b.nowNS() - start) / int64(time.Microsecond)
+		if nowNS > start {
+			// A sweep cookie predating this component's spawn reads as
+			// zero elapsed time, never negative.
+			rep.ExecTimeUS = (nowNS - start) / int64(time.Microsecond)
+		}
 	}
 	mem := d.memBytes.Load()
-	b.mu.Lock()
-	boxes := d.mailboxes
-	b.mu.Unlock()
-	for _, mb := range boxes {
-		mem += mb.PendingBytes()
+	if p := d.mailboxes.Load(); p != nil {
+		for _, mb := range *p {
+			mem += mb.PendingBytes()
+		}
 	}
 	rep.MemBytes = mem
 	return rep
 }
+
+// WallClock implements core.WallClocked: all timing on this platform is
+// host wall-clock time.
+func (b *Binding) WallClock() bool { return true }
 
 // Kill implements core.Binding: the component's flow unwinds with the
 // sentinel panic the next time it computes, sleeps or touches a mailbox.

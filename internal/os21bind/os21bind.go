@@ -71,7 +71,7 @@ func (b *Binding) RTOSFor(cpu int) *os21.RTOS {
 // assigning a CPU: the placement hint if given, otherwise the next unused
 // CPU ("one component per CPU").
 func (b *Binding) data(c *core.Component) *platData {
-	if d, ok := c.PlatformData.(*platData); ok {
+	if d, ok := c.PlatformData().(*platData); ok {
 		return d
 	}
 	cpu := c.Placement()
@@ -87,7 +87,7 @@ func (b *Binding) data(c *core.Component) *platData {
 	}
 	b.used[cpu] = true
 	d := &platData{cpu: cpu, rtos: b.RTOSFor(cpu)}
-	c.PlatformData = d
+	c.SetPlatformData(d)
 	return d
 }
 

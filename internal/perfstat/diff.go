@@ -89,6 +89,15 @@ type Options struct {
 	// committed from one machine and checked on another, and wall-clock
 	// does not transfer the way allocation counts do.
 	GateTime bool
+
+	// MaxOverheadPct is an absolute ceiling on every candidate entry's
+	// OverheadPct (0 disables it). Unlike the relative comparisons it
+	// deliberately ignores the Nondeterministic exemption: the
+	// observation-overhead harness's native cells are scheduling-dependent
+	// in their exact numbers but bounded by construction, and this is the
+	// bound — a monitored run costing more than this percent over its
+	// unmonitored twin fails the gate on any machine.
+	MaxOverheadPct float64
 }
 
 func (o Options) tolerance(metric string) float64 {
@@ -116,6 +125,9 @@ func (o Options) validate() error {
 		if !(t >= 0) || math.IsInf(t, 0) {
 			return fmt.Errorf("perfstat: invalid tolerance %v for metric %q", t, name)
 		}
+	}
+	if !(o.MaxOverheadPct >= 0) || math.IsInf(o.MaxOverheadPct, 0) {
+		return fmt.Errorf("perfstat: invalid overhead ceiling %v", o.MaxOverheadPct)
 	}
 	return nil
 }
@@ -146,9 +158,10 @@ type ExperimentDiff struct {
 // Diff is a full baseline/candidate comparison: the machine-readable
 // artifact embera-perfdiff emits with -json.
 type Diff struct {
-	Tolerance   float64          `json:"tolerance"`
-	GateTime    bool             `json:"gate_time"`
-	Experiments []ExperimentDiff `json:"experiments"`
+	Tolerance      float64          `json:"tolerance"`
+	GateTime       bool             `json:"gate_time"`
+	MaxOverheadPct float64          `json:"max_overhead_pct,omitempty"`
+	Experiments    []ExperimentDiff `json:"experiments"`
 	// Regressions lists every gated "experiment/metric" that failed, the
 	// build-breaking subset.
 	Regressions []string `json:"regressions"`
@@ -162,7 +175,7 @@ func Compare(baseline, candidate Record, opts Options) (*Diff, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	d := &Diff{Tolerance: opts.Tolerance, GateTime: opts.GateTime}
+	d := &Diff{Tolerance: opts.Tolerance, GateTime: opts.GateTime, MaxOverheadPct: opts.MaxOverheadPct}
 	names := map[string]bool{}
 	for k := range baseline {
 		names[k] = true
@@ -198,6 +211,24 @@ func Compare(baseline, candidate Record, opts Options) (*Diff, error) {
 				}
 				ed.Status = worseStatus(ed.Status, md.Status)
 			}
+		}
+		// The overhead ceiling is an absolute bound on the candidate alone:
+		// it applies to brand-new entries too, and — unlike every relative
+		// metric — to nondeterministic (wall-clock) cells, which are exactly
+		// the ones whose monitoring cost it exists to bound.
+		if inCand && opts.MaxOverheadPct > 0 && cand.OverheadPct > opts.MaxOverheadPct {
+			md := MetricDiff{
+				Metric:    "overhead_pct",
+				Candidate: cand.OverheadPct,
+				Status:    StatusRegressed,
+				Gated:     true,
+			}
+			if inBase {
+				md.Baseline = base.OverheadPct
+			}
+			ed.Metrics = append(ed.Metrics, md)
+			ed.Status = worseStatus(ed.Status, StatusRegressed)
+			d.Regressions = append(d.Regressions, name+"/overhead_pct")
 		}
 		d.Experiments = append(d.Experiments, ed)
 	}

@@ -321,3 +321,77 @@ func TestCompareNaNInfToleranceRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareOverheadCeiling: the absolute overhead_pct ceiling gates
+// candidate entries above it — including nondeterministic (wall-clock)
+// cells, which every relative metric exempts, and brand-new entries with no
+// baseline — while entries at or under the ceiling, and runs with the
+// ceiling disabled, pass.
+func TestCompareOverheadCeiling(t *testing.T) {
+	over := NewEntry(2000, 100, 4096, 10)
+	over.OverheadPct = 180
+	over.Nondeterministic = true
+	under := NewEntry(2000, 100, 4096, 10)
+	under.OverheadPct = 40
+	under.Nondeterministic = true
+	base := Record{"OV/native×pipeline/monitor-on": NewEntry(1000, 100, 4096, 10)}
+
+	d, err := Compare(base, Record{"OV/native×pipeline/monitor-on": over}, Options{
+		Tolerance: 0.15, MaxOverheadPct: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("180% overhead passed a 100% ceiling on a nondeterministic cell")
+	}
+	if want := "OV/native×pipeline/monitor-on/overhead_pct"; len(d.Regressions) != 1 || d.Regressions[0] != want {
+		t.Fatalf("regressions = %v, want [%s]", d.Regressions, want)
+	}
+	md := find(t, d, "OV/native×pipeline/monitor-on", "overhead_pct")
+	if md.Status != StatusRegressed || !md.Gated || md.Candidate != 180 {
+		t.Fatalf("overhead_pct diff = %+v, want gated-regressed at 180", md)
+	}
+
+	// Under the ceiling: passes.
+	d, err = Compare(base, Record{"OV/native×pipeline/monitor-on": under}, Options{
+		Tolerance: 0.15, MaxOverheadPct: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("40%% overhead failed a 100%% ceiling: %v", d.Regressions)
+	}
+
+	// Ceiling disabled (zero): even a huge overhead passes.
+	d, err = Compare(base, Record{"OV/native×pipeline/monitor-on": over}, Options{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("overhead gated with the ceiling disabled: %v", d.Regressions)
+	}
+
+	// A brand-new entry (no baseline) is still bounded.
+	d, err = Compare(Record{}, Record{"OV/new-cell/monitor-on": over}, Options{
+		Tolerance: 0.15, MaxOverheadPct: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("over-ceiling overhead on a baseline-less entry passed")
+	}
+	if got := expStatus(t, d, "OV/new-cell/monitor-on"); got != StatusRegressed {
+		t.Fatalf("new over-ceiling entry status = %s, want regressed", got)
+	}
+
+	// Invalid ceilings are rejected like invalid tolerances.
+	if _, err := Compare(base, base, Options{Tolerance: 0.15, MaxOverheadPct: -1}); err == nil {
+		t.Fatal("negative ceiling accepted")
+	}
+	if _, err := Compare(base, base, Options{Tolerance: 0.15, MaxOverheadPct: math.NaN()}); err == nil {
+		t.Fatal("NaN ceiling accepted")
+	}
+}

@@ -136,13 +136,14 @@ func benchMonitorSampleTick(b *testing.B) {
 	}
 	n := len(a.Components())
 	ring := monitor.NewRing(4096, 2)
+	wr := ring.SoleWriter()
 	buf := make([]core.FastSample, 0, n)
 	batch := make([]monitor.Sample, 0, n)
 	drain := make([]monitor.Sample, 0, 4096)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, buf, batch = monitor.SampleTick(a, core.LevelApplication, int64(i), ring, buf, batch)
+		_, buf, batch = monitor.SampleTick(a, core.LevelApplication, int64(i), wr, buf, batch)
 		if ring.Len()+n > ring.Capacity() {
 			drain = ring.DrainInto(drain[:0])
 		}

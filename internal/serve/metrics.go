@@ -96,6 +96,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.header("embera_serve_samples_total", "Observation samples accepted by the ring.", "counter")
 	mw.header("embera_serve_ring_dropped_total", "Observation samples shed by the ring.", "counter")
 	mw.header("embera_serve_sink_errors_total", "Window writes rejected by a sink.", "counter")
+	mw.header("embera_serve_monitor_period_us",
+		"Configured sampling period (µs) per observation level.", "gauge")
+	mw.header("embera_serve_monitor_effective_period_us",
+		"Sampling period (µs) each sampler is actually running at: above the configured "+
+			"period when the adaptive overhead controller has backed it off under load.", "gauge")
+	mw.header("embera_serve_monitor_overhead_budget_pct",
+		"Configured adaptive sampling budget (percent of host time per sampler; 0 = off).", "gauge")
 	for _, as := range assemblies {
 		snap := as.Snapshot()
 		l := labels("assembly", snap.ID, "platform", snap.Platform, "workload", snap.Workload)
@@ -113,6 +120,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		mw.sample("embera_serve_samples_total", l, float64(snap.Samples))
 		mw.sample("embera_serve_ring_dropped_total", l, float64(snap.RingDropped))
 		mw.sample("embera_serve_sink_errors_total", l, float64(snap.SinkErrors))
+		for _, lv := range snap.Levels {
+			mw.sample("embera_serve_monitor_period_us",
+				labels("assembly", snap.ID, "level", lv.Level), float64(lv.PeriodUS))
+		}
+		for _, lv := range snap.EffectiveLevels {
+			mw.sample("embera_serve_monitor_effective_period_us",
+				labels("assembly", snap.ID, "level", lv.Level), float64(lv.PeriodUS))
+		}
+		mw.sample("embera_serve_monitor_overhead_budget_pct", l, snap.OverheadBudgetPct)
 	}
 
 	// Latest window aggregates per component: the paper's observation

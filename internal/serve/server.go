@@ -212,9 +212,14 @@ type Snapshot struct {
 	RingDropped     uint64 `json:"ring_dropped"`
 	SinkErrors      uint64 `json:"sink_errors"`
 
-	Levels         []LevelSnapshot `json:"levels"`
-	WindowUS       int64           `json:"window_us"`
-	LastMakespanUS int64           `json:"last_makespan_us"`
+	Levels []LevelSnapshot `json:"levels"`
+	// EffectiveLevels is the period each sampler is actually running at:
+	// above the configured period when the adaptive overhead controller has
+	// backed a loaded sampler off.
+	EffectiveLevels   []LevelSnapshot `json:"effective_levels"`
+	OverheadBudgetPct float64         `json:"overhead_budget_pct,omitempty"`
+	WindowUS          int64           `json:"window_us"`
+	LastMakespanUS    int64           `json:"last_makespan_us"`
 
 	LastErr             string `json:"last_err,omitempty"`
 	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
@@ -243,8 +248,12 @@ func (as *Assembly) Snapshot() Snapshot {
 		LastErr:             st.LastErr,
 		ConsecutiveFailures: st.ConsecutiveFailures,
 	}
+	snap.OverheadBudgetPct = st.OverheadBudgetPct
 	for _, lp := range st.Levels {
 		snap.Levels = append(snap.Levels, LevelSnapshot{Level: lp.Level.String(), PeriodUS: lp.PeriodUS})
+	}
+	for _, lp := range st.EffectiveLevels {
+		snap.EffectiveLevels = append(snap.EffectiveLevels, LevelSnapshot{Level: lp.Level.String(), PeriodUS: lp.PeriodUS})
 	}
 	return snap
 }

@@ -9,13 +9,16 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"embera/internal/core"
 	"embera/internal/exp"
 	"embera/internal/monitor"
 	"embera/internal/platform"
@@ -460,5 +463,66 @@ func TestServerAddAssembly(t *testing.T) {
 	}
 	if n := len(s.Assemblies()); n != 1 {
 		t.Fatalf("%d assemblies registered, want 1", n)
+	}
+}
+
+// TestMetricsEffectivePeriodMovesUnderLoad runs a native assembly under an
+// impossible adaptive overhead budget and asserts the
+// embera_serve_monitor_effective_period_us gauge moves above the configured
+// base period — the scrapable proof that the controller is governing the
+// live sampling rate — while the configured-period gauge and the budget
+// gauge report what was asked for.
+func TestMetricsEffectivePeriodMovesUnderLoad(t *testing.T) {
+	p := platform.MustGet("native")
+	w, err := platform.GetWorkload("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{})
+	defer s.Close()
+	if _, err := s.AddAssembly("adapt", p, w, exp.ServedOptions{
+		Options: exp.Options{
+			Options: platform.Options{Scale: 40},
+			Monitor: &monitor.Config{
+				Levels: []monitor.LevelPeriod{{Level: core.LevelAll, PeriodUS: 100}},
+				// With native sampling ticks costing microseconds, this
+				// budget is unmeetable at a 100 µs period: the controller
+				// must back the effective period off.
+				OverheadBudgetPct: 0.0001,
+			},
+		},
+		Pace: time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	effRe := regexp.MustCompile(
+		`embera_serve_monitor_effective_period_us\{assembly="adapt",level="all"\} (\S+)`)
+	var lastBody []byte
+	waitForCond(t, "effective-period gauge to rise above the 100µs base", func() bool {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		lastBody, _ = io.ReadAll(resp.Body)
+		m := effRe.FindSubmatch(lastBody)
+		if m == nil {
+			return false
+		}
+		v, err := strconv.ParseFloat(string(m[1]), 64)
+		return err == nil && v > 100
+	})
+	// The configured period and the budget stay as asked — the controller
+	// only governs the effective gauge.
+	for _, want := range []string{
+		`embera_serve_monitor_period_us{assembly="adapt",level="all"} 100`,
+		`embera_serve_monitor_overhead_budget_pct{assembly="adapt",platform="native",workload="pipeline"} 0.0001`,
+	} {
+		if !strings.Contains(string(lastBody), want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, lastBody)
+		}
 	}
 }

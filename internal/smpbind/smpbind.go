@@ -64,7 +64,7 @@ func (b *Binding) PlatformName() string {
 // data returns (creating on first use) the component's platform state; core
 // assignment happens here so mailboxes created before Spawn know their node.
 func (b *Binding) data(c *core.Component) *platData {
-	if d, ok := c.PlatformData.(*platData); ok {
+	if d, ok := c.PlatformData().(*platData); ok {
 		return d
 	}
 	var cr *smp.Core
@@ -74,7 +74,7 @@ func (b *Binding) data(c *core.Component) *platData {
 		cr = b.Sys.M.NextCore()
 	}
 	d := &platData{core: cr}
-	c.PlatformData = d
+	c.SetPlatformData(d)
 	return d
 }
 
