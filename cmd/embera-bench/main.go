@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"embera/internal/cliutil"
+	"embera/internal/cluster"
 	"embera/internal/conformance"
 	"embera/internal/exp"
 	"embera/internal/perfstat"
@@ -48,6 +49,9 @@ import (
 var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ", "OV"}
 
 func main() {
+	// When re-executed by the cluster coordinator this process is a worker
+	// shard: run it and exit before any flag parsing.
+	cluster.MaybeWorkerMain()
 	which := flag.String("exp", "all",
 		"comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
 	small := flag.Int("small", exp.SmallFrames, "frame count of the small input (paper: 578)")

@@ -22,6 +22,7 @@ import (
 
 	"embera/internal/adl"
 	"embera/internal/cliutil"
+	"embera/internal/cluster"
 	"embera/internal/core"
 	"embera/internal/exp"
 
@@ -32,6 +33,9 @@ import (
 )
 
 func main() {
+	// When re-executed by the cluster coordinator this process is a worker
+	// shard: run it and exit before any flag parsing.
+	cluster.MaybeWorkerMain()
 	platformName := flag.String("platform", "smp", "platform (see -list)")
 	workloadName := flag.String("workload", "mjpeg", "workload (see -list)")
 	scale := flag.Int("scale", 0, "workload scale: frames for mjpeg, messages for pipeline (0 = default)")

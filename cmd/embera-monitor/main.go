@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"embera/internal/cliutil"
+	"embera/internal/cluster"
 	"embera/internal/core"
 	"embera/internal/exp"
 
@@ -31,6 +32,9 @@ import (
 )
 
 func main() {
+	// When re-executed by the cluster coordinator this process is a worker
+	// shard: run it and exit before any flag parsing.
+	cluster.MaybeWorkerMain()
 	platformName := flag.String("platform", "smp", "platform (embera-mjpeg -list shows all)")
 	workloadName := flag.String("workload", "mjpeg", "workload (embera-mjpeg -list shows all)")
 	scale := flag.Int("scale", 0, "workload scale: frames for mjpeg, messages for pipeline (0 = default)")

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"embera/internal/cliutil"
+	"embera/internal/cluster"
 	"embera/internal/core"
 	"embera/internal/exp"
 
@@ -87,6 +88,9 @@ func (a *assemblyFlags) Set(v string) error {
 }
 
 func main() {
+	// When re-executed by the cluster coordinator this process is a worker
+	// shard: run it and exit before any flag parsing.
+	cluster.MaybeWorkerMain()
 	addr := flag.String("addr", ":8707", "HTTP listen address")
 	var assemblies assemblyFlags
 	flag.Var(&assemblies, "assembly",

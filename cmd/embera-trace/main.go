@@ -17,6 +17,7 @@ import (
 	"flag"
 
 	"embera/internal/cliutil"
+	"embera/internal/cluster"
 	"embera/internal/core"
 	"embera/internal/exp"
 
@@ -25,6 +26,9 @@ import (
 )
 
 func main() {
+	// When re-executed by the cluster coordinator this process is a worker
+	// shard: run it and exit before any flag parsing.
+	cluster.MaybeWorkerMain()
 	if len(os.Args) < 2 {
 		usage()
 	}

@@ -8,7 +8,7 @@
 //
 // # Platforms
 //
-// Three platforms are registered with internal/platform and are
+// Four platforms are registered with internal/platform and are
 // interchangeable by name everywhere (binaries, experiments, conformance):
 //
 //   - smp, sti7200 — the paper's two machines as deterministic
@@ -22,6 +22,19 @@
 //     match the simulators bit for bit; timings are real and therefore
 //     not reproducible. Use it to measure actual throughput and to
 //     exercise observation under true parallelism.
+//   - cluster — the same assembly sharded across OS processes
+//     (internal/cluster): components are placed by FNV-1a name hash
+//     modulo the shard count, a coordinator re-execs its own binary
+//     once per shard, and cross-shard messages, monitor windows and
+//     final reports travel the length-prefixed frame protocol of
+//     internal/wire (zero-alloc little-endian encode for scalar
+//     payloads, gob fallback for structs, 64 MiB frame cap). The
+//     coordinator ingests worker windows into its own monitor and
+//     merges workload partials, so one run's results look exactly like
+//     a single-process run. Deterministic() is false — workers run on
+//     wall clocks over real sockets — so observation fingerprints are
+//     not asserted, but checksums and communication counters still
+//     must match every other platform.
 //
 // Platform.Deterministic() reports which guarantee holds, and harness
 // code asserts reproducibility fingerprints only where it does.
@@ -42,7 +55,10 @@
 // seed across every registered platform and asserts checksum equality
 // everywhere, bit-identical timing fingerprints on deterministic
 // platforms, per-interface flow conservation (sends == receives +
-// in-flight depth at teardown), agreement between the streaming
+// in-flight depth at teardown; on the cluster platform the inbox sum
+// spans every shard's senders and each cross-shard edge's wire-frame
+// count must equal its producer's send count), agreement between the
+// streaming
 // monitor's window aggregates and the final observer report, and — on
 // simulated Linux — complete correlation between kernel copies and
 // application sends. `go test ./internal/conformance -run Differential`

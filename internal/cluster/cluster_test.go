@@ -1,0 +1,241 @@
+package cluster_test
+
+import (
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"embera/internal/cluster"
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/monitor"
+	"embera/internal/pipelineapp"
+	"embera/internal/platform"
+)
+
+// TestMain lets this test binary serve as a cluster worker shard: the
+// coordinator re-execs its own executable once per shard. A normal test run
+// passes straight through.
+func TestMain(m *testing.M) {
+	cluster.MaybeWorkerMain()
+	os.Exit(m.Run())
+}
+
+func TestShardOfDeterministicAndBounded(t *testing.T) {
+	names := []string{"Source", "Sink", "S1W1", "S1W2", "c0", "c17", ""}
+	for _, shards := range []int{1, 2, 3, 7} {
+		for _, n := range names {
+			s := cluster.ShardOf(n, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", n, shards, s)
+			}
+			if again := cluster.ShardOf(n, shards); again != s {
+				t.Fatalf("ShardOf(%q, %d) unstable: %d then %d", n, shards, s, again)
+			}
+		}
+	}
+	if s := cluster.ShardOf("anything", 0); s != 0 {
+		t.Errorf("ShardOf with 0 shards = %d, want 0", s)
+	}
+	// At least two of the pipeline names must land on different shards with
+	// 2 shards — otherwise the multi-process battery degenerates.
+	spread := map[int]bool{}
+	for _, n := range names {
+		spread[cluster.ShardOf(n, 2)] = true
+	}
+	if len(spread) < 2 {
+		t.Errorf("placement sent every name to one shard: %v", spread)
+	}
+}
+
+// TestLocalFallbackRunsInProcess: without Distribute the machine is a
+// cluster of one — a transparent native run, no processes, no sockets.
+func TestLocalFallbackRunsInProcess(t *testing.T) {
+	m, a := cluster.New("fallback", 2, 4)
+	cfg := pipelineapp.DefaultConfig()
+	cfg.Messages = 50
+	app, err := pipelineapp.Build(a, cfg, platform.MustGet("cluster").Topology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(60e6); err != nil {
+		t.Fatal(err)
+	}
+	if pids := m.WorkerPIDs(); len(pids) != 0 {
+		t.Errorf("local fallback spawned workers: %v", pids)
+	}
+	if err := app.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoWorkerPipelineEndToEnd is the acceptance run: a 2-worker sharded
+// pipeline over real sockets through the full exp harness, with monitor
+// windows aggregated centrally — the checksum must match the closed-form
+// model and every worker-side sample must land in exactly one ingested
+// window (exact samples == windowed across processes).
+func TestTwoWorkerPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	p := platform.MustGet("cluster")
+	w := platform.MustGetWorkload("pipeline")
+	const messages = 5000
+	run, err := exp.Run(p, w, exp.Options{
+		Options: platform.Options{Scale: messages},
+		Monitor: &monitor.Config{
+			Levels:   []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 200}},
+			WindowUS: 2000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipelineapp.DefaultConfig()
+	cfg.Messages = messages
+	if got, want := run.Instance.Checksum(), pipelineapp.Expected(cfg); got != want {
+		t.Errorf("sharded checksum %016x, want %016x", got, want)
+	}
+	if got := run.Instance.Units(); got != messages {
+		t.Errorf("sharded units %d, want %d", got, messages)
+	}
+	if lf, ok := run.Machine.(interface{ LostFrames() uint64 }); !ok {
+		t.Error("cluster machine does not expose LostFrames")
+	} else if n := lf.LostFrames(); n != 0 {
+		t.Errorf("clean run lost %d frames", n)
+	}
+	// Central aggregation: the coordinator's monitor holds every worker
+	// window, and its accepted-sample counter equals the windowed sum.
+	var windowed int
+	for _, win := range run.Monitor.Windows() {
+		windowed += win.Samples
+	}
+	if accepted := run.Monitor.Samples(); uint64(windowed) != accepted {
+		t.Errorf("monitor: %d samples accepted but %d aggregated into windows", accepted, windowed)
+	}
+	if run.Monitor.Samples() == 0 {
+		t.Error("no samples crossed the process boundary")
+	}
+	// Every windowed component is a real component of the assembly.
+	for _, tot := range run.Monitor.Totals() {
+		if _, ok := run.Reports[tot.Component]; !ok {
+			t.Errorf("window for unknown component %q", tot.Component)
+		}
+	}
+}
+
+// TestWorkerKillMidRunFailsCleanly kills the worker owning the pipeline
+// Source mid-run: Run must return promptly with an error naming the worker
+// (counting any in-flight losses), not hang and not double-close anything.
+func TestWorkerKillMidRunFailsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m, a := cluster.New("killtest", 2, 4)
+	p := platform.MustGet("cluster")
+	w := platform.MustGetWorkload("pipeline")
+	const messages = 2_000_000 // far more than can drain before the kill
+	inst, err := w.Build(a, p, platform.Options{Scale: messages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Distribute("pipeline", messages, 0, nil, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- m.Run(120e6) }()
+
+	// Wait for both workers, let the pipeline flow, then kill the shard
+	// that owns the Source so production stops with messages in flight.
+	var pids []int
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pids) < 2 && time.Now().Before(deadline) {
+		pids = m.WorkerPIDs()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(pids) < 2 {
+		t.Fatal("workers never launched")
+	}
+	time.Sleep(300 * time.Millisecond)
+	victim := m.ShardOf("Source")
+	if err := syscall.Kill(pids[victim], syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("worker killed mid-run but Run returned nil")
+		}
+		if !strings.Contains(err.Error(), "worker") {
+			t.Errorf("failure does not name the worker: %v", err)
+		}
+		if n := m.LostFrames(); n > 0 && !strings.Contains(err.Error(), "in-flight") {
+			t.Errorf("%d frames lost but the error does not count them: %v", n, err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("cluster run hung after worker death")
+	}
+	if !a.Done() {
+		t.Error("application never quiesced after worker death")
+	}
+}
+
+// TestServedClusterParksAndRestarts: a served cluster assembly must park on
+// Stop (terminate broadcast drains the fleet) and a later Start must launch
+// a fresh generation — new worker processes — that completes and passes the
+// workload self-check.
+func TestServedClusterParksAndRestarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	p := platform.MustGet("cluster")
+	w := platform.MustGetWorkload("pipeline")
+	sr, err := exp.RunServed(p, w, exp.ServedOptions{
+		Options: exp.Options{Options: platform.Options{Scale: 800}},
+		Pace:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+
+	waitForCluster(t, "first generation to complete", func() bool {
+		return sr.Stats().CompletedChecks >= 1
+	})
+
+	sr.Stop()
+	waitForCluster(t, "assembly to park", func() bool {
+		s := sr.Stats()
+		return s.Stopped && !s.Running
+	})
+	parkedChecks := sr.Stats().CompletedChecks
+
+	sr.Start()
+	waitForCluster(t, "a fresh generation after restart", func() bool {
+		return sr.Stats().CompletedChecks > parkedChecks
+	})
+	if s := sr.Stats(); s.LastErr != "" {
+		t.Errorf("restarted assembly reports an error: %s", s.LastErr)
+	}
+}
+
+func waitForCluster(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

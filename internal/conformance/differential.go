@@ -14,6 +14,11 @@
 //     inbox equal messages received plus the in-flight depth the final
 //     report shows at teardown — and both must match the closed-form model
 //     of the generating Spec;
+//   - on process-sharded machines (the cluster platform) the same law is
+//     accounted per shard: the sends into an inbox are summed per source
+//     process so a cross-process mismatch names the interface and the
+//     shards on both ends, and every cross-shard edge must show exactly
+//     one wire frame per producer send op;
 //   - the streaming monitor's window aggregates must agree with the final
 //     pull-model observer report (cumulative counters never exceed the
 //     final ones, merged deltas reproduce the cumulative totals, and no
@@ -30,6 +35,8 @@ package conformance
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"embera/internal/core"
 	"embera/internal/correlate"
@@ -45,6 +52,18 @@ import (
 // specProvider is implemented by fuzzwl instances: the effective
 // (override-adjusted) topology the run was built from.
 type specProvider interface{ Spec() *fuzzwl.Spec }
+
+// sharder is the structural seam a machine exposes when it partitioned the
+// assembly across OS processes (the cluster platform): the placement
+// function, and the coordinator's per-edge relay counters for cross-shard
+// connections. When a run's machine implements it, flow conservation is
+// additionally accounted per shard — a send==receive mismatch names the
+// offending interface and the shards on both ends — and every cross-shard
+// edge's wire-frame count must equal the producer's send ops.
+type sharder interface {
+	ShardOf(name string) int
+	WireFrames(from, iface string) (uint64, bool)
+}
 
 // diffMonitorConfig is the streaming-observation attachment every
 // differential run carries: application-level sampling fine enough to land
@@ -180,7 +199,8 @@ func CheckRun(run *exp.Result) error {
 	if !ok {
 		return fmt.Errorf("conformance: run instance %T carries no topology spec", run.Instance)
 	}
-	if err := checkFlowConservation(sp.Spec(), run.Reports); err != nil {
+	sh, _ := run.Machine.(sharder)
+	if err := checkFlowConservation(sp.Spec(), run.Reports, sh); err != nil {
 		return err
 	}
 	return checkMonitorAgreement(run)
@@ -190,7 +210,13 @@ func CheckRun(run *exp.Result) error {
 // the final reports: for every inbox, messages sent into it == messages
 // received from it + the depth reported in-flight at teardown; and both
 // sides match the closed-form Processed counts of the generating Spec.
-func checkFlowConservation(spec *fuzzwl.Spec, reports map[string]core.ObsReport) error {
+//
+// On sharded machines (sh non-nil) the identity is additionally accounted
+// per process: the sends into every inbox are summed per source shard so a
+// mismatch names the interface and the shard each half lives on, and every
+// cross-shard edge must show exactly one wire frame per producer send op —
+// the cross-process refinement of the same conservation law.
+func checkFlowConservation(spec *fuzzwl.Spec, reports map[string]core.ObsReport, sh sharder) error {
 	processed := spec.Processed()
 	for i := range spec.Nodes {
 		n := &spec.Nodes[i]
@@ -207,23 +233,41 @@ func checkFlowConservation(spec *fuzzwl.Spec, reports map[string]core.ObsReport)
 		if rep.App.SendOps != wantSend {
 			return fmt.Errorf("flow: %s sent %d ops, model says %d", n.Name, rep.App.SendOps, wantSend)
 		}
-		for oi := range n.Outs {
+		for oi, dst := range n.Outs {
 			iface := fmt.Sprintf("out%d", oi)
-			if got := rep.Middleware.Send[iface].Ops; got != uint64(processed[i]) {
+			ops := rep.Middleware.Send[iface].Ops
+			if ops != uint64(processed[i]) {
 				return fmt.Errorf("flow: %s.%s carried %d sends, model says %d",
-					n.Name, iface, got, processed[i])
+					n.Name, iface, ops, processed[i])
+			}
+			if sh == nil {
+				continue
+			}
+			// Cross-shard edges carry one wire frame per send op, counted
+			// by the coordinator relay; same-shard edges report !remote.
+			if frames, remote := sh.WireFrames(n.Name, iface); remote && frames != ops {
+				return fmt.Errorf("flow: %s.%s (shard %d -> %s on shard %d): %d wire frames != %d send ops",
+					n.Name, iface, sh.ShardOf(n.Name),
+					spec.Nodes[dst].Name, sh.ShardOf(spec.Nodes[dst].Name), frames, ops)
 			}
 		}
 		if len(n.Ins) == 0 {
 			continue
 		}
 		// Conservation on the inbox: sends in == receives out + in-flight.
+		// The per-shard breakdown survives to the error message on sharded
+		// runs, so a cross-process mismatch names the producing shards.
 		var sentInto uint64
+		perShard := map[int]uint64{}
 		for _, src := range n.Ins {
 			s := &spec.Nodes[src]
 			for oi, dst := range s.Outs {
 				if dst == i {
-					sentInto += reports[s.Name].Middleware.Send[fmt.Sprintf("out%d", oi)].Ops
+					ops := reports[s.Name].Middleware.Send[fmt.Sprintf("out%d", oi)].Ops
+					sentInto += ops
+					if sh != nil {
+						perShard[sh.ShardOf(s.Name)] += ops
+					}
 				}
 			}
 		}
@@ -238,6 +282,10 @@ func checkFlowConservation(spec *fuzzwl.Spec, reports map[string]core.ObsReport)
 		}
 		recv := rep.Middleware.Recv["in"].Ops
 		if sentInto != recv+uint64(depth) {
+			if sh != nil {
+				return fmt.Errorf("flow: %s inbox (shard %d): %d sent in != %d received + %d in flight; sends by source shard: %s",
+					n.Name, sh.ShardOf(n.Name), sentInto, recv, depth, formatShardOps(perShard))
+			}
 			return fmt.Errorf("flow: %s inbox: %d sent in != %d received + %d in flight",
 				n.Name, sentInto, recv, depth)
 		}
@@ -246,6 +294,24 @@ func checkFlowConservation(spec *fuzzwl.Spec, reports map[string]core.ObsReport)
 		}
 	}
 	return nil
+}
+
+// formatShardOps renders a per-shard op-count map in shard order, for the
+// sharded flow-conservation failure message.
+func formatShardOps(perShard map[int]uint64) string {
+	shards := make([]int, 0, len(perShard))
+	for s := range perShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	var b strings.Builder
+	for i, s := range shards {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "shard %d: %d", s, perShard[s])
+	}
+	return b.String()
 }
 
 // checkMonitorAgreement asserts that the streaming monitor's windowed view

@@ -1,0 +1,17 @@
+package conformance_test
+
+import (
+	"os"
+	"testing"
+
+	"embera/internal/cluster"
+)
+
+// TestMain lets this test binary serve as a cluster worker shard: the
+// differential battery and the matrix tests run cells on every registered
+// platform, and the cluster coordinator re-execs its own executable once
+// per shard. A normal test run passes straight through.
+func TestMain(m *testing.M) {
+	cluster.MaybeWorkerMain()
+	os.Exit(m.Run())
+}

@@ -346,6 +346,15 @@ type Component struct {
 
 	obsIn Mailbox // provided observation interface (service queue)
 
+	// external marks a component whose flow executes in another process
+	// (cluster sharding): the local binding registers it without spawning,
+	// SampleAll skips it, and FinishExternal drives its life cycle.
+	external atomic.Bool
+
+	// reportOverride, when set, answers Snapshot from a report taken by the
+	// component's owning process instead of from local state.
+	reportOverride atomic.Pointer[ObsReport]
+
 	// platformData is owned by the binding (thread, task, CPU assignment).
 	// It is published atomically: on platforms with real concurrency an
 	// observation sampler reads it lock-free while the binding lazily
@@ -495,9 +504,19 @@ func (c *Component) run(f Flow) {
 		c.endUS.Store(end)
 		c.state.Store(int32(StateDone))
 		c.app.emit(Event{TimeUS: end, Kind: EvStop, Component: c.name})
+		var remote []Transport
 		c.app.connMu.Lock()
 		for _, name := range c.requiredOrder {
-			t := c.required[name].target.Load()
+			ri := c.required[name]
+			if ri.transport != nil {
+				// Remote consumer: the producer-release travels over the
+				// transport (outside connMu — it may write to a socket);
+				// the local sender count for this edge is released by the
+				// consumer's owning process.
+				remote = append(remote, ri.transport)
+				continue
+			}
+			t := ri.target.Load()
 			if t == nil {
 				continue
 			}
@@ -509,6 +528,9 @@ func (c *Component) run(f Flow) {
 			}
 		}
 		c.app.connMu.Unlock()
+		for _, t := range remote {
+			t.CloseProducer()
+		}
 		// The countdown comes after the StateDone store, so once quiesced
 		// closes, Done() observably holds for every waiter.
 		if c.app.live.Add(-1) == 0 {
@@ -571,6 +593,13 @@ type RequiredIface struct {
 	comp   *Component
 	name   string
 	target atomic.Pointer[ProvidedIface]
+
+	// transport, when non-nil, carries sends to a consumer in another
+	// process instead of the target's local mailbox. Written once by
+	// BindTransport before Start; the spawn of the owning component's flow
+	// orders that write before any read on the send path, so no atomic is
+	// needed.
+	transport Transport
 }
 
 // Connected reports whether the interface has been wired to a target.

@@ -50,7 +50,14 @@ func (x *Ctx) Send(iface string, payload any, bytes int) bool {
 	}
 	m := Message{Payload: payload, Bytes: bytes, From: x.c.name}
 	t0 := x.c.app.binding.NowUS(x.c)
-	ok = target.box().Send(x.f, m)
+	if tr := ri.transport; tr != nil {
+		// Remote consumer: the message crosses a process boundary through
+		// the bound transport. Instrumentation below is identical to the
+		// local path, so the sending side's flow counters are preserved.
+		ok = tr.Send(x.f, m)
+	} else {
+		ok = target.box().Send(x.f, m)
+	}
 	t1 := x.c.app.binding.NowUS(x.c)
 	x.c.stats.recordSend(iface, bytes, t1-t0)
 	x.c.app.emit(Event{

@@ -82,6 +82,24 @@ type ObsReport struct {
 // produces byte-identical reports; Snapshot exists for harness code that
 // inspects state after the simulation has finished.
 func (c *Component) Snapshot(level ObsLevel) ObsReport {
+	// An external component's truth lives in its owning process: once that
+	// process published a report override (SetReportOverride), answer from
+	// it, filtered down to the requested level.
+	if over := c.reportOverride.Load(); over != nil {
+		rep := *over
+		rep.Level = level
+		if level != LevelOS && level != LevelAll {
+			rep.OS = nil
+		}
+		if level != LevelMiddleware && level != LevelAll {
+			rep.Middleware = nil
+		}
+		if level != LevelApplication && level != LevelAll {
+			rep.App = nil
+			rep.Probes = nil
+		}
+		return rep
+	}
 	rep := ObsReport{Component: c.name, Level: level}
 	if level == LevelOS || level == LevelAll {
 		os := c.app.binding.OSView(c)
@@ -322,6 +340,12 @@ func (a *App) SampleAll(level ObsLevel, dst []FastSample) []FastSample {
 		}
 	}
 	for _, c := range a.order {
+		if c.external.Load() {
+			// Sharded assemblies: the component's owning process samples
+			// it; windowing it here too would double-count its windows in
+			// the merged stream.
+			continue
+		}
 		var s FastSample
 		c.fastSnapshot(level, &s, sv, cookie)
 		dst = append(dst, s)

@@ -90,6 +90,20 @@ type Options struct {
 	Customize func(a *core.App, obs *core.Observer)
 }
 
+// distributor is the structural seam a machine exposes when it shards the
+// built assembly across processes (the cluster platform). The runner calls
+// it between workload build and monitor creation.
+type distributor interface {
+	Distribute(workload string, opts platform.Options, inst platform.Instance) error
+}
+
+// monitorTaker is the companion seam: the machine receives the run's live
+// monitor (for central window ingestion) and its configuration (mirrored to
+// every shard) right after the monitor starts.
+type monitorTaker interface {
+	TakeMonitor(mon *monitor.Monitor, cfg *monitor.Config)
+}
+
 // validate rejects malformed options before any machinery is built, so a
 // bad sweep parameter surfaces as an error at the harness boundary instead
 // of a panic deep inside monitor or workload setup.
@@ -151,6 +165,15 @@ func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	// Machines that shard the assembly across processes (cluster) take the
+	// distribution seam here — after the workload is built, before the
+	// monitor exists, so every component is marked external before the
+	// first sampling tick.
+	if d, ok := m.(distributor); ok {
+		if err := d.Distribute(w.Name(), opts.Options, inst); err != nil {
+			return nil, err
+		}
+	}
 	if opts.EventSink != nil {
 		a.SetEventSink(opts.EventSink)
 	}
@@ -174,6 +197,12 @@ func Run(p platform.Platform, w platform.Workload, opts Options) (*Result, error
 		}()
 		if opts.OnMonitor != nil {
 			opts.OnMonitor(mon)
+		}
+		// Sharding machines also take the live monitor: worker windows are
+		// ingested into it centrally, and its configuration mirrors into
+		// every shard.
+		if mt, ok := m.(monitorTaker); ok {
+			mt.TakeMonitor(mon, opts.Monitor)
 		}
 	}
 	obs, err := a.AttachObserver()

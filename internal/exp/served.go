@@ -254,6 +254,13 @@ func (sr *ServedRun) runGeneration() error {
 	if err != nil {
 		return err
 	}
+	// Sharding machines (cluster) take the distribution seam before the
+	// monitor exists, exactly as in exp.Run.
+	if d, ok := m.(distributor); ok {
+		if err := d.Distribute(sr.w.Name(), sr.base.Options, inst); err != nil {
+			return err
+		}
+	}
 	if sr.base.EventSink != nil {
 		a.SetEventSink(sr.base.EventSink)
 	}
@@ -269,6 +276,9 @@ func (sr *ServedRun) runGeneration() error {
 	}
 	if sr.base.OnMonitor != nil {
 		sr.base.OnMonitor(mon)
+	}
+	if mt, ok := m.(monitorTaker); ok {
+		mt.TakeMonitor(mon, &mcfg)
 	}
 
 	sr.mu.Lock()

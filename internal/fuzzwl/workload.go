@@ -208,6 +208,15 @@ func (in *instance) Units() int { return int(in.received.Load()) }
 // Checksum implements platform.Instance.
 func (in *instance) Checksum() uint64 { return in.checksum.Load() }
 
+// MergeShard folds another process's partial results into this instance's
+// counters: sinks are additive (counts and order-independent checksums), so
+// the coordinator's merged totals face the same closed-form Check as a
+// single-process run.
+func (in *instance) MergeShard(units int, checksum uint64) {
+	in.received.Add(int64(units))
+	in.checksum.Add(checksum)
+}
+
 // Check implements platform.Instance against the closed-form model.
 func (in *instance) Check() error {
 	if got := in.Units(); got != in.expUnits {

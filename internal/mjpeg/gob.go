@@ -1,0 +1,75 @@
+package mjpeg
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// FrameHeader travels between decoder components inside BlockGroup and
+// PixelGroup messages. Within one process those messages share the header
+// pointer, but on the cluster platform a group may cross a process boundary
+// through the wire codec's gob fallback — and gob skips unexported fields,
+// which would strand the quantization tables and block geometry the IDCT
+// and Reorder stages need. The custom encoding below carries exactly the
+// post-parse state those stages use. The entropy-decoding state (Huffman
+// tables, scan data) stays behind on purpose: only Fetch consumes it, and
+// Fetch never receives a header from the wire.
+
+// headerWire is the explicit gob representation of a parsed FrameHeader.
+type headerWire struct {
+	Width, Height   int
+	RestartInterval int
+	Comps           []compWire
+	Quant           [4][64]uint16
+	MaxH, MaxV      int
+	McusX, McusY    int
+}
+
+type compWire struct {
+	ID                  byte
+	H, V                int
+	Quant, DCSel, ACSel byte
+	BlocksX, BlocksY    int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (h *FrameHeader) GobEncode() ([]byte, error) {
+	w := headerWire{
+		Width: h.Width, Height: h.Height, RestartInterval: h.RestartInterval,
+		Quant: h.quant,
+		MaxH:  h.maxH, MaxV: h.maxV, McusX: h.mcusX, McusY: h.mcusY,
+	}
+	for _, c := range h.comps {
+		w.Comps = append(w.Comps, compWire{
+			ID: c.ID, H: c.H, V: c.V,
+			Quant: c.Quant, DCSel: c.DCSel, ACSel: c.ACSel,
+			BlocksX: c.blocksX, BlocksY: c.blocksY,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *FrameHeader) GobDecode(data []byte) error {
+	var w headerWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*h = FrameHeader{
+		Width: w.Width, Height: w.Height, RestartInterval: w.RestartInterval,
+		quant: w.Quant,
+		maxH:  w.MaxH, maxV: w.MaxV, mcusX: w.McusX, mcusY: w.McusY,
+	}
+	for _, c := range w.Comps {
+		h.comps = append(h.comps, componentSpec{
+			ID: c.ID, H: c.H, V: c.V,
+			Quant: c.Quant, DCSel: c.DCSel, ACSel: c.ACSel,
+			blocksX: c.BlocksX, blocksY: c.BlocksY,
+		})
+	}
+	return nil
+}

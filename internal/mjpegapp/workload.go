@@ -1,6 +1,7 @@
 package mjpegapp
 
 import (
+	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 
@@ -15,6 +16,10 @@ const DefaultFrames = 100
 
 func init() {
 	platform.RegisterWorkload("mjpeg", func() platform.Workload { return &Workload{} })
+	// The decoder's messages carry these concrete group types; register them
+	// so the cluster platform's wire codec can gob-encode them across shards.
+	gob.Register(mjpeg.BlockGroup{})
+	gob.Register(mjpeg.PixelGroup{})
 }
 
 // Workload adapts the MJPEG decoder to the platform/workload registry. The
@@ -78,24 +83,34 @@ type instance struct {
 	app  *App
 	want int
 	sum  uint64
+	// extra counts frames decoded in other processes, merged in by the
+	// cluster coordinator; the local Reorder never runs there.
+	extra int
 }
 
 // App exposes the assembled application (topology handles, FramesDecoded).
 func (in *instance) App() *App { return in.app }
 
-func (in *instance) Units() int { return in.app.FramesDecoded() }
+func (in *instance) Units() int { return in.app.FramesDecoded() + in.extra }
 
 func (in *instance) Checksum() uint64 { return in.sum }
 
+// MergeShard folds a worker shard's partial results in. Frame digests are
+// summed, so the merged checksum is completion-order and process independent.
+func (in *instance) MergeShard(units int, checksum uint64) {
+	in.extra += units
+	in.sum += checksum
+}
+
 func (in *instance) Check() error {
-	if in.app.FramesDecoded() != in.want {
-		return fmt.Errorf("mjpegapp: decoded %d frames, want %d", in.app.FramesDecoded(), in.want)
+	if got := in.Units(); got != in.want {
+		return fmt.Errorf("mjpegapp: decoded %d frames, want %d", got, in.want)
 	}
 	return nil
 }
 
 func (in *instance) Summary() string {
-	return fmt.Sprintf("decoded %d/%d frames (checksum %016x)", in.app.FramesDecoded(), in.want, in.sum)
+	return fmt.Sprintf("decoded %d/%d frames (checksum %016x)", in.Units(), in.want, in.sum)
 }
 
 // frameDigest hashes one reassembled frame. Digests are summed so the

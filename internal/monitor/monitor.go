@@ -621,6 +621,22 @@ func (m *Monitor) Totals() []WindowStats { return MergeWindows(m.mem.Windows()) 
 // Samples reports how many samples were accepted into the ring.
 func (m *Monitor) Samples() uint64 { return m.samples.Load() }
 
+// Ingest merges a window produced by another process's monitor into this
+// one: the window is written to every configured sink (the memory sink
+// first, so Windows/Totals see it) and its sample count joins the accepted
+// total, preserving the exact samples==windowed invariant across process
+// boundaries — each sample is counted by exactly one monitor and ingested
+// by exactly one aggregator. Safe to call concurrently with the pump: every
+// bundled sink serializes WriteWindow internally.
+func (m *Monitor) Ingest(w WindowStats) {
+	for _, sink := range m.cfg.Sinks {
+		if err := sink.WriteWindow(w); err != nil {
+			m.sinkErrs.Add(1)
+		}
+	}
+	m.samples.Add(uint64(w.Samples))
+}
+
 // Dropped reports how many samples the ring shed under overload.
 func (m *Monitor) Dropped() uint64 { return m.ring.Dropped() }
 

@@ -34,6 +34,14 @@ func New(appName string, locations int) (*Machine, *core.App) {
 	return &Machine{b: b, app: app}, app
 }
 
+// NewMachine wraps an existing binding and application in a machine. It is
+// the seam for bindings layered on top of the native one (the cluster
+// platform decorates a native binding with cross-process routing but reuses
+// this machine's wait/teardown discipline).
+func NewMachine(b *Binding, app *core.App) *Machine {
+	return &Machine{b: b, app: app}
+}
+
 // Binding exposes the underlying binding (for tests and reports).
 func (m *Machine) Binding() *Binding { return m.b }
 

@@ -103,6 +103,15 @@ type App struct {
 // Received reports the messages folded into the checksum so far.
 func (app *App) Received() int { return int(app.received.Load()) }
 
+// mergeShard folds a remote shard's partial results into the counters. The
+// cluster coordinator is the only caller, from a single goroutine, and the
+// Sink component body never runs in that process — so the plain checksum
+// accumulator is not racing anything.
+func (app *App) mergeShard(units int, checksum uint64) {
+	app.received.Add(int64(units))
+	app.checksum += checksum
+}
+
 // Build assembles cfg onto a, consulting topo for placement: on symmetric
 // platforms components cycle across all locations; on host+accelerator
 // platforms Source and Sink run on the host and the workers cycle across

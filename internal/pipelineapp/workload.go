@@ -58,6 +58,14 @@ func (in *instance) Checksum() uint64 { return in.app.Checksum() }
 
 func (in *instance) Check() error { return in.app.Check() }
 
+// MergeShard folds a worker shard's partial results into the app counters.
+// The cluster coordinator calls it from a single orchestrator goroutine
+// before Run returns, so the plain checksum accumulator needs no lock (the
+// local sink component never runs in the coordinator process).
+func (in *instance) MergeShard(units int, checksum uint64) {
+	in.app.mergeShard(units, checksum)
+}
+
 func (in *instance) Summary() string {
 	cfg := in.app.cfg
 	return fmt.Sprintf("sank %d/%d messages through %d stage(s) × %d worker(s) (checksum %016x)",

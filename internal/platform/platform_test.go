@@ -16,7 +16,7 @@ import (
 
 func TestAllPlatformsRegistered(t *testing.T) {
 	names := platform.Names()
-	want := []string{"native", "smp", "sti7200"}
+	want := []string{"cluster", "native", "smp", "sti7200"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
@@ -28,7 +28,7 @@ func TestAllPlatformsRegistered(t *testing.T) {
 }
 
 func TestDeterminismFlags(t *testing.T) {
-	for name, want := range map[string]bool{"smp": true, "sti7200": true, "native": false} {
+	for name, want := range map[string]bool{"smp": true, "sti7200": true, "native": false, "cluster": false} {
 		if got := platform.MustGet(name).Deterministic(); got != want {
 			t.Errorf("%s.Deterministic() = %v, want %v", name, got, want)
 		}
