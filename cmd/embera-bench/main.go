@@ -18,6 +18,8 @@
 //	embera-bench -exp MX -platform native          # one matrix row
 //	embera-bench -exp FUZZ -seeds 256              # differential seed soak
 //	embera-bench -exp FUZZ -seed 41                # one-seed deep repro
+//	embera-bench -exp CTL -seeds 64                # migrated differential soak
+//	embera-bench -exp CTL -seed 41                 # one migrated seed repro
 //	embera-bench -exp OV                           # observation-overhead harness + zero-alloc micros
 package main
 
@@ -46,7 +48,7 @@ import (
 // perfstat observation-overhead harness plus the zero-alloc hot-path
 // micro-benchmarks; its per-cell entries are what CI's bench-regress job
 // diffs against testdata/baselines/.
-var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ", "OV"}
+var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ", "CTL", "OV"}
 
 func main() {
 	// When re-executed by the cluster coordinator this process is a worker
@@ -60,9 +62,9 @@ func main() {
 	platformName := flag.String("platform", "", "restrict the MX matrix / FUZZ sweep to one platform (default: all registered)")
 	workloadName := flag.String("workload", "", "restrict the MX matrix to one workload (default: all registered)")
 	mxScale := flag.Int("mx-scale", 60, "workload scale of each MX matrix cell")
-	seeds := flag.Int("seeds", 64, "seed count of the FUZZ differential sweep")
-	seedStart := flag.Int64("seed-start", 0, "first seed of the FUZZ sweep")
-	oneSeed := flag.Int64("seed", -1, "run the full differential battery for this single seed (FUZZ repro mode)")
+	seeds := flag.Int("seeds", 64, "seed count of the FUZZ/CTL differential sweeps")
+	seedStart := flag.Int64("seed-start", 0, "first seed of the FUZZ/CTL sweeps")
+	oneSeed := flag.Int64("seed", -1, "run the full differential battery for this single seed (FUZZ/CTL repro mode)")
 	ovScale := flag.Int("ov-scale", 40, "workload scale of each OV overhead-harness cell")
 	benchJSON := flag.String("bench-json", "BENCH_embera.json", "write machine-readable per-experiment timings here (empty = disabled)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here (pprof format)")
@@ -286,6 +288,45 @@ func main() {
 		}
 		return fmt.Sprintf(
 			"FUZZ: seeds [%d,%d) × %d platform(s) = %d cells — checksums equal, flows conserved, monitor agrees\n",
+			*seedStart, *seedStart+int64(*seeds), pcount, cells), nil
+	})
+
+	runIf("CTL", func() (string, error) {
+		// The migrated differential soak: every FUZZ invariant, with the
+		// fuzzed migration scheduler injecting same-target migrate/reconnect
+		// points into each cell while it flows. A failure names the seed
+		// and ends with the "-exp CTL -seed <n>" repro line.
+		if *oneSeed >= 0 {
+			if err := conformance.DifferentialMigratedOn(mxPlatforms, *oneSeed); err != nil {
+				return "", err
+			}
+			setUnits("CTL", 1)
+			ran := mxPlatforms
+			if ran == nil {
+				ran = platform.Names()
+			}
+			return fmt.Sprintf("seed %d passed the migrated differential battery on %s\n",
+				*oneSeed, strings.Join(ran, ", ")), nil
+		}
+		ctx, stopSignals := cliutil.ShutdownContext()
+		defer stopSignals()
+		cells, err := conformance.SweepSeedsMigratedCtx(ctx, mxPlatforms, *seedStart, *seeds, platform.Options{})
+		interrupted := errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
+			return "", err
+		}
+		setUnits("CTL", float64(cells))
+		pcount := len(mxPlatforms)
+		if mxPlatforms == nil {
+			pcount = len(platform.Names())
+		}
+		if interrupted {
+			return fmt.Sprintf(
+				"CTL: interrupted after %d clean cells (seeds from %d, %d platform(s)) — shutdown requested, not a failure\n",
+				cells, *seedStart, pcount), nil
+		}
+		return fmt.Sprintf(
+			"CTL: seeds [%d,%d) × %d platform(s) = %d cells — invariants survive every migration schedule\n",
 			*seedStart, *seedStart+int64(*seeds), pcount, cells), nil
 	})
 

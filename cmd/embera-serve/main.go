@@ -11,7 +11,9 @@
 //	GET  /v1/assemblies/{id}            one assembly's snapshot
 //	GET  /v1/assemblies/{id}/windows    SSE stream of closed windows
 //	POST /v1/assemblies/{id}/control    start/stop, pause/resume, set-period,
-//	                                    set-window, reconnect, terminate
+//	                                    set-window, reconnect, migrate, terminate
+//	GET  /v1/assemblies/{id}/policies   installed feedback policies + live status
+//	POST /v1/assemblies/{id}/policies   replace the feedback policy set
 //
 // Usage:
 //
@@ -22,6 +24,8 @@
 //	embera-serve -assembly native/pipeline/2000 -overhead-budget 5
 //	                                               # adaptive sampling: ≤5% host time;
 //	                                               # effective rate on /metrics
+//	embera-serve -policies policies.json           # feedback policies installed
+//	                                               # on every assembly at boot
 //
 // SIGINT/SIGTERM drain cleanly: HTTP stops, every assembly's generation
 // loop is closed, exit status is zero.
@@ -29,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +48,7 @@ import (
 	"embera/internal/cliutil"
 	"embera/internal/cluster"
 	"embera/internal/core"
+	"embera/internal/ctl"
 	"embera/internal/exp"
 
 	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
@@ -107,10 +113,24 @@ func main() {
 			"embera_serve_monitor_effective_period_us")
 	queue := flag.Int("queue", serve.DefaultQueueCap, "per-subscriber SSE queue capacity (events)")
 	pace := flag.Duration("pace", 50*time.Millisecond, "pause between workload generations")
+	policiesPath := flag.String("policies", "",
+		"JSON file with a feedback policy array, installed on every assembly at boot "+
+			"(same format as POST /v1/assemblies/{id}/policies)")
 	flag.Parse()
 
 	if len(assemblies) == 0 {
 		assemblies = assemblyFlags{{platform: "smp", workload: "pipeline"}}
+	}
+
+	var policies []ctl.Policy
+	if *policiesPath != "" {
+		data, err := os.ReadFile(*policiesPath)
+		if err != nil {
+			log.Fatalf("embera-serve: -policies: %v", err)
+		}
+		if err := json.Unmarshal(data, &policies); err != nil {
+			log.Fatalf("embera-serve: -policies %s: %v", *policiesPath, err)
+		}
 	}
 
 	srv := serve.NewServer(serve.Config{QueueCap: *queue})
@@ -142,7 +162,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("embera-serve: %s/%s: %v", spec.platform, spec.workload, err)
 		}
-		log.Printf("assembly %s: %s × %s (scale %d)", as.ID(), spec.platform, spec.workload, specScale)
+		if len(policies) > 0 {
+			if err := as.Ctl().SetPolicies(policies); err != nil {
+				log.Fatalf("embera-serve: -policies: %v", err)
+			}
+		}
+		log.Printf("assembly %s: %s × %s (scale %d, %d feedback policies)",
+			as.ID(), spec.platform, spec.workload, specScale, len(policies))
 	}
 
 	ln, err := net.Listen("tcp", *addr)

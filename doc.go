@@ -66,6 +66,39 @@
 // any failure prints a one-line `embera-bench -exp FUZZ -seed <n>`
 // repro.
 //
+// # Feedback control
+//
+// internal/ctl closes the observe→act loop. A feedback controller
+// consumes the monitor's closed windows and evaluates declarative
+// threshold/hysteresis policies — JSON rules naming a component, a
+// window metric (depth_high, send_rate, recv_rate, latency percentiles),
+// a comparison against a threshold, and hold/cooldown window counts that
+// keep noisy metrics from flapping the assembly. The controller only
+// decides (Observe is pure and lock-cheap, safe inside the monitor's
+// sink path); a per-assembly executor in internal/serve applies the
+// firings through the served run's control surface, with a bounded
+// firing queue that sheds under counted loss. Policies install over
+// HTTP (GET/POST /v1/assemblies/{id}/policies) or at boot via
+// embera-serve -policies; the loop's own health exports as the
+// embera_ctl_* metrics (actions taken, suppressed, errored, firings
+// dropped, policies installed).
+//
+// Actions include a safe migrate primitive (core.App.Migrate): rebind
+// the edge under the connection lock — rejecting terminated components
+// and already-closed mailboxes — close the displaced mailbox in the
+// same critical section when this producer was its last, then drain its
+// backlog deterministically into the new provider through the transport
+// seam before the edge resumes. Any schedule of same-target
+// migrate/reconnect points is semantics-preserving by construction, and
+// the differential battery proves it: ctl.ScheduleFor derives a
+// deterministic schedule from the assembly name, ctl.AttachMigrations
+// injects it into running rand:<seed> cells, and checksums, flow
+// conservation and monitor agreement must survive any schedule on every
+// platform (`embera-bench -exp CTL -seeds N`; failures print the
+// one-line -exp CTL -seed repro). examples/feedback runs the loop end
+// to end: a depth high-water policy rebinds a hot component's work to
+// an idle spare with message conservation asserted.
+//
 // # Tracking performance
 //
 // Observation-path cost is a CI-gated invariant. Every embera-bench run
@@ -101,8 +134,9 @@
 // paper's control functions are a live API (POST
 // /v1/assemblies/{id}/control): start/stop, pause/resume sampling,
 // set-period and set-window retune the running monitor without a
-// restart, and reconnect/terminate rewire or stop components inside the
-// running generation. /metrics exports Prometheus text (stdlib-only)
+// restart (non-positive values are rejected 400 at the door), and
+// reconnect/migrate/terminate rewire, drain-and-rewire or stop
+// components inside the running generation. /metrics exports Prometheus text (stdlib-only)
 // covering both the observed windows (rates, latency percentiles,
 // mailbox high-water marks per component) and the observer itself
 // (ring drops, sink errors, subscriber counts and drops,

@@ -189,6 +189,123 @@ func TestWorkerKillMidRunFailsCleanly(t *testing.T) {
 	}
 }
 
+// TestWorkerDeathDuringInFlightReconnect covers the reconfiguration edge the
+// feedback controller leans on: a coordinator-side Reconnect attempted while
+// the fleet is flowing must fail fast with the external-component rejection
+// (cross-shard edges are rewired in their owning process, never through the
+// coordinator's skeleton), and when a worker dies under that in-flight
+// attempt the synthetic EdgeClose drain must still conserve flows — the
+// survivors consume everything that was actually delivered, nothing is
+// duplicated, and losses are exactly the in-flight frames.
+func TestWorkerDeathDuringInFlightReconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m, a := cluster.New("reconnkill", 2, 4)
+	p := platform.MustGet("cluster")
+	w := platform.MustGetWorkload("pipeline")
+	const messages = 300_000
+	inst, err := w.Build(a, p, platform.Options{Scale: messages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Distribute("pipeline", messages, 0, nil, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim shard must own neither the Source nor the Sink, so
+	// production and consumption survive the kill and the drain has flows
+	// left to conserve. With FNV placement over 2 shards that is the shard
+	// owning S1W1; guard the assumption so a placement change fails loudly.
+	victim := m.ShardOf("S1W1")
+	if m.ShardOf("Source") == victim || m.ShardOf("Sink") == victim {
+		t.Fatalf("placement moved: Source=%d Sink=%d S1W1=%d",
+			m.ShardOf("Source"), m.ShardOf("Sink"), m.ShardOf("S1W1"))
+	}
+
+	runDone := make(chan error, 1)
+	go func() { runDone <- m.Run(120e6) }()
+
+	var pids []int
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pids) < 2 && time.Now().Before(deadline) {
+		pids = m.WorkerPIDs()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(pids) < 2 {
+		t.Fatal("workers never launched")
+	}
+	time.Sleep(250 * time.Millisecond)
+
+	// The in-flight reconnect: Source.out0 -> S1W1.in crosses shards, and on
+	// the coordinator both endpoints are external. Issue it concurrently
+	// with the kill — it must return promptly with the rejection, never
+	// touch the wire star, and never install anything.
+	src, _ := a.Component("Source")
+	dst, _ := a.Component("S1W1")
+	recErr := make(chan error, 1)
+	go func() { recErr <- a.Reconnect(src, "out0", dst, "in") }()
+
+	if err := syscall.Kill(pids[victim], syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-recErr:
+		if err == nil {
+			t.Fatal("coordinator-side reconnect of a cross-shard edge succeeded")
+		}
+		if !strings.Contains(err.Error(), "external component") {
+			t.Errorf("reconnect rejection does not name the external component rule: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reconnect hung instead of failing fast")
+	}
+
+	var runErr error
+	select {
+	case runErr = <-runDone:
+	case <-time.After(110 * time.Second):
+		t.Fatal("cluster run hung after worker death during reconnect")
+	}
+	if runErr == nil {
+		t.Fatal("worker killed mid-run but Run returned nil")
+	}
+	if !strings.Contains(runErr.Error(), "worker") {
+		t.Errorf("failure does not name the worker: %v", runErr)
+	}
+	if !a.Done() {
+		t.Error("application never quiesced after worker death")
+	}
+
+	// Flow conservation across the synthetic EdgeClose drain: the surviving
+	// Sink consumed everything delivered to it, and every message is
+	// accounted at most once — consumed or counted lost, never both, never
+	// duplicated by the drain.
+	units := inst.Units()
+	lost := m.LostFrames()
+	if units <= 0 {
+		t.Error("surviving shard merged no units; the drain did not conserve delivered flows")
+	}
+	if uint64(units)+lost > messages {
+		t.Errorf("conservation broken: %d consumed + %d lost > %d produced", units, lost, messages)
+	}
+	if lost == 0 {
+		t.Error("no in-flight frames lost; the kill did not land mid-flow")
+	}
+	// No cross-shard edge relayed more frames than the model allows: each
+	// producer alternates its outputs, so no edge can carry more than the
+	// full message count.
+	for _, e := range [][2]string{{"Source", "out0"}, {"S1W1", "out0"}, {"S1W2", "out1"}, {"S2W2", "out0"}} {
+		if frames, remote := m.WireFrames(e[0], e[1]); remote && frames > messages {
+			t.Errorf("edge %s.%s relayed %d frames for %d messages", e[0], e[1], frames, messages)
+		}
+	}
+}
+
 // TestServedClusterParksAndRestarts: a served cluster assembly must park on
 // Stop (terminate broadcast drains the fleet) and a later Start must launch
 // a fresh generation — new worker processes — that completes and passes the

@@ -37,9 +37,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"embera/internal/core"
 	"embera/internal/correlate"
+	"embera/internal/ctl"
 	"embera/internal/exp"
 	"embera/internal/fuzzwl"
 	"embera/internal/kptrace"
@@ -48,6 +50,18 @@ import (
 	"embera/internal/smpbind"
 	"embera/internal/trace"
 )
+
+// migrationPoints is how many same-target migrate/reconnect points the
+// fuzzed migration scheduler injects into each migrated differential cell.
+// Delays land in the low milliseconds, so several points hit while the
+// generated workload is still flowing.
+const migrationPoints = 6
+
+// ctlReproCommand is the one-line reproduction command for a failing
+// migrated seed — the CTL twin of fuzzwl.ReproCommand.
+func ctlReproCommand(seed int64) string {
+	return fmt.Sprintf("embera-bench -exp CTL -seed %d", seed)
+}
 
 // specProvider is implemented by fuzzwl instances: the effective
 // (override-adjusted) topology the run was built from.
@@ -100,13 +114,37 @@ func DifferentialOn(platformNames []string, seed int64) error {
 	if platformNames == nil {
 		platformNames = platform.Names()
 	}
-	if err := differential(platformNames, seed); err != nil {
+	if err := differential(platformNames, seed, false); err != nil {
 		return fmt.Errorf("%w\nrepro: %s", err, fuzzwl.ReproCommand(seed))
 	}
 	return nil
 }
 
-func differential(platformNames []string, seed int64) error {
+// DifferentialMigrated runs the full differential battery for one seed
+// with the fuzzed migration scheduler attached: a deterministic schedule of
+// same-target migrate/reconnect points (derived from the workload name, so
+// deterministic-platform reruns inject identically) fires while the cell is
+// flowing. Every invariant the plain battery asserts — equal checksums,
+// bit-identical rerun fingerprints, per-interface flow conservation,
+// monitor agreement — must survive the schedule, and every point must
+// apply cleanly or legally race termination.
+func DifferentialMigrated(seed int64) error {
+	return DifferentialMigratedOn(nil, seed)
+}
+
+// DifferentialMigratedOn is DifferentialMigrated restricted to the named
+// platforms (nil = every registered platform).
+func DifferentialMigratedOn(platformNames []string, seed int64) error {
+	if platformNames == nil {
+		platformNames = platform.Names()
+	}
+	if err := differential(platformNames, seed, true); err != nil {
+		return fmt.Errorf("%w\nrepro: %s", err, ctlReproCommand(seed))
+	}
+	return nil
+}
+
+func differential(platformNames []string, seed int64, migrate bool) error {
 	type outcome struct {
 		platform string
 		checksum uint64
@@ -127,6 +165,7 @@ func differential(platformNames []string, seed int64) error {
 		for r := 0; r < runs; r++ {
 			var rec *trace.Recorder
 			var ktr *kptrace.Tracer
+			var sched *ctl.ScheduleResult
 			opts := exp.Options{
 				Monitor: diffMonitorConfig(),
 				Customize: func(a *core.App, obs *core.Observer) {
@@ -140,11 +179,25 @@ func differential(platformNames []string, seed int64) error {
 						a.SetEventSink(rec)
 						ktr = kptrace.Attach(b.Sys, 0)
 					}
+					if migrate {
+						// The schedule is a pure function of the workload
+						// name, so a deterministic platform's rerun injects
+						// the identical points and the fingerprint
+						// comparison below stays meaningful. On the cluster
+						// coordinator every component is external, the edge
+						// list is empty and the cell runs as a control.
+						sched = ctl.AttachMigrations(a, ctl.ScheduleFor(a, migrationPoints))
+					}
 				},
 			}
 			run, err := exp.RunNamed(pn, fuzzwl.Name(seed), opts)
 			if err != nil {
 				return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
+			}
+			if sched != nil {
+				if err := sched.Err(); err != nil {
+					return fmt.Errorf("conformance: seed %d on %s: migration schedule: %w", seed, pn, err)
+				}
 			}
 			if err := CheckRun(run); err != nil {
 				return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
@@ -386,11 +439,34 @@ func SweepSeeds(platformNames []string, start int64, n int, opts platform.Option
 // count so far. Callers distinguish a clean interrupt (context.Canceled
 // after Ctrl-C) from a real differential failure.
 func SweepSeedsCtx(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options) (int, error) {
+	return sweepSeeds(ctx, platformNames, start, n, opts, false)
+}
+
+// SweepSeedsMigrated is the migrated twin of SweepSeeds: every cell runs
+// with the fuzzed migration scheduler attached, so the soak asserts that
+// checksums, flow conservation and monitor agreement survive a different
+// random migrate/reconnect schedule in every generated workload. Failures
+// carry the "embera-bench -exp CTL -seed <n>" repro line.
+func SweepSeedsMigrated(platformNames []string, start int64, n int, opts platform.Options) (int, error) {
+	return sweepSeeds(context.Background(), platformNames, start, n, opts, true)
+}
+
+// SweepSeedsMigratedCtx is SweepSeedsMigrated with cooperative
+// cancellation, mirroring SweepSeedsCtx.
+func SweepSeedsMigratedCtx(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options) (int, error) {
+	return sweepSeeds(ctx, platformNames, start, n, opts, true)
+}
+
+func sweepSeeds(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options, migrate bool) (int, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("conformance: sweep needs a positive seed count, got %d", n)
 	}
 	if platformNames == nil {
 		platformNames = platform.Names()
+	}
+	repro := fuzzwl.ReproCommand
+	if migrate {
+		repro = ctlReproCommand
 	}
 	const chunk = 16 // seeds per RunMatrix call: bounds in-flight machines
 	cells := 0
@@ -406,7 +482,21 @@ func SweepSeedsCtx(ctx context.Context, platformNames []string, start int64, n i
 		for s := lo; s < hi; s++ {
 			names = append(names, fuzzwl.Name(s))
 		}
-		results, err := exp.RunMatrix(platformNames, names, exp.Options{Monitor: diffMonitorConfig(), Options: opts})
+		eopts := exp.Options{Monitor: diffMonitorConfig(), Options: opts}
+		// The migrated sweep's Customize hook is shared across the chunk's
+		// concurrent cells, so the per-cell schedule results are collected
+		// under a lock, keyed by the cell's own assembly.
+		var schedMu sync.Mutex
+		scheds := map[*core.App]*ctl.ScheduleResult{}
+		if migrate {
+			eopts.Customize = func(a *core.App, obs *core.Observer) {
+				res := ctl.AttachMigrations(a, ctl.ScheduleFor(a, migrationPoints))
+				schedMu.Lock()
+				scheds[a] = res
+				schedMu.Unlock()
+			}
+		}
+		results, err := exp.RunMatrix(platformNames, names, eopts)
 		if err != nil {
 			return cells, err
 		}
@@ -416,8 +506,8 @@ func SweepSeedsCtx(ctx context.Context, platformNames []string, start int64, n i
 			bySeed[c.Workload] = append(bySeed[c.Workload], c)
 		}
 		for s := lo; s < hi; s++ {
-			if err := checkSweepSeed(bySeed[fuzzwl.Name(s)]); err != nil {
-				return cells, fmt.Errorf("%w\nrepro: %s", err, fuzzwl.ReproCommand(s))
+			if err := checkSweepSeed(bySeed[fuzzwl.Name(s)], scheds); err != nil {
+				return cells, fmt.Errorf("%w\nrepro: %s", err, repro(s))
 			}
 		}
 	}
@@ -425,15 +515,21 @@ func SweepSeedsCtx(ctx context.Context, platformNames []string, start int64, n i
 }
 
 // checkSweepSeed verifies one seed's row of a sweep: every cell ran clean,
+// any attached migration schedule applied without an unexpected failure,
 // per-cell differential invariants hold, and results agree across
 // platforms.
-func checkSweepSeed(row []exp.MatrixResult) error {
+func checkSweepSeed(row []exp.MatrixResult, scheds map[*core.App]*ctl.ScheduleResult) error {
 	if len(row) == 0 {
 		return fmt.Errorf("conformance: sweep produced no cells for this seed")
 	}
 	for _, c := range row {
 		if c.Err != nil {
 			return fmt.Errorf("conformance: %s × %s: %w", c.Platform, c.Workload, c.Err)
+		}
+		if sched := scheds[c.Result.App]; sched != nil {
+			if err := sched.Err(); err != nil {
+				return fmt.Errorf("conformance: %s × %s: migration schedule: %w", c.Platform, c.Workload, err)
+			}
 		}
 		if err := CheckRun(c.Result); err != nil {
 			return fmt.Errorf("conformance: %s × %s: %w", c.Platform, c.Workload, err)

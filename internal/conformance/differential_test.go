@@ -40,6 +40,27 @@ func TestDifferentialConformance(t *testing.T) {
 	}
 }
 
+// TestDifferentialConformanceMigrated is the reconfiguration acceptance
+// battery: the same 64 seeds × platforms, each cell running under a seeded
+// schedule of same-target migrate/reconnect points injected while the
+// workload flows. Checksums, rerun fingerprints, flow conservation and
+// monitor agreement must survive any such schedule; failures end with the
+// "-exp CTL" repro line.
+func TestDifferentialConformanceMigrated(t *testing.T) {
+	for seed := int64(0); seed < differentialSeeds; seed++ {
+		seed := seed
+		t.Run(fuzzwl.Name(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := conformance.DifferentialMigrated(seed); err != nil {
+				if !strings.Contains(err.Error(), "embera-bench -exp CTL -seed") {
+					t.Errorf("failure lacks its repro command: %v", err)
+				}
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestDifferentialSweepSoak exercises the concurrent RunMatrix-based soak
 // path embera-bench uses: one matrix call per seed chunk, platforms × seeds
 // as isolated cells.
@@ -51,6 +72,20 @@ func TestDifferentialSweepSoak(t *testing.T) {
 	}
 	if want := seeds * len(platform.Names()); cells != want {
 		t.Errorf("sweep ran %d cells, want %d", cells, want)
+	}
+}
+
+// TestDifferentialSweepSoakMigrated runs the migrated soak path behind
+// `embera-bench -exp CTL`: concurrent matrix cells, each with its own
+// random migration schedule attached through the shared Customize hook.
+func TestDifferentialSweepSoakMigrated(t *testing.T) {
+	const seeds = 24
+	cells, err := conformance.SweepSeedsMigrated(nil, 100, seeds, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := seeds * len(platform.Names()); cells != want {
+		t.Errorf("migrated sweep ran %d cells, want %d", cells, want)
 	}
 }
 

@@ -1,11 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrClosedMailbox reports an attempt to rewire a producer onto a provided
+// interface whose mailbox has already closed because it lost its last
+// producer. A closed mailbox never reopens: installing it as a send target
+// would make the producer's next send vanish.
+var ErrClosedMailbox = errors.New("core: provided interface's mailbox is closed")
 
 // ObsIfaceName is the reserved name of the default observation interface
 // pair every component carries (Figure 5 lists it as "introspection").
@@ -63,6 +70,9 @@ type App struct {
 	// through a platform Interrupt) checks it while Start may still be
 	// running on the launching goroutine.
 	started atomic.Bool
+	// launched flips once Start has finished materializing mailboxes and
+	// spawning flows — the point from which live reconfiguration is safe.
+	launched atomic.Bool
 
 	// live counts components that have not yet reached StateDone; quiesced
 	// is closed when the count hits zero. Platforms with real concurrency
@@ -192,25 +202,42 @@ func (a *App) MustConnect(from *Component, req string, to *Component, prov strin
 // Reconnect must be called from kernel context (a scheduled callback) or a
 // driver flow, never from inside a component body that is mid-send.
 func (a *App) Reconnect(from *Component, req string, to *Component, prov string) error {
+	_, _, err := a.rebind(from, req, to, prov)
+	return err
+}
+
+// rebind is the shared locked core of Reconnect and Migrate: validate the
+// rewire, swap the target pointer, settle the reference counts, and close
+// the displaced mailbox if this producer was its last. It returns the
+// displaced interface and whether that close happened — when it did, the
+// old mailbox is already closed on return, so a caller may drain the
+// backlog deterministically (Receive empties then reports closed).
+func (a *App) rebind(from *Component, req string, to *Component, prov string) (*ProvidedIface, bool, error) {
 	if !a.started.Load() {
-		return fmt.Errorf("core: app %q not started; use Connect during assembly", a.Name)
+		return nil, false, fmt.Errorf("core: app %q not started; use Connect during assembly", a.Name)
 	}
 	if from == nil || to == nil {
-		return fmt.Errorf("core: reconnect with nil component")
+		return nil, false, fmt.Errorf("core: reconnect with nil component")
 	}
 	if from == to {
-		return fmt.Errorf("core: %s reconnecting to itself", from.name)
+		return nil, false, fmt.Errorf("core: %s reconnecting to itself", from.name)
+	}
+	if from.External() || to.External() {
+		return nil, false, fmt.Errorf("core: %s -> %s involves an external component; rewire it in its owning process", from.name, to.name)
 	}
 	ri, ok := from.required[req]
 	if !ok {
-		return fmt.Errorf("core: %s has no required interface %q", from.name, req)
+		return nil, false, fmt.Errorf("core: %s has no required interface %q", from.name, req)
+	}
+	if ri.transport != nil {
+		return nil, false, fmt.Errorf("core: %s.%s is bound to a transport; a remote edge cannot be rewired locally", from.name, req)
 	}
 	pi, ok := to.provided[prov]
 	if !ok {
-		return fmt.Errorf("core: %s has no provided interface %q", to.name, prov)
+		return nil, false, fmt.Errorf("core: %s has no provided interface %q", to.name, prov)
 	}
 	if pi.box() == nil {
-		return fmt.Errorf("core: %s.%s has no mailbox (app not started?)", to.name, prov)
+		return nil, false, fmt.Errorf("core: %s.%s has no mailbox (app not started?)", to.name, prov)
 	}
 	a.connMu.Lock()
 	defer a.connMu.Unlock()
@@ -220,25 +247,35 @@ func (a *App) Reconnect(from *Component, req string, to *Component, prov string)
 	// rewire) or the cleanup has not run yet and will see — and later
 	// release — the new target this call installs.
 	if from.State() == StateDone {
-		return fmt.Errorf("core: %s already terminated", from.name)
+		return nil, false, fmt.Errorf("core: %s already terminated", from.name)
+	}
+	// A mailbox that lost its last producer is gone for good: sends to it
+	// vanish. The check lives under connMu — the same lock every close site
+	// holds — so a rewire can never race a close into installing a dead
+	// target.
+	if pi.closed {
+		return nil, false, fmt.Errorf("core: %s.%s: %w", to.name, prov, ErrClosedMailbox)
 	}
 	old := ri.target.Load()
-	if old == pi {
-		return nil
-	}
+	// Same-target rewires still churn the counts (net zero) so the closed
+	// check above and the refcount bookkeeping run on every call; from's own
+	// sender reference keeps pi.senders above zero throughout.
 	ri.target.Store(pi)
 	pi.conns++
 	pi.senders++
+	closedOld := false
 	if old != nil {
 		old.conns--
 		old.senders--
 		if old.senders == 0 {
+			closedOld = true
+			old.closed = true
 			if mb := old.box(); mb != nil {
 				mb.Close()
 			}
 		}
 	}
-	return nil
+	return old, closedOld, nil
 }
 
 // Start launches the application: it materializes every provided interface
@@ -282,8 +319,16 @@ func (a *App) Start() error {
 			return fmt.Errorf("core: spawning %s: %w", c.name, err)
 		}
 	}
+	a.launched.Store(true)
 	return nil
 }
+
+// Started reports whether Start has completed: every mailbox exists and
+// reconnection is legal. Drivers spawned before Start (wall-clock bindings
+// run them immediately) wait on this before touching the live control
+// surface — the started flag alone flips at the top of Start, before the
+// mailboxes materialize.
+func (a *App) Started() bool { return a.launched.Load() }
 
 // Done reports whether every component has terminated.
 func (a *App) Done() bool {
@@ -522,6 +567,7 @@ func (c *Component) run(f Flow) {
 			}
 			t.senders--
 			if t.senders == 0 {
+				t.closed = true
 				if mb := t.box(); mb != nil {
 					mb.Close()
 				}
@@ -570,6 +616,10 @@ type ProvidedIface struct {
 	mb       atomic.Pointer[Mailbox]
 	conns    int // connections established at assembly
 	senders  int // producers still running
+	// closed records that the mailbox was closed because its last producer
+	// left (guarded by connMu, like the counts). Rewires consult it so a
+	// dead mailbox is never installed as a send target.
+	closed bool
 }
 
 // box returns the materialized mailbox, or nil before App.Start.

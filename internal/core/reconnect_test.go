@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"testing"
 
 	"embera/internal/core"
@@ -107,6 +108,38 @@ func TestReconnectValidation(t *testing.T) {
 	}
 	if !a.Done() {
 		t.Fatal("app did not finish")
+	}
+}
+
+// TestReconnectClosedMailboxRejected: a provided interface whose mailbox
+// closed (it lost its last producer) must be refused as a rewire target —
+// the mailbox never reopens, so installing it would strand the producer's
+// next send.
+func TestReconnectClosedMailboxRejected(t *testing.T) {
+	a, k, prod, sinkA, sinkB, gotA, gotB := buildSwitchable(t)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.Millisecond, func() {
+		// sinkA loses its only producer here: its mailbox closes for good.
+		if err := a.Reconnect(prod, "out", sinkB, "in"); err != nil {
+			t.Error(err)
+		}
+	})
+	k.At(2*sim.Millisecond, func() {
+		err := a.Reconnect(prod, "out", sinkA, "in")
+		if !errors.Is(err, core.ErrClosedMailbox) {
+			t.Errorf("rewire onto closed mailbox: got %v, want ErrClosedMailbox", err)
+		}
+	})
+	if err := k.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("app did not finish")
+	}
+	if *gotA+*gotB != 100 {
+		t.Fatalf("messages lost or duplicated: %d + %d != 100", *gotA, *gotB)
 	}
 }
 

@@ -60,6 +60,7 @@ func (a *App) ReleaseProducer(to *Component, prov string) error {
 	defer a.connMu.Unlock()
 	pi.senders--
 	if pi.senders == 0 {
+		pi.closed = true
 		if mb := pi.box(); mb != nil {
 			mb.Close()
 		}

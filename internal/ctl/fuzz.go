@@ -1,0 +1,190 @@
+package ctl
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"embera/internal/core"
+)
+
+// Edge identifies one locally rewireable assembly edge by name.
+type Edge struct {
+	From, Required, To, Provided string
+}
+
+// SchedulePoint is one injected reconfiguration: after DelayUS (from the
+// previous point), rewire Edge onto its own current target — Migrate when
+// Migrate is set, plain Reconnect otherwise. Same-target operations churn
+// the whole rebind path (validation, refcounts, closed-mailbox checks, the
+// migrate drain guard) without changing where any message lands, so they
+// are semantics-preserving on every workload by construction: the
+// differential battery can assert checksums and flow conservation survive
+// ANY such schedule.
+type SchedulePoint struct {
+	DelayUS int64
+	Edge    Edge
+	Migrate bool
+}
+
+// Schedule is a seeded sequence of reconfiguration points.
+type Schedule struct {
+	Seed   uint64
+	Points []SchedulePoint
+}
+
+// AppEdges enumerates the edges a schedule may touch: connected required
+// interfaces whose endpoints both execute in this process. External
+// endpoints (cluster coordinators see every component as external) yield
+// no edges, so a cluster cell runs the same sweep as a control with no
+// local injection.
+func AppEdges(a *core.App) []Edge {
+	var out []Edge
+	for _, c := range a.Components() {
+		if c.External() {
+			continue
+		}
+		for _, conn := range c.Connections() {
+			to, ok := a.Component(conn.To)
+			if !ok || to.External() {
+				continue
+			}
+			out = append(out, Edge{
+				From: c.Name(), Required: conn.FromIface,
+				To: conn.To, Provided: conn.ToIface,
+			})
+		}
+	}
+	return out
+}
+
+// NewSchedule derives a deterministic schedule of n points over the edges
+// from the given seed: delays in the low-millisecond range so several
+// points land while a short differential cell is still flowing.
+func NewSchedule(seed uint64, edges []Edge, n int) Schedule {
+	s := Schedule{Seed: seed}
+	if len(edges) == 0 || n <= 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	for i := 0; i < n; i++ {
+		s.Points = append(s.Points, SchedulePoint{
+			DelayUS: 100 + rng.Int63n(1500),
+			Edge:    edges[rng.Intn(len(edges))],
+			Migrate: rng.Intn(2) == 0,
+		})
+	}
+	return s
+}
+
+// ScheduleFor builds the canonical schedule for an assembly: seeded from
+// the application name, so the two runs of a deterministic platform derive
+// the identical schedule and their fingerprints stay bit-equal.
+func ScheduleFor(a *core.App, n int) Schedule {
+	h := fnv.New64a()
+	h.Write([]byte(a.Name))
+	return NewSchedule(h.Sum64(), AppEdges(a), n)
+}
+
+// ScheduleResult is the outcome of one attached schedule: how many points
+// were applied or skipped (lost the race with a terminating producer — the
+// application winding down is a legal schedule too) and the first
+// unexpected failure, which the harness asserts is nil after the run.
+type ScheduleResult struct {
+	mu      sync.Mutex
+	err     error
+	applied int
+	skipped int
+}
+
+// Err returns the first unexpected failure, or nil.
+func (r *ScheduleResult) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Applied and Skipped count the schedule's executed and raced-out points.
+func (r *ScheduleResult) Applied() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Skipped counts points that lost the termination race.
+func (r *ScheduleResult) Skipped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.skipped
+}
+
+// AttachMigrations spawns a driver flow that walks the schedule against
+// the running application: sleep each point's delay, then issue its
+// same-target Migrate or Reconnect. Call it from an exp Customize hook
+// (after assembly, before Start); with an empty schedule it attaches
+// nothing. Check the result's Err after the run — the driver records
+// failures instead of panicking, since neither the kernel nor the native
+// binding recovers a dying driver flow.
+func AttachMigrations(a *core.App, sched Schedule) *ScheduleResult {
+	res := &ScheduleResult{}
+	if len(sched.Points) == 0 {
+		return res
+	}
+	points := append([]SchedulePoint(nil), sched.Points...)
+	a.SpawnDriver("ctl/fuzz-migrate", func(f core.Flow) {
+		// Wall-clock bindings run drivers the moment they are spawned, and
+		// this one is attached before Start: wait for launch so a point's
+		// delay never elapses against an app with no mailboxes yet.
+		for !a.Started() {
+			f.SleepUS(50)
+		}
+		for _, pt := range points {
+			f.SleepUS(pt.DelayUS)
+			if a.Done() {
+				return
+			}
+			from, okF := a.Component(pt.Edge.From)
+			to, okT := a.Component(pt.Edge.To)
+			if !okF || !okT {
+				res.fail(fmt.Errorf("ctl: schedule %d names unknown components in %+v", sched.Seed, pt.Edge))
+				return
+			}
+			var err error
+			if pt.Migrate {
+				err = a.Migrate(f, from, pt.Edge.Required, to, pt.Edge.Provided)
+			} else {
+				err = a.Reconnect(from, pt.Edge.Required, to, pt.Edge.Provided)
+			}
+			switch {
+			case err == nil:
+				res.bump(true)
+			case strings.Contains(err.Error(), "already terminated"):
+				res.bump(false)
+			default:
+				res.fail(fmt.Errorf("ctl: schedule %d point %+v: %w", sched.Seed, pt, err))
+				return
+			}
+		}
+	})
+	return res
+}
+
+func (r *ScheduleResult) bump(applied bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if applied {
+		r.applied++
+	} else {
+		r.skipped++
+	}
+}
+
+func (r *ScheduleResult) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = err
+	}
+}

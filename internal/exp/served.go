@@ -89,7 +89,7 @@ type ServedStats struct {
 // termination are safe in on every platform (kernel context on the
 // simulators, a plain goroutine on native).
 type controlOp struct {
-	apply func(a *core.App) error
+	apply func(a *core.App, f core.Flow) error
 	done  chan error // buffered(1); every enqueued op is answered exactly once
 }
 
@@ -351,26 +351,28 @@ func (sr *ServedRun) runGeneration() error {
 func (sr *ServedRun) controlLoop(a *core.App, f core.Flow) {
 	for !a.Done() {
 		f.SleepUS(sr.ctlPollUS)
-		sr.applyOps(a)
+		sr.applyOps(a, f)
 	}
-	sr.applyOps(a)
+	sr.applyOps(a, f)
 }
 
-// applyOps drains and answers the pending control-op queue.
-func (sr *ServedRun) applyOps(a *core.App) {
+// applyOps drains and answers the pending control-op queue. Operations
+// receive the driver flow so ones that block on mailboxes (Migrate's
+// backlog drain) run in a context every binding allows that in.
+func (sr *ServedRun) applyOps(a *core.App, f core.Flow) {
 	sr.mu.Lock()
 	ops := sr.ops
 	sr.ops = nil
 	sr.mu.Unlock()
 	for _, op := range ops {
-		op.done <- op.apply(a)
+		op.done <- op.apply(a, f)
 	}
 }
 
 // enqueue hands an operation to the live generation's control driver and
 // waits for the answer. Every accepted op is answered: the driver drains
 // on completion and runGeneration's teardown answers stragglers.
-func (sr *ServedRun) enqueue(apply func(a *core.App) error) error {
+func (sr *ServedRun) enqueue(apply func(a *core.App, f core.Flow) error) error {
 	op := &controlOp{apply: apply, done: make(chan error, 1)}
 	sr.mu.Lock()
 	if !sr.running {
@@ -401,7 +403,7 @@ func (sr *ServedRun) interrupted() bool {
 
 // terminateAll is the stop operation's body: terminate every component so
 // the application drains and the generation's machine run returns.
-func terminateAll(a *core.App) error {
+func terminateAll(a *core.App, _ core.Flow) error {
 	for _, c := range a.Components() {
 		if err := a.Terminate(c); err != nil {
 			return err
@@ -519,7 +521,7 @@ func (sr *ServedRun) setPaused(p bool) {
 // generations (each generation is a fresh assembly; there is nothing to
 // rewire).
 func (sr *ServedRun) Reconnect(from, req, to, prov string) error {
-	return sr.enqueue(func(a *core.App) error {
+	return sr.enqueue(func(a *core.App, _ core.Flow) error {
 		fc, ok := a.Component(from)
 		if !ok {
 			return fmt.Errorf("exp: no component %q", from)
@@ -532,11 +534,31 @@ func (sr *ServedRun) Reconnect(from, req, to, prov string) error {
 	})
 }
 
+// Migrate rewires like Reconnect and additionally moves the displaced
+// inbox's backlog to the new provider when the rewire closed it (the
+// producer was its last): quiesce-by-close, drain through the transport
+// seam, resume on the new target. The drain runs on the control driver's
+// flow, the one context where blocking mailbox operations are legal on
+// every binding.
+func (sr *ServedRun) Migrate(from, req, to, prov string) error {
+	return sr.enqueue(func(a *core.App, f core.Flow) error {
+		fc, ok := a.Component(from)
+		if !ok {
+			return fmt.Errorf("exp: no component %q", from)
+		}
+		tc, ok := a.Component(to)
+		if !ok {
+			return fmt.Errorf("exp: no component %q", to)
+		}
+		return a.Migrate(f, fc, req, tc, prov)
+	})
+}
+
 // Terminate force-stops one named component of the live generation (the
 // paper's termination control function), leaving the rest of the assembly
 // to drain naturally.
 func (sr *ServedRun) Terminate(name string) error {
-	return sr.enqueue(func(a *core.App) error {
+	return sr.enqueue(func(a *core.App, _ core.Flow) error {
 		c, ok := a.Component(name)
 		if !ok {
 			return fmt.Errorf("exp: no component %q", name)

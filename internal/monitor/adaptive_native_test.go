@@ -1,6 +1,7 @@
 package monitor_test
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -77,6 +78,73 @@ func TestAdaptiveBudgetBacksOffNative(t *testing.T) {
 	}
 	if got, want := windowedSamples(mon.Windows()), mon.Samples(); got != want {
 		t.Fatalf("windowed samples = %d, accepted = %d; backoff broke exact accounting", got, want)
+	}
+}
+
+// TestAdaptiveBackoffRatesCoverActualInterval pins the window-rate fix
+// under real OverheadBudgetPct backoff: with the sampler governed down to
+// the 1000× cap, consecutive ticks arrive many nominal windows apart, the
+// windows must record the stretched covered interval, and every rate must
+// divide by it — dividing by the 2 ms window length would inflate the rates
+// ~25× here.
+func TestAdaptiveBackoffRatesCoverActualInterval(t *testing.T) {
+	m, a := platform.MustGet("native").New("backoff-rates")
+	prod := a.MustNewComponent("prod", func(ctx *core.Ctx) {
+		for i := 0; i < 300; i++ {
+			ctx.SleepUS(500) // a steady sender pinning the run open ~150 ms
+			ctx.Send("out", i, 256)
+		}
+	}).MustAddRequired("out")
+	cons := a.MustNewComponent("cons", func(ctx *core.Ctx) {
+		for {
+			if _, ok := ctx.Receive("in"); !ok {
+				return
+			}
+		}
+	}).MustAddProvided("in", 1<<16)
+	a.MustConnect(prod, "out", cons, "in")
+	mon, err := monitor.New(a, monitor.Config{
+		Levels: []monitor.LevelPeriod{{Level: core.LevelApplication, PeriodUS: 50}},
+		// Any measurable tick cost blows a 1e-7 % budget, so the governor
+		// saturates at the 1000× cap after the first tick: subsequent ticks
+		// land 50 ms apart while windows keep flushing every 2 ms.
+		OverheadBudgetPct: 1e-7,
+		WindowUS:          2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(nativeHorizonUS); err != nil {
+		t.Fatal(err)
+	}
+	if eff, base := mon.EffectiveLevels()[0].PeriodUS, mon.Levels()[0].PeriodUS; eff <= base {
+		t.Fatalf("effective period = %dµs, want > base %dµs", eff, base)
+	}
+	stretched := false
+	for _, w := range mon.Windows() {
+		if w.CoveredUS <= 0 {
+			t.Fatalf("window %s %d..%d has covered = %d", w.Component, w.StartUS, w.EndUS, w.CoveredUS)
+		}
+		// Rates must be computed over the covered interval, exactly.
+		if w.DeltaSendOps > 0 {
+			want := float64(w.DeltaSendOps) / (float64(w.CoveredUS) / 1e6)
+			if math.Abs(w.SendRate-want) > 1e-6 {
+				t.Fatalf("window %s %d..%d: send rate %v, want %v over covered %dµs",
+					w.Component, w.StartUS, w.EndUS, w.SendRate, want, w.CoveredUS)
+			}
+		}
+		if w.CoveredUS > 3*(w.EndUS-w.StartUS) {
+			stretched = true
+		}
+	}
+	if !stretched {
+		t.Fatal("no window recorded a covered interval stretched past its nominal span — backoff never showed up in the rates")
 	}
 }
 

@@ -75,6 +75,7 @@ type WindowRecord struct {
 	Component    string  `json:"component"`
 	StartUS      int64   `json:"start_us"`
 	EndUS        int64   `json:"end_us"`
+	CoveredUS    int64   `json:"covered_us"`
 	Samples      int     `json:"samples"`
 	SendOps      uint64  `json:"send_ops"`
 	RecvOps      uint64  `json:"recv_ops"`
@@ -98,8 +99,9 @@ func NewWindowRecord(w WindowStats) WindowRecord {
 	return WindowRecord{
 		Component: w.Component,
 		StartUS:   w.StartUS, EndUS: w.EndUS,
-		Samples: w.Samples,
-		SendOps: w.SendOps, RecvOps: w.RecvOps,
+		CoveredUS: w.CoveredUS,
+		Samples:   w.Samples,
+		SendOps:   w.SendOps, RecvOps: w.RecvOps,
 		SendRate: w.SendRate, RecvRate: w.RecvRate,
 		DepthHigh:    w.DepthHigh,
 		DepthP50:     w.DepthHist.Quantile(0.50),

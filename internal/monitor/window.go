@@ -98,13 +98,21 @@ type WindowStats struct {
 	EndUS     int64 // window close
 	Samples   int   // samples aggregated in this window
 
+	// CoveredUS is the interval the counter deltas actually span: from the
+	// sample the baseline was taken at to the last sample of this window.
+	// It can stretch past EndUS-StartUS when the adaptive overhead
+	// controller slowed the sampler (ticks rarer than windows) and shrinks
+	// below it when the last tick landed early.
+	CoveredUS int64
+
 	// Cumulative operation counters at window close, and their deltas
 	// within the window.
 	SendOps, RecvOps           uint64
 	DeltaSendOps, DeltaRecvOps uint64
 
-	// SendRate / RecvRate are operations per virtual second within the
-	// window.
+	// SendRate / RecvRate are operations per virtual second over the
+	// covered interval — not the nominal window length, which would skew
+	// the rates whenever sampling was stretched or compressed.
 	SendRate, RecvRate float64
 
 	// DepthHigh is the mailbox-depth high-water mark observed in the
@@ -142,8 +150,10 @@ type compAgg struct {
 	last      Sample // most recent sample (cumulative counters)
 
 	// Baselines: cumulative counters at the previous window close, for
-	// delta/rate computation.
+	// delta/rate computation, and the sample time they were taken at —
+	// the anchor of the covered interval the deltas are divided by.
 	baseSendOps, baseRecvOps uint64
+	baseTimeUS               int64
 
 	// prev is the previous occupancy-bearing sample of any window, for
 	// inter-sample latency.
@@ -175,7 +185,7 @@ func NewAggregator(startUS int64) *Aggregator {
 func (ag *Aggregator) Add(s Sample) {
 	ca := ag.comps[s.Component]
 	if ca == nil {
-		ca = &compAgg{}
+		ca = &compAgg{baseTimeUS: ag.startUS}
 		ag.comps[s.Component] = ca
 		ag.order = append(ag.order, s.Component)
 		sort.Strings(ag.order)
@@ -218,20 +228,30 @@ func (ag *Aggregator) Flush(endUS int64) []WindowStats {
 		}
 		dSend := ca.last.SendOps - ca.baseSendOps
 		dRecv := ca.last.RecvOps - ca.baseRecvOps
+		// The deltas accumulated between the baseline sample and the last
+		// sample of this window — an interval that stretches past the
+		// nominal window whenever the adaptive controller slowed the
+		// sampler. Dividing by winUS there would inflate the rates.
+		covered := ca.last.TimeUS - ca.baseTimeUS
+		if covered <= 0 {
+			covered = winUS
+		}
 		out = append(out, WindowStats{
 			Component: name,
 			StartUS:   ag.startUS,
 			EndUS:     endUS,
 			Samples:   ca.samples,
+			CoveredUS: covered,
 			SendOps:   ca.last.SendOps, RecvOps: ca.last.RecvOps,
 			DeltaSendOps: dSend, DeltaRecvOps: dRecv,
-			SendRate: rate(dSend, winUS), RecvRate: rate(dRecv, winUS),
+			SendRate: rate(dSend, covered), RecvRate: rate(dRecv, covered),
 			DepthHigh:   ca.depthHigh,
 			DepthHist:   ca.depthHist,
 			LatencyHist: ca.latHist,
 			MemHigh:     ca.memHigh,
 		})
 		ca.baseSendOps, ca.baseRecvOps = ca.last.SendOps, ca.last.RecvOps
+		ca.baseTimeUS = ca.last.TimeUS
 		ca.samples, ca.depthHigh, ca.memHigh = 0, 0, 0
 		ca.depthHist, ca.latHist = Hist{}, Hist{}
 	}
@@ -261,6 +281,7 @@ func MergeWindows(windows []WindowStats) []WindowStats {
 			t.EndUS = w.EndUS
 		}
 		t.Samples += w.Samples
+		t.CoveredUS += w.CoveredUS
 		t.SendOps, t.RecvOps = w.SendOps, w.RecvOps
 		t.DeltaSendOps += w.DeltaSendOps
 		t.DeltaRecvOps += w.DeltaRecvOps
@@ -277,8 +298,12 @@ func MergeWindows(windows []WindowStats) []WindowStats {
 	out := make([]WindowStats, 0, len(order))
 	for _, name := range order {
 		t := byComp[name]
-		t.SendRate = rate(t.DeltaSendOps, t.EndUS-t.StartUS)
-		t.RecvRate = rate(t.DeltaRecvOps, t.EndUS-t.StartUS)
+		cov := t.CoveredUS
+		if cov <= 0 {
+			cov = t.EndUS - t.StartUS
+		}
+		t.SendRate = rate(t.DeltaSendOps, cov)
+		t.RecvRate = rate(t.DeltaRecvOps, cov)
 		out = append(out, *t)
 	}
 	return out

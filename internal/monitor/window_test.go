@@ -102,8 +102,14 @@ func TestAggregatorRatesAndDeltas(t *testing.T) {
 	if a.DeltaSendOps != 10 || a.DeltaRecvOps != 5 {
 		t.Fatalf("deltas = %d/%d, want 10/5", a.DeltaSendOps, a.DeltaRecvOps)
 	}
-	if math.Abs(a.SendRate-1000) > 1e-9 { // 10 ops / 10ms
-		t.Fatalf("send rate = %v, want 1000", a.SendRate)
+	// The counters were observed from the window open (baseline) to the
+	// last sample at 8ms — rates divide by that covered interval, not the
+	// nominal 10ms window.
+	if a.CoveredUS != 8_000 {
+		t.Fatalf("covered = %dµs, want 8000", a.CoveredUS)
+	}
+	if math.Abs(a.SendRate-1250) > 1e-9 { // 10 ops / 8ms covered
+		t.Fatalf("send rate = %v, want 1250", a.SendRate)
 	}
 	if a.DepthHigh != 7 || a.Samples != 2 {
 		t.Fatalf("depthHigh/samples = %d/%d, want 7/2", a.DepthHigh, a.Samples)
@@ -126,6 +132,9 @@ func TestAggregatorRatesAndDeltas(t *testing.T) {
 	if a.StartUS != 10_000 || a.EndUS != 20_000 {
 		t.Fatalf("window bounds = %d..%d, want 10000..20000", a.StartUS, a.EndUS)
 	}
+	if a.CoveredUS != 4_000 { // previous sample at 8ms, this one at 12ms
+		t.Fatalf("window-2 covered = %dµs, want 4000", a.CoveredUS)
+	}
 	if a.DepthHigh != 2 {
 		t.Fatalf("window-2 depthHigh = %d, want 2 (window state must reset)", a.DepthHigh)
 	}
@@ -133,6 +142,38 @@ func TestAggregatorRatesAndDeltas(t *testing.T) {
 	// Window 3: no samples for A — nothing emitted.
 	if w = ag.Flush(30_000); len(w) != 0 {
 		t.Fatalf("empty window emitted %d stats", len(w))
+	}
+}
+
+// TestAggregatorCoveredIntervalRates pins the adaptive-backoff rate fix:
+// when sampling stretches past the window (ticks rarer than flushes), the
+// delta spans several nominal windows and the rate must divide by that real
+// interval, not the window length.
+func TestAggregatorCoveredIntervalRates(t *testing.T) {
+	ag := NewAggregator(0)
+	ag.Add(mkSample("A", 5_000, 10, 0, 0, 0))
+	w := ag.Flush(10_000)
+	if w[0].CoveredUS != 5_000 {
+		t.Fatalf("covered = %dµs, want 5000", w[0].CoveredUS)
+	}
+	// The sampler backed off: no ticks land in the 10..20ms window at all.
+	if w = ag.Flush(20_000); len(w) != 0 {
+		t.Fatalf("sampleless window emitted %d stats", len(w))
+	}
+	// One stretched tick at 30ms: 50 ops since the 5ms baseline.
+	ag.Add(mkSample("A", 30_000, 60, 0, 0, 0))
+	w = ag.Flush(30_000)
+	a := w[0]
+	if a.DeltaSendOps != 50 {
+		t.Fatalf("delta = %d, want 50", a.DeltaSendOps)
+	}
+	if a.CoveredUS != 25_000 {
+		t.Fatalf("covered = %dµs, want 25000 (spanning the sampleless window)", a.CoveredUS)
+	}
+	// 50 ops / 25ms = 2000 op/s; dividing by the nominal 10ms window would
+	// have claimed 5000 op/s.
+	if math.Abs(a.SendRate-2000) > 1e-9 {
+		t.Fatalf("send rate = %v, want 2000", a.SendRate)
 	}
 }
 
@@ -193,8 +234,13 @@ func TestMergeWindows(t *testing.T) {
 	if a.StartUS != 0 || a.EndUS != 20_000 {
 		t.Fatalf("merged span = %d..%d, want 0..20000", a.StartUS, a.EndUS)
 	}
-	if math.Abs(a.SendRate-1250) > 1e-9 { // 25 ops / 20 ms
-		t.Fatalf("merged rate = %v, want 1250", a.SendRate)
+	// Covered spans accumulate across windows: 1ms + 10ms here.
+	if a.CoveredUS != 11_000 {
+		t.Fatalf("merged covered = %dµs, want 11000", a.CoveredUS)
+	}
+	want := 25 / (11_000.0 / 1e6) // 25 ops over the 11ms actually covered
+	if math.Abs(a.SendRate-want) > 1e-9 {
+		t.Fatalf("merged rate = %v, want %v", a.SendRate, want)
 	}
 	if a.DepthHist.Total != 2 {
 		t.Fatalf("merged depth observations = %d, want 2", a.DepthHist.Total)

@@ -103,6 +103,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"period when the adaptive overhead controller has backed it off under load.", "gauge")
 	mw.header("embera_serve_monitor_overhead_budget_pct",
 		"Configured adaptive sampling budget (percent of host time per sampler; 0 = off).", "gauge")
+	mw.header("embera_ctl_policies", "Feedback policies installed on the assembly.", "gauge")
+	mw.header("embera_ctl_actions_taken_total", "Policy actions fired by the feedback controller.", "counter")
+	mw.header("embera_ctl_actions_suppressed_total", "Policy matches swallowed by cooldown hysteresis.", "counter")
+	mw.header("embera_ctl_action_errors_total", "Fired actions the executor failed to apply.", "counter")
+	mw.header("embera_ctl_firings_dropped_total", "Firings shed because the executor queue was full.", "counter")
 	for _, as := range assemblies {
 		snap := as.Snapshot()
 		l := labels("assembly", snap.ID, "platform", snap.Platform, "workload", snap.Workload)
@@ -129,6 +134,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				labels("assembly", snap.ID, "level", lv.Level), float64(lv.PeriodUS))
 		}
 		mw.sample("embera_serve_monitor_overhead_budget_pct", l, snap.OverheadBudgetPct)
+		fired, suppressed, execErrs := as.Ctl().Counters()
+		mw.sample("embera_ctl_policies", l, float64(len(as.Ctl().Policies())))
+		mw.sample("embera_ctl_actions_taken_total", l, float64(fired))
+		mw.sample("embera_ctl_actions_suppressed_total", l, float64(suppressed))
+		mw.sample("embera_ctl_action_errors_total", l, float64(execErrs))
+		mw.sample("embera_ctl_firings_dropped_total", l, float64(as.FiringsDropped()))
 	}
 
 	// Latest window aggregates per component: the paper's observation

@@ -11,10 +11,16 @@ import (
 	"time"
 
 	"embera/internal/core"
+	"embera/internal/ctl"
 	"embera/internal/exp"
 	"embera/internal/monitor"
 	"embera/internal/platform"
 )
+
+// firingQueueCap bounds the per-assembly executor queue: a controller that
+// decides faster than actions apply sheds firings with a counted drop
+// rather than ever blocking the monitor's pump flow.
+const firingQueueCap = 64
 
 // Config parameterizes a Server. The zero value is serviceable.
 type Config struct {
@@ -65,7 +71,12 @@ func (s *Server) AddAssembly(id string, p platform.Platform, w platform.Workload
 	s.byID[id] = nil
 	s.mu.Unlock()
 
-	as := &Assembly{id: id, server: s, last: make(map[string]monitor.WindowRecord)}
+	as := &Assembly{
+		id: id, server: s, last: make(map[string]monitor.WindowRecord),
+		ctl:      ctl.NewController(),
+		firings:  make(chan ctl.Firing, firingQueueCap),
+		execStop: make(chan struct{}),
+	}
 	if sopts.Monitor == nil {
 		sopts.Monitor = &monitor.Config{}
 	} else {
@@ -81,6 +92,7 @@ func (s *Server) AddAssembly(id string, p platform.Platform, w platform.Workload
 		return nil, err
 	}
 	as.run.Store(run)
+	go as.execLoop()
 	s.mu.Lock()
 	s.byID[id] = as
 	s.order = append(s.order, as)
@@ -106,6 +118,7 @@ func (s *Server) Assembly(id string) (*Assembly, bool) {
 // Close shuts every assembly down and waits for their generation loops.
 func (s *Server) Close() {
 	for _, as := range s.Assemblies() {
+		as.stopExec.Do(func() { close(as.execStop) })
 		as.Run().Close()
 	}
 }
@@ -122,6 +135,16 @@ type Assembly struct {
 	run    atomic.Pointer[exp.ServedRun]
 	seq    atomic.Uint64
 
+	// Feedback control: the controller decides inside WriteWindow (pure,
+	// never blocks); firings cross this bounded queue to the executor
+	// goroutine, which applies them through the served run's control
+	// surface. A full queue sheds with a counted drop.
+	ctl            *ctl.Controller
+	firings        chan ctl.Firing
+	execStop       chan struct{}
+	stopExec       sync.Once
+	firingsDropped atomic.Uint64
+
 	mu       sync.Mutex
 	counters monitor.LossCounters
 	last     map[string]monitor.WindowRecord // latest window per component
@@ -130,6 +153,58 @@ type Assembly struct {
 
 // ID returns the assembly's server-unique ID.
 func (as *Assembly) ID() string { return as.id }
+
+// Ctl returns the assembly's feedback controller (policy install, status).
+func (as *Assembly) Ctl() *ctl.Controller { return as.ctl }
+
+// FiringsDropped counts firings shed because the executor queue was full.
+func (as *Assembly) FiringsDropped() uint64 { return as.firingsDropped.Load() }
+
+// execLoop is the assembly's action executor: it applies each queued
+// firing through the served run's control surface. Failures are counted
+// against the policy (visible in status and the embera_ctl_* metrics), not
+// fatal — the next window re-evaluates the rule.
+func (as *Assembly) execLoop() {
+	for {
+		select {
+		case <-as.execStop:
+			return
+		case f := <-as.firings:
+			if err := as.applyFiring(f); err != nil {
+				as.ctl.NoteError(f.Policy.Name)
+			}
+		}
+	}
+}
+
+// applyFiring maps one policy action onto the served run's control surface.
+func (as *Assembly) applyFiring(f ctl.Firing) error {
+	run := as.Run()
+	a := f.Policy.Action
+	switch a.Type {
+	case ctl.ActReconnect:
+		return run.Reconnect(a.From, a.Required, a.To, a.Provided)
+	case ctl.ActMigrate:
+		return run.Migrate(a.From, a.Required, a.To, a.Provided)
+	case ctl.ActTerminate:
+		return run.Terminate(a.Component)
+	case ctl.ActSetPeriod:
+		level, err := parseLevel(a.Level)
+		if err != nil {
+			return err
+		}
+		return run.SetPeriod(level, a.PeriodUS)
+	case ctl.ActSetWindow:
+		return run.SetWindowUS(a.WindowUS)
+	case ctl.ActPause:
+		run.Pause()
+		return nil
+	case ctl.ActResume:
+		run.Resume()
+		return nil
+	}
+	return fmt.Errorf("serve: unknown action type %q", a.Type)
+}
 
 // Run returns the underlying served run (control surface and stats).
 func (as *Assembly) Run() *exp.ServedRun { return as.run.Load() }
@@ -185,6 +260,15 @@ func (as *Assembly) WriteWindow(w monitor.WindowStats) error {
 		Seq:        as.seq.Add(1),
 		Window:     rec,
 	})
+	// Feed the feedback controller. Observe only decides; the firings are
+	// handed to the executor goroutine without ever blocking this flow.
+	for _, f := range as.ctl.Observe(rec) {
+		select {
+		case as.firings <- f:
+		default:
+			as.firingsDropped.Add(1)
+		}
+	}
 	return nil
 }
 
@@ -268,6 +352,8 @@ func (as *Assembly) Snapshot() Snapshot {
 //	GET  /v1/assemblies/{id}            one assembly's JSON snapshot
 //	GET  /v1/assemblies/{id}/windows    SSE window stream of one assembly
 //	POST /v1/assemblies/{id}/control    live control API
+//	GET  /v1/assemblies/{id}/policies   installed feedback policies + status
+//	POST /v1/assemblies/{id}/policies   replace the feedback policy set
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -276,6 +362,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/assemblies/{id}", s.handleAssembly)
 	mux.HandleFunc("GET /v1/assemblies/{id}/windows", s.handleWindows)
 	mux.HandleFunc("POST /v1/assemblies/{id}/control", s.handleControl)
+	mux.HandleFunc("GET /v1/assemblies/{id}/policies", s.handlePoliciesGet)
+	mux.HandleFunc("POST /v1/assemblies/{id}/policies", s.handlePoliciesPost)
 	return mux
 }
 
@@ -382,6 +470,8 @@ func (s *Server) streamWindows(w http.ResponseWriter, r *http.Request, filter st
 //	set-period  level + period_us: retune a sampler live
 //	set-window  window_us: change the aggregation window live
 //	reconnect   from + required + to + provided: rewire a live connection
+//	migrate     like reconnect, and move the displaced inbox's backlog to
+//	            the new provider when the rewire closed it
 //	terminate   component: force-stop one component of the live generation
 type ControlRequest struct {
 	Action    string `json:"action"`
@@ -432,14 +522,28 @@ func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
 	case "resume":
 		run.Resume()
 	case "set-period":
+		// Validate at the door: a zero or negative period must be a 400
+		// here, never a value handed on toward the monitor.
+		if req.PeriodUS <= 0 {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("set-period needs a positive period_us, got %d", req.PeriodUS)})
+			return
+		}
 		var level core.ObsLevel
 		if level, err = parseLevel(req.Level); err == nil {
 			err = run.SetPeriod(level, req.PeriodUS)
 		}
 	case "set-window":
+		if req.WindowUS <= 0 {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("set-window needs a positive window_us, got %d", req.WindowUS)})
+			return
+		}
 		err = run.SetWindowUS(req.WindowUS)
 	case "reconnect":
 		err = run.Reconnect(req.From, req.Required, req.To, req.Provided)
+	case "migrate":
+		err = run.Migrate(req.From, req.Required, req.To, req.Provided)
 	case "terminate":
 		err = run.Terminate(req.Component)
 	default:
@@ -456,6 +560,55 @@ func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "assembly": as.Snapshot()})
+}
+
+// policiesReply is the GET /policies body: the installed rule set plus its
+// live hysteresis state and counters.
+type policiesReply struct {
+	Policies []ctl.Policy       `json:"policies"`
+	Status   []ctl.PolicyStatus `json:"status"`
+}
+
+func (s *Server) handlePoliciesGet(w http.ResponseWriter, r *http.Request) {
+	as, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, policiesReply{
+		Policies: as.ctl.Policies(),
+		Status:   as.ctl.Status(),
+	})
+}
+
+// handlePoliciesPost replaces the assembly's feedback policy set with the
+// posted JSON array. The whole set validates or nothing is installed; an
+// empty array turns feedback control off.
+func (s *Server) handlePoliciesPost(w http.ResponseWriter, r *http.Request) {
+	as, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var ps []ctl.Policy
+	if err := json.NewDecoder(r.Body).Decode(&ps); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad policies body: %v", err)})
+		return
+	}
+	// ctl validates shape; the serve layer additionally owns the level
+	// names, so resolve set-period levels here where 400 is still cheap.
+	for _, p := range ps {
+		if p.Action.Type == ctl.ActSetPeriod {
+			if _, err := parseLevel(p.Action.Level); err != nil {
+				writeJSON(w, http.StatusBadRequest,
+					map[string]string{"error": fmt.Sprintf("policy %q: %v", p.Name, err)})
+				return
+			}
+		}
+	}
+	if err := as.ctl.SetPolicies(ps); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "installed": len(ps)})
 }
 
 // healthReply is the /healthz body.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"embera/internal/core"
+	"embera/internal/ctl"
 	"embera/internal/exp"
 	"embera/internal/monitor"
 	"embera/internal/platform"
@@ -52,7 +53,12 @@ func (l smallSndbufListener) Accept() (net.Conn, error) {
 // tests can drive WriteWindow directly and exercise the HTTP/SSE path at
 // full speed.
 func syntheticAssembly(s *Server, id string) *Assembly {
-	as := &Assembly{id: id, server: s, last: make(map[string]monitor.WindowRecord)}
+	as := &Assembly{
+		id: id, server: s, last: make(map[string]monitor.WindowRecord),
+		ctl:      ctl.NewController(),
+		firings:  make(chan ctl.Firing, firingQueueCap),
+		execStop: make(chan struct{}),
+	}
 	s.mu.Lock()
 	s.byID[id] = as
 	s.order = append(s.order, as)
@@ -525,4 +531,189 @@ func TestMetricsEffectivePeriodMovesUnderLoad(t *testing.T) {
 			t.Fatalf("metrics output missing %q:\n%s", want, lastBody)
 		}
 	}
+}
+
+// TestControlRejectsNonPositiveTuning pins the control API's input
+// validation: zero and negative set-period/set-window values must be 400s
+// under the standard error contract, decided at the handler door — never
+// values handed on toward the monitor. The migrate action rides the same
+// request shape as reconnect and reports its own errors through the
+// contract too.
+func TestControlRejectsNonPositiveTuning(t *testing.T) {
+	p := platform.MustGet("smp")
+	w, err := platform.GetWorkload("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{})
+	defer s.Close()
+	if _, err := s.AddAssembly("pipe", p, w, exp.ServedOptions{
+		Options: exp.Options{Options: platform.Options{Scale: 40}, Monitor: &monitor.Config{}},
+		Pace:    time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	control := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/assemblies/pipe/control", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	for _, tc := range []struct{ name, body string }{
+		{"zero period", `{"action":"set-period","level":"application","period_us":0}`},
+		{"negative period", `{"action":"set-period","level":"application","period_us":-100}`},
+		{"omitted period", `{"action":"set-period","level":"application"}`},
+		{"zero window", `{"action":"set-window","window_us":0}`},
+		{"negative window", `{"action":"set-window","window_us":-5}`},
+	} {
+		code, body := control(tc.body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: %d %s, want 400", tc.name, code, body)
+		}
+		var rep map[string]string
+		if err := json.Unmarshal([]byte(body), &rep); err != nil || rep["error"] == "" {
+			t.Fatalf("%s: error contract broken: %v %s", tc.name, err, body)
+		}
+	}
+	// A sane retune still passes after all the rejections.
+	if code, body := control(`{"action":"set-period","level":"application","period_us":500}`); code != http.StatusOK {
+		t.Fatalf("valid set-period: %d %s", code, body)
+	}
+	// Migrate is wired through to the run: against a live generation,
+	// unknown components surface as a 400 through the error contract. A 409
+	// just means the request landed between generations — retry until a
+	// generation answers.
+	var code int
+	var body string
+	waitForCond(t, "a live generation to answer the migrate", func() bool {
+		code, body = control(`{"action":"migrate","from":"nope","required":"out","to":"also-nope","provided":"in"}`)
+		return code != http.StatusConflict
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("migrate with unknown components: %d %s, want 400", code, body)
+	}
+}
+
+// TestPoliciesEndpointAndExecutor closes the observe→act loop over HTTP: a
+// posted depth policy must install, fire on the assembly's own windows, and
+// have its action applied by the executor — all visible through GET
+// /policies, the snapshot, and the embera_ctl_* metrics.
+func TestPoliciesEndpointAndExecutor(t *testing.T) {
+	p := platform.MustGet("smp")
+	w, err := platform.GetWorkload("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{})
+	defer s.Close()
+	as, err := s.AddAssembly("fb", p, w, exp.ServedOptions{
+		Options: exp.Options{Options: platform.Options{Scale: 40}, Monitor: &monitor.Config{}},
+		Pace:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Rejections first: malformed body, invalid policy, unknown level in a
+	// set-period action, unknown assembly.
+	if code, _ := post("/v1/assemblies/fb/policies", `{`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d, want 400", code)
+	}
+	if code, body := post("/v1/assemblies/fb/policies",
+		`[{"name":"p","component":"Sink","metric":"vibes","op":">","threshold":1,"action":{"type":"pause"}}]`); code != http.StatusBadRequest {
+		t.Fatalf("invalid metric: %d %s, want 400", code, body)
+	}
+	if code, body := post("/v1/assemblies/fb/policies",
+		`[{"name":"p","component":"Sink","metric":"send_rate","op":">","threshold":1,"action":{"type":"set-period","level":"quantum","period_us":100}}]`); code != http.StatusBadRequest {
+		t.Fatalf("unknown level: %d %s, want 400", code, body)
+	}
+	if code, _ := post("/v1/assemblies/nope/policies", `[]`); code != http.StatusNotFound {
+		t.Fatalf("unknown assembly: %d, want 404", code)
+	}
+	if st := as.Ctl().Status(); len(st) != 0 {
+		t.Fatalf("rejected posts left policies installed: %+v", st)
+	}
+
+	// Install a rule that must fire on the first Sink window (recv_rate is
+	// always >= 0) and pause sampling; a long cooldown keeps it to one shot.
+	policy := `[{"name":"quiet-down","component":"Sink","metric":"recv_rate","op":">=","threshold":0,
+		"cooldown_windows":1000000,"action":{"type":"pause"}}]`
+	if code, body := post("/v1/assemblies/fb/policies", policy); code != http.StatusOK {
+		t.Fatalf("install: %d %s", code, body)
+	}
+
+	waitForCond(t, "the policy to fire and the executor to pause sampling", func() bool {
+		fired, _, _ := as.Ctl().Counters()
+		return fired >= 1 && as.Run().Stats().Paused
+	})
+
+	// GET reports the installed rule with its live counters.
+	resp, err := http.Get(ts.URL + "/v1/assemblies/fb/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var rep policiesReply
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("policies GET did not parse: %v\n%s", err, b)
+	}
+	if len(rep.Policies) != 1 || rep.Policies[0].Name != "quiet-down" {
+		t.Fatalf("policies: %+v", rep.Policies)
+	}
+	if len(rep.Status) != 1 || rep.Status[0].Fired < 1 || rep.Status[0].ExecErrors != 0 {
+		t.Fatalf("status: %+v", rep.Status)
+	}
+
+	// The self-metrics show the loop's accounting.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`embera_ctl_policies{assembly="fb",platform="smp",workload="pipeline"} 1`,
+		`embera_ctl_actions_taken_total{assembly="fb",platform="smp",workload="pipeline"} 1`,
+		"embera_ctl_action_errors_total",
+		"embera_ctl_firings_dropped_total",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, mb)
+		}
+	}
+
+	// An empty set uninstalls: feedback control off, sampling resumable.
+	if code, body := post("/v1/assemblies/fb/policies", `[]`); code != http.StatusOK {
+		t.Fatalf("uninstall: %d %s", code, body)
+	}
+	if got := as.Ctl().Policies(); len(got) != 0 {
+		t.Fatalf("policies after uninstall: %+v", got)
+	}
+	if code, body := post("/v1/assemblies/fb/control", `{"action":"resume"}`); code != http.StatusOK {
+		t.Fatalf("resume: %d %s", code, body)
+	}
+	waitForCond(t, "sampling to resume", func() bool { return !as.Run().Stats().Paused })
 }

@@ -247,7 +247,7 @@ type payloadBox struct{ V any }
 
 // windowMinBytes is the smallest possible encoded WindowStats (empty
 // component name), used to sanity-check batch counts before allocating.
-const windowMinBytes = 4 + 8*8 + 4 + 2*(8*histBuckets+8+8)
+const windowMinBytes = 4 + 9*8 + 4 + 2*(8*histBuckets+8+8)
 
 const histBuckets = 64
 
@@ -255,6 +255,7 @@ func appendWindow(buf []byte, w *monitor.WindowStats) []byte {
 	buf = appendString(buf, w.Component)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.StartUS))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.EndUS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.CoveredUS))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.Samples))
 	buf = binary.LittleEndian.AppendUint64(buf, w.SendOps)
 	buf = binary.LittleEndian.AppendUint64(buf, w.RecvOps)
@@ -379,6 +380,7 @@ func (d *decoder) window(w *monitor.WindowStats) {
 	w.Component = d.str()
 	w.StartUS = int64(d.u64())
 	w.EndUS = int64(d.u64())
+	w.CoveredUS = int64(d.u64())
 	w.Samples = int(int64(d.u64()))
 	w.SendOps = d.u64()
 	w.RecvOps = d.u64()

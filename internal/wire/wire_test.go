@@ -110,6 +110,7 @@ func randWindow(rng *rand.Rand) monitor.WindowStats {
 		Component:    randString(rng, rng.Intn(16)),
 		StartUS:      rng.Int63(),
 		EndUS:        rng.Int63(),
+		CoveredUS:    rng.Int63(),
 		Samples:      rng.Intn(1 << 20),
 		SendOps:      rng.Uint64(),
 		RecvOps:      rng.Uint64(),
