@@ -42,13 +42,15 @@ import (
 	"embera/internal/exp"
 	"embera/internal/perfstat"
 	"embera/internal/platform"
+
+	_ "embera/internal/replaywl" // replay:<file> workload family registration
 )
 
 // experiments lists every valid -exp identifier, in run order. OV is the
 // perfstat observation-overhead harness plus the zero-alloc hot-path
 // micro-benchmarks; its per-cell entries are what CI's bench-regress job
 // diffs against testdata/baselines/.
-var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ", "CTL", "OV"}
+var experiments = []string{"T1", "T2", "T3", "F4", "F5", "F8", "A1", "A2", "A3", "A4", "E6", "P1", "MX", "FUZZ", "CTL", "BURST", "OV"}
 
 func main() {
 	// When re-executed by the cluster coordinator this process is a worker
@@ -327,6 +329,45 @@ func main() {
 		}
 		return fmt.Sprintf(
 			"CTL: seeds [%d,%d) × %d platform(s) = %d cells — invariants survive every migration schedule\n",
+			*seedStart, *seedStart+int64(*seeds), pcount, cells), nil
+	})
+
+	runIf("BURST", func() (string, error) {
+		// The bursty request/response differential soak: every FUZZ
+		// invariant, plus the tail-latency battery over the burst:<seed>
+		// family's open-loop fan-out/fan-in cells. Failures end with the
+		// "-exp BURST -seed <n>" repro line.
+		if *oneSeed >= 0 {
+			if err := conformance.DifferentialBurstOn(mxPlatforms, *oneSeed); err != nil {
+				return "", err
+			}
+			setUnits("BURST", 1)
+			ran := mxPlatforms
+			if ran == nil {
+				ran = platform.Names()
+			}
+			return fmt.Sprintf("seed %d passed the burst differential battery on %s\n",
+				*oneSeed, strings.Join(ran, ", ")), nil
+		}
+		ctx, stopSignals := cliutil.ShutdownContext()
+		defer stopSignals()
+		cells, err := conformance.SweepSeedsBurstCtx(ctx, mxPlatforms, *seedStart, *seeds, platform.Options{})
+		interrupted := errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
+			return "", err
+		}
+		setUnits("BURST", float64(cells))
+		pcount := len(mxPlatforms)
+		if mxPlatforms == nil {
+			pcount = len(platform.Names())
+		}
+		if interrupted {
+			return fmt.Sprintf(
+				"BURST: interrupted after %d clean cells (seeds from %d, %d platform(s)) — shutdown requested, not a failure\n",
+				cells, *seedStart, pcount), nil
+		}
+		return fmt.Sprintf(
+			"BURST: seeds [%d,%d) × %d platform(s) = %d cells — checksums equal, flows conserved, latency tails sane\n",
 			*seedStart, *seedStart+int64(*seeds), pcount, cells), nil
 	})
 

@@ -26,8 +26,10 @@ import (
 	"embera/internal/core"
 	"embera/internal/exp"
 
-	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
+	_ "embera/internal/burstwl" // burst:<spec> workload family registration
+	_ "embera/internal/fuzzwl"  // rand:<seed> workload family registration
 	"embera/internal/platform"
+	_ "embera/internal/replaywl" // replay:<file> workload family registration
 	"embera/internal/report"
 	"embera/internal/sim"
 )

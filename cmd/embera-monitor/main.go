@@ -27,8 +27,10 @@ import (
 	"embera/internal/core"
 	"embera/internal/exp"
 
-	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
+	_ "embera/internal/burstwl" // burst:<spec> workload family registration
+	_ "embera/internal/fuzzwl"  // rand:<seed> workload family registration
 	"embera/internal/monitor"
+	_ "embera/internal/replaywl" // replay:<file> workload family registration
 )
 
 func main() {

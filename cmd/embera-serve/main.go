@@ -51,9 +51,11 @@ import (
 	"embera/internal/ctl"
 	"embera/internal/exp"
 
-	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
+	_ "embera/internal/burstwl" // burst:<spec> workload family registration
+	_ "embera/internal/fuzzwl"  // rand:<seed> workload family registration
 	"embera/internal/monitor"
 	"embera/internal/platform"
+	_ "embera/internal/replaywl" // replay:<file> workload family registration
 	"embera/internal/serve"
 )
 

@@ -5,11 +5,17 @@
 //
 //	embera-trace record  -o run.trc -scale 60 -platform smp
 //	embera-trace record  -platform sti7200 -workload pipeline
+//	embera-trace capture -o run.emb -platform smp -workload rand:42
 //	embera-trace dump    run.trc
-//	embera-trace summary run.trc
+//	embera-trace summary run.emb
+//
+// record writes a bare event trace; capture writes a replay bundle (trace
+// plus assembly manifest) that feeds straight back into any binary as the
+// replay:<file> workload. dump and summary accept either format.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"os"
@@ -21,7 +27,9 @@ import (
 	"embera/internal/core"
 	"embera/internal/exp"
 
-	_ "embera/internal/fuzzwl" // rand:<seed> workload family registration
+	_ "embera/internal/burstwl" // burst:<spec> workload family registration
+	_ "embera/internal/fuzzwl"  // rand:<seed> workload family registration
+	"embera/internal/replaywl"
 	"embera/internal/trace"
 )
 
@@ -35,6 +43,8 @@ func main() {
 	switch os.Args[1] {
 	case "record":
 		record(os.Args[2:])
+	case "capture":
+		capture(os.Args[2:])
 	case "dump":
 		withTrace(os.Args[2:], func(events []core.Event) {
 			trace.Dump(os.Stdout, events)
@@ -49,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: embera-trace record|dump|summary [args]")
+	fmt.Fprintln(os.Stderr, "usage: embera-trace record|capture|dump|summary [args]")
 	os.Exit(2)
 }
 
@@ -91,18 +101,82 @@ func record(args []string) {
 	fmt.Printf("recorded %d events (%d dropped) to %s\n", total, dropped, *out)
 }
 
-func withTrace(args []string, fn func([]core.Event)) {
-	if len(args) != 1 {
-		usage()
+// capture records one run and writes a replay bundle: the event trace
+// plus the assembly manifest needed to reconstruct and replay it. The
+// expected line gives the closed-form replay outcome, so a harness can
+// later assert a replay matched without re-deriving anything.
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	out := fs.String("o", "run.emb", "output bundle file")
+	platformName := fs.String("platform", "smp", "platform (embera-mjpeg -list shows all)")
+	workloadName := fs.String("workload", "mjpeg", "workload (embera-mjpeg -list shows all)")
+	scale := fs.Int("scale", 0, "workload scale: frames for mjpeg, messages for pipeline (0 = 60)")
+	frames := fs.Int("frames", 0, "alias for -scale (frames of the mjpeg workload)")
+	capacity := fs.Int("capacity", 1<<20, "trace ring capacity (events)")
+	_ = fs.Parse(args)
+
+	p, w := cliutil.Resolve("embera-trace", *platformName, *workloadName)
+
+	rec := trace.NewRecorder(*capacity)
+	opts := exp.Options{
+		Options:   cliutil.WorkloadOptions("embera-trace", *scale, *frames, ""),
+		EventSink: rec,
 	}
-	f, err := os.Open(args[0])
+	if opts.Scale == 0 {
+		opts.Scale = 60
+	}
+	run, err := exp.Run(p, w, opts)
+	if err != nil {
+		log.Fatalf("embera-trace: %v", err)
+	}
+
+	b, err := replaywl.Capture(run.App, p.Name(), w.Name(), rec)
+	if err == nil {
+		err = b.Validate()
+	}
+	if err != nil {
+		log.Fatalf("embera-trace: capture is not replayable: %v", err)
+	}
+	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	events, err := trace.Read(f)
+	if err := replaywl.WriteBundle(f, b); err != nil {
+		log.Fatal(err)
+	}
+	total, _ := rec.Stats()
+	rw, err := replaywl.Load(*out)
+	if err != nil {
+		log.Fatalf("embera-trace: written bundle does not load back: %v", err)
+	}
+	units, checksum := rw.Expected()
+	fmt.Printf("captured %d events to %s\n", total, *out)
+	fmt.Printf("expected units=%d checksum=%016x\n", units, checksum)
+}
+
+// withTrace loads a bare trace or a replay bundle (sniffed by magic) and
+// hands its events to fn.
+func withTrace(args []string, fn func([]core.Event)) {
+	if len(args) != 1 {
+		usage()
+	}
+	raw, err := os.ReadFile(args[0])
 	if err != nil {
 		log.Fatal(err)
+	}
+	var events []core.Event
+	if replaywl.IsBundleHeader(raw) {
+		b, err := replaywl.ReadBundle(bytes.NewReader(raw))
+		if err != nil {
+			log.Fatal(err)
+		}
+		events = b.Events
+	} else {
+		events, err = trace.Read(bytes.NewReader(raw))
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	fn(events)
 }

@@ -39,17 +39,42 @@
 // Platform.Deterministic() reports which guarantee holds, and harness
 // code asserts reproducibility fingerprints only where it does.
 //
-// # Generated workloads and differential conformance
+// # Workload families and differential conformance
 //
-// Besides the hand-written mjpeg and pipeline workloads, internal/fuzzwl
-// registers the parameterized workload family "rand:<seed>": a random
-// layered DAG of producer/transform/fan-in/fan-out/sink components —
-// message sizes, emission periods, compute costs and mailbox capacities
-// all randomized — derived deterministically from the seed, with the
-// correct checksum and message counts computable from the generating
-// spec alone. Every registry consumer drives the family unchanged
-// (embera-mjpeg -workload rand:42); malformed seeds are rejected with
-// the same exit-2 registry listing as unknown names.
+// Besides the hand-written mjpeg and pipeline workloads, three
+// parameterized workload families register through
+// platform.RegisterWorkloadFamily and drive every registry consumer
+// unchanged (embera-mjpeg -workload rand:42); malformed specs are
+// rejected with the same exit-2 registry listing as unknown names.
+//
+//   - rand:<seed> (internal/fuzzwl) — a random layered DAG of
+//     producer/transform/fan-in/fan-out/sink components — message
+//     sizes, emission periods, compute costs and mailbox capacities all
+//     randomized — derived deterministically from the seed, with the
+//     correct checksum and message counts computable from the
+//     generating spec alone.
+//   - burst:<spec> (internal/burstwl) — an open-loop request/response
+//     assembly: clients send on a virtual-time Poisson/on-off/uniform
+//     arrival schedule (load independent of system speed), fan each
+//     request out to a random server subset, servers forward to a
+//     folding collector. The spec is one seed or an explicit
+//     clients=,servers=,fanout=,reqs=,rate=,bytes=,cap=,cost=,mode=
+//     grammar; expected units, checksum and per-edge flows are closed
+//     forms, and the differential battery additionally asserts each
+//     cell's monitor-window latency tail (monotone p50 ≤ p95 ≤ p99,
+//     bounded by the observed max and the makespan). Soak with
+//     embera-bench -exp BURST -seeds N; failures print the one-line
+//     -exp BURST -seed repro.
+//   - replay:<file> (internal/replaywl) — a recorded run as a
+//     deterministic benchmark. `embera-trace capture` (or GET
+//     /v1/assemblies/{id}/capture on a live embera-serve) writes an
+//     EMBR bundle — assembly manifest plus the internal/trace event
+//     stream — and loading it rebuilds the assembly with inboxes
+//     widened by their total recorded inbound bytes, so the recorded
+//     schedule provably drains on any platform while every component
+//     replays its exact send/receive/compute sequence. Complete traces
+//     have closed-form expected checksums; incomplete ones are rejected
+//     at parse time, and golden-file tests lock the byte formats.
 //
 // The differential conformance engine (internal/conformance) runs each
 // seed across every registered platform and asserts checksum equality

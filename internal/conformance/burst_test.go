@@ -1,0 +1,78 @@
+package conformance_test
+
+import (
+	"strings"
+	"testing"
+
+	"embera/internal/burstwl"
+	"embera/internal/conformance"
+	"embera/internal/exp"
+	"embera/internal/platform"
+)
+
+// burstSeeds is the per-run sweep width of the checked-in burst battery:
+// open-loop RPC cells with Poisson/on-off arrival schedules, each executed
+// on every registered platform (twice on the deterministic ones) with
+// tail-latency assertions evaluated through the monitor windows. The
+// nightly soak re-runs the same engine over a larger range through
+// `embera-bench -exp BURST`.
+const burstSeeds = 16
+
+// TestDifferentialBurstConformance is the burst-family acceptance battery:
+// every seed runs across all registered platforms under the full
+// differential engine — checksum equality everywhere, bit-identical
+// timing fingerprints on Deterministic platforms, per-edge flow
+// conservation against the schedule-derived model, monitor/observer
+// agreement, and monotonic makespan-bounded p50/p95/p99 send-latency
+// percentiles. A failure message always ends with the one-line repro.
+func TestDifferentialBurstConformance(t *testing.T) {
+	for seed := int64(0); seed < burstSeeds; seed++ {
+		seed := seed
+		t.Run(burstwl.Name(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := conformance.DifferentialBurst(seed); err != nil {
+				if !strings.Contains(err.Error(), burstwl.ReproCommand(seed)) {
+					t.Errorf("failure lacks its repro command: %v", err)
+				}
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialBurstSweepSoak exercises the concurrent RunMatrix-based
+// burst soak path embera-bench's BURST experiment uses.
+func TestDifferentialBurstSweepSoak(t *testing.T) {
+	const seeds = 16
+	cells, err := conformance.SweepSeedsBurst(nil, 100, seeds, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := seeds * len(platform.Names()); cells != want {
+		t.Errorf("burst sweep ran %d cells, want %d", cells, want)
+	}
+}
+
+// TestDifferentialRejectsMalformedBurstSpecs is the harness-side regression
+// for burst-family parsing: malformed specs travelling the same
+// exp.RunNamed path the sweep cells use must surface the uniform
+// registry-listing error (the one every binary turns into an exit-2 usage
+// failure), not panic mid-run.
+func TestDifferentialRejectsMalformedBurstSpecs(t *testing.T) {
+	for _, name := range []string{
+		"burst:rate=-1",
+		"burst:rate=0",
+		"burst:fanout=9,servers=2",
+		"burst:mode=sawtooth",
+		"burst:bogus=1",
+		"burst:-3",
+	} {
+		_, err := exp.RunNamed("smp", name, exp.Options{})
+		if err == nil {
+			t.Fatalf("malformed spec %q accepted", name)
+		}
+		if !strings.Contains(err.Error(), "registered:") {
+			t.Errorf("%q error lacks registry listing: %v", name, err)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 // Differential conformance: the record-and-compare battery that runs one
-// generated workload seed (internal/fuzzwl's "rand:<seed>" family) across
-// every registered platform and cross-checks everything the observation
-// stack reports. It is the strongest pressure the repository puts on the
+// generated workload seed across every registered platform and
+// cross-checks everything the observation stack reports. Two families
+// plug in today — internal/fuzzwl's "rand:<seed>" random DAGs and
+// internal/burstwl's "burst:<seed>" open-loop RPC cells — and any
+// workload whose instance implements platform.FlowModeler gets the same
+// treatment. It is the strongest pressure the repository puts on the
 // paper's central claim — that component-level observation stays faithful
 // across heterogeneous platforms — because none of the workloads it runs
 // were ever hand-written:
@@ -12,8 +15,11 @@
 //     same cell on Deterministic (virtual-time) platforms;
 //   - flow conservation must hold per interface: messages sent into every
 //     inbox equal messages received plus the in-flight depth the final
-//     report shows at teardown — and both must match the closed-form model
-//     of the generating Spec;
+//     report shows at teardown — and both must match the workload's
+//     closed-form flow model (platform.FlowModeler);
+//   - for latency-bearing families (burst) the monitor's windowed
+//     send-latency histograms must carry samples and report monotonic,
+//     makespan-bounded p50/p95/p99 percentiles;
 //   - on process-sharded machines (the cluster platform) the same law is
 //     accounted per shard: the sends into an inbox are summed per source
 //     process so a cross-process mismatch names the interface and the
@@ -39,6 +45,7 @@ import (
 	"strings"
 	"sync"
 
+	"embera/internal/burstwl"
 	"embera/internal/core"
 	"embera/internal/correlate"
 	"embera/internal/ctl"
@@ -63,9 +70,21 @@ func ctlReproCommand(seed int64) string {
 	return fmt.Sprintf("embera-bench -exp CTL -seed %d", seed)
 }
 
-// specProvider is implemented by fuzzwl instances: the effective
-// (override-adjusted) topology the run was built from.
-type specProvider interface{ Spec() *fuzzwl.Spec }
+// family describes one parameterized workload family the differential
+// engine sweeps: how a seed's cell is named in the workload registry, the
+// one-line repro command a failure must surface, and whether the family's
+// runs carry tail-latency assertions through the monitor windows.
+type family struct {
+	name  func(int64) string
+	repro func(int64) string
+	tail  bool
+}
+
+var (
+	randFamily  = family{name: fuzzwl.Name, repro: fuzzwl.ReproCommand}
+	ctlFamily   = family{name: fuzzwl.Name, repro: ctlReproCommand}
+	burstFamily = family{name: burstwl.Name, repro: burstwl.ReproCommand, tail: true}
+)
 
 // sharder is the structural seam a machine exposes when it partitioned the
 // assembly across OS processes (the cluster platform): the placement
@@ -114,8 +133,27 @@ func DifferentialOn(platformNames []string, seed int64) error {
 	if platformNames == nil {
 		platformNames = platform.Names()
 	}
-	if err := differential(platformNames, seed, false); err != nil {
+	if err := differential(platformNames, randFamily, seed, false); err != nil {
 		return fmt.Errorf("%w\nrepro: %s", err, fuzzwl.ReproCommand(seed))
+	}
+	return nil
+}
+
+// DifferentialBurst runs the full differential battery for one burst-family
+// seed across every registered platform, including the tail-latency
+// assertions the open-loop arrival schedules exist to exercise.
+func DifferentialBurst(seed int64) error {
+	return DifferentialBurstOn(nil, seed)
+}
+
+// DifferentialBurstOn is DifferentialBurst restricted to the named
+// platforms (nil = every registered platform).
+func DifferentialBurstOn(platformNames []string, seed int64) error {
+	if platformNames == nil {
+		platformNames = platform.Names()
+	}
+	if err := differential(platformNames, burstFamily, seed, false); err != nil {
+		return fmt.Errorf("%w\nrepro: %s", err, burstwl.ReproCommand(seed))
 	}
 	return nil
 }
@@ -138,13 +176,13 @@ func DifferentialMigratedOn(platformNames []string, seed int64) error {
 	if platformNames == nil {
 		platformNames = platform.Names()
 	}
-	if err := differential(platformNames, seed, true); err != nil {
+	if err := differential(platformNames, ctlFamily, seed, true); err != nil {
 		return fmt.Errorf("%w\nrepro: %s", err, ctlReproCommand(seed))
 	}
 	return nil
 }
 
-func differential(platformNames []string, seed int64, migrate bool) error {
+func differential(platformNames []string, fam family, seed int64, migrate bool) error {
 	type outcome struct {
 		platform string
 		checksum uint64
@@ -190,7 +228,7 @@ func differential(platformNames []string, seed int64, migrate bool) error {
 					}
 				},
 			}
-			run, err := exp.RunNamed(pn, fuzzwl.Name(seed), opts)
+			run, err := exp.RunNamed(pn, fam.name(seed), opts)
 			if err != nil {
 				return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
 			}
@@ -201,6 +239,11 @@ func differential(platformNames []string, seed int64, migrate bool) error {
 			}
 			if err := CheckRun(run); err != nil {
 				return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
+			}
+			if fam.tail {
+				if err := checkTailLatency(run); err != nil {
+					return fmt.Errorf("conformance: seed %d on %s: %w", seed, pn, err)
+				}
 			}
 			if ktr != nil {
 				if err := checkKernelCorrelation(ktr, rec); err != nil {
@@ -244,106 +287,126 @@ func differential(platformNames []string, seed int64, migrate bool) error {
 }
 
 // CheckRun verifies the per-run differential invariants on a completed
-// generated-workload run: flow conservation against the generating Spec and
-// monitor/observer agreement. It applies to any run whose Instance carries
-// its Spec (fuzzwl runs); RunMatrix sweeps reuse it cell by cell.
+// run: flow conservation against the workload's closed-form flow model
+// and monitor/observer agreement. It applies to any run whose Instance
+// implements platform.FlowModeler (fuzzwl, burstwl and replaywl runs);
+// RunMatrix sweeps reuse it cell by cell.
 func CheckRun(run *exp.Result) error {
-	sp, ok := run.Instance.(specProvider)
+	fm, ok := run.Instance.(platform.FlowModeler)
 	if !ok {
-		return fmt.Errorf("conformance: run instance %T carries no topology spec", run.Instance)
+		return fmt.Errorf("conformance: run instance %T carries no flow model", run.Instance)
 	}
 	sh, _ := run.Machine.(sharder)
-	if err := checkFlowConservation(sp.Spec(), run.Reports, sh); err != nil {
+	if err := checkFlowConservation(fm.FlowModel(), run.Reports, sh); err != nil {
 		return err
 	}
 	return checkMonitorAgreement(run)
 }
 
 // checkFlowConservation asserts the per-interface accounting identity on
-// the final reports: for every inbox, messages sent into it == messages
-// received from it + the depth reported in-flight at teardown; and both
-// sides match the closed-form Processed counts of the generating Spec.
+// the final reports against a workload's closed-form flow model: every
+// sender's per-interface middleware counter and total send ops must equal
+// the model's edge counts, and for every inbox the messages sent into it
+// must equal messages received from it plus the depth reported in-flight
+// at teardown — with the received count again matching the model.
 //
 // On sharded machines (sh non-nil) the identity is additionally accounted
 // per process: the sends into every inbox are summed per source shard so a
 // mismatch names the interface and the shard each half lives on, and every
 // cross-shard edge must show exactly one wire frame per producer send op —
 // the cross-process refinement of the same conservation law.
-func checkFlowConservation(spec *fuzzwl.Spec, reports map[string]core.ObsReport, sh sharder) error {
-	processed := spec.Processed()
-	for i := range spec.Nodes {
-		n := &spec.Nodes[i]
-		rep, ok := reports[n.Name]
+func checkFlowConservation(edges []platform.FlowEdge, reports map[string]core.ObsReport, sh sharder) error {
+	if len(edges) == 0 {
+		return fmt.Errorf("flow: workload's flow model is empty")
+	}
+	comps := map[string]bool{}
+	wantSendOps := map[string]uint64{}
+	type inboxKey struct{ comp, iface string }
+	inboxModel := map[inboxKey]uint64{}
+	inboxEdges := map[inboxKey][]platform.FlowEdge{}
+	for _, e := range edges {
+		comps[e.From], comps[e.To] = true, true
+		wantSendOps[e.From] += e.Ops
+		k := inboxKey{e.To, e.In}
+		inboxModel[k] += e.Ops
+		inboxEdges[k] = append(inboxEdges[k], e)
+	}
+	names := make([]string, 0, len(comps))
+	for name := range comps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep, ok := reports[name]
 		if !ok {
-			return fmt.Errorf("flow: no report for %s", n.Name)
+			return fmt.Errorf("flow: no report for %s", name)
 		}
 		if rep.Middleware == nil || rep.App == nil {
-			return fmt.Errorf("flow: %s report misses middleware/application sections", n.Name)
+			return fmt.Errorf("flow: %s report misses middleware/application sections", name)
 		}
-		// Every handled message leaves on every output, exactly once per
-		// out-interface.
-		wantSend := uint64(processed[i]) * uint64(len(n.Outs))
-		if rep.App.SendOps != wantSend {
-			return fmt.Errorf("flow: %s sent %d ops, model says %d", n.Name, rep.App.SendOps, wantSend)
+		if rep.App.SendOps != wantSendOps[name] {
+			return fmt.Errorf("flow: %s sent %d ops, model says %d", name, rep.App.SendOps, wantSendOps[name])
 		}
-		for oi, dst := range n.Outs {
-			iface := fmt.Sprintf("out%d", oi)
-			ops := rep.Middleware.Send[iface].Ops
-			if ops != uint64(processed[i]) {
-				return fmt.Errorf("flow: %s.%s carried %d sends, model says %d",
-					n.Name, iface, ops, processed[i])
-			}
-			if sh == nil {
-				continue
-			}
-			// Cross-shard edges carry one wire frame per send op, counted
-			// by the coordinator relay; same-shard edges report !remote.
-			if frames, remote := sh.WireFrames(n.Name, iface); remote && frames != ops {
-				return fmt.Errorf("flow: %s.%s (shard %d -> %s on shard %d): %d wire frames != %d send ops",
-					n.Name, iface, sh.ShardOf(n.Name),
-					spec.Nodes[dst].Name, sh.ShardOf(spec.Nodes[dst].Name), frames, ops)
-			}
+	}
+	for _, e := range edges {
+		ops := reports[e.From].Middleware.Send[e.Iface].Ops
+		if ops != e.Ops {
+			return fmt.Errorf("flow: %s.%s carried %d sends, model says %d", e.From, e.Iface, ops, e.Ops)
 		}
-		if len(n.Ins) == 0 {
+		if sh == nil {
 			continue
 		}
+		// Cross-shard edges carry one wire frame per send op, counted
+		// by the coordinator relay; same-shard edges report !remote.
+		if frames, remote := sh.WireFrames(e.From, e.Iface); remote && frames != ops {
+			return fmt.Errorf("flow: %s.%s (shard %d -> %s on shard %d): %d wire frames != %d send ops",
+				e.From, e.Iface, sh.ShardOf(e.From), e.To, sh.ShardOf(e.To), frames, ops)
+		}
+	}
+	inboxes := make([]inboxKey, 0, len(inboxModel))
+	for k := range inboxModel {
+		inboxes = append(inboxes, k)
+	}
+	sort.Slice(inboxes, func(i, j int) bool {
+		if inboxes[i].comp != inboxes[j].comp {
+			return inboxes[i].comp < inboxes[j].comp
+		}
+		return inboxes[i].iface < inboxes[j].iface
+	})
+	for _, k := range inboxes {
+		rep := reports[k.comp]
 		// Conservation on the inbox: sends in == receives out + in-flight.
 		// The per-shard breakdown survives to the error message on sharded
 		// runs, so a cross-process mismatch names the producing shards.
 		var sentInto uint64
 		perShard := map[int]uint64{}
-		for _, src := range n.Ins {
-			s := &spec.Nodes[src]
-			for oi, dst := range s.Outs {
-				if dst == i {
-					ops := reports[s.Name].Middleware.Send[fmt.Sprintf("out%d", oi)].Ops
-					sentInto += ops
-					if sh != nil {
-						perShard[sh.ShardOf(s.Name)] += ops
-					}
-				}
+		for _, e := range inboxEdges[k] {
+			ops := reports[e.From].Middleware.Send[e.Iface].Ops
+			sentInto += ops
+			if sh != nil {
+				perShard[sh.ShardOf(e.From)] += ops
 			}
 		}
 		depth := -1
 		for _, ifc := range rep.App.Interfaces {
-			if ifc.Name == "in" && ifc.Type == "provided" {
+			if ifc.Name == k.iface && ifc.Type == "provided" {
 				depth = ifc.Depth
 			}
 		}
 		if depth < 0 {
-			return fmt.Errorf("flow: %s listing misses the provided inbox", n.Name)
+			return fmt.Errorf("flow: %s listing misses the provided inbox %s", k.comp, k.iface)
 		}
-		recv := rep.Middleware.Recv["in"].Ops
+		recv := rep.Middleware.Recv[k.iface].Ops
 		if sentInto != recv+uint64(depth) {
 			if sh != nil {
-				return fmt.Errorf("flow: %s inbox (shard %d): %d sent in != %d received + %d in flight; sends by source shard: %s",
-					n.Name, sh.ShardOf(n.Name), sentInto, recv, depth, formatShardOps(perShard))
+				return fmt.Errorf("flow: %s inbox %s (shard %d): %d sent in != %d received + %d in flight; sends by source shard: %s",
+					k.comp, k.iface, sh.ShardOf(k.comp), sentInto, recv, depth, formatShardOps(perShard))
 			}
-			return fmt.Errorf("flow: %s inbox: %d sent in != %d received + %d in flight",
-				n.Name, sentInto, recv, depth)
+			return fmt.Errorf("flow: %s inbox %s: %d sent in != %d received + %d in flight",
+				k.comp, k.iface, sentInto, recv, depth)
 		}
-		if recv != uint64(processed[i]) {
-			return fmt.Errorf("flow: %s received %d, model says %d", n.Name, recv, processed[i])
+		if recv != inboxModel[k] {
+			return fmt.Errorf("flow: %s received %d on %s, model says %d", k.comp, recv, k.iface, inboxModel[k])
 		}
 	}
 	return nil
@@ -403,6 +466,47 @@ func checkMonitorAgreement(run *exp.Result) error {
 	return nil
 }
 
+// latencyHorizonUS is the minimum makespan above which a deterministic
+// platform's monitor is required to have landed send-latency samples: one
+// full aggregation window of the differential monitor config. Shorter
+// runs can legitimately finish between sampler ticks.
+const latencyHorizonUS = 2000
+
+// checkTailLatency asserts the tail-latency invariants a latency-bearing
+// family's runs must satisfy, evaluated through the monitor windows: the
+// merged send-latency histograms must report monotonic p50 <= p95 <= p99
+// percentiles bounded by the run's makespan, and on deterministic
+// platforms any run long enough to span an aggregation window must have
+// produced latency samples at all — an empty histogram there means the
+// monitor stopped seeing the send path.
+func checkTailLatency(run *exp.Result) error {
+	mon := run.Monitor
+	if mon == nil {
+		return fmt.Errorf("latency: differential run carried no monitor")
+	}
+	var lat monitor.Hist
+	for _, w := range mon.Windows() {
+		lat.Merge(&w.LatencyHist)
+	}
+	if lat.Total == 0 {
+		if run.Platform.Deterministic() && run.MakespanUS >= latencyHorizonUS {
+			return fmt.Errorf("latency: no send-latency samples landed in any monitor window (makespan %dµs)", run.MakespanUS)
+		}
+		return nil // wall-clock samplers may legally miss short runs
+	}
+	p50, p95, p99 := lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99)
+	if p50 > p95 || p95 > p99 {
+		return fmt.Errorf("latency: percentiles not monotonic: p50=%dµs p95=%dµs p99=%dµs", p50, p95, p99)
+	}
+	if p99 > lat.Max {
+		return fmt.Errorf("latency: p99 %dµs exceeds the observed high-water mark %dµs", p99, lat.Max)
+	}
+	if run.MakespanUS > 0 && p99 > run.MakespanUS {
+		return fmt.Errorf("latency: p99 %dµs exceeds the run's makespan %dµs", p99, run.MakespanUS)
+	}
+	return nil
+}
+
 // checkKernelCorrelation joins the kernel-level copy trace with the EMBera
 // send trace of the same execution and requires a complete two-way mapping:
 // every kernel copy explained by an application send and vice versa.
@@ -439,7 +543,22 @@ func SweepSeeds(platformNames []string, start int64, n int, opts platform.Option
 // count so far. Callers distinguish a clean interrupt (context.Canceled
 // after Ctrl-C) from a real differential failure.
 func SweepSeedsCtx(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options) (int, error) {
-	return sweepSeeds(ctx, platformNames, start, n, opts, false)
+	return sweepSeeds(ctx, platformNames, start, n, opts, false, randFamily)
+}
+
+// SweepSeedsBurst is the burst-family soak behind `embera-bench -exp BURST
+// -seeds N`: the same concurrent RunMatrix sweep and per-cell differential
+// checks as SweepSeeds, over "burst:<seed>" cells, plus the tail-latency
+// assertions evaluated through each cell's monitor windows. Failures carry
+// the "embera-bench -exp BURST -seed <n>" repro line.
+func SweepSeedsBurst(platformNames []string, start int64, n int, opts platform.Options) (int, error) {
+	return SweepSeedsBurstCtx(context.Background(), platformNames, start, n, opts)
+}
+
+// SweepSeedsBurstCtx is SweepSeedsBurst with cooperative cancellation,
+// mirroring SweepSeedsCtx.
+func SweepSeedsBurstCtx(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options) (int, error) {
+	return sweepSeeds(ctx, platformNames, start, n, opts, false, burstFamily)
 }
 
 // SweepSeedsMigrated is the migrated twin of SweepSeeds: every cell runs
@@ -448,25 +567,21 @@ func SweepSeedsCtx(ctx context.Context, platformNames []string, start int64, n i
 // random migrate/reconnect schedule in every generated workload. Failures
 // carry the "embera-bench -exp CTL -seed <n>" repro line.
 func SweepSeedsMigrated(platformNames []string, start int64, n int, opts platform.Options) (int, error) {
-	return sweepSeeds(context.Background(), platformNames, start, n, opts, true)
+	return sweepSeeds(context.Background(), platformNames, start, n, opts, true, ctlFamily)
 }
 
 // SweepSeedsMigratedCtx is SweepSeedsMigrated with cooperative
 // cancellation, mirroring SweepSeedsCtx.
 func SweepSeedsMigratedCtx(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options) (int, error) {
-	return sweepSeeds(ctx, platformNames, start, n, opts, true)
+	return sweepSeeds(ctx, platformNames, start, n, opts, true, ctlFamily)
 }
 
-func sweepSeeds(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options, migrate bool) (int, error) {
+func sweepSeeds(ctx context.Context, platformNames []string, start int64, n int, opts platform.Options, migrate bool, fam family) (int, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("conformance: sweep needs a positive seed count, got %d", n)
 	}
 	if platformNames == nil {
 		platformNames = platform.Names()
-	}
-	repro := fuzzwl.ReproCommand
-	if migrate {
-		repro = ctlReproCommand
 	}
 	const chunk = 16 // seeds per RunMatrix call: bounds in-flight machines
 	cells := 0
@@ -480,7 +595,7 @@ func sweepSeeds(ctx context.Context, platformNames []string, start int64, n int,
 		}
 		names := make([]string, 0, hi-lo)
 		for s := lo; s < hi; s++ {
-			names = append(names, fuzzwl.Name(s))
+			names = append(names, fam.name(s))
 		}
 		eopts := exp.Options{Monitor: diffMonitorConfig(), Options: opts}
 		// The migrated sweep's Customize hook is shared across the chunk's
@@ -506,8 +621,8 @@ func sweepSeeds(ctx context.Context, platformNames []string, start int64, n int,
 			bySeed[c.Workload] = append(bySeed[c.Workload], c)
 		}
 		for s := lo; s < hi; s++ {
-			if err := checkSweepSeed(bySeed[fuzzwl.Name(s)], scheds); err != nil {
-				return cells, fmt.Errorf("%w\nrepro: %s", err, repro(s))
+			if err := checkSweepSeed(bySeed[fam.name(s)], scheds, fam.tail); err != nil {
+				return cells, fmt.Errorf("%w\nrepro: %s", err, fam.repro(s))
 			}
 		}
 	}
@@ -518,7 +633,7 @@ func sweepSeeds(ctx context.Context, platformNames []string, start int64, n int,
 // any attached migration schedule applied without an unexpected failure,
 // per-cell differential invariants hold, and results agree across
 // platforms.
-func checkSweepSeed(row []exp.MatrixResult, scheds map[*core.App]*ctl.ScheduleResult) error {
+func checkSweepSeed(row []exp.MatrixResult, scheds map[*core.App]*ctl.ScheduleResult, tail bool) error {
 	if len(row) == 0 {
 		return fmt.Errorf("conformance: sweep produced no cells for this seed")
 	}
@@ -533,6 +648,11 @@ func checkSweepSeed(row []exp.MatrixResult, scheds map[*core.App]*ctl.ScheduleRe
 		}
 		if err := CheckRun(c.Result); err != nil {
 			return fmt.Errorf("conformance: %s × %s: %w", c.Platform, c.Workload, err)
+		}
+		if tail {
+			if err := checkTailLatency(c.Result); err != nil {
+				return fmt.Errorf("conformance: %s × %s: %w", c.Platform, c.Workload, err)
+			}
 		}
 	}
 	for _, c := range row[1:] {

@@ -84,6 +84,21 @@ type ServedStats struct {
 	ConsecutiveFailures int
 }
 
+// CapturedGeneration is the answer to CaptureNext: the generation that
+// carried the caller's event sink, delivered after it finished. App is the
+// generation's (now quiesced) assembly, for manifest extraction; Err is
+// the generation's failure, if any.
+type CapturedGeneration struct {
+	App *core.App
+	Err error
+}
+
+// captureReq is one pending CaptureNext registration.
+type captureReq struct {
+	sink core.EventSink
+	ch   chan CapturedGeneration
+}
+
 // controlOp is one queued control operation, applied by the control driver
 // from driver-flow context — the only context core.App.Reconnect and
 // termination are safe in on every platform (kernel context on the
@@ -121,6 +136,7 @@ type ServedRun struct {
 	stopReq  bool
 	wake     chan struct{} // Start() signal, buffered(1)
 	ops      []*controlOp
+	captures []*captureReq
 	running  bool
 	machine  platform.Machine
 	app      *core.App
@@ -198,7 +214,18 @@ func RunServed(p platform.Platform, w platform.Workload, opts ServedOptions) (*S
 // loop is the generation supervisor: run a generation, pace, repeat —
 // parking while stopped, exiting on Close.
 func (sr *ServedRun) loop() {
-	defer close(sr.done)
+	defer func() {
+		// Answer capture requests that never got a generation, so waiting
+		// callers are released on shutdown.
+		sr.mu.Lock()
+		captures := sr.captures
+		sr.captures = nil
+		sr.mu.Unlock()
+		for _, c := range captures {
+			c.ch <- CapturedGeneration{Err: ErrNotRunning}
+		}
+		close(sr.done)
+	}()
 	for {
 		select {
 		case <-sr.quit:
@@ -239,7 +266,7 @@ func (sr *ServedRun) loop() {
 // runGeneration executes one full workload run under observation: the
 // served counterpart of Run, without the final observer query (the window
 // stream is the product) and tolerant of an interrupt mid-run.
-func (sr *ServedRun) runGeneration() error {
+func (sr *ServedRun) runGeneration() (err error) {
 	sr.gens.Add(1)
 
 	sr.mu.Lock()
@@ -247,9 +274,20 @@ func (sr *ServedRun) runGeneration() error {
 	mcfg.Levels = append([]monitor.LevelPeriod(nil), sr.levels...)
 	mcfg.WindowUS = sr.windowUS
 	paused := sr.paused
+	// One pending capture request adopts this generation: its sink replaces
+	// the base event sink for the whole run, and it is answered — assembly
+	// plus outcome — when the generation ends, however it ends.
+	var capture *captureReq
+	if len(sr.captures) > 0 {
+		capture = sr.captures[0]
+		sr.captures = sr.captures[1:]
+	}
 	sr.mu.Unlock()
 
 	m, a := sr.p.New(sr.w.Name())
+	if capture != nil {
+		defer func() { capture.ch <- CapturedGeneration{App: a, Err: err} }()
+	}
 	inst, err := sr.w.Build(a, sr.p, sr.base.Options)
 	if err != nil {
 		return err
@@ -261,7 +299,10 @@ func (sr *ServedRun) runGeneration() error {
 			return err
 		}
 	}
-	if sr.base.EventSink != nil {
+	switch {
+	case capture != nil:
+		a.SetEventSink(capture.sink)
+	case sr.base.EventSink != nil:
 		a.SetEventSink(sr.base.EventSink)
 	}
 	mon, err := monitor.New(a, mcfg)
@@ -410,6 +451,22 @@ func terminateAll(a *core.App, _ core.Flow) error {
 		}
 	}
 	return nil
+}
+
+// CaptureNext arms a one-shot trace capture: sink becomes the event sink
+// of the next generation to launch (displacing the base sink for that
+// generation only), and the returned channel delivers the generation's
+// quiesced assembly and outcome once it finishes — everything a bundle
+// capture needs. The channel is buffered; an assembly shut down before a
+// generation adopts the request answers with ErrNotRunning. Callers
+// should select against their own timeout: a stopped assembly holds the
+// request until the next Start.
+func (sr *ServedRun) CaptureNext(sink core.EventSink) <-chan CapturedGeneration {
+	req := &captureReq{sink: sink, ch: make(chan CapturedGeneration, 1)}
+	sr.mu.Lock()
+	sr.captures = append(sr.captures, req)
+	sr.mu.Unlock()
+	return req.ch
 }
 
 // Stop requests the assembly to stop: the in-flight generation is

@@ -198,9 +198,28 @@ func (in *instance) body(i int) core.Body {
 	}
 }
 
-// Spec exposes the effective (override-adjusted) topology of this run —
-// the conformance engine checks flow conservation against it.
+// Spec exposes the effective (override-adjusted) topology of this run.
 func (in *instance) Spec() *Spec { return in.spec }
+
+// FlowModel implements platform.FlowModeler: every handled message leaves
+// on every output, so edge (i, out<oi>) carries exactly processed[i] sends.
+func (in *instance) FlowModel() []platform.FlowEdge {
+	processed := in.spec.Processed()
+	var edges []platform.FlowEdge
+	for i := range in.spec.Nodes {
+		n := &in.spec.Nodes[i]
+		for oi, dst := range n.Outs {
+			edges = append(edges, platform.FlowEdge{
+				From:  n.Name,
+				Iface: fmt.Sprintf("out%d", oi),
+				To:    in.spec.Nodes[dst].Name,
+				In:    "in",
+				Ops:   uint64(processed[i]),
+			})
+		}
+	}
+	return edges
+}
 
 // Units implements platform.Instance.
 func (in *instance) Units() int { return int(in.received.Load()) }

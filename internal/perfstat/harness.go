@@ -39,7 +39,16 @@ func (o *HarnessOptions) setDefaults() {
 		o.Platforms = platform.Names()
 	}
 	if len(o.Workloads) == 0 {
-		o.Workloads = platform.WorkloadNames()
+		// Registered workloads plus one fixed burst cell: families are
+		// excluded from WorkloadNames (their specs are open-ended), but the
+		// overhead trajectory should cover the open-loop request/response
+		// shape too, so one canonical spec joins the default matrix. The
+		// spec is deliberately wide (16 clients fanning out to 8 servers):
+		// a cell must do enough host work to amortize the monitor's fixed
+		// setup cost, or its overhead_pct is just noise against the
+		// bench-regress ceiling.
+		o.Workloads = append(platform.WorkloadNames(),
+			"burst:clients=16,servers=8,fanout=4,rate=200000,seed=1")
 	}
 	if o.Scale == 0 {
 		o.Scale = 40

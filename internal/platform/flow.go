@@ -1,0 +1,26 @@
+package platform
+
+// FlowEdge is one directed edge of a workload's closed-form communication
+// model: the sender From performs exactly Ops sends on its required
+// interface Iface, all of which land in component To's provided inbox In
+// over a complete, correct run. A workload's full edge list is the
+// ground truth the differential conformance engine reconciles observed
+// middleware counters, wire-frame counts and inbox depths against.
+type FlowEdge struct {
+	From  string // sending component
+	Iface string // sender's required-interface name
+	To    string // receiving component
+	In    string // receiver's provided-interface (inbox) name
+	Ops   uint64 // sends performed on this edge over a complete run
+}
+
+// FlowModeler is implemented by workload instances whose expected
+// per-edge message flow is computable in closed form. Instances that
+// implement it opt in to per-interface flow-conservation checking in the
+// differential sweeps; Units/Checksum remain the portable minimum for
+// everything else.
+type FlowModeler interface {
+	// FlowModel returns every edge of the assembly with its expected send
+	// count. Edge order is unspecified; (From, Iface) pairs are unique.
+	FlowModel() []FlowEdge
+}

@@ -1,0 +1,86 @@
+package replaywl_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/replaywl"
+)
+
+// -update regenerates the golden file:
+//
+//	go test ./internal/replaywl -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenBundle is a small hand-built capture: two components, one edge,
+// one complete message exchange plus a compute charge.
+func goldenBundle() *replaywl.Bundle {
+	return &replaywl.Bundle{
+		Manifest: replaywl.Manifest{
+			Platform: "smp",
+			Workload: "rand:7",
+			Components: []replaywl.ComponentManifest{
+				{
+					Name:     "producer",
+					Required: []replaywl.RequiredManifest{{Name: "out0", To: "sink", ToIface: "in"}},
+				},
+				{
+					Name:     "sink",
+					Provided: []replaywl.ProvidedManifest{{Name: "in", BufBytes: 4096}},
+				},
+			},
+		},
+		Events: []core.Event{
+			{TimeUS: 0, Kind: core.EvStart, Component: "producer"},
+			{TimeUS: 2, Kind: core.EvCompute, Component: "producer", DurUS: 40},
+			{TimeUS: 44, Kind: core.EvSend, Component: "producer", Interface: "out0", Bytes: 512, DurUS: 1},
+			{TimeUS: 46, Kind: core.EvReceive, Component: "sink", Interface: "in", Bytes: 512, DurUS: 1},
+			{TimeUS: 50, Kind: core.EvStop, Component: "producer"},
+			{TimeUS: 51, Kind: core.EvStop, Component: "sink"},
+		},
+	}
+}
+
+// TestGoldenBundleBytes locks the serialized bundle byte format — the
+// EMBR magic and version, the length-prefixed manifest JSON (field names
+// and order included) and the embedded trace bytes. Captures recorded by
+// one build must stay replayable by the next, so any drift must show up
+// as an explicit golden-file update in review.
+func TestGoldenBundleBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := replaywl.WriteBundle(&buf, goldenBundle()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "bundle.golden.emb")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/replaywl -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("bundle codec drifted from golden bytes: %d bytes vs %d golden", len(got), len(want))
+	}
+
+	// The locked bytes must still parse into a runnable workload.
+	w, err := replaywl.Load(path)
+	if err != nil {
+		t.Fatalf("golden bundle no longer loads: %v", err)
+	}
+	if units, _ := w.Expected(); units != 1 {
+		t.Errorf("golden bundle replays %d messages, want 1", units)
+	}
+}

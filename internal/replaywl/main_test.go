@@ -1,0 +1,15 @@
+package replaywl_test
+
+import (
+	"os"
+	"testing"
+
+	"embera/internal/cluster"
+)
+
+// TestMain lets this test binary double as a cluster worker: replay cells
+// running on the cluster platform re-exec the binary once per shard.
+func TestMain(m *testing.M) {
+	cluster.MaybeWorkerMain()
+	os.Exit(m.Run())
+}

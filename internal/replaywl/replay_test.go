@@ -1,0 +1,230 @@
+package replaywl_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"embera/internal/conformance"
+	"embera/internal/core"
+	"embera/internal/exp"
+	"embera/internal/fuzzwl"
+	"embera/internal/monitor"
+	"embera/internal/platform"
+	"embera/internal/replaywl"
+	"embera/internal/trace"
+)
+
+// recordBundle runs one fuzzwl cell on the named platform with a trace
+// recorder attached and captures it into a bundle file.
+func recordBundle(t *testing.T, platformName string, seed int64) (string, *exp.Result) {
+	t.Helper()
+	rec := trace.NewRecorder(1 << 17)
+	run, err := exp.RunNamed(platformName, fuzzwl.Name(seed), exp.Options{EventSink: rec})
+	if err != nil {
+		t.Fatalf("recording %s on %s: %v", fuzzwl.Name(seed), platformName, err)
+	}
+	b, err := replaywl.Capture(run.App, platformName, fuzzwl.Name(seed), rec)
+	if err != nil {
+		t.Fatalf("capturing: %v", err)
+	}
+	file := filepath.Join(t.TempDir(), "capture.emb")
+	f, err := os.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replaywl.WriteBundle(f, b); err != nil {
+		t.Fatalf("writing bundle: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return file, run
+}
+
+// replayMonitorConfig attaches the same streaming-observation shape the
+// differential engine uses, so replay runs face the full CheckRun battery.
+func replayMonitorConfig() *monitor.Config {
+	return &monitor.Config{
+		Levels: []monitor.LevelPeriod{
+			{Level: core.LevelApplication, PeriodUS: 200},
+			{Level: core.LevelOS, PeriodUS: 1000},
+		},
+		WindowUS: 2000,
+	}
+}
+
+// TestRecordReplayRoundTrip is the record→replay acceptance battery: a
+// rand:42 run captured on a deterministic platform and on native becomes a
+// replay workload that (a) reproduces the original's per-component
+// send/receive flows on every registered platform, (b) produces
+// bit-identical timing fingerprints when rerun on deterministic platforms,
+// and (c) reports identical units/checksums across all platforms,
+// including the process-sharded cluster.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	for _, source := range []string{"smp", "native"} {
+		source := source
+		t.Run("from="+source, func(t *testing.T) {
+			t.Parallel()
+			file, orig := recordBundle(t, source, 42)
+			w, err := replaywl.Load(file)
+			if err != nil {
+				t.Fatalf("loading bundle: %v", err)
+			}
+			expUnits, expSum := w.Expected()
+			if expUnits == 0 {
+				t.Fatal("captured run replays zero messages")
+			}
+
+			type outcome struct {
+				units    int
+				checksum uint64
+			}
+			var ref *outcome
+			for _, pn := range platform.Names() {
+				p, err := platform.Get(pn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runs := 1
+				var fingerprints []uint64
+				if p.Deterministic() {
+					runs = 2
+				}
+				var run *exp.Result
+				for r := 0; r < runs; r++ {
+					run, err = exp.RunNamed(pn, w.Name(), exp.Options{Monitor: replayMonitorConfig()})
+					if err != nil {
+						t.Fatalf("replaying on %s: %v", pn, err)
+					}
+					if err := conformance.CheckRun(run); err != nil {
+						t.Fatalf("replay on %s: %v", pn, err)
+					}
+					if runs > 1 {
+						fp, err := conformance.Fingerprint(run)
+						if err != nil {
+							t.Fatal(err)
+						}
+						fingerprints = append(fingerprints, fp)
+					}
+				}
+				for i := 1; i < len(fingerprints); i++ {
+					if fingerprints[i] != fingerprints[0] {
+						t.Errorf("replay on %s: nondeterministic fingerprints %016x vs %016x",
+							pn, fingerprints[i], fingerprints[0])
+					}
+				}
+				got := outcome{units: run.Instance.Units(), checksum: run.Instance.Checksum()}
+				if got.units != expUnits || got.checksum != expSum {
+					t.Errorf("replay on %s: %d/%016x, closed form says %d/%016x",
+						pn, got.units, got.checksum, expUnits, expSum)
+				}
+				if ref == nil {
+					ref = &got
+				} else if got != *ref {
+					t.Errorf("replay on %s disagrees with first platform: %+v vs %+v", pn, got, *ref)
+				}
+
+				// Flow equality against the original run: the replayed
+				// assembly must perform exactly the recorded send/receive
+				// ops, component by component.
+				for name, origRep := range orig.Reports {
+					rep, ok := run.Reports[name]
+					if !ok {
+						t.Errorf("replay on %s misses component %s", pn, name)
+						continue
+					}
+					if rep.App.SendOps != origRep.App.SendOps || rep.App.RecvOps != origRep.App.RecvOps {
+						t.Errorf("replay on %s: %s flows %d/%d, original %d/%d",
+							pn, name, rep.App.SendOps, rep.App.RecvOps,
+							origRep.App.SendOps, origRep.App.RecvOps)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCaptureRejectsDroppedEvents locks the partial-trace guard: a wrapped
+// recorder cannot be captured, because an incomplete event stream breaks
+// the closed-form replay model.
+func TestCaptureRejectsDroppedEvents(t *testing.T) {
+	rec := trace.NewRecorder(8)
+	run, err := exp.RunNamed("smp", fuzzwl.Name(3), exp.Options{EventSink: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replaywl.Capture(run.App, "smp", fuzzwl.Name(3), rec); err == nil {
+		t.Fatal("capture accepted a recorder that dropped events")
+	}
+}
+
+// TestLoadRejectsMalformedBundles covers the parse-time guards: missing
+// files, foreign bytes and incomplete traces must all fail before a run
+// starts, and must surface through the uniform registry-listing usage
+// error when travelling the registry path every binary uses.
+func TestLoadRejectsMalformedBundles(t *testing.T) {
+	if _, err := replaywl.Load(filepath.Join(t.TempDir(), "missing-file")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	junk := filepath.Join(t.TempDir(), "junk.emb")
+	if err := os.WriteFile(junk, []byte("not a bundle at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replaywl.Load(junk); err == nil {
+		t.Error("junk bytes accepted")
+	}
+
+	// An incomplete trace: one send into an inbox that never receives.
+	b := &replaywl.Bundle{
+		Manifest: replaywl.Manifest{Components: []replaywl.ComponentManifest{
+			{Name: "a", Required: []replaywl.RequiredManifest{{Name: "out", To: "b", ToIface: "in"}}},
+			{Name: "b", Provided: []replaywl.ProvidedManifest{{Name: "in", BufBytes: 64}}},
+		}},
+		Events: []core.Event{{Kind: core.EvSend, Component: "a", Interface: "out", Bytes: 8}},
+	}
+	var buf bytes.Buffer
+	if err := replaywl.WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	partial := filepath.Join(t.TempDir(), "partial.emb")
+	if err := os.WriteFile(partial, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replaywl.Load(partial); err == nil || !strings.Contains(err.Error(), "complete run") {
+		t.Errorf("incomplete trace: got %v, want complete-run rejection", err)
+	}
+
+	// The registry path: the same failures must become the uniform usage
+	// error with the family listing, not a panic mid-run.
+	if _, err := exp.RunNamed("smp", "replay:missing-file", exp.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "registered:") {
+		t.Errorf("registry path: got %v, want registry-listing usage error", err)
+	}
+}
+
+// TestBundleRoundTripsBytes locks WriteBundle/ReadBundle as inverses.
+func TestBundleRoundTripsBytes(t *testing.T) {
+	file, _ := recordBundle(t, "smp", 7)
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replaywl.IsBundleHeader(raw) {
+		t.Fatal("bundle does not start with the EMBR magic")
+	}
+	b, err := replaywl.ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := replaywl.WriteBundle(&again, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Error("read→write does not reproduce the bundle bytes")
+	}
+}

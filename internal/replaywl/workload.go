@@ -1,0 +1,340 @@
+package replaywl
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync/atomic"
+
+	"embera/internal/core"
+	"embera/internal/platform"
+)
+
+func init() {
+	platform.RegisterWorkloadFamily(platform.WorkloadFamily{
+		Prefix:      Family,
+		Placeholder: Family + ":<file>",
+		Describe:    "replay a recorded trace bundle as a deterministic benchmark (capture one with embera-trace capture)",
+		Parse:       func(arg string) (platform.Workload, error) { return Load(arg) },
+	})
+}
+
+// Load reads, parses and validates a trace bundle file into a workload.
+// Every malformed input — missing file, foreign format, incomplete trace —
+// is rejected here, before a run starts.
+func Load(file string) (*Workload, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, fmt.Errorf("replaywl: opening trace bundle: %w", err)
+	}
+	defer f.Close()
+	b, err := ReadBundle(f)
+	if err != nil {
+		return nil, err
+	}
+	p, err := newPlan(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{file: file, plan: p}, nil
+}
+
+// mix is a splitmix64 round; replay payloads are mix(seq, component hash).
+func mix(v, salt uint64) uint64 {
+	v += 0x9E3779B97F4A7C15 * (salt + 1)
+	v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9
+	v = (v ^ (v >> 27)) * 0x94D049BB133111EB
+	return v ^ (v >> 31)
+}
+
+// sendValue derives the payload of a component's seq-th replayed send. It
+// depends only on (component, seq), so with a complete trace the folded
+// checksum is the closed-form sum of every send's value, independent of
+// delivery order.
+func sendValue(comp string, seq int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(comp))
+	return mix(uint64(seq), h.Sum64())
+}
+
+// replayCyclesPerUS converts a recorded compute duration back into a
+// compute charge. The constant is arbitrary but fixed: replay is
+// schedule-faithful, and only needs the relative load shape to be
+// deterministic.
+const replayCyclesPerUS = 100
+
+// op is one replayed primitive of a component's schedule.
+type op struct {
+	kind  core.EventKind // EvSend, EvReceive or EvCompute
+	iface string
+	bytes int
+	durUS int64
+}
+
+// compPlan is one component's rebuilt shape and schedule.
+type compPlan struct {
+	manifest ComponentManifest
+	ops      []op
+	sends    map[string]uint64 // per required iface
+}
+
+// plan is the fully validated replay: schedules, widened capacities and
+// the closed-form expected outcome.
+type plan struct {
+	bundle   *Bundle
+	comps    []compPlan
+	inbound  map[[2]string]int64 // (comp, inbox) → total bytes sent into it
+	expUnits int
+	expSum   uint64
+}
+
+// newPlan turns a bundle into per-component schedules and verifies the
+// complete-run invariant: every inbox received exactly as many messages
+// as were sent into it, so the replayed checksum has a closed form.
+func newPlan(b *Bundle) (*plan, error) {
+	p := &plan{bundle: b, inbound: map[[2]string]int64{}}
+	byName := map[string]int{}
+	edges := map[[2]string]RequiredManifest{} // (comp, iface) → target
+	provided := map[[2]string]bool{}
+	for i, cm := range b.Manifest.Components {
+		if _, dup := byName[cm.Name]; dup {
+			return nil, fmt.Errorf("replaywl: manifest lists component %q twice", cm.Name)
+		}
+		byName[cm.Name] = i
+		p.comps = append(p.comps, compPlan{manifest: cm, sends: map[string]uint64{}})
+		for _, pm := range cm.Provided {
+			provided[[2]string{cm.Name, pm.Name}] = true
+		}
+		for _, rm := range cm.Required {
+			edges[[2]string{cm.Name, rm.Name}] = rm
+		}
+	}
+
+	sentInto := map[[2]string]int{}
+	received := map[[2]string]int{}
+	for i, e := range b.Events {
+		ci, known := byName[e.Component]
+		switch e.Kind {
+		case core.EvSend:
+			if !known {
+				return nil, fmt.Errorf("replaywl: event %d sends from component %q absent from the manifest", i, e.Component)
+			}
+			edge, ok := edges[[2]string{e.Component, e.Interface}]
+			if !ok {
+				return nil, fmt.Errorf("replaywl: event %d sends on unconnected interface %s.%s", i, e.Component, e.Interface)
+			}
+			c := &p.comps[ci]
+			c.ops = append(c.ops, op{kind: core.EvSend, iface: e.Interface, bytes: e.Bytes})
+			c.sends[e.Interface]++
+			inbox := [2]string{edge.To, edge.ToIface}
+			sentInto[inbox]++
+			p.inbound[inbox] += int64(e.Bytes)
+		case core.EvReceive:
+			if !known {
+				return nil, fmt.Errorf("replaywl: event %d receives at component %q absent from the manifest", i, e.Component)
+			}
+			if !provided[[2]string{e.Component, e.Interface}] {
+				return nil, fmt.Errorf("replaywl: event %d receives on unknown inbox %s.%s", i, e.Component, e.Interface)
+			}
+			p.comps[ci].ops = append(p.comps[ci].ops, op{kind: core.EvReceive, iface: e.Interface})
+			received[[2]string{e.Component, e.Interface}]++
+			p.expUnits++
+		case core.EvCompute:
+			if known {
+				p.comps[ci].ops = append(p.comps[ci].ops, op{kind: core.EvCompute, durUS: e.DurUS})
+			}
+		}
+	}
+	// The expected checksum is the sum of every send's derived value: the
+	// complete-run invariant below guarantees each one is folded exactly
+	// once, in any delivery order.
+	for _, c := range p.comps {
+		seq := 0
+		for _, o := range c.ops {
+			if o.kind == core.EvSend {
+				p.expSum += sendValue(c.manifest.Name, seq)
+				seq++
+			}
+		}
+	}
+
+	for inbox := range sentInto {
+		if sentInto[inbox] != received[inbox] {
+			return nil, fmt.Errorf("replaywl: trace is not a complete run: inbox %s.%s saw %d sends but %d receives",
+				inbox[0], inbox[1], sentInto[inbox], received[inbox])
+		}
+	}
+	for inbox := range received {
+		if sentInto[inbox] != received[inbox] {
+			return nil, fmt.Errorf("replaywl: trace is not a complete run: inbox %s.%s saw %d sends but %d receives",
+				inbox[0], inbox[1], sentInto[inbox], received[inbox])
+		}
+	}
+	return p, nil
+}
+
+// Validate checks that the bundle parses into a runnable replay plan: the
+// manifest is well-formed and the trace is a complete run. Capture paths
+// call this before handing bytes out, so a bundle that reaches disk (or a
+// client) is always replayable.
+func (b *Bundle) Validate() error {
+	_, err := newPlan(b)
+	return err
+}
+
+// Workload adapts one parsed bundle to platform.Workload.
+type Workload struct {
+	file string
+	plan *plan
+}
+
+// Name implements platform.Workload ("replay:<file>"). Cluster workers
+// rebuild the workload from this name, re-reading the bundle from disk.
+func (w *Workload) Name() string { return Family + ":" + w.file }
+
+// Describe implements platform.Workload.
+func (w *Workload) Describe() string {
+	m := &w.plan.bundle.Manifest
+	return fmt.Sprintf("replay of %s on %s: %d components, %d events, %d messages",
+		m.Workload, m.Platform, len(m.Components), len(w.plan.bundle.Events), w.plan.expUnits)
+}
+
+// Bundle exposes the parsed capture.
+func (w *Workload) Bundle() *Bundle { return w.plan.bundle }
+
+// Build implements platform.Workload: it rebuilds the captured assembly
+// with every inbox widened by the total bytes ever sent into it, so
+// replayed sends never block and the schedule provably drains on any
+// platform. Scale/MessageBytes overrides are ignored — a replay's shape
+// is the trace's shape.
+func (w *Workload) Build(a *core.App, p platform.Platform, opts platform.Options) (platform.Instance, error) {
+	inst := newInstance(w.plan)
+	comps := make([]*core.Component, len(w.plan.comps))
+	for i := range w.plan.comps {
+		cm := &w.plan.comps[i].manifest
+		c, err := a.NewComponent(cm.Name, inst.body(i))
+		if err != nil {
+			return nil, err
+		}
+		for _, pm := range cm.Provided {
+			widened := pm.BufBytes + w.plan.inbound[[2]string{cm.Name, pm.Name}]
+			if err := c.AddProvided(pm.Name, widened); err != nil {
+				return nil, err
+			}
+		}
+		for _, rm := range cm.Required {
+			if err := c.AddRequired(rm.Name); err != nil {
+				return nil, err
+			}
+		}
+		comps[i] = c
+	}
+	byName := map[string]*core.Component{}
+	for _, c := range comps {
+		byName[c.Name()] = c
+	}
+	for i := range w.plan.comps {
+		for _, rm := range w.plan.comps[i].manifest.Required {
+			to, ok := byName[rm.To]
+			if !ok {
+				return nil, fmt.Errorf("replaywl: connection target %q absent from the manifest", rm.To)
+			}
+			if err := a.Connect(comps[i], rm.Name, to, rm.ToIface); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}
+
+// instance tracks one replayed run. Counters are atomic: on the native
+// platform every component is a real goroutine.
+type instance struct {
+	plan     *plan
+	received atomic.Int64
+	checksum atomic.Uint64
+}
+
+func newInstance(p *plan) *instance { return &instance{plan: p} }
+
+// body replays component i's recorded schedule in order.
+func (in *instance) body(i int) core.Body {
+	ops := in.plan.comps[i].ops
+	name := in.plan.comps[i].manifest.Name
+	return func(ctx *core.Ctx) {
+		seq := 0
+		for _, o := range ops {
+			switch o.kind {
+			case core.EvSend:
+				ctx.Send(o.iface, sendValue(name, seq), o.bytes)
+				seq++
+			case core.EvReceive:
+				m, ok := ctx.Receive(o.iface)
+				if !ok {
+					return
+				}
+				in.checksum.Add(m.Payload.(uint64))
+				in.received.Add(1)
+			case core.EvCompute:
+				if o.durUS > 0 {
+					ctx.Compute(o.durUS * replayCyclesPerUS)
+				}
+			}
+		}
+	}
+}
+
+// FlowModel implements platform.FlowModeler: per-edge send counts are the
+// recorded counts.
+func (in *instance) FlowModel() []platform.FlowEdge {
+	var edges []platform.FlowEdge
+	for i := range in.plan.comps {
+		c := &in.plan.comps[i]
+		for _, rm := range c.manifest.Required {
+			edges = append(edges, platform.FlowEdge{
+				From:  c.manifest.Name,
+				Iface: rm.Name,
+				To:    rm.To,
+				In:    rm.ToIface,
+				Ops:   c.sends[rm.Name],
+			})
+		}
+	}
+	return edges
+}
+
+// Units implements platform.Instance.
+func (in *instance) Units() int { return int(in.received.Load()) }
+
+// Checksum implements platform.Instance.
+func (in *instance) Checksum() uint64 { return in.checksum.Load() }
+
+// MergeShard folds another process's partial results into this instance's
+// counters; the fold is additive and order-independent.
+func (in *instance) MergeShard(units int, checksum uint64) {
+	in.received.Add(int64(units))
+	in.checksum.Add(checksum)
+}
+
+// Check implements platform.Instance against the closed-form model.
+func (in *instance) Check() error {
+	if got := in.Units(); got != in.plan.expUnits {
+		return fmt.Errorf("replaywl: replay folded %d messages, want %d", got, in.plan.expUnits)
+	}
+	if got := in.checksum.Load(); got != in.plan.expSum {
+		return fmt.Errorf("replaywl: checksum %016x, want %016x", got, in.plan.expSum)
+	}
+	return nil
+}
+
+// Summary implements platform.Instance.
+func (in *instance) Summary() string {
+	return fmt.Sprintf("folded %d/%d messages (checksum %016x) — %s",
+		in.Units(), in.plan.expUnits, in.checksum.Load(), in.plan.bundle.Manifest.Workload)
+}
+
+// Expected exposes the closed-form outcome for harnesses (embera-trace
+// capture prints it so CI can assert replay equality without re-deriving).
+func (w *Workload) Expected() (units int, checksum uint64) {
+	return w.plan.expUnits, w.plan.expSum
+}

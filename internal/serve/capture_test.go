@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"embera/internal/exp"
+	"embera/internal/monitor"
+	"embera/internal/platform"
+	"embera/internal/replaywl"
+)
+
+// TestCaptureEndpoint drives the live-capture path end to end: a served
+// assembly's /capture GET must return a valid replay bundle whose workload
+// reruns deterministically through the ordinary replay:<file> family.
+func TestCaptureEndpoint(t *testing.T) {
+	p := platform.MustGet("smp")
+	w, err := platform.GetWorkload("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{})
+	if _, err := s.AddAssembly("cap", p, w, exp.ServedOptions{
+		Options: exp.Options{
+			Options: platform.Options{Scale: 24},
+			Monitor: &monitor.Config{},
+		},
+		Pace: time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/assemblies/cap/capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capture returned %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("capture content type %q", ct)
+	}
+	if !replaywl.IsBundleHeader(raw) {
+		t.Fatal("capture body is not an EMBR bundle")
+	}
+	b, err := replaywl.ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("capture body does not parse: %v", err)
+	}
+	if b.Manifest.Platform != "smp" || b.Manifest.Workload != "pipeline" {
+		t.Errorf("manifest names %s/%s, want smp/pipeline", b.Manifest.Platform, b.Manifest.Workload)
+	}
+
+	// The captured bundle must replay through the ordinary family path.
+	file := filepath.Join(t.TempDir(), "cap.emb")
+	if err := os.WriteFile(file, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run, err := exp.RunNamed("smp", "replay:"+file, exp.Options{})
+	if err != nil {
+		t.Fatalf("captured bundle does not replay: %v", err)
+	}
+	if run.Instance.Units() == 0 {
+		t.Error("captured bundle replays zero messages")
+	}
+
+	// Unknown assembly: the uniform 404, not a hang.
+	nf, err := http.Get(ts.URL + "/v1/assemblies/nope/capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("capture of unknown assembly returned %d, want 404", nf.StatusCode)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"embera/internal/exp"
 	"embera/internal/monitor"
 	"embera/internal/platform"
+	"embera/internal/replaywl"
+	"embera/internal/trace"
 )
 
 // firingQueueCap bounds the per-assembly executor queue: a controller that
@@ -354,6 +356,8 @@ func (as *Assembly) Snapshot() Snapshot {
 //	POST /v1/assemblies/{id}/control    live control API
 //	GET  /v1/assemblies/{id}/policies   installed feedback policies + status
 //	POST /v1/assemblies/{id}/policies   replace the feedback policy set
+//	GET  /v1/assemblies/{id}/capture    record the next generation as a
+//	                                    replayable trace bundle
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -364,7 +368,66 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/assemblies/{id}/control", s.handleControl)
 	mux.HandleFunc("GET /v1/assemblies/{id}/policies", s.handlePoliciesGet)
 	mux.HandleFunc("POST /v1/assemblies/{id}/policies", s.handlePoliciesPost)
+	mux.HandleFunc("GET /v1/assemblies/{id}/capture", s.handleCapture)
 	return mux
+}
+
+// captureRecorderCap bounds the capture event ring. A generation that
+// overflows it is rejected (a dropped event would break the replay model),
+// so the cap also bounds the endpoint's memory.
+const captureRecorderCap = 1 << 17
+
+// captureTimeout bounds how long /capture waits for a generation to finish
+// before giving up with 504. Generations are short (milliseconds of
+// virtual time); a stopped assembly simply never delivers.
+const captureTimeout = 30 * time.Second
+
+// handleCapture records the assembly's next generation into a replay
+// bundle: it arms a trace recorder as that generation's event sink, waits
+// for the generation to finish, validates the capture end to end and
+// streams the bundle bytes. The result feeds replay:<file> directly —
+// a live service run becomes a deterministic benchmark with one GET.
+func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
+	as, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	run := as.Run()
+	rec := trace.NewRecorder(captureRecorderCap)
+	select {
+	case cg := <-run.CaptureNext(rec):
+		if cg.Err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(cg.Err, exp.ErrNotRunning) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, map[string]string{"error": fmt.Sprintf("captured generation failed: %v", cg.Err)})
+			return
+		}
+		b, err := replaywl.Capture(cg.App, run.Platform().Name(), run.Workload().Name(), rec)
+		if err == nil {
+			err = b.Validate()
+		}
+		if err != nil {
+			// Lossy or incomplete traces (an overflowed ring, a sharded
+			// platform recording only its own shard) are not replayable;
+			// say so rather than hand out a broken bundle.
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", as.id+".emb"))
+		if err := replaywl.WriteBundle(w, b); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	case <-r.Context().Done():
+		return
+	case <-time.After(captureTimeout):
+		writeJSON(w, http.StatusGatewayTimeout,
+			map[string]string{"error": "no generation finished within the capture window (is the assembly stopped?)"})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

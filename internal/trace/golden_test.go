@@ -1,0 +1,78 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"embera/internal/core"
+	"embera/internal/trace"
+)
+
+// -update regenerates the golden file:
+//
+//	go test ./internal/trace -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a fixture wide enough to exercise every field of the
+// record layout: all event kinds, string-table reuse and first-use
+// interleaving, zero and large values, and an empty interface name.
+func goldenEvents() []core.Event {
+	return []core.Event{
+		{TimeUS: 0, Kind: core.EvStart, Component: "fetch"},
+		{TimeUS: 3, Kind: core.EvCompute, Component: "fetch", DurUS: 120},
+		{TimeUS: 130, Kind: core.EvSend, Component: "fetch", Interface: "out0", Bytes: 1024, DurUS: 7},
+		{TimeUS: 133, Kind: core.EvReceive, Component: "idct", Interface: "in", Bytes: 1024, DurUS: 2},
+		{TimeUS: 140, Kind: core.EvSend, Component: "fetch", Interface: "out0", Bytes: 2048},
+		{TimeUS: 151, Kind: core.EvObserve, Component: "idct", Interface: core.ObsIfaceName, DurUS: 9},
+		{TimeUS: 1 << 40, Kind: core.EvStop, Component: "idct", DurUS: 1 << 33},
+	}
+}
+
+// TestGoldenTraceBytes locks the serialized trace byte format — magic,
+// version, header layout, string-table encoding and the fixed 29-byte
+// record shape. Replay bundles embed traces verbatim, so any codec drift
+// breaks recorded-capture compatibility and must show up as an explicit
+// golden-file update in review.
+func TestGoldenTraceBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "trace.golden.bin")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace codec drifted from golden bytes: %d bytes vs %d golden", len(got), len(want))
+	}
+
+	// The locked bytes must also decode back to the fixture, so the golden
+	// file stays a usable compatibility witness, not just a checksum.
+	events, err := trace.Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden bytes no longer decode: %v", err)
+	}
+	if len(events) != len(goldenEvents()) {
+		t.Fatalf("golden decodes to %d events, want %d", len(events), len(goldenEvents()))
+	}
+	for i, e := range goldenEvents() {
+		if events[i] != e {
+			t.Errorf("event %d decoded as %+v, want %+v", i, events[i], e)
+		}
+	}
+}
